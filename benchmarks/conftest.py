@@ -1,0 +1,95 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at a
+scaled-down (documented) size, prints a paper-vs-measured comparison
+directly to the terminal (bypassing pytest capture), and asserts that
+the *shape* holds: who dominates, rank order of the major causes, and
+significance flips.
+"""
+
+import sys
+
+import pytest
+
+from repro.apps import BgpFlapApp, CdnApp, PimApp
+from repro.simulation import bgp_month, cdn_month, pim_fortnight
+from repro.topology import TopologyParams
+
+
+class Console:
+    """Reporting helper that bypasses pytest's output capture."""
+
+    def __init__(self, capsys) -> None:
+        self._capsys = capsys
+
+    def emit(self, text: str) -> None:
+        if self._capsys is None:
+            sys.stdout.write(text + "\n")
+            return
+        with self._capsys.disabled():
+            print(text)
+
+    def report_table(self, title: str, rows, paper, cause_map=None) -> None:
+        """Print a 'Root Cause | paper % | measured %' comparison table.
+
+        ``rows`` are BreakdownRow objects; ``paper`` maps paper row label
+        -> paper percentage; ``cause_map`` maps engine cause names to
+        paper row labels.
+        """
+        cause_map = cause_map or {}
+        measured = {}
+        for row in rows:
+            label = cause_map.get(row.root_cause, row.root_cause)
+            measured[label] = measured.get(label, 0.0) + row.percentage
+        width = max(len(label) for label in list(paper) + list(measured))
+        lines = [f"\n=== {title} ===",
+                 f"{'Root Cause':<{width}}  {'paper %':>8}  {'measured %':>10}"]
+        for label, paper_pct in paper.items():
+            got = measured.pop(label, 0.0)
+            lines.append(f"{label:<{width}}  {paper_pct:>8.2f}  {got:>10.2f}")
+        for label, got in sorted(measured.items()):
+            lines.append(f"{label:<{width}}  {'-':>8}  {got:>10.2f}")
+        self.emit("\n".join(lines))
+
+
+@pytest.fixture
+def console(capsys):
+    return Console(capsys)
+
+
+@pytest.fixture(scope="session")
+def bgp_outcome():
+    """Table IV scenario: ~1200 flaps on an 18-PER network."""
+    result = bgp_month(
+        total_flaps=1200,
+        params=TopologyParams(n_pops=6, pers_per_pop=3, customers_per_per=8, seed=101),
+        seed=101,
+    )
+    app = BgpFlapApp.build(result.platform())
+    symptoms = app.find_symptoms(result.start, result.end)
+    diagnoses = app.engine.diagnose_all(symptoms)
+    return result, app, symptoms, diagnoses
+
+
+@pytest.fixture(scope="session")
+def pim_outcome():
+    """Table VIII scenario: ~700 adjacency changes over two weeks."""
+    result = pim_fortnight(
+        total_changes=700,
+        params=TopologyParams(n_pops=6, pers_per_pop=3, customers_per_per=6, seed=102),
+        seed=102,
+    )
+    app = PimApp.build(result.platform())
+    symptoms = app.find_symptoms(result.start, result.end)
+    diagnoses = app.engine.diagnose_all(symptoms)
+    return result, app, symptoms, diagnoses
+
+
+@pytest.fixture(scope="session")
+def cdn_outcome():
+    """Table VI scenario: ~500 RTT degradations over a month."""
+    result = cdn_month(total_degradations=500, n_clients=24, seed=103)
+    app = CdnApp.build(result.platform())
+    symptoms = app.find_symptoms(result.start, result.end)
+    diagnoses = app.engine.diagnose_all(symptoms)
+    return result, app, symptoms, diagnoses

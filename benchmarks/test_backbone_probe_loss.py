@@ -1,0 +1,67 @@
+"""The introduction's motivating workload: backbone probe losses.
+
+Not a numbered table in the paper — the introduction describes it
+qualitatively ("should link congestion be determined to be the primary
+root cause, capacity augmentation is needed ...; if packet losses are
+found to be largely due to intradomain routing reconvergence, deploying
+technologies such as MPLS fast reroute becomes a priority").  This
+benchmark runs that workflow end to end and checks the decision falls
+out of the aggregate breakdown.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.apps import BackboneApp
+from repro.core import ResultBrowser
+from repro.core.knowledge import names
+from repro.simulation import PROBE_LOSS_MIXTURE, backbone_probe_month
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    result = backbone_probe_month(total_losses=200, seed=106)
+    app = BackboneApp.build(result.platform())
+    symptoms = app.find_symptoms(result.start, result.end)
+    diagnoses = app.engine.diagnose_all(symptoms)
+    return result, app, diagnoses
+
+
+def test_backbone_probe_loss(outcome, benchmark, console):
+    result, app, diagnoses = outcome
+    browser = ResultBrowser(diagnoses)
+
+    def run():
+        return app.engine.diagnose_all(
+            app.find_symptoms(result.start, result.end)[:100]
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    console.emit("\n=== Intro workload: backbone probe-loss aggregate analysis ===")
+    console.emit(f"probe pairs: {len(result.extras['probe_pairs'])}; "
+                 f"loss events diagnosed: {len(diagnoses)}")
+    paper = {cause: pct for cause, pct in PROBE_LOSS_MIXTURE}
+    cause_map = {
+        names.LINK_CONGESTION: "Link Congestions",
+        names.OSPF_RECONVERGENCE: "OSPF re-convergence",
+    }
+    console.report_table("injected mixture vs diagnosed", browser.breakdown(),
+                         paper, cause_map)
+
+    advice = BackboneApp.advise(browser)
+    console.emit(f"decision: {advice.recommendation} "
+                 f"(congestion {advice.congestion_share:.1f}% vs "
+                 f"reconvergence {advice.reconvergence_share:.1f}%)")
+
+    counts = Counter(d.primary_cause for d in diagnoses)
+    total = len(diagnoses)
+    truth = result.truth_counts()
+    # every diagnosed count matches the injected mixture exactly
+    assert counts[names.LINK_CONGESTION] == truth["Link Congestions"]
+    assert counts[names.OSPF_RECONVERGENCE] == truth["OSPF re-convergence"]
+    assert counts["Unknown"] == truth["Unknown"]
+    # the intro's decision: congestion dominates -> capacity
+    assert counts[names.LINK_CONGESTION] / total > 0.4
+    assert "capacity" in advice.recommendation

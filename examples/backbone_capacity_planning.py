@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Aggregate SQM: from probe losses to an investment decision.
+
+The paper's introduction motivates SQM with exactly this workflow:
+examine a month of sporadic packet losses between PoPs, diagnose their
+root causes in bulk, and decide — capacity augmentation if congestion
+dominates, MPLS fast reroute if routing reconvergence does.
+
+The RCA application behind it is three lines of rule-spec, every rule
+pulled from the Knowledge Library.
+
+Run:  python examples/backbone_capacity_planning.py
+"""
+
+from repro.apps import BackboneApp
+from repro.apps.backbone import BACKBONE_LOSS_SPEC
+from repro.simulation import backbone_probe_month
+
+
+def main() -> None:
+    print("the whole application specification:")
+    print(BACKBONE_LOSS_SPEC)
+
+    print("simulating a month of inter-PoP probe measurements ...")
+    result = backbone_probe_month(total_losses=150, seed=17)
+    app = BackboneApp.build(result.platform())
+    browser = app.run(result.start, result.end)
+
+    print(f"\ndiagnosed {len(browser)} loss-increase events:\n")
+    print(browser.format_breakdown())
+
+    advice = BackboneApp.advise(browser)
+    print(f"\ncongestion share     : {advice.congestion_share:.1f}%")
+    print(f"reconvergence share  : {advice.reconvergence_share:.1f}%")
+    print(f"recommendation       : {advice.recommendation}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Building a brand-new RCA application from the Knowledge Library.
+
+The paper's pitch: new problems become new RCA tools "via simple
+configuration".  This example builds a *link packet-loss* RCA tool from
+scratch — a symptom ("Link loss alarm") and two candidate causes, both
+pulled from the Table II rule library — using only the rule
+specification language, then runs it against hand-injected telemetry.
+
+Run:  python examples/custom_application.py
+"""
+
+import random
+
+from repro import DataCollector, GrcaPlatform, TopologyParams, build_topology
+from repro.core import RcaEngine, ResultBrowser
+from repro.core.engine import EngineConfig
+from repro.core.events import RetrievalContext
+from repro.core.knowledge import names
+from repro.core.rulespec import SpecCompiler
+from repro.simulation.telemetry import BASE_EPOCH, TelemetryEmitter
+
+LINK_LOSS_SPEC = f'''
+application "link-loss-triage"
+symptom "{names.LINK_LOSS}"
+
+# both rules come straight from the Knowledge Library (Table II);
+# congestion-induced overflow outranks a flapping line protocol
+rule "{names.LINK_LOSS}" -> "{names.LINK_CONGESTION}" use library priority 90
+rule "{names.LINK_LOSS}" -> "{names.LINEPROTO_FLAP}" use library priority 80
+'''
+
+
+def main() -> None:
+    topo = build_topology(TopologyParams(n_pops=3, pers_per_pop=1, seed=6))
+    emitter = TelemetryEmitter(topo, random.Random(6))
+    t = BASE_EPOCH + 3600.0
+    network = topo.network
+
+    # pick three in-network interfaces to afflict
+    links = sorted(network.logical_links)
+    ifaces = [network.logical_links[name].interface_a for name in links[:3]]
+
+    # case 1: congestion-driven loss
+    router, _, port = ifaces[0].partition(":")
+    emitter.snmp(t, router, "link_util", port, 96.0)
+    emitter.snmp(t, router, "corrupted_packets", port, 800.0)
+    # case 2: a flapping line protocol corrupting packets
+    emitter.line_protocol_flap(t - 30.0, ifaces[1], duration=20.0)
+    router2, _, port2 = ifaces[1].partition(":")
+    emitter.snmp(t, router2, "corrupted_packets", port2, 300.0)
+    # case 3: loss with no visible cause
+    router3, _, port3 = ifaces[2].partition(":")
+    emitter.snmp(t, router3, "corrupted_packets", port3, 500.0)
+
+    collector = DataCollector()
+    for r in network.routers.values():
+        collector.registry.register_device(r.name, r.timezone)
+    emitter.buffers.ingest_into(collector)
+    platform = GrcaPlatform.from_collector(topo, collector)
+
+    # compile the DSL spec into a diagnosis graph and build the engine
+    compiler = SpecCompiler(platform.knowledge.events, platform.knowledge.rules)
+    graph = compiler.compile_text(LINK_LOSS_SPEC)
+    engine = RcaEngine(
+        graph=graph,
+        library=platform.knowledge.events,
+        resolver=platform.resolver,
+        store=platform.store,
+        config=EngineConfig(services=platform.services),
+    )
+
+    context = RetrievalContext(
+        store=platform.store, start=t - 3600, end=t + 3600,
+        services=platform.services,
+    )
+    symptoms = platform.knowledge.events.get(names.LINK_LOSS).retrieve(context)
+    browser = ResultBrowser(engine.diagnose_all(symptoms))
+
+    print(f"new application {graph.name!r} built from "
+          f"{len(graph.all_rules())} library rules\n")
+    print(f"diagnosed {len(browser)} link-loss alarms:\n")
+    print(browser.format_breakdown())
+    for diagnosis in browser.diagnoses:
+        print()
+        print(diagnosis.explain())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""MVPN PIM adjacency-change analysis (Section III-C).
+
+Thousands of PIM neighbor adjacency changes arrive per day; most are
+benign (customer disconnects), some indicate real problems.  This
+example reproduces the Table VIII classification over two simulated
+weeks, then uses the Result Browser's filtering to focus on what is
+left unexplained — the iterative-analysis workflow of Section IV-A.
+
+Run:  python examples/pim_mvpn_analysis.py
+"""
+
+from repro.apps import PimApp
+from repro.simulation import pim_fortnight
+
+
+def main() -> None:
+    print("simulating two weeks of MVPN PIM adjacency changes ...")
+    result = pim_fortnight(total_changes=400, seed=3)
+    platform = result.platform()
+    app = PimApp.build(platform)
+
+    browser = app.run(result.start, result.end)
+    print(f"\ndiagnosed {len(browser)} adjacency changes:\n")
+    print(browser.format_breakdown())
+
+    coverage = browser.explained_fraction()
+    print(f"\nclassification coverage: {100 * coverage:.1f}% (paper: >98%)")
+
+    # iterative analysis: set the explained events aside, drill into the rest
+    unexplained = browser.unexplained()
+    print(f"\n{len(unexplained)} changes remain unexplained; drilling into one:")
+    if unexplained.diagnoses:
+        diagnosis = unexplained.diagnoses[0]
+        nearby = browser.drill_down(platform.store, diagnosis, window_seconds=300.0)
+        for table, records in nearby.items():
+            print(f"  {table}: {len(records)} records near the event")
+
+    # trending per day, per cause — the chronic-issue view
+    print("\ndaily trend (events per cause per day):")
+    print(browser.format_trend(bucket_seconds=86400.0))
+
+
+if __name__ == "__main__":
+    main()

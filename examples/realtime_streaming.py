@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Real-time root cause analysis (Section VI extension).
+
+Replays a day of telemetry feed-by-feed into the Data Collector, the
+way a live transport would deliver it, while a :class:`StreamingRca`
+advances its watermark every 15 simulated minutes: each symptom is
+diagnosed as soon as it has *settled* (its lagging evidence — hold
+timers, SNMP polls — has had time to arrive).
+
+Run:  python examples/realtime_streaming.py
+"""
+
+import random
+
+from repro import DataCollector, GrcaPlatform, TopologyParams, build_topology
+from repro.apps import BgpFlapApp
+from repro.core import StreamingConfig, StreamingRca
+from repro.core.streaming import FeedReplayer
+from repro.simulation.faults import FaultInjector
+from repro.simulation.telemetry import BASE_EPOCH, TelemetryEmitter
+
+
+def main() -> None:
+    topo = build_topology(
+        TopologyParams(n_pops=4, pers_per_pop=2, customers_per_per=5, seed=7)
+    )
+    emitter = TelemetryEmitter(topo, random.Random(7))
+    injector = FaultInjector(topo, emitter, random.Random(8))
+
+    # a day of scattered faults
+    rng = random.Random(9)
+    customers = sorted(topo.customer_attachments)
+    recipes = [
+        injector.bgp_interface_flap,
+        injector.bgp_lineproto_flap,
+        injector.bgp_cpu_spike,
+        injector.bgp_unknown,
+    ]
+    day = 86400.0
+    injected = 0
+    for i in range(24):
+        t = BASE_EPOCH + (i + 0.5) * day / 24.0
+        injected += len(rng.choice(recipes)(t, rng.choice(customers)))
+    print(f"injected {injected} faults across one simulated day")
+
+    collector = DataCollector()
+    for router in topo.network.routers.values():
+        collector.registry.register_device(router.name, router.timezone)
+    platform = GrcaPlatform.from_collector(topo, collector, config_time=BASE_EPOCH)
+    app = BgpFlapApp.build(platform)
+
+    def announce(diagnosis):
+        lag = now - diagnosis.symptom.end
+        print(
+            f"  [{(diagnosis.symptom.start - BASE_EPOCH) / 3600.0:5.2f} h] "
+            f"{diagnosis.symptom.location.parts[0]} -> "
+            f"{diagnosis.primary_cause} (diagnosed {lag / 60.0:.0f} min later)"
+        )
+
+    streaming = StreamingRca(
+        app.engine,
+        StreamingConfig(settle_seconds=420.0),
+        on_diagnosis=announce,
+        start=BASE_EPOCH,
+    )
+    replayer = FeedReplayer(collector, emitter.buffers.replay_order())
+
+    print("replaying feeds in 15-minute ticks:\n")
+    now = BASE_EPOCH
+    while now < BASE_EPOCH + day + 3600.0:
+        now += 900.0
+        replayer.deliver_until(now)
+        platform.refresh_routing()
+        streaming.advance(now)
+
+    print(f"\ndiagnosed {streaming.diagnosed_count} symptoms in streaming mode")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""G-RCA: a generic root cause analysis platform for service quality
+management in large IP networks — reproduction.
+
+The public API mirrors the paper's architecture (Fig. 1):
+
+* :mod:`repro.collector` — the Data Collector: source parsers,
+  normalization, the record store;
+* :mod:`repro.topology` — the network element model and synthetic
+  tier-1 topology generator;
+* :mod:`repro.routing` — OSPF SPF/ECMP simulation, BGP decision
+  emulation and the path service behind the spatial model;
+* :mod:`repro.core` — events, locations, spatial-temporal correlation,
+  diagnosis graphs, the generic RCA engine, rule-based and Bayesian
+  reasoning, the Knowledge Library, the Correlation Tester and the
+  Result Browser;
+* :mod:`repro.apps` — the three RCA applications of Section III (BGP
+  flaps, CDN service impairments, MVPN PIM adjacency changes);
+* :mod:`repro.simulation` — the synthetic substitute for the paper's
+  proprietary production telemetry (see DESIGN.md);
+* :class:`repro.platform.GrcaPlatform` — wires everything together
+  from collected data.
+
+Quickstart::
+
+    from repro import GrcaPlatform, bgp_month
+    from repro.apps import BgpFlapApp
+
+    result = bgp_month(total_flaps=500)        # simulate a month
+    platform = result.platform()               # wire G-RCA from the data
+    app = BgpFlapApp.build(platform)           # configure the RCA tool
+    browser = app.run(result.start, result.end)
+    print(browser.format_breakdown())          # the Table IV view
+"""
+
+from .collector import DataCollector, DataStore
+from .core import (
+    BayesianEngine,
+    Diagnosis,
+    DiagnosisGraph,
+    DiagnosisRule,
+    EventDefinition,
+    EventInstance,
+    EventLibrary,
+    JoinLevel,
+    KnowledgeLibrary,
+    Location,
+    LocationResolver,
+    LocationType,
+    RcaEngine,
+    ResultBrowser,
+    SpatialJoinRule,
+    TemporalExpansion,
+    TemporalJoinRule,
+)
+from .platform import GrcaPlatform
+from .simulation import (
+    bgp_month,
+    cdn_month,
+    cpu_bgp_study,
+    linecard_crash,
+    pim_fortnight,
+)
+from .topology import TopologyParams, build_topology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BayesianEngine",
+    "DataCollector",
+    "DataStore",
+    "Diagnosis",
+    "DiagnosisGraph",
+    "DiagnosisRule",
+    "EventDefinition",
+    "EventInstance",
+    "EventLibrary",
+    "GrcaPlatform",
+    "JoinLevel",
+    "KnowledgeLibrary",
+    "Location",
+    "LocationResolver",
+    "LocationType",
+    "RcaEngine",
+    "ResultBrowser",
+    "SpatialJoinRule",
+    "TemporalExpansion",
+    "TemporalJoinRule",
+    "TopologyParams",
+    "bgp_month",
+    "build_topology",
+    "cdn_month",
+    "cpu_bgp_study",
+    "linecard_crash",
+    "pim_fortnight",
+]

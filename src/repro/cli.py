@@ -1,0 +1,213 @@
+"""Command-line interface.
+
+Subcommands mirror the operator workflows of the paper:
+
+* ``repro-grca diagnose <scenario>`` — simulate a scenario, run the
+  matching RCA application and print the root-cause breakdown (the
+  Result Browser table view);
+* ``repro-grca mine`` — run the Section IV-B correlation-mining study
+  and print the prefiltered vs unfiltered comparison;
+* ``repro-grca catalog events|rules`` — print the Knowledge Library;
+* ``repro-grca spec check <file>`` — validate a rule-specification file
+  against the library;
+* ``repro-grca simulate <scenario> --out DIR`` — dump the raw feeds a
+  scenario produces, one file per data source.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .apps import BackboneApp, BgpFlapApp, CdnApp, PimApp, register_bgp_events
+from .apps.studies import cpu_correlation_study
+from .core.knowledge import KnowledgeLibrary
+from .core.rulespec import RuleSpecError, SpecCompiler
+from .simulation import (
+    backbone_probe_month,
+    bgp_month,
+    cdn_month,
+    cpu_bgp_study,
+    pim_fortnight,
+)
+
+_SCENARIOS = {
+    "backbone-month": (backbone_probe_month, BackboneApp),
+    "bgp-month": (bgp_month, BgpFlapApp),
+    "cdn-month": (cdn_month, CdnApp),
+    "pim-fortnight": (pim_fortnight, PimApp),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-grca",
+        description="G-RCA reproduction: simulate, diagnose, mine, inspect.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    diagnose = sub.add_parser("diagnose", help="simulate + diagnose a scenario")
+    diagnose.add_argument("scenario", choices=sorted(_SCENARIOS))
+    diagnose.add_argument("--seed", type=int, default=1)
+    diagnose.add_argument("--size", type=int, default=300,
+                          help="number of symptom events to inject")
+    diagnose.add_argument("--trend", action="store_true",
+                          help="also print the per-day cause trend")
+    diagnose.add_argument("--report", metavar="FILE",
+                          help="write a markdown report to FILE")
+
+    mine = sub.add_parser("mine", help="run the Fig. 7 correlation study")
+    mine.add_argument("--seed", type=int, default=1)
+    mine.add_argument("--days", type=float, default=45.0)
+
+    catalog = sub.add_parser("catalog", help="print the Knowledge Library")
+    catalog.add_argument("what", choices=["events", "rules"])
+
+    spec = sub.add_parser("spec", help="rule-specification utilities")
+    spec_sub = spec.add_subparsers(dest="spec_command", required=True)
+    check = spec_sub.add_parser("check", help="validate a spec file")
+    check.add_argument("file")
+
+    simulate = sub.add_parser("simulate", help="dump a scenario's raw feeds")
+    simulate.add_argument("scenario", choices=sorted(_SCENARIOS))
+    simulate.add_argument("--seed", type=int, default=1)
+    simulate.add_argument("--size", type=int, default=100)
+    simulate.add_argument("--out", required=True, help="output directory")
+    return parser
+
+
+def _run_scenario(name: str, seed: int, size: int):
+    scenario, app_cls = _SCENARIOS[name]
+    kwargs = {"seed": seed}
+    size_kwarg = {
+        "backbone-month": "total_losses",
+        "bgp-month": "total_flaps",
+        "cdn-month": "total_degradations",
+        "pim-fortnight": "total_changes",
+    }[name]
+    kwargs[size_kwarg] = size
+    result = scenario(**kwargs)
+    return result, app_cls
+
+
+def _cmd_diagnose(args) -> int:
+    result, app_cls = _run_scenario(args.scenario, args.seed, args.size)
+    app = app_cls.build(result.platform())
+    browser = app.run(result.start, result.end)
+    print(f"scenario {args.scenario}: {len(browser)} symptoms diagnosed "
+          f"({result.collector.store.total_records()} records ingested)\n")
+    print(browser.format_breakdown())
+    print(f"\nexplained: {100 * browser.explained_fraction():.1f}%")
+    if args.trend:
+        print("\nper-day trend:")
+        print(browser.format_trend())
+    if args.report:
+        with open(args.report, "w") as handle:
+            handle.write(browser.report(f"G-RCA report: {args.scenario}"))
+        print(f"report written to {args.report}")
+    return 0
+
+
+def _cmd_mine(args) -> int:
+    result = cpu_bgp_study(seed=args.seed, duration_days=args.days)
+    app = BgpFlapApp.build(result.platform())
+    diagnoses = app.engine.diagnose_all(app.find_symptoms(result.start, result.end))
+    study = cpu_correlation_study(app, diagnoses, result.start, result.end)
+    print(f"flaps: {study.n_all_flaps}; CPU-related subset: {study.n_cpu_related}; "
+          f"candidate series: {study.n_candidates}\n")
+    print("significant associations, prefiltered CPU-related flaps:")
+    for mined in study.significant_prefiltered():
+        print(f"  {mined}")
+    print("\nsignificant associations, all flaps:")
+    for mined in study.significant_unfiltered():
+        print(f"  {mined}")
+    pre = study.prefiltered_result("provisioning.port_turnup")
+    unf = study.unfiltered_result("provisioning.port_turnup")
+    if pre and unf:
+        print(f"\nprovisioning activity: prefiltered score {pre.score:.1f} "
+              f"({'significant' if pre.significant else 'not significant'}), "
+              f"unfiltered score {unf.score:.1f} "
+              f"({'significant' if unf.significant else 'not significant'})")
+    return 0
+
+
+def _cmd_catalog(args) -> int:
+    kb = KnowledgeLibrary()
+    if args.what == "events":
+        width = max(len(n) for n in kb.events.names())
+        for name in kb.events.names():
+            definition = kb.events.get(name)
+            print(f"{name:<{width}}  {definition.location_type.value:<20} "
+                  f"{definition.data_source}")
+        print(f"\n{len(kb.events.names())} event definitions")
+    else:
+        pairs = kb.rules.pairs()
+        width = max(len(s) for s, _ in pairs)
+        for symptom, diagnostic in pairs:
+            print(f"{symptom:<{width}}  ->  {diagnostic}")
+        print(f"\n{len(pairs)} diagnosis rule templates")
+    return 0
+
+
+def _cmd_spec_check(args) -> int:
+    kb = KnowledgeLibrary()
+    events = kb.scoped_events()
+    register_bgp_events(events)  # make the stock app events available too
+    try:
+        with open(args.file) as handle:
+            text = handle.read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    compiler = SpecCompiler(events, kb.rules)
+    try:
+        graph = compiler.compile_text(text)
+    except RuleSpecError as exc:
+        print(f"{args.file}: {exc}", file=sys.stderr)
+        return 1
+    print(f"{args.file}: OK — application {graph.name!r}, "
+          f"symptom {graph.symptom_event!r}, {len(graph.all_rules())} rules, "
+          f"{len(graph.events())} events")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    result, _app_cls = _run_scenario(args.scenario, args.seed, args.size)
+    os.makedirs(args.out, exist_ok=True)
+    # re-render is not possible post-ingest; dump the normalized tables
+    total = 0
+    for name, table in sorted(result.collector.store.tables.items()):
+        path = os.path.join(args.out, f"{name}.tsv")
+        with open(path, "w") as handle:
+            for record in table.scan():
+                fields = "\t".join(
+                    f"{key}={value}" for key, value in record.fields
+                )
+                handle.write(f"{record.timestamp}\t{fields}\n")
+                total += 1
+        print(f"wrote {path} ({len(table)} records)")
+    print(f"{total} records across {len(result.collector.store.tables)} sources; "
+          f"{len(result.ground_truth)} ground-truth symptoms")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "diagnose":
+        return _cmd_diagnose(args)
+    if args.command == "mine":
+        return _cmd_mine(args)
+    if args.command == "catalog":
+        return _cmd_catalog(args)
+    if args.command == "spec":
+        return _cmd_spec_check(args)
+    if args.command == "simulate":
+        return _cmd_simulate(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

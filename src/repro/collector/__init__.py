@@ -1,0 +1,82 @@
+"""Data Collector substrate: ingest, normalization and storage.
+
+The :class:`DataCollector` facade wires a :class:`DeviceRegistry`, a
+:class:`DataStore` and one parser per data source, mirroring the Fig. 1
+component that "pulls all the data together, normalizes them so that
+they can be readily correlated, and stores them in database tables".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from .normalizer import (
+    DeviceRegistry,
+    NormalizationError,
+    epoch_to_text,
+    normalize_interface_name,
+    normalize_router_name,
+    parse_timestamp,
+)
+from .sources import (
+    BgpMonParser,
+    CdnLogParser,
+    Layer1Parser,
+    NetflowParser,
+    OspfMonParser,
+    ParseStats,
+    PerfMonParser,
+    SnmpParser,
+    SourceParser,
+    SyslogParser,
+    TacacsParser,
+    WorkflowParser,
+)
+from .store import DataStore, Record, Table
+
+
+class DataCollector:
+    """All source parsers over one shared store and registry."""
+
+    def __init__(self, registry: DeviceRegistry = None, store: DataStore = None) -> None:
+        self.registry = registry or DeviceRegistry()
+        self.store = store or DataStore()
+        self.parsers: Dict[str, SourceParser] = {}
+        for parser_cls in (
+            SyslogParser,
+            SnmpParser,
+            OspfMonParser,
+            BgpMonParser,
+            TacacsParser,
+            Layer1Parser,
+            PerfMonParser,
+            NetflowParser,
+            WorkflowParser,
+            CdnLogParser,
+        ):
+            parser = parser_cls(store=self.store, registry=self.registry)
+            self.parsers[parser.table_name] = parser
+
+    def ingest(self, source: str, lines: Iterable[str]) -> ParseStats:
+        """Feed raw lines from one source through its parser."""
+        if source not in self.parsers:
+            raise KeyError(f"unknown data source {source!r}")
+        return self.parsers[source].ingest(lines)
+
+    def summary(self) -> Dict[str, int]:
+        """Record counts per table (the collector's dashboard view)."""
+        return self.store.summary()
+
+
+__all__ = [
+    "DataCollector",
+    "DataStore",
+    "DeviceRegistry",
+    "NormalizationError",
+    "Record",
+    "Table",
+    "epoch_to_text",
+    "normalize_interface_name",
+    "normalize_router_name",
+    "parse_timestamp",
+]

@@ -1,0 +1,178 @@
+"""Normalization of names, identifiers and timestamps.
+
+Section II-A: raw data "come from many devices and network management
+systems provided by different vendors, all reporting different
+statistics, from different time zones, and at varying intervals.  The
+same device may be referenced in different ways by different systems or
+at different network layers ...  The timestamps can be a mixture of
+local time (depending on the time zone of the device), network time as
+defined by the service provider, and GMT."
+
+The Data Collector normalizes everything *at ingest*: all timestamps
+become epoch seconds (UTC), all router names become canonical lowercase
+short names, and all interface names become the canonical short form
+(``se1/0`` instead of ``Serial1/0``).
+"""
+
+from __future__ import annotations
+
+import datetime
+import re
+from typing import Dict, Optional
+
+try:
+    from zoneinfo import ZoneInfo
+
+    _HAVE_ZONEINFO = True
+except ImportError:  # pragma: no cover - python < 3.9
+    _HAVE_ZONEINFO = False
+
+#: Fallback fixed offsets (hours from UTC) when tzdata is unavailable.
+_FIXED_OFFSETS = {
+    "UTC": 0,
+    "GMT": 0,
+    "US/Eastern": -5,
+    "US/Central": -6,
+    "US/Mountain": -7,
+    "US/Pacific": -8,
+}
+
+_INTERFACE_LONG_FORMS = {
+    "serial": "se",
+    "gigabitethernet": "gi",
+    "tengigabitethernet": "te",
+    "ethernet": "et",
+    "pos": "pos",
+    "loopback": "lo",
+    "bundle": "bu",
+    "multilink": "ml",
+}
+
+_TIMESTAMP_FORMATS = (
+    "%Y-%m-%d %H:%M:%S",
+    "%Y-%m-%dT%H:%M:%S",
+    "%b %d %H:%M:%S",  # syslog style, year-less
+)
+
+
+class NormalizationError(ValueError):
+    """Raised when a record cannot be normalized."""
+
+
+def normalize_router_name(raw: str, aliases: Optional[Dict[str, str]] = None) -> str:
+    """Canonicalize a router name.
+
+    Strips domain suffixes (``nyc-per1.ispnet.example`` -> ``nyc-per1``),
+    lowercases, and applies the alias table (systems that know a router
+    only by its loopback or an inventory tag).
+    """
+    name = raw.strip().lower()
+    name = name.split(".")[0]
+    if aliases and name in aliases:
+        name = aliases[name]
+    if not name:
+        raise NormalizationError(f"empty router name from {raw!r}")
+    return name
+
+
+def normalize_interface_name(raw: str) -> str:
+    """Canonicalize an interface name to the short vendor form.
+
+    ``Serial1/0`` -> ``se1/0``; ``GigabitEthernet0/2`` -> ``gi0/2``;
+    already-short names pass through unchanged.
+    """
+    name = raw.strip().lower()
+    match = re.match(r"([a-z]+)([\d/.:]+)$", name)
+    if not match:
+        raise NormalizationError(f"unparseable interface name {raw!r}")
+    prefix, numbering = match.groups()
+    prefix = _INTERFACE_LONG_FORMS.get(prefix, prefix)
+    return f"{prefix}{numbering}"
+
+
+def _zone_offset_seconds(timezone: str, when: datetime.datetime) -> float:
+    if timezone in ("UTC", "GMT"):
+        return 0.0
+    if _HAVE_ZONEINFO:
+        try:
+            zone = ZoneInfo(timezone)
+        except Exception:
+            zone = None
+        if zone is not None:
+            offset = when.replace(tzinfo=zone).utcoffset()
+            if offset is not None:
+                return offset.total_seconds()
+    if timezone in _FIXED_OFFSETS:
+        return _FIXED_OFFSETS[timezone] * 3600.0
+    raise NormalizationError(f"unknown timezone {timezone!r}")
+
+
+def parse_timestamp(
+    raw: str, timezone: str = "UTC", default_year: int = 2010
+) -> float:
+    """Parse a raw timestamp string to epoch seconds UTC.
+
+    ``timezone`` is the zone the originating device stamps its logs in
+    (from the router's ``clock timezone`` configuration).  Syslog-style
+    year-less timestamps get ``default_year``.
+    """
+    text = raw.strip()
+    parsed: Optional[datetime.datetime] = None
+    for fmt in _TIMESTAMP_FORMATS:
+        try:
+            parsed = datetime.datetime.strptime(text, fmt)
+            break
+        except ValueError:
+            continue
+    if parsed is None:
+        try:
+            epoch = float(text)  # already epoch seconds
+        except ValueError:
+            raise NormalizationError(f"unparseable timestamp {raw!r}") from None
+        # reject NaN/inf and values outside any plausible epoch range
+        if not (0.0 <= epoch <= 4.0e9):
+            raise NormalizationError(f"epoch timestamp out of range: {raw!r}")
+        return epoch
+    if parsed.year == 1900:
+        parsed = parsed.replace(year=default_year)
+    offset = _zone_offset_seconds(timezone, parsed)
+    utc = parsed.replace(tzinfo=datetime.timezone.utc)
+    return utc.timestamp() - offset
+
+
+def epoch_to_text(timestamp: float) -> str:
+    """Render epoch seconds as ``YYYY-mm-dd HH:MM:SS`` UTC (for display)."""
+    dt = datetime.datetime.fromtimestamp(timestamp, tz=datetime.timezone.utc)
+    return dt.strftime("%Y-%m-%d %H:%M:%S")
+
+
+class DeviceRegistry:
+    """Per-device normalization context: aliases and clock time zones.
+
+    Populated from the config archive (each router's ``clock timezone``)
+    and the inventory's alias table; consulted by every source parser.
+    """
+
+    def __init__(self) -> None:
+        self._timezones: Dict[str, str] = {}
+        self._aliases: Dict[str, str] = {}
+
+    def register_device(self, name: str, timezone: str = "UTC") -> None:
+        """Record a device's canonical name and clock time zone."""
+        self._timezones[normalize_router_name(name)] = timezone
+
+    def register_alias(self, alias: str, canonical: str) -> None:
+        """Map an alternate identifier onto a canonical name."""
+        self._aliases[alias.strip().lower()] = normalize_router_name(canonical)
+
+    def canonical_name(self, raw: str) -> str:
+        """Canonicalize a raw device name via the alias table."""
+        return normalize_router_name(raw, self._aliases)
+
+    def timezone_of(self, device: str) -> str:
+        """The clock time zone a device stamps its logs in."""
+        return self._timezones.get(self.canonical_name(device), "UTC")
+
+    def parse_device_timestamp(self, raw: str, device: str) -> float:
+        """Parse a timestamp stamped in the device's local clock."""
+        return parse_timestamp(raw, self.timezone_of(device))

@@ -1,0 +1,49 @@
+"""Data-source adapters: one parser per feed, all writing normalized
+rows into the shared :class:`~repro.collector.store.DataStore`."""
+
+from .base import ParseStats, SourceParser
+from .bgpmon import BgpMonParser, render_bgpmon_row, update_log_from_store
+from .misc import (
+    CdnLogParser,
+    Layer1Parser,
+    NetflowParser,
+    PerfMonParser,
+    TacacsParser,
+    WorkflowParser,
+    render_cdn_row,
+    render_layer1_row,
+    render_netflow_row,
+    render_perfmon_row,
+    render_tacacs_row,
+    render_workflow_row,
+)
+from .ospfmon import OspfMonParser, render_ospfmon_row, weight_history_from_store
+from .snmp import SnmpParser, render_snmp_row
+from .syslog import SyslogParser, render_syslog_line
+
+__all__ = [
+    "BgpMonParser",
+    "CdnLogParser",
+    "Layer1Parser",
+    "NetflowParser",
+    "OspfMonParser",
+    "ParseStats",
+    "PerfMonParser",
+    "SnmpParser",
+    "SourceParser",
+    "SyslogParser",
+    "TacacsParser",
+    "WorkflowParser",
+    "render_bgpmon_row",
+    "render_cdn_row",
+    "render_layer1_row",
+    "render_netflow_row",
+    "render_ospfmon_row",
+    "render_perfmon_row",
+    "render_snmp_row",
+    "render_syslog_line",
+    "render_tacacs_row",
+    "render_workflow_row",
+    "update_log_from_store",
+    "weight_history_from_store",
+]

@@ -1,0 +1,68 @@
+"""Shared machinery for data-source parsers.
+
+Every source adapter turns raw input (log lines or poller rows) into
+normalized rows in one :class:`~repro.collector.store.DataStore` table.
+Malformed input is counted, not raised: a production collector must keep
+ingesting when one device emits garbage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..normalizer import DeviceRegistry, NormalizationError
+from ..store import DataStore
+
+
+@dataclass
+class ParseStats:
+    """Ingest accounting for one source."""
+
+    accepted: int = 0
+    rejected: int = 0
+    last_error: Optional[str] = None
+
+    def reject(self, reason: str) -> None:
+        """Count one rejected line and keep its reason."""
+        self.rejected += 1
+        self.last_error = reason
+
+
+def parse_epoch(raw: str) -> float:
+    """Parse an epoch-seconds field, rejecting NaN/inf/out-of-range."""
+    try:
+        epoch = float(raw)
+    except ValueError:
+        raise NormalizationError(f"unparseable epoch {raw!r}") from None
+    if not (0.0 <= epoch <= 4.0e9):
+        raise NormalizationError(f"epoch out of range: {raw!r}")
+    return epoch
+
+
+@dataclass
+class SourceParser:
+    """Base class: binds a store table and a device registry."""
+
+    store: DataStore
+    registry: DeviceRegistry = field(default_factory=DeviceRegistry)
+    stats: ParseStats = field(default_factory=ParseStats)
+
+    #: override in subclasses
+    table_name: str = ""
+
+    def ingest(self, lines: Iterable[str]) -> ParseStats:
+        """Parse and store an iterable of raw lines."""
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                self.parse_line(line)
+                self.stats.accepted += 1
+            except (NormalizationError, ValueError) as exc:
+                self.stats.reject(f"{exc} in {line!r}")
+        return self.stats
+
+    def parse_line(self, line: str) -> None:  # pragma: no cover - abstract
+        """Parse one raw line and insert the normalized row."""
+        raise NotImplementedError

@@ -1,0 +1,176 @@
+"""Normalized record store.
+
+The deployed Data Collector "pulls all the data together, normalizes
+them so that they can be readily correlated, and stores them in database
+tables in real time".  This module is that database: one :class:`Table`
+per data source, each holding :class:`Record` rows sorted by timestamp,
+with optional hash indexes on equality-filter columns (router, interface,
+device) so that the retrieval processes of event definitions — which are
+time-range plus location scans — stay fast at scale.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Record:
+    """One normalized row: an epoch-UTC timestamp plus named fields."""
+
+    timestamp: float
+    fields: Tuple[Tuple[str, Any], ...]
+
+    @classmethod
+    def make(cls, timestamp: float, **fields: Any) -> "Record":
+        return cls(timestamp=timestamp, fields=tuple(sorted(fields.items())))
+
+    def __getitem__(self, key: str) -> Any:
+        for name, value in self.fields:
+            if name == key:
+                return value
+        raise KeyError(key)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Field value by name, with a default when absent."""
+        for name, value in self.fields:
+            if name == key:
+                return value
+        return default
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The record's fields as a plain dictionary."""
+        return dict(self.fields)
+
+
+class Table:
+    """Time-sorted records with optional per-column hash indexes."""
+
+    def __init__(self, name: str, indexed_columns: Iterable[str] = ()) -> None:
+        self.name = name
+        self._records: List[Record] = []
+        self._timestamps: List[float] = []
+        self._indexes: Dict[str, Dict[Any, List[int]]] = {
+            column: {} for column in indexed_columns
+        }
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def insert(self, record: Record) -> None:
+        """Insert keeping timestamp order (append-fast for ordered feeds)."""
+        if self._timestamps and record.timestamp < self._timestamps[-1]:
+            position = bisect.bisect_right(self._timestamps, record.timestamp)
+            self._records.insert(position, record)
+            self._timestamps.insert(position, record.timestamp)
+            self._rebuild_indexes()
+            return
+        position = len(self._records)
+        self._records.append(record)
+        self._timestamps.append(record.timestamp)
+        for column, index in self._indexes.items():
+            value = record.get(column)
+            if value is not None:
+                index.setdefault(value, []).append(position)
+
+    def insert_row(self, timestamp: float, **fields: Any) -> None:
+        """Insert a row built from keyword fields."""
+        self.insert(Record.make(timestamp, **fields))
+
+    def _rebuild_indexes(self) -> None:
+        for column in self._indexes:
+            rebuilt: Dict[Any, List[int]] = {}
+            for position, record in enumerate(self._records):
+                value = record.get(column)
+                if value is not None:
+                    rebuilt.setdefault(value, []).append(position)
+            self._indexes[column] = rebuilt
+
+    def query(
+        self,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        **equals: Any,
+    ) -> List[Record]:
+        """Records with ``start <= timestamp <= end`` matching all filters."""
+        lo = 0 if start is None else bisect.bisect_left(self._timestamps, start)
+        hi = len(self._records) if end is None else bisect.bisect_right(self._timestamps, end)
+        indexed = [
+            (column, value) for column, value in equals.items() if column in self._indexes
+        ]
+        if indexed:
+            # intersect the smallest index posting list with the time range
+            column, value = min(
+                indexed, key=lambda cv: len(self._indexes[cv[0]].get(cv[1], []))
+            )
+            positions = self._indexes[column].get(value, [])
+            p_lo = bisect.bisect_left(positions, lo)
+            p_hi = bisect.bisect_left(positions, hi)
+            candidates: Iterable[Record] = (self._records[p] for p in positions[p_lo:p_hi])
+        else:
+            candidates = self._records[lo:hi]
+        result = []
+        for record in candidates:
+            if all(record.get(column) == value for column, value in equals.items()):
+                result.append(record)
+        return result
+
+    def scan(self) -> Iterator[Record]:
+        """Iterate every record in timestamp order."""
+        return iter(self._records)
+
+    def distinct(self, column: str) -> List[Any]:
+        """Distinct non-None values of a column."""
+        if column in self._indexes:
+            return sorted(self._indexes[column], key=repr)
+        values = {r.get(column) for r in self._records}
+        values.discard(None)
+        return sorted(values, key=repr)
+
+    @property
+    def time_span(self) -> Optional[Tuple[float, float]]:
+        if not self._timestamps:
+            return None
+        return self._timestamps[0], self._timestamps[-1]
+
+
+#: Default index columns per well-known table; location-bearing columns.
+DEFAULT_INDEXES: Dict[str, Tuple[str, ...]] = {
+    "syslog": ("router", "interface", "code"),
+    "snmp": ("router", "interface", "metric"),
+    "ospfmon": ("link",),
+    "bgpmon": ("prefix", "egress_router"),
+    "tacacs": ("router",),
+    "layer1": ("device", "event"),
+    "perfmon": ("source", "destination", "metric"),
+    "netflow": ("source", "ingress_router"),
+    "workflow": ("router", "activity"),
+    "cdn": ("server",),
+}
+
+
+@dataclass
+class DataStore:
+    """All tables of the Data Collector, keyed by source name."""
+
+    tables: Dict[str, Table] = field(default_factory=dict)
+
+    def table(self, name: str) -> Table:
+        """Get (creating on first use) the table for a data source."""
+        if name not in self.tables:
+            self.tables[name] = Table(name, DEFAULT_INDEXES.get(name, ()))
+        return self.tables[name]
+
+    def insert(self, table: str, timestamp: float, **fields: Any) -> None:
+        """Insert one row into the named table."""
+        self.table(table).insert_row(timestamp, **fields)
+
+    def total_records(self) -> int:
+        """Total record count across all tables."""
+        return sum(len(t) for t in self.tables.values())
+
+    def summary(self) -> Dict[str, int]:
+        """Record counts per table — the Data Collector's dashboard view."""
+        return {name: len(table) for name, table in sorted(self.tables.items())}

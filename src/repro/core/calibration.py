@@ -1,0 +1,175 @@
+"""Temporal-rule calibration (Section VI future work: "make the
+temporal joining rules less sensitive for robust root cause analysis").
+
+The paper's operators pick margins from domain knowledge ("the default
+setting for the eBGP hold timer is 180 s").  This module derives them
+*empirically*: given historical symptom/diagnostic instance pairs whose
+causal relation is known (e.g. bootstrap-classified by the rule-based
+engine), it measures the lag distribution and proposes the tightest
+expansion that still covers a target fraction of true pairs — robust
+margins instead of guessed ones.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .events import EventInstance
+from .temporal import ExpandOption, TemporalExpansion, TemporalJoinRule
+
+
+@dataclass(frozen=True)
+class LagSample:
+    """One observed causal pair: the symptom and its known diagnostic."""
+
+    symptom: EventInstance
+    diagnostic: EventInstance
+
+    @property
+    def start_lag(self) -> float:
+        """Symptom start minus diagnostic start (positive: cause first)."""
+        return self.symptom.start - self.diagnostic.start
+
+
+def _quantile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of a non-empty sequence."""
+    if not values:
+        raise ValueError("no values")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return ordered[low]
+    fraction = position - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Proposed temporal rule plus the evidence behind it."""
+
+    rule: TemporalJoinRule
+    n_samples: int
+    lag_low: float  # coverage-quantile lower lag bound
+    lag_high: float  # coverage-quantile upper lag bound
+    coverage: float
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.n_samples} pairs; lag in [{self.lag_low:.1f}, "
+            f"{self.lag_high:.1f}] s at {100 * self.coverage:.0f}% coverage; "
+            f"symptom expand X={self.rule.symptom.left:.1f} "
+            f"Y={self.rule.symptom.right:.1f}"
+        )
+
+
+def calibrate_temporal_rule(
+    samples: Sequence[LagSample],
+    coverage: float = 0.98,
+    slack: float = 5.0,
+    diagnostic_expansion: Optional[TemporalExpansion] = None,
+) -> CalibrationResult:
+    """Propose a Start/Start symptom expansion from observed lags.
+
+    The symptom window must reach back ``X`` to the earliest plausible
+    cause and forward ``Y`` to cover causes recorded slightly after the
+    symptom (clock skew); both are the ``coverage`` quantiles of the
+    observed lag distribution padded by ``slack`` seconds of timestamp
+    noise.
+    """
+    if not 0.5 < coverage <= 1.0:
+        raise ValueError("coverage must be in (0.5, 1.0]")
+    if not samples:
+        raise ValueError("calibration needs at least one lag sample")
+    lags = [sample.start_lag for sample in samples]
+    tail = (1.0 - coverage) / 2.0
+    lag_low = _quantile(lags, tail)
+    lag_high = _quantile(lags, 1.0 - tail)
+    # positive lag: cause precedes symptom -> reach back X = lag_high
+    left = max(lag_high, 0.0) + slack
+    # negative lag: cause recorded after the symptom -> reach forward
+    right = max(-lag_low, 0.0) + slack
+    diagnostic = diagnostic_expansion or TemporalExpansion(
+        ExpandOption.START_END, slack, slack
+    )
+    rule = TemporalJoinRule(
+        symptom=TemporalExpansion(ExpandOption.START_START, left, right),
+        diagnostic=diagnostic,
+    )
+    return CalibrationResult(
+        rule=rule,
+        n_samples=len(samples),
+        lag_low=lag_low,
+        lag_high=lag_high,
+        coverage=coverage,
+    )
+
+
+def pair_for_calibration(
+    symptoms: Sequence[EventInstance],
+    diagnostics: Sequence[EventInstance],
+    max_lag: float,
+    same_router: bool = True,
+) -> List[LagSample]:
+    """Greedy nearest-in-time pairing of symptoms with diagnostics.
+
+    Used to bootstrap lag samples from engine-classified history: the
+    caller passes only symptoms whose diagnosed root cause *is* the
+    diagnostic event, so nearest-pairing is sound.
+    """
+    samples: List[LagSample] = []
+    used: set = set()
+    for symptom in sorted(symptoms, key=lambda instance: instance.start):
+        best: Optional[Tuple[float, int]] = None
+        for index, diagnostic in enumerate(diagnostics):
+            if index in used:
+                continue
+            if same_router and not _related(symptom, diagnostic):
+                continue
+            lag = abs(symptom.start - diagnostic.start)
+            if lag <= max_lag and (best is None or lag < best[0]):
+                best = (lag, index)
+        if best is not None:
+            used.add(best[1])
+            samples.append(LagSample(symptom, diagnostics[best[1]]))
+    return samples
+
+
+def _related(symptom: EventInstance, diagnostic: EventInstance) -> bool:
+    """Same router where both locations expose one; else same location."""
+    try:
+        return symptom.location.router_part == diagnostic.location.router_part
+    except ValueError:
+        return symptom.location == diagnostic.location
+
+
+def coverage_curve(
+    samples: Sequence[LagSample],
+    margins: Sequence[float],
+    diagnostic_expansion: Optional[TemporalExpansion] = None,
+) -> List[Tuple[float, float]]:
+    """Fraction of true pairs joined at each candidate symptom margin X.
+
+    The margin-sensitivity view behind the temporal ablation: how much
+    coverage each extra second of margin buys.
+    """
+    diagnostic = diagnostic_expansion or TemporalExpansion(ExpandOption.START_END, 5, 5)
+    curve = []
+    for margin in margins:
+        rule = TemporalJoinRule(
+            symptom=TemporalExpansion(ExpandOption.START_START, margin, 10.0),
+            diagnostic=diagnostic,
+        )
+        joined = sum(
+            1
+            for sample in samples
+            if rule.joined(sample.symptom.interval, sample.diagnostic.interval)
+        )
+        curve.append((margin, joined / len(samples) if samples else 0.0))
+    return curve

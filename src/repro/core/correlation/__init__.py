@@ -1,0 +1,18 @@
+"""Correlation Tester (Fig. 1): NICE-style circular-permutation testing
+plus blind rule mining over the store."""
+
+from .miner import MinedRule, RuleMiner, candidate_series_from_store
+from .nice import CorrelationResult, CorrelationTester
+from .timeseries import BinSpec, EventSeries, from_event_instances, pearson
+
+__all__ = [
+    "BinSpec",
+    "CorrelationResult",
+    "CorrelationTester",
+    "EventSeries",
+    "MinedRule",
+    "RuleMiner",
+    "candidate_series_from_store",
+    "from_event_instances",
+    "pearson",
+]

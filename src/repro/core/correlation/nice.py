@@ -1,0 +1,118 @@
+"""The NICE circular-permutation correlation test (reference [12]).
+
+G-RCA's Correlation Tester "implements the statistical correlation
+algorithm proposed in NICE.  In comparison to other canonical
+statistical tests, NICE handles the event autocorrelation structure very
+well, which is commonly observed in networking event series."
+
+Method: compute the Pearson correlation r between the two binary
+series; build the null distribution by *circularly shifting* one series
+against the other (a circular shift preserves each series' internal
+autocorrelation while destroying cross-alignment); declare significance
+when r exceeds the null mean by ``score_threshold`` null standard
+deviations.  A permutation p-value (the fraction of shifts whose |r|
+reaches the observed |r|) is reported alongside.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .timeseries import EventSeries, pearson
+
+
+@dataclass(frozen=True)
+class CorrelationResult:
+    """Outcome of one correlation test."""
+
+    symptom: str
+    diagnostic: str
+    r: float
+    null_mean: float
+    null_std: float
+    score: float
+    p_value: float
+    significant: bool
+
+    def __str__(self) -> str:
+        flag = "SIGNIFICANT" if self.significant else "not significant"
+        return (
+            f"{self.symptom} ~ {self.diagnostic}: r={self.r:.3f} "
+            f"score={self.score:.2f} p={self.p_value:.3f} [{flag}]"
+        )
+
+
+class CorrelationTester:
+    """Circular-permutation significance testing for event series."""
+
+    def __init__(
+        self,
+        n_permutations: int = 200,
+        score_threshold: float = 3.0,
+        min_occurrences: int = 3,
+        seed: int = 20100101,
+    ) -> None:
+        if n_permutations < 10:
+            raise ValueError("need at least 10 permutations")
+        self.n_permutations = n_permutations
+        self.score_threshold = score_threshold
+        self.min_occurrences = min_occurrences
+        self._rng = random.Random(seed)
+
+    def test(self, symptom: EventSeries, diagnostic: EventSeries) -> CorrelationResult:
+        """Test whether the diagnostic series co-occurs with the symptom."""
+        a = symptom.values
+        b = diagnostic.values
+        if len(a) != len(b):
+            raise ValueError("series must share a bin grid")
+        n = len(a)
+        if (
+            symptom.count < self.min_occurrences
+            or diagnostic.count < self.min_occurrences
+            or n < 3
+        ):
+            # too sparse for any statistical statement
+            return self._result(symptom, diagnostic, pearson(a, b), 0.0, 0.0, 1.0)
+        observed = pearson(a, b)
+        shifts = self._shifts(n)
+        null = np.array([pearson(a, np.roll(b, shift)) for shift in shifts])
+        null_mean = float(null.mean())
+        null_std = float(null.std())
+        if null_std == 0:
+            score = 0.0
+        else:
+            score = (observed - null_mean) / null_std
+        p_value = float((np.abs(null) >= abs(observed)).mean())
+        return self._result(symptom, diagnostic, observed, null_mean, null_std, p_value, score)
+
+    def _shifts(self, n: int) -> List[int]:
+        if n - 1 <= self.n_permutations:
+            return list(range(1, n))
+        return [self._rng.randrange(1, n) for _ in range(self.n_permutations)]
+
+    def _result(
+        self,
+        symptom: EventSeries,
+        diagnostic: EventSeries,
+        r: float,
+        null_mean: float,
+        null_std: float,
+        p_value: float,
+        score: Optional[float] = None,
+    ) -> CorrelationResult:
+        if score is None:
+            score = 0.0
+        return CorrelationResult(
+            symptom=symptom.name,
+            diagnostic=diagnostic.name,
+            r=r,
+            null_mean=null_mean,
+            null_std=null_std,
+            score=score,
+            p_value=p_value,
+            significant=score >= self.score_threshold,
+        )

@@ -1,0 +1,101 @@
+"""Event time series for statistical correlation (Section II-E).
+
+The Correlation Tester operates on binary (occurrence) time series
+binned at a fixed width.  These helpers turn event instances or raw
+store records into aligned series over a common analysis window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BinSpec:
+    """The common time grid for an analysis window."""
+
+    start: float
+    end: float
+    width: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("window must have positive length")
+        if self.width <= 0:
+            raise ValueError("bin width must be positive")
+
+    @property
+    def n_bins(self) -> int:
+        return max(1, int(np.ceil((self.end - self.start) / self.width)))
+
+    def bin_of(self, timestamp: float) -> int:
+        """Index of the bin containing a timestamp."""
+        return int((timestamp - self.start) // self.width)
+
+
+@dataclass
+class EventSeries:
+    """A named binary occurrence series on a :class:`BinSpec` grid."""
+
+    name: str
+    spec: BinSpec
+    values: np.ndarray
+
+    @classmethod
+    def empty(cls, name: str, spec: BinSpec) -> "EventSeries":
+        return cls(name, spec, np.zeros(spec.n_bins, dtype=np.float64))
+
+    @classmethod
+    def from_intervals(
+        cls,
+        name: str,
+        spec: BinSpec,
+        intervals: Iterable[Tuple[float, float]],
+        margin: float = 0.0,
+    ) -> "EventSeries":
+        """Mark every bin an event interval (± margin) touches."""
+        series = cls.empty(name, spec)
+        for start, end in intervals:
+            lo = max(0, spec.bin_of(start - margin))
+            hi = min(spec.n_bins - 1, spec.bin_of(end + margin))
+            if hi < 0 or lo >= spec.n_bins:
+                continue
+            series.values[lo : hi + 1] = 1.0
+        return series
+
+    @classmethod
+    def from_timestamps(
+        cls, name: str, spec: BinSpec, timestamps: Iterable[float], margin: float = 0.0
+    ) -> "EventSeries":
+        return cls.from_intervals(name, spec, ((t, t) for t in timestamps), margin)
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of bins with at least one occurrence."""
+        return float(self.values.mean())
+
+    @property
+    def count(self) -> int:
+        return int(self.values.sum())
+
+
+def from_event_instances(name: str, spec: BinSpec, instances, margin: float = 0.0) -> EventSeries:
+    """Series from :class:`~repro.core.events.EventInstance` objects."""
+    return EventSeries.from_intervals(
+        name, spec, ((i.start, i.end) for i in instances), margin
+    )
+
+
+def pearson(a: np.ndarray, b: np.ndarray) -> float:
+    """Pearson correlation coefficient; 0.0 when either side is constant."""
+    if len(a) != len(b):
+        raise ValueError("series lengths differ")
+    a_centered = a - a.mean()
+    b_centered = b - b.mean()
+    denom = np.sqrt((a_centered**2).sum() * (b_centered**2).sum())
+    if denom == 0:
+        return 0.0
+    return float((a_centered * b_centered).sum() / denom)

@@ -1,0 +1,194 @@
+"""The Generic RCA Engine (Fig. 1).
+
+For each symptom event instance the engine walks the application's
+diagnosis graph breadth-first: for every rule out of a matched node it
+retrieves candidate diagnostic instances from the store (bounded by the
+temporal rule's search window), keeps those that join temporally *and*
+spatially with the matched parent instance, and recurses.  The collected
+evidence then goes to the reasoning module (rule-based by default) to
+pick the root cause(s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..collector.store import DataStore
+from .events import EventInstance, EventLibrary, RetrievalContext
+from .graph import DiagnosisGraph
+from .reasoning.rule_based import (
+    UNKNOWN,
+    MatchedEvidence,
+    RuleBasedResult,
+    reason,
+)
+from .spatial import LocationResolver
+
+
+@dataclass
+class Diagnosis:
+    """Everything the engine concluded about one symptom instance."""
+
+    symptom: EventInstance
+    evidence: List[MatchedEvidence]
+    result: RuleBasedResult
+
+    @property
+    def primary_cause(self) -> str:
+        return self.result.primary
+
+    @property
+    def root_causes(self) -> List[str]:
+        return self.result.root_causes
+
+    @property
+    def is_explained(self) -> bool:
+        return bool(self.result.root_causes)
+
+    def evidence_for(self, event_name: str) -> List[MatchedEvidence]:
+        """Matched evidence items for one diagnostic event."""
+        return [e for e in self.evidence if e.rule.child_event == event_name]
+
+    def explain(self) -> str:
+        """Human-readable trace for the Result Browser's detail pane."""
+        lines = [f"symptom: {self.symptom}"]
+        for item in sorted(self.evidence, key=lambda e: e.depth):
+            marker = "*" if item.rule.child_event in self.result.root_causes else " "
+            lines.append(
+                f" {marker} depth {item.depth} priority {item.rule.priority:>4} "
+                f"{item.rule.parent_event} -> {item.instance}"
+            )
+        lines.append(f"root cause: {', '.join(self.root_causes) or UNKNOWN}")
+        return "\n".join(lines)
+
+
+@dataclass
+class EngineConfig:
+    """Tunables shared by all diagnoses of one engine instance."""
+
+    #: per-application retrieval parameters (thresholds etc.)
+    params: Dict[str, Any] = field(default_factory=dict)
+    #: substrate handles passed into retrieval contexts
+    services: Dict[str, Any] = field(default_factory=dict)
+    #: cap on matched instances per (rule, parent instance) to bound work
+    max_matches_per_rule: int = 50
+
+
+class RcaEngine:
+    """Correlation + reasoning over one diagnosis graph."""
+
+    def __init__(
+        self,
+        graph: DiagnosisGraph,
+        library: EventLibrary,
+        resolver: LocationResolver,
+        store: DataStore,
+        config: Optional[EngineConfig] = None,
+    ) -> None:
+        self.graph = graph
+        self.library = library
+        self.resolver = resolver
+        self.store = store
+        self.config = config or EngineConfig()
+        self._missing = [
+            name for name in graph.events() if name not in library
+        ]
+        if self._missing:
+            raise KeyError(
+                f"diagnosis graph references undefined events: {self._missing}"
+            )
+        # retrieval cache: (event name, window) -> instances
+        self._retrieval_cache: Dict[Tuple[str, float, float], List[EventInstance]] = {}
+
+    # ------------------------------------------------------------------
+
+    def diagnose(self, symptom: EventInstance) -> Diagnosis:
+        """Correlate and reason about one symptom instance."""
+        if symptom.name != self.graph.symptom_event:
+            raise ValueError(
+                f"engine diagnoses {self.graph.symptom_event!r} symptoms, "
+                f"got {symptom.name!r}"
+            )
+        evidence = self._correlate(symptom)
+        result = reason(self.graph, evidence)
+        return Diagnosis(symptom=symptom, evidence=evidence, result=result)
+
+    def diagnose_all(self, symptoms: Iterable[EventInstance]) -> List[Diagnosis]:
+        """Diagnose a sequence of symptom instances in order."""
+        return [self.diagnose(symptom) for symptom in symptoms]
+
+    # ------------------------------------------------------------------
+
+    def _correlate(self, symptom: EventInstance) -> List[MatchedEvidence]:
+        evidence: List[MatchedEvidence] = []
+        # frontier entries: (event name, matched instance, depth)
+        frontier: List[Tuple[str, EventInstance, int]] = [
+            (self.graph.symptom_event, symptom, 0)
+        ]
+        seen: set = set()
+        while frontier:
+            event_name, parent_instance, depth = frontier.pop()
+            for rule in self.graph.rules_from(event_name):
+                matches = self._match_rule(rule, parent_instance)
+                for instance in matches:
+                    key = (rule.child_event, instance)
+                    item = MatchedEvidence(
+                        rule=rule,
+                        parent_instance=parent_instance,
+                        instance=instance,
+                        depth=depth + 1,
+                    )
+                    evidence.append(item)
+                    if key not in seen:
+                        seen.add(key)
+                        frontier.append((rule.child_event, instance, depth + 1))
+        return evidence
+
+    def _match_rule(self, rule, parent_instance: EventInstance) -> List[EventInstance]:
+        window = rule.temporal.search_window(parent_instance.interval)
+        candidates = self._retrieve(rule.child_event, window)
+        matched = []
+        for candidate in candidates:
+            if not rule.temporal.joined(parent_instance.interval, candidate.interval):
+                continue
+            if not rule.spatial.joined(
+                self.resolver,
+                parent_instance.location,
+                candidate.location,
+                parent_instance.start,
+            ):
+                continue
+            matched.append(candidate)
+            if len(matched) >= self.config.max_matches_per_rule:
+                break
+        return matched
+
+    def _retrieve(
+        self, event_name: str, window: Tuple[float, float]
+    ) -> List[EventInstance]:
+        # bucket windows to 60 s so nearby symptoms share cache entries
+        bucket = 60.0
+        lo = window[0] - (window[0] % bucket)
+        hi = window[1] + (bucket - window[1] % bucket)
+        key = (event_name, lo, hi)
+        if key not in self._retrieval_cache:
+            context = RetrievalContext(
+                store=self.store,
+                start=lo,
+                end=hi,
+                params=self.config.params,
+                services=self.config.services,
+            )
+            self._retrieval_cache[key] = self.library.get(event_name).retrieve(context)
+        # the retrieval covers a superset window; exact temporal checks
+        # happen in _match_rule
+        return [
+            instance
+            for instance in self._retrieval_cache[key]
+            if instance.end >= window[0] and instance.start <= window[1]
+        ]
+
+    def clear_cache(self) -> None:
+        """Drop all cached retrievals (e.g. after new data lands)."""
+        self._retrieval_cache.clear()

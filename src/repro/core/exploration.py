@@ -1,0 +1,149 @@
+"""Data exploration for manual iterative rule learning (Section IV-A).
+
+The PIM application was built by a loop the paper describes in detail:
+domain experts "use data exploratory tools [Darkstar, 26] to manually
+inspect unexplained neighbor adjacency changes and determine root
+cause(s)"; each discovered cause is codified as a rule, the application
+re-runs, and the remaining unexplained events shrink — "the PIM
+application developer thus continually whittled down the number of
+unexplained flaps."
+
+This module is that exploratory tool: given a set of anchor events
+(typically the unexplained symptoms from a Result Browser), it scans
+the store for records that co-occur with them — same router, within a
+window — groups them by signature, and ranks signatures by *support*
+(the fraction of anchors each signature co-occurs with).  A signature
+with high support over the unexplained population is a candidate
+diagnosis rule; the Correlation Tester then validates it statistically
+before it enters the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..collector.store import DataStore, Record
+from .events import EventInstance
+
+#: Which column carries a record's "signature" in each well-known table.
+SIGNATURE_COLUMNS: Dict[str, str] = {
+    "syslog": "code",
+    "workflow": "activity",
+    "tacacs": "user",
+    "layer1": "event",
+    "snmp": "metric",
+}
+
+
+@dataclass(frozen=True)
+class CoOccurrence:
+    """One candidate signature ranked against the anchor population."""
+
+    table: str
+    signature: str
+    #: number of distinct anchors this signature co-occurred with
+    anchors_hit: int
+    #: anchors_hit / total anchors
+    support: float
+    #: total co-occurring records across all anchors
+    record_count: int
+    #: one example record, for the drill-down pane
+    example: Optional[Record] = None
+
+    @property
+    def name(self) -> str:
+        """The ``table:signature`` label shown in listings."""
+        return f"{self.table}:{self.signature}"
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: support {100 * self.support:.0f}% "
+            f"({self.anchors_hit} anchors, {self.record_count} records)"
+        )
+
+
+def _anchor_router(anchor: EventInstance) -> Optional[str]:
+    try:
+        return anchor.location.router_part
+    except ValueError:
+        # pair locations: use the first part when it names a router
+        return anchor.location.parts[0] if anchor.location.parts else None
+
+
+def co_occurring_signatures(
+    store: DataStore,
+    anchors: Sequence[EventInstance],
+    tables: Sequence[str] = ("syslog", "workflow", "tacacs", "layer1"),
+    window_seconds: float = 300.0,
+    same_router: bool = True,
+    min_support: float = 0.0,
+) -> List[CoOccurrence]:
+    """Signatures co-occurring with the anchor events, ranked by support.
+
+    For each anchor, records within ``window_seconds`` of its interval
+    (on the same router when ``same_router``) are collected; each
+    distinct (table, signature) pair counts each anchor at most once.
+    """
+    if not anchors:
+        return []
+    hits: Dict[Tuple[str, str], Dict[str, object]] = {}
+    for index, anchor in enumerate(anchors):
+        router = _anchor_router(anchor)
+        start = anchor.start - window_seconds
+        end = anchor.end + window_seconds
+        for table_name in tables:
+            column = SIGNATURE_COLUMNS.get(table_name)
+            if column is None:
+                continue
+            table = store.table(table_name)
+            if same_router and router is not None and "router" in table._indexes:
+                records = table.query(start, end, router=router)
+            else:
+                records = table.query(start, end)
+                if same_router and router is not None:
+                    records = [r for r in records if r.get("router") == router]
+            for record in records:
+                signature = record.get(column)
+                if signature is None:
+                    continue
+                entry = hits.setdefault(
+                    (table_name, str(signature)),
+                    {"anchors": set(), "count": 0, "example": record},
+                )
+                entry["anchors"].add(index)
+                entry["count"] += 1
+    results = []
+    total = len(anchors)
+    for (table_name, signature), entry in hits.items():
+        support = len(entry["anchors"]) / total
+        if support < min_support:
+            continue
+        results.append(
+            CoOccurrence(
+                table=table_name,
+                signature=signature,
+                anchors_hit=len(entry["anchors"]),
+                support=support,
+                record_count=entry["count"],
+                example=entry["example"],
+            )
+        )
+    results.sort(key=lambda c: (-c.support, -c.record_count, c.name))
+    return results
+
+
+def format_exploration(
+    results: Sequence[CoOccurrence], limit: int = 15
+) -> str:
+    """Render a ranked signature listing (the exploration pane view)."""
+    if not results:
+        return "(no co-occurring signatures)"
+    width = max(len(c.name) for c in results[:limit])
+    lines = [f"{'signature':<{width}}  {'support':>8}  {'anchors':>8}  {'records':>8}"]
+    for item in results[:limit]:
+        lines.append(
+            f"{item.name:<{width}}  {100 * item.support:>7.0f}%  "
+            f"{item.anchors_hit:>8}  {item.record_count:>8}"
+        )
+    return "\n".join(lines)

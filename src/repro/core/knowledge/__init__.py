@@ -1,0 +1,55 @@
+"""The RCA Knowledge Library (Fig. 1): common event definitions
+(Table I) and common diagnosis-rule templates (Table II).
+
+:class:`KnowledgeLibrary` bundles both layers; applications scope the
+event library (so their overrides stay local) and instantiate rule
+templates with their own priorities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..events import EventLibrary
+from . import names
+from .detectors import Anomaly, TimedPoint, detect_shift, merge_intervals, pair_flaps
+from .events import DEFAULT_FLAP_WINDOW, build_common_events
+from .rules import (
+    SLACK,
+    TABLE2_PAIRS,
+    RuleCatalog,
+    RuleTemplate,
+    build_common_rules,
+    expansion,
+)
+
+
+@dataclass
+class KnowledgeLibrary:
+    """Common events + common rules, instantiated once and shared."""
+
+    events: EventLibrary = field(default_factory=build_common_events)
+    rules: RuleCatalog = field(default_factory=build_common_rules)
+
+    def scoped_events(self) -> EventLibrary:
+        """A per-application event library layered over the common one."""
+        return self.events.scoped()
+
+
+__all__ = [
+    "Anomaly",
+    "DEFAULT_FLAP_WINDOW",
+    "KnowledgeLibrary",
+    "RuleCatalog",
+    "RuleTemplate",
+    "SLACK",
+    "TABLE2_PAIRS",
+    "TimedPoint",
+    "build_common_events",
+    "build_common_rules",
+    "detect_shift",
+    "expansion",
+    "merge_intervals",
+    "names",
+    "pair_flaps",
+]

@@ -1,0 +1,116 @@
+"""Shared detection helpers used by event retrieval processes.
+
+Flap pairing (a *down* followed by an *up* on the same location) and
+baseline-relative anomaly detection for performance metrics.  These are
+the "more sophisticated processing such as ... an anomaly detection
+program" that Section II-A allows a retrieval process to be.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class TimedPoint:
+    """A timestamped observation at a hashable location key."""
+
+    timestamp: float
+    key: Hashable
+    payload: Any = None
+
+
+def pair_flaps(
+    downs: Sequence[TimedPoint],
+    ups: Sequence[TimedPoint],
+    window_seconds: float,
+) -> List[Tuple[TimedPoint, TimedPoint]]:
+    """Pair each *down* with the first *up* at the same key within a window.
+
+    Unpaired downs (still down, or the up fell outside the window) are
+    omitted — they are "down" events, not flaps.  Each up is consumed by
+    at most one down.
+    """
+    ups_by_key: Dict[Hashable, List[TimedPoint]] = {}
+    for up in sorted(ups, key=lambda p: p.timestamp):
+        ups_by_key.setdefault(up.key, []).append(up)
+    pairs: List[Tuple[TimedPoint, TimedPoint]] = []
+    consumed: Dict[Hashable, int] = {}
+    for down in sorted(downs, key=lambda p: p.timestamp):
+        candidates = ups_by_key.get(down.key, [])
+        index = consumed.get(down.key, 0)
+        while index < len(candidates) and candidates[index].timestamp < down.timestamp:
+            index += 1
+        if index < len(candidates) and (
+            candidates[index].timestamp - down.timestamp <= window_seconds
+        ):
+            pairs.append((down, candidates[index]))
+            consumed[down.key] = index + 1
+        else:
+            consumed[down.key] = index
+    return pairs
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One sample flagged against its trailing baseline."""
+
+    timestamp: float
+    key: Hashable
+    value: float
+    baseline: float
+
+
+def detect_shift(
+    samples: Iterable[Tuple[float, Hashable, float]],
+    direction: str,
+    factor: float,
+    min_baseline_samples: int = 3,
+    baseline_window: int = 12,
+    absolute_floor: float = 0.0,
+) -> List[Anomaly]:
+    """Flag samples that shift from their per-key trailing median.
+
+    ``direction`` is ``"increase"`` (value >= factor * baseline, e.g.
+    delay or loss) or ``"decrease"`` (value <= baseline / factor, e.g.
+    throughput).  ``absolute_floor`` suppresses noise on near-zero
+    baselines (a loss series hovering at 0.0% should not alarm at
+    0.001%).
+    """
+    if direction not in ("increase", "decrease"):
+        raise ValueError(f"direction must be increase/decrease, got {direction!r}")
+    if factor <= 1.0:
+        raise ValueError("factor must exceed 1.0")
+    history: Dict[Hashable, List[float]] = {}
+    anomalies: List[Anomaly] = []
+    for timestamp, key, value in sorted(samples, key=lambda s: s[0]):
+        past = history.setdefault(key, [])
+        if len(past) >= min_baseline_samples:
+            baseline = statistics.median(past[-baseline_window:])
+            if direction == "increase":
+                flagged = value >= max(baseline * factor, baseline + absolute_floor)
+            else:
+                flagged = value <= min(
+                    baseline / factor, baseline - absolute_floor
+                ) and baseline > 0
+            if flagged:
+                anomalies.append(Anomaly(timestamp, key, value, baseline))
+                # do not pollute the baseline with anomalous values
+                continue
+        past.append(value)
+    return anomalies
+
+
+def merge_intervals(
+    points: Sequence[float], gap_seconds: float
+) -> List[Tuple[float, float]]:
+    """Merge point timestamps closer than ``gap_seconds`` into intervals."""
+    intervals: List[Tuple[float, float]] = []
+    for point in sorted(points):
+        if intervals and point - intervals[-1][1] <= gap_seconds:
+            intervals[-1] = (intervals[-1][0], point)
+        else:
+            intervals.append((point, point))
+    return intervals

@@ -1,0 +1,489 @@
+"""Table I event definitions: the common-event layer of the Knowledge
+Library.
+
+Every definition is a retrieval process over the normalized store, per
+Section II-A: syslog message signatures, SNMP threshold queries, OSPF
+monitor inference, TACACS command matching, and anomaly detection over
+the performance monitor.  Applications may override any of them (e.g.
+re-threshold "Link congestion alarm" to 90%).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ...collector.sources import syslog as syslog_codes
+from ...collector.sources.misc import (
+    EVENT_MESH_FAST,
+    EVENT_MESH_REGULAR,
+    EVENT_SONET,
+    METRIC_DELAY,
+    METRIC_LOSS,
+    METRIC_THROUGHPUT,
+)
+from ...collector.sources.snmp import (
+    METRIC_CORRUPTED,
+    METRIC_CPU,
+    METRIC_LINK_UTIL,
+    POLL_INTERVAL_SECONDS,
+)
+from ...routing.ospf import COST_OUT_WEIGHT
+from ..events import EventDefinition, EventInstance, EventLibrary, RetrievalContext
+from ..locations import Location, LocationType
+from . import names
+from .detectors import TimedPoint, detect_shift, merge_intervals, pair_flaps
+
+#: Default down->up pairing window for flap events, seconds.
+DEFAULT_FLAP_WINDOW = 600.0
+
+
+# ---------------------------------------------------------------------------
+# syslog-derived events
+
+
+def _retrieve_router_reboot(context: RetrievalContext) -> Iterable[EventInstance]:
+    for record in context.store.table("syslog").query(
+        context.start, context.end, code=syslog_codes.CODE_RESTART
+    ):
+        yield EventInstance.make(
+            names.ROUTER_REBOOT,
+            record.timestamp,
+            record.timestamp,
+            Location.router(record["router"]),
+        )
+
+
+def _retrieve_cpu_spike(context: RetrievalContext) -> Iterable[EventInstance]:
+    threshold = context.param("cpu_spike_threshold", 90)
+    for record in context.store.table("syslog").query(
+        context.start, context.end, code=syslog_codes.CODE_CPUHOG
+    ):
+        cpu = record.get("cpu_pct")
+        if cpu is not None and cpu >= threshold:
+            yield EventInstance.make(
+                names.CPU_HIGH_SPIKE,
+                record.timestamp,
+                record.timestamp,
+                Location.router(record["router"]),
+                cpu_pct=cpu,
+            )
+
+
+def _updown_points(
+    context: RetrievalContext, code: str, state: str
+) -> List[TimedPoint]:
+    points = []
+    for record in context.store.table("syslog").query(
+        context.start, context.end, code=code, state=state
+    ):
+        interface = record.get("interface")
+        if interface is None:
+            continue
+        points.append(
+            TimedPoint(record.timestamp, f"{record['router']}:{interface}")
+        )
+    return points
+
+
+def _make_updown_retrievals(code: str, down_name: str, up_name: str, flap_name: str):
+    """Build the down / up / flap retrieval triple for one syslog code."""
+
+    def retrieve_down(context: RetrievalContext) -> Iterable[EventInstance]:
+        for point in _updown_points(context, code, "down"):
+            yield EventInstance.make(
+                down_name, point.timestamp, point.timestamp,
+                Location.interface(point.key),
+            )
+
+    def retrieve_up(context: RetrievalContext) -> Iterable[EventInstance]:
+        for point in _updown_points(context, code, "up"):
+            yield EventInstance.make(
+                up_name, point.timestamp, point.timestamp,
+                Location.interface(point.key),
+            )
+
+    def retrieve_flap(context: RetrievalContext) -> Iterable[EventInstance]:
+        window = context.param("flap_window", DEFAULT_FLAP_WINDOW)
+        # widen both edges so flaps straddling the window boundary are
+        # still paired: a down before context.start may pair with an up
+        # inside it, and a down inside may pair with an up after the end
+        wide = RetrievalContext(
+            store=context.store,
+            start=context.start - window,
+            end=context.end + window,
+            params=context.params,
+            services=context.services,
+        )
+        downs = _updown_points(wide, code, "down")
+        ups = _updown_points(wide, code, "up")
+        for down, up in pair_flaps(downs, ups, window):
+            if up.timestamp < context.start or down.timestamp > context.end:
+                continue
+            yield EventInstance.make(
+                flap_name, down.timestamp, up.timestamp,
+                Location.interface(down.key),
+            )
+
+    return retrieve_down, retrieve_up, retrieve_flap
+
+
+# ---------------------------------------------------------------------------
+# SNMP-derived events
+
+
+def _retrieve_cpu_average(context: RetrievalContext) -> Iterable[EventInstance]:
+    threshold = context.param("cpu_avg_threshold", 80)
+    # rows are stamped at interval end; the event interval starts one
+    # poll earlier, so widen the row query to the right accordingly
+    for record in context.store.table("snmp").query(
+        context.start, context.end + POLL_INTERVAL_SECONDS, metric=METRIC_CPU
+    ):
+        if record["value"] >= threshold:
+            yield EventInstance.make(
+                names.CPU_HIGH_AVG,
+                record.timestamp - POLL_INTERVAL_SECONDS,
+                record.timestamp,
+                Location.router(record["router"]),
+                cpu_pct=record["value"],
+            )
+
+
+def _interface_threshold_retrieval(name: str, metric: str, param_key: str, default: float):
+    def retrieve(context: RetrievalContext) -> Iterable[EventInstance]:
+        threshold = context.param(param_key, default)
+        for record in context.store.table("snmp").query(
+            context.start, context.end + POLL_INTERVAL_SECONDS, metric=metric
+        ):
+            interface = record.get("interface")
+            if interface is None or record["value"] < threshold:
+                continue
+            yield EventInstance.make(
+                name,
+                record.timestamp - POLL_INTERVAL_SECONDS,
+                record.timestamp,
+                Location.interface(f"{record['router']}:{interface}"),
+                value=record["value"],
+            )
+
+    return retrieve
+
+
+# ---------------------------------------------------------------------------
+# layer-1 events
+
+
+def _layer1_retrieval(name: str, event: str):
+    def retrieve(context: RetrievalContext) -> Iterable[EventInstance]:
+        for record in context.store.table("layer1").query(
+            context.start, context.end, event=event
+        ):
+            yield EventInstance.make(
+                name,
+                record.timestamp,
+                record.timestamp,
+                Location.layer1_device(record["device"]),
+                circuit=record.get("circuit"),
+            )
+
+    return retrieve
+
+
+# ---------------------------------------------------------------------------
+# OSPF monitor events
+
+
+def _retrieve_ospf_reconvergence(context: RetrievalContext) -> Iterable[EventInstance]:
+    """One instance per link per re-convergence episode."""
+    settle = context.param("reconvergence_settle", 10.0)
+    by_link: Dict[str, List[float]] = {}
+    for record in context.store.table("ospfmon").query(context.start, context.end):
+        by_link.setdefault(record["link"], []).append(record.timestamp)
+    for link, points in sorted(by_link.items()):
+        for start, end in merge_intervals(points, settle):
+            yield EventInstance.make(
+                names.OSPF_RECONVERGENCE, start, end, Location.logical_link(link)
+            )
+
+
+def _classify_cost_change(
+    history, link: str, timestamp: float, weight: int
+) -> Optional[str]:
+    """out/in/None for one weight update against the pre-update weight."""
+    previous = history.weights_at(timestamp - 1e-6).get(link)
+    now_out = weight >= COST_OUT_WEIGHT
+    was_out = previous is not None and previous >= COST_OUT_WEIGHT
+    if now_out and not was_out:
+        return "out"
+    if was_out and not now_out:
+        return "in"
+    return None
+
+
+def _cost_retrieval(name: str, wanted: str):
+    def retrieve(context: RetrievalContext) -> Iterable[EventInstance]:
+        history = context.service("weight_history")
+        for record in context.store.table("ospfmon").query(context.start, context.end):
+            change = _classify_cost_change(
+                history, record["link"], record.timestamp, record["weight"]
+            )
+            if change == wanted:
+                yield EventInstance.make(
+                    name,
+                    record.timestamp,
+                    record.timestamp,
+                    Location.logical_link(record["link"]),
+                )
+
+    return retrieve
+
+
+def _retrieve_router_cost(context: RetrievalContext) -> Iterable[EventInstance]:
+    """All of a router's links costed in/out together -> router event."""
+    history = context.service("weight_history")
+    network = context.service("network")
+    group_window = context.param("router_cost_window", 15.0)
+    by_router: Dict[Tuple[str, str], List[float]] = {}
+    for record in context.store.table("ospfmon").query(context.start, context.end):
+        change = _classify_cost_change(
+            history, record["link"], record.timestamp, record["weight"]
+        )
+        if change is None:
+            continue
+        link = network.logical_links.get(record["link"])
+        if link is None:
+            continue
+        for router in link.routers:
+            by_router.setdefault((router, change), []).append(record.timestamp)
+    for (router, change), points in sorted(by_router.items()):
+        n_links = len(network.logical_links_of_router(router))
+        for start, end in merge_intervals(points, group_window):
+            count = sum(1 for p in points if start <= p <= end)
+            # a maintenance cost-out touches (nearly) all links of the router
+            if n_links >= 2 and count >= n_links:
+                yield EventInstance.make(
+                    names.ROUTER_COST_IN_OUT,
+                    start,
+                    end,
+                    Location.router(router),
+                    direction=change,
+                )
+
+
+# ---------------------------------------------------------------------------
+# TACACS command events
+
+COST_OUT_COMMAND_MARKER = "cost 65535"
+
+
+def _cmd_retrieval(name: str, direction: str):
+    def retrieve(context: RetrievalContext) -> Iterable[EventInstance]:
+        for record in context.store.table("tacacs").query(context.start, context.end):
+            command = record.get("command", "")
+            interface = record.get("interface")
+            if interface is None or "cost" not in command:
+                continue
+            is_out = COST_OUT_COMMAND_MARKER in command
+            if (direction == "out") != is_out:
+                continue
+            yield EventInstance.make(
+                name,
+                record.timestamp,
+                record.timestamp,
+                Location.interface(f"{record['router']}:{interface}"),
+                user=record.get("user"),
+            )
+
+    return retrieve
+
+
+# ---------------------------------------------------------------------------
+# BGP monitor events
+
+
+def _retrieve_bgp_egress_change(context: RetrievalContext) -> Iterable[EventInstance]:
+    """A prefix whose set of available egresses changed."""
+    log = context.service("bgp_log")
+    for update in log.updates_between(context.start, context.end):
+        prefix = update.route.prefix
+        before = {r.egress_router for r in log.routes_at(prefix, update.timestamp - 1e-6)}
+        after = {r.egress_router for r in log.routes_at(prefix, update.timestamp)}
+        if before != after and before:
+            yield EventInstance.make(
+                names.BGP_EGRESS_CHANGE,
+                update.timestamp,
+                update.timestamp,
+                Location.prefix(prefix),
+                old_egresses=tuple(sorted(before)),
+                new_egresses=tuple(sorted(after)),
+            )
+
+
+# ---------------------------------------------------------------------------
+# performance monitor events
+
+
+def _perf_retrieval(name: str, metric: str, direction: str, factor_key: str):
+    def retrieve(context: RetrievalContext) -> Iterable[EventInstance]:
+        factor = context.param(factor_key, 1.5)
+        lookback = context.param("perf_baseline_lookback", 3600.0)
+        floor = context.param("perf_absolute_floor", 0.5)
+        interval = context.param("perf_interval", POLL_INTERVAL_SECONDS)
+        samples = [
+            (r.timestamp, (r["source"], r["destination"]), r["value"])
+            for r in context.store.table("perfmon").query(
+                context.start - lookback, context.end + interval, metric=metric
+            )
+        ]
+        for anomaly in detect_shift(samples, direction, factor, absolute_floor=floor):
+            if anomaly.timestamp < context.start:
+                continue
+            source, destination = anomaly.key
+            yield EventInstance.make(
+                name,
+                anomaly.timestamp - interval,
+                anomaly.timestamp,
+                Location.pair(LocationType.INGRESS_EGRESS, source, destination),
+                value=anomaly.value,
+                baseline=anomaly.baseline,
+            )
+
+    return retrieve
+
+
+# ---------------------------------------------------------------------------
+# library assembly
+
+
+def build_common_events() -> EventLibrary:
+    """The Knowledge Library's common-event layer (Table I)."""
+    library = EventLibrary()
+
+    def add(name, location_type, retrieval, description, data_source):
+        library.register(
+            EventDefinition(name, location_type, retrieval, description, data_source)
+        )
+
+    add(
+        names.ROUTER_REBOOT, LocationType.ROUTER, _retrieve_router_reboot,
+        "router was rebooted", "syslog",
+    )
+    add(
+        names.CPU_HIGH_AVG, LocationType.ROUTER, _retrieve_cpu_average,
+        ">= 80% average utilization in 5-minute intervals", "SNMP",
+    )
+    add(
+        names.CPU_HIGH_SPIKE, LocationType.ROUTER, _retrieve_cpu_spike,
+        ">= 90% average utilization over the past 5 seconds", "syslog",
+    )
+
+    link_down, link_up, link_flap = _make_updown_retrievals(
+        syslog_codes.CODE_LINK,
+        names.INTERFACE_DOWN, names.INTERFACE_UP, names.INTERFACE_FLAP,
+    )
+    add(names.INTERFACE_DOWN, LocationType.INTERFACE, link_down,
+        "LINK-3-UPDOWN msg", "syslog")
+    add(names.INTERFACE_UP, LocationType.INTERFACE, link_up,
+        "LINK-3-UPDOWN msg", "syslog")
+    add(names.INTERFACE_FLAP, LocationType.INTERFACE, link_flap,
+        "LINK-3-UPDOWN msg", "syslog")
+
+    proto_down, proto_up, proto_flap = _make_updown_retrievals(
+        syslog_codes.CODE_LINEPROTO,
+        names.LINEPROTO_DOWN, names.LINEPROTO_UP, names.LINEPROTO_FLAP,
+    )
+    add(names.LINEPROTO_DOWN, LocationType.INTERFACE, proto_down,
+        "LINEPROTO-5-UPDOWN msg", "syslog")
+    add(names.LINEPROTO_UP, LocationType.INTERFACE, proto_up,
+        "LINEPROTO-5-UPDOWN msg", "syslog")
+    add(names.LINEPROTO_FLAP, LocationType.INTERFACE, proto_flap,
+        "LINEPROTO-5-UPDOWN msg", "syslog")
+
+    add(
+        names.MESH_RESTORATION_REGULAR, LocationType.LAYER1_DEVICE,
+        _layer1_retrieval(names.MESH_RESTORATION_REGULAR, EVENT_MESH_REGULAR),
+        "regular restoration events in layer-1 optical mesh network",
+        "layer-1 device log",
+    )
+    add(
+        names.MESH_RESTORATION_FAST, LocationType.LAYER1_DEVICE,
+        _layer1_retrieval(names.MESH_RESTORATION_FAST, EVENT_MESH_FAST),
+        "fast restoration events in layer-1 optical mesh network",
+        "layer-1 device log",
+    )
+    add(
+        names.SONET_RESTORATION, LocationType.LAYER1_DEVICE,
+        _layer1_retrieval(names.SONET_RESTORATION, EVENT_SONET),
+        "restoration events in the layer-1 SONET network",
+        "layer-1 device log",
+    )
+
+    add(
+        names.LINK_CONGESTION, LocationType.INTERFACE,
+        _interface_threshold_retrieval(
+            names.LINK_CONGESTION, METRIC_LINK_UTIL, "link_congestion_threshold", 80.0
+        ),
+        ">= 80% link utilization in 5-minute intervals", "SNMP",
+    )
+    add(
+        names.LINK_LOSS, LocationType.INTERFACE,
+        _interface_threshold_retrieval(
+            names.LINK_LOSS, METRIC_CORRUPTED, "link_loss_threshold", 100.0
+        ),
+        ">= 100 corrupted packets in 5-minute intervals", "SNMP",
+    )
+
+    add(
+        names.OSPF_RECONVERGENCE, LocationType.LOGICAL_LINK,
+        _retrieve_ospf_reconvergence,
+        "link weight update in OSPF", "OSPF monitor",
+    )
+    add(
+        names.ROUTER_COST_IN_OUT, LocationType.ROUTER, _retrieve_router_cost,
+        "Router cost in/out inferred from link weight changes", "OSPF monitor",
+    )
+    add(
+        names.LINK_COST_OUT, LocationType.LOGICAL_LINK,
+        _cost_retrieval(names.LINK_COST_OUT, "out"),
+        "Link cost out or link down inferred from link weight changes",
+        "OSPF monitor",
+    )
+    add(
+        names.LINK_COST_IN, LocationType.LOGICAL_LINK,
+        _cost_retrieval(names.LINK_COST_IN, "in"),
+        "Link cost in or link up inferred from link weight changes",
+        "OSPF monitor",
+    )
+
+    add(
+        names.CMD_COST_IN, LocationType.INTERFACE, _cmd_retrieval(names.CMD_COST_IN, "in"),
+        "Command typed by operators to cost in links", "TACACS",
+    )
+    add(
+        names.CMD_COST_OUT, LocationType.INTERFACE, _cmd_retrieval(names.CMD_COST_OUT, "out"),
+        "Command typed by operators to cost out links", "TACACS",
+    )
+
+    add(
+        names.BGP_EGRESS_CHANGE, LocationType.PREFIX, _retrieve_bgp_egress_change,
+        "BGP next hop to some external prefix changed", "BGP monitor",
+    )
+
+    add(
+        names.DELAY_INCREASE, LocationType.INGRESS_EGRESS,
+        _perf_retrieval(names.DELAY_INCREASE, METRIC_DELAY, "increase", "delay_factor"),
+        "delay increase between two PoPs", "performance monitor",
+    )
+    add(
+        names.LOSS_INCREASE, LocationType.INGRESS_EGRESS,
+        _perf_retrieval(names.LOSS_INCREASE, METRIC_LOSS, "increase", "loss_factor"),
+        "loss increase between two PoPs", "performance monitor",
+    )
+    add(
+        names.THROUGHPUT_DROP, LocationType.INGRESS_EGRESS,
+        _perf_retrieval(
+            names.THROUGHPUT_DROP, METRIC_THROUGHPUT, "decrease", "throughput_factor"
+        ),
+        "throughput drop between two PoPs", "performance monitor",
+    )
+
+    return library

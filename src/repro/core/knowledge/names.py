@@ -1,0 +1,84 @@
+"""Canonical event names.
+
+These are the verbatim Table I names (plus the application-specific
+events of Tables III, V and VII), so that breakdowns produced by the
+Result Browser read exactly like the paper's tables.
+"""
+
+# -- Table I: common events -------------------------------------------------
+
+ROUTER_REBOOT = "Router reboot"
+CPU_HIGH_AVG = "CPU high (average)"
+CPU_HIGH_SPIKE = "CPU high (spike)"
+INTERFACE_DOWN = "Interface down"
+INTERFACE_UP = "Interface up"
+INTERFACE_FLAP = "Interface flap"
+LINEPROTO_DOWN = "Line protocol down"
+LINEPROTO_UP = "Line protocol up"
+LINEPROTO_FLAP = "Line protocol flap"
+MESH_RESTORATION_REGULAR = "Regular optical mesh network restoration"
+MESH_RESTORATION_FAST = "Fast optical mesh network restoration"
+SONET_RESTORATION = "SONET restoration"
+LINK_CONGESTION = "Link congestion alarm"
+LINK_LOSS = "Link loss alarm"
+OSPF_RECONVERGENCE = "OSPF re-convergence event"
+ROUTER_COST_IN_OUT = "Router Cost In/Out"
+LINK_COST_OUT = "Link Cost Out/Down"
+LINK_COST_IN = "Link Cost In/Up"
+CMD_COST_IN = "Command to Cost In Links"
+CMD_COST_OUT = "Command to Cost Out Links"
+BGP_EGRESS_CHANGE = "BGP egress change"
+DELAY_INCREASE = "In-network delay increase"
+LOSS_INCREASE = "In-network loss increase"
+THROUGHPUT_DROP = "In-network throughput drop"
+
+#: All Table I event names, in table order.
+TABLE1_EVENTS = (
+    ROUTER_REBOOT,
+    CPU_HIGH_AVG,
+    CPU_HIGH_SPIKE,
+    INTERFACE_DOWN,
+    INTERFACE_UP,
+    INTERFACE_FLAP,
+    LINEPROTO_DOWN,
+    LINEPROTO_UP,
+    LINEPROTO_FLAP,
+    MESH_RESTORATION_REGULAR,
+    MESH_RESTORATION_FAST,
+    SONET_RESTORATION,
+    LINK_CONGESTION,
+    LINK_LOSS,
+    OSPF_RECONVERGENCE,
+    ROUTER_COST_IN_OUT,
+    LINK_COST_OUT,
+    LINK_COST_IN,
+    CMD_COST_IN,
+    CMD_COST_OUT,
+    BGP_EGRESS_CHANGE,
+    DELAY_INCREASE,
+    LOSS_INCREASE,
+    THROUGHPUT_DROP,
+)
+
+# -- Table III: BGP-flap application events ---------------------------------
+
+EBGP_FLAP = "eBGP flap"
+CUSTOMER_RESET = "Customer reset session"
+EBGP_HTE = "eBGP HTE"
+
+# -- Table V: CDN application events ----------------------------------------
+
+CDN_RTT_INCREASE = "CDN round trip time increase"
+CDN_THROUGHPUT_DROP = "CDN end-to-end throughput drop"
+CDN_SERVER_ISSUE = "CDN server issue"
+CDN_POLICY_CHANGE = "CDN assignment policy change"
+
+# -- Table VII: PIM / Multicast-VPN application events ----------------------
+
+PIM_ADJACENCY_CHANGE = "PIM Neighbor Adjacency Change"
+PIM_CONFIG_CHANGE = "PIM Configuration change"
+UPLINK_PIM_ADJACENCY_CHANGE = "Uplink PIM adjacency change"
+
+# -- derived / virtual names used by Section IV studies ----------------------
+
+LINECARD_CRASH = "Line-card crash"

@@ -1,0 +1,298 @@
+"""Table II diagnosis-rule templates: the common-rule layer of the
+Knowledge Library.
+
+A template is a diagnosis rule without a priority — the pair of events
+with their temporal and spatial join parameters.  Applications pull
+templates out by (symptom, diagnostic) pair and attach their own
+priorities when building a diagnosis graph; this mirrors the paper,
+where the rule library is shared and the priorities in Figs. 4-6 are
+application-specific.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..graph import DiagnosisRule
+from ..locations import LocationType
+from ..spatial import JoinLevel, SpatialJoinRule
+from ..temporal import ExpandOption, TemporalExpansion, TemporalJoinRule
+from . import names
+
+
+def expansion(
+    option: ExpandOption = ExpandOption.START_END, left: float = 5.0, right: float = 5.0
+) -> TemporalExpansion:
+    """Shorthand for a TemporalExpansion (Start/End 5/5 default)."""
+    return TemporalExpansion(option, left, right)
+
+
+#: Slack-only expansion: 5 s of syslog timestamp noise either way.
+SLACK = expansion()
+
+
+@dataclass(frozen=True)
+class RuleTemplate:
+    """A Table II row: event pair plus join parameters, no priority."""
+
+    symptom_event: str
+    diagnostic_event: str
+    temporal: TemporalJoinRule
+    spatial: SpatialJoinRule
+
+    def to_rule(
+        self, priority: int, is_root_cause: bool = True, note: str = ""
+    ) -> DiagnosisRule:
+        """Instantiate this template with an application priority."""
+        return DiagnosisRule(
+            parent_event=self.symptom_event,
+            child_event=self.diagnostic_event,
+            temporal=self.temporal,
+            spatial=self.spatial,
+            priority=priority,
+            is_root_cause=is_root_cause,
+            note=note,
+        )
+
+
+class RuleCatalog:
+    """Templates keyed by (symptom event, diagnostic event)."""
+
+    def __init__(self) -> None:
+        self._templates: Dict[Tuple[str, str], RuleTemplate] = {}
+
+    def register(self, template: RuleTemplate) -> RuleTemplate:
+        """Register a new rule template; duplicates are rejected."""
+        key = (template.symptom_event, template.diagnostic_event)
+        if key in self._templates:
+            raise ValueError(f"rule template {key} already registered")
+        self._templates[key] = template
+        return template
+
+    def get(self, symptom_event: str, diagnostic_event: str) -> RuleTemplate:
+        """Template for a (symptom, diagnostic) pair; raises KeyError."""
+        try:
+            return self._templates[(symptom_event, diagnostic_event)]
+        except KeyError:
+            raise KeyError(
+                f"no rule template {symptom_event!r} -> {diagnostic_event!r}"
+            ) from None
+
+    def rule(
+        self,
+        symptom_event: str,
+        diagnostic_event: str,
+        priority: int,
+        is_root_cause: bool = True,
+        note: str = "",
+    ) -> DiagnosisRule:
+        """Instantiate a template with an application priority."""
+        return self.get(symptom_event, diagnostic_event).to_rule(
+            priority, is_root_cause, note
+        )
+
+    def pairs(self) -> List[Tuple[str, str]]:
+        """All registered (symptom, diagnostic) pairs, sorted."""
+        return sorted(self._templates)
+
+    def __contains__(self, key: Tuple[str, str]) -> bool:
+        return key in self._templates
+
+    def __len__(self) -> int:
+        return len(self._templates)
+
+
+_IFACE_STATES = (
+    (names.LINEPROTO_DOWN, names.INTERFACE_DOWN),
+    (names.LINEPROTO_UP, names.INTERFACE_UP),
+    (names.LINEPROTO_FLAP, names.INTERFACE_FLAP),
+)
+
+_RESTORATIONS = (
+    names.SONET_RESTORATION,
+    names.MESH_RESTORATION_REGULAR,
+    names.MESH_RESTORATION_FAST,
+)
+
+_E2E_EVENTS = (names.DELAY_INCREASE, names.LOSS_INCREASE, names.THROUGHPUT_DROP)
+
+_STATE_EVENT_GROUPS = (
+    (names.INTERFACE_DOWN, names.INTERFACE_UP, names.INTERFACE_FLAP),
+    (names.LINEPROTO_DOWN, names.LINEPROTO_UP, names.LINEPROTO_FLAP),
+)
+
+
+def build_common_rules() -> RuleCatalog:
+    """The Knowledge Library's common diagnosis rules (Table II)."""
+    catalog = RuleCatalog()
+
+    def add(symptom, diagnostic, sym_exp, diag_exp, sym_type, diag_type, level):
+        catalog.register(
+            RuleTemplate(
+                symptom_event=symptom,
+                diagnostic_event=diagnostic,
+                temporal=TemporalJoinRule(sym_exp, diag_exp),
+                spatial=SpatialJoinRule(sym_type, diag_type, level),
+            )
+        )
+
+    # Line protocol X -> Interface X: same interface, line protocol
+    # reacts within seconds of the physical interface.
+    for proto_event, iface_event in _IFACE_STATES:
+        add(
+            proto_event, iface_event,
+            expansion(ExpandOption.START_START, 15, 5), SLACK,
+            LocationType.INTERFACE, LocationType.INTERFACE, JoinLevel.INTERFACE,
+        )
+
+    # Interface / line protocol state changes <- layer-1 restorations on
+    # the devices carrying that interface's circuits.
+    for group in _STATE_EVENT_GROUPS:
+        for state_event in group:
+            for restoration in _RESTORATIONS:
+                add(
+                    state_event, restoration,
+                    expansion(ExpandOption.START_START, 30, 5), SLACK,
+                    LocationType.INTERFACE, LocationType.LAYER1_DEVICE,
+                    JoinLevel.LAYER1_DEVICE,
+                )
+
+    # BGP egress change <- interface / line-protocol state change on an
+    # (old or new) egress router; withdrawal may lag by the hold timer.
+    for group in _STATE_EVENT_GROUPS:
+        for state_event in group:
+            add(
+                names.BGP_EGRESS_CHANGE, state_event,
+                expansion(ExpandOption.START_START, 200, 5), SLACK,
+                LocationType.PREFIX, LocationType.INTERFACE, JoinLevel.ROUTER,
+            )
+
+    # Edge-to-edge performance events <- egress change / congestion /
+    # reconvergence on the measured path.  Performance events are
+    # 5-minute-binned, so margins are measurement-interval sized.
+    perf_exp = expansion(ExpandOption.START_END, 300, 60)
+    for e2e_event in _E2E_EVENTS:
+        add(
+            e2e_event, names.BGP_EGRESS_CHANGE,
+            perf_exp, expansion(ExpandOption.START_END, 5, 60),
+            LocationType.INGRESS_EGRESS, LocationType.PREFIX, JoinLevel.ROUTER,
+        )
+        add(
+            e2e_event, names.LINK_CONGESTION,
+            perf_exp, expansion(ExpandOption.START_END, 30, 30),
+            LocationType.INGRESS_EGRESS, LocationType.INTERFACE, JoinLevel.INTERFACE,
+        )
+        add(
+            e2e_event, names.OSPF_RECONVERGENCE,
+            perf_exp, expansion(ExpandOption.START_END, 5, 60),
+            LocationType.INGRESS_EGRESS, LocationType.LOGICAL_LINK,
+            JoinLevel.LOGICAL_LINK,
+        )
+
+    # Link loss <- congestion on the same interface (overflow), or a
+    # flapping line protocol corrupting packets.
+    add(
+        names.LINK_LOSS, names.LINK_CONGESTION,
+        expansion(ExpandOption.START_END, 30, 30), expansion(ExpandOption.START_END, 30, 30),
+        LocationType.INTERFACE, LocationType.INTERFACE, JoinLevel.INTERFACE,
+    )
+    for proto_event in (names.LINEPROTO_DOWN, names.LINEPROTO_UP, names.LINEPROTO_FLAP):
+        add(
+            names.LINK_LOSS, proto_event,
+            expansion(ExpandOption.START_END, 60, 60), SLACK,
+            LocationType.INTERFACE, LocationType.INTERFACE, JoinLevel.INTERFACE,
+        )
+
+    # OSPF reconvergence <- the state change or operator command that
+    # triggered the weight updates (same link via its endpoints).
+    for group in _STATE_EVENT_GROUPS:
+        for state_event in group:
+            add(
+                names.OSPF_RECONVERGENCE, state_event,
+                expansion(ExpandOption.START_START, 60, 10), SLACK,
+                LocationType.LOGICAL_LINK, LocationType.INTERFACE, JoinLevel.INTERFACE,
+            )
+    for cmd_event in (names.CMD_COST_IN, names.CMD_COST_OUT):
+        add(
+            names.OSPF_RECONVERGENCE, cmd_event,
+            expansion(ExpandOption.START_START, 120, 10), SLACK,
+            LocationType.LOGICAL_LINK, LocationType.INTERFACE, JoinLevel.INTERFACE,
+        )
+
+    # Link cost out/down <- line protocol down, interface down, or the
+    # operator command that costed the link out.
+    for diagnostic in (names.LINEPROTO_DOWN, names.INTERFACE_DOWN, names.CMD_COST_OUT):
+        add(
+            names.LINK_COST_OUT, diagnostic,
+            expansion(ExpandOption.START_START, 60, 5), SLACK,
+            LocationType.LOGICAL_LINK, LocationType.INTERFACE, JoinLevel.INTERFACE,
+        )
+    for diagnostic in (names.LINEPROTO_UP, names.INTERFACE_UP, names.CMD_COST_IN):
+        add(
+            names.LINK_COST_IN, diagnostic,
+            expansion(ExpandOption.START_START, 60, 5), SLACK,
+            LocationType.LOGICAL_LINK, LocationType.INTERFACE, JoinLevel.INTERFACE,
+        )
+
+    # Link congestion <- routing reconvergence anywhere shifting traffic
+    # onto this link (spatially unconstrained).
+    add(
+        names.LINK_CONGESTION, names.OSPF_RECONVERGENCE,
+        expansion(ExpandOption.START_END, 600, 60), expansion(ExpandOption.START_END, 5, 60),
+        LocationType.INTERFACE, LocationType.LOGICAL_LINK, JoinLevel.NETWORK,
+    )
+
+    # Router cost in/out <- operator commands on that router's interfaces.
+    for cmd_event in (names.CMD_COST_IN, names.CMD_COST_OUT):
+        add(
+            names.ROUTER_COST_IN_OUT, cmd_event,
+            expansion(ExpandOption.START_START, 120, 30), SLACK,
+            LocationType.ROUTER, LocationType.INTERFACE, JoinLevel.ROUTER,
+        )
+
+    return catalog
+
+
+#: The (symptom, diagnostic) pairs the paper lists in Table II, used by
+#: the reproduction test to check coverage.
+TABLE2_PAIRS: Tuple[Tuple[str, str], ...] = tuple(
+    [(p, i) for p, i in _IFACE_STATES]
+    + [
+        (state, restoration)
+        for group in _STATE_EVENT_GROUPS
+        for state in group
+        for restoration in _RESTORATIONS
+    ]
+    + [
+        (names.BGP_EGRESS_CHANGE, state)
+        for group in _STATE_EVENT_GROUPS
+        for state in group
+    ]
+    + [
+        (e2e, diagnostic)
+        for e2e in _E2E_EVENTS
+        for diagnostic in (
+            names.BGP_EGRESS_CHANGE,
+            names.LINK_CONGESTION,
+            names.OSPF_RECONVERGENCE,
+        )
+    ]
+    + [
+        (names.LINK_LOSS, names.LINK_CONGESTION),
+        (names.LINK_LOSS, names.LINEPROTO_DOWN),
+        (names.LINK_LOSS, names.LINEPROTO_UP),
+        (names.LINK_LOSS, names.LINEPROTO_FLAP),
+        (names.OSPF_RECONVERGENCE, names.LINEPROTO_DOWN),
+        (names.OSPF_RECONVERGENCE, names.INTERFACE_DOWN),
+        (names.OSPF_RECONVERGENCE, names.CMD_COST_IN),
+        (names.OSPF_RECONVERGENCE, names.CMD_COST_OUT),
+        (names.LINK_COST_OUT, names.LINEPROTO_DOWN),
+        (names.LINK_COST_OUT, names.INTERFACE_DOWN),
+        (names.LINK_COST_OUT, names.CMD_COST_OUT),
+        (names.LINK_COST_IN, names.LINEPROTO_UP),
+        (names.LINK_COST_IN, names.INTERFACE_UP),
+        (names.LINK_COST_IN, names.CMD_COST_IN),
+        (names.LINK_CONGESTION, names.OSPF_RECONVERGENCE),
+    ]
+)

@@ -1,0 +1,24 @@
+"""Reasoning engines: rule-based priority search and Bayesian inference."""
+
+from .bayesian import (
+    BayesianEngine,
+    BayesianVerdict,
+    FuzzyRatio,
+    RootCauseModel,
+    resolve_ratio,
+    train_ratios_from_labels,
+)
+from .rule_based import UNKNOWN, MatchedEvidence, RuleBasedResult, reason
+
+__all__ = [
+    "BayesianEngine",
+    "BayesianVerdict",
+    "FuzzyRatio",
+    "MatchedEvidence",
+    "RootCauseModel",
+    "RuleBasedResult",
+    "UNKNOWN",
+    "reason",
+    "resolve_ratio",
+    "train_ratios_from_labels",
+]

@@ -1,0 +1,208 @@
+"""Naive-Bayes inference engine (Section II-D.2, Fig. 8).
+
+Root causes are the classes; the presence or absence of diagnostic
+evidence events are the features.  The engine ranks root causes by the
+likelihood ratio of equation (2):
+
+    argmax_r  p(r)/p(~r) * prod_i p(e_i|r)/p(e_i|~r)
+
+Parameters are ratios, which operators may give either numerically or as
+the fuzzy values Low / Medium / High = 2 / 100 / 20000 ("multiplying a
+constant scaling factor does not change the final results", so scaled
+integers replace sub-unit probabilities).
+
+Key capabilities beyond rule-based reasoning:
+
+* *virtual* (unobservable) root causes — classes with no direct
+  signature, supported only through the pattern of other evidence;
+* joint diagnosis of multiple symptom instances: per-symptom evidence
+  likelihoods multiply, so a cause consistent with *all* grouped
+  symptoms (the Section IV-C line-card crash) dominates causes that
+  explain each symptom separately.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple, Union
+
+
+class FuzzyRatio(enum.Enum):
+    """Operator-friendly discrete likelihood ratios."""
+
+    LOW = 2.0
+    MEDIUM = 100.0
+    HIGH = 20000.0
+
+
+RatioValue = Union[float, int, FuzzyRatio, str]
+
+_FUZZY_BY_NAME = {member.name: member for member in FuzzyRatio}
+
+
+def resolve_ratio(value: RatioValue) -> float:
+    """Accept a number, a :class:`FuzzyRatio`, or ``"low"``/``"high"``..."""
+    if isinstance(value, FuzzyRatio):
+        return value.value
+    if isinstance(value, str):
+        member = _FUZZY_BY_NAME.get(value.strip().upper())
+        if member is None:
+            raise ValueError(f"unknown fuzzy ratio {value!r}; use Low/Medium/High")
+        return member.value
+    ratio = float(value)
+    if ratio <= 0:
+        raise ValueError(f"likelihood ratios must be positive, got {ratio}")
+    return ratio
+
+
+@dataclass
+class RootCauseModel:
+    """One class of the classifier.
+
+    ``evidence_ratios[e]`` is p(e|r)/p(e|~r) applied when evidence ``e``
+    is observed; ``absence_ratios[e]`` is p(~e|r)/p(~e|~r) applied when
+    ``e`` is a modelled feature but absent (default 1.0: silence is
+    uninformative unless the operator says otherwise).
+    """
+
+    name: str
+    prior_ratio: RatioValue = 1.0
+    evidence_ratios: Dict[str, RatioValue] = field(default_factory=dict)
+    absence_ratios: Dict[str, RatioValue] = field(default_factory=dict)
+    #: True for virtual root causes with no direct observable signature
+    virtual: bool = False
+
+    def log_likelihood(self, observed: Set[str], feature_space: Set[str]) -> float:
+        """Log of prior * evidence ratios for one symptom's features."""
+        total = math.log(resolve_ratio(self.prior_ratio))
+        for feature in feature_space:
+            if feature in observed:
+                ratio = self.evidence_ratios.get(feature)
+            else:
+                ratio = self.absence_ratios.get(feature)
+            if ratio is not None:
+                total += math.log(resolve_ratio(ratio))
+        return total
+
+
+@dataclass(frozen=True)
+class BayesianVerdict:
+    """Ranked outcome of an inference call."""
+
+    scores: Tuple[Tuple[str, float], ...]  # (root cause, log likelihood ratio)
+
+    @property
+    def best(self) -> str:
+        return self.scores[0][0]
+
+    @property
+    def ranked(self) -> List[str]:
+        return [name for name, _ in self.scores]
+
+    def margin(self) -> float:
+        """Log-ratio gap between the top two causes (confidence proxy)."""
+        if len(self.scores) < 2:
+            return math.inf
+        return self.scores[0][1] - self.scores[1][1]
+
+
+class BayesianEngine:
+    """Naive-Bayes classifier over root-cause models."""
+
+    def __init__(self, models: Iterable[RootCauseModel]) -> None:
+        self.models: List[RootCauseModel] = list(models)
+        if not self.models:
+            raise ValueError("at least one root-cause model is required")
+        names = [m.name for m in self.models]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate root-cause model names")
+        self.feature_space: Set[str] = set()
+        for model in self.models:
+            self.feature_space.update(model.evidence_ratios)
+            self.feature_space.update(model.absence_ratios)
+
+    def classify(self, observed: Iterable[str]) -> BayesianVerdict:
+        """Rank root causes for one symptom's observed evidence set."""
+        observed_set = set(observed)
+        scored = [
+            (model.name, model.log_likelihood(observed_set, self.feature_space))
+            for model in self.models
+        ]
+        scored.sort(key=lambda item: (-item[1], item[0]))
+        return BayesianVerdict(scores=tuple(scored))
+
+    def classify_group(self, observations: Sequence[Iterable[str]]) -> BayesianVerdict:
+        """Deduce a common root cause for several symptom instances.
+
+        The prior enters once; per-symptom evidence likelihoods multiply
+        (sum in log space).  This is what lets 133 eBGP flaps on one
+        line card overwhelm the per-flap "interface issue" explanation.
+        """
+        if not observations:
+            raise ValueError("classify_group needs at least one observation")
+        scored = []
+        for model in self.models:
+            prior = math.log(resolve_ratio(model.prior_ratio))
+            evidence_total = 0.0
+            for observed in observations:
+                evidence_total += model.log_likelihood(
+                    set(observed), self.feature_space
+                ) - math.log(resolve_ratio(model.prior_ratio))
+            scored.append((model.name, prior + evidence_total))
+        scored.sort(key=lambda item: (-item[1], item[0]))
+        return BayesianVerdict(scores=tuple(scored))
+
+    def model(self, name: str) -> RootCauseModel:
+        """Look up a root-cause model by name."""
+        for model in self.models:
+            if model.name == name:
+                return model
+        raise KeyError(f"no root-cause model named {name!r}")
+
+
+def train_ratios_from_labels(
+    labelled: Sequence[Tuple[str, Set[str]]],
+    smoothing: float = 1.0,
+) -> List[RootCauseModel]:
+    """Bootstrap models from (root cause, evidence set) classified history.
+
+    The paper notes the ratios "can be trained from classified
+    historical data, which we can bootstrap using the rule-based
+    reasoning".  Uses add-``smoothing`` (Laplace) estimation of
+    p(e|r)/p(e|~r) and p(r)/p(~r).
+    """
+    if not labelled:
+        raise ValueError("no labelled data")
+    causes = sorted({cause for cause, _ in labelled})
+    features = sorted({f for _, evidence in labelled for f in evidence})
+    total = len(labelled)
+    models = []
+    for cause in causes:
+        with_cause = [e for c, e in labelled if c == cause]
+        without_cause = [e for c, e in labelled if c != cause]
+        n_r = len(with_cause)
+        n_not = len(without_cause)
+        prior = (n_r + smoothing) / (n_not + smoothing)
+        evidence_ratios: Dict[str, RatioValue] = {}
+        absence_ratios: Dict[str, RatioValue] = {}
+        for feature in features:
+            p_e_r = (sum(feature in e for e in with_cause) + smoothing) / (
+                n_r + 2 * smoothing
+            )
+            p_e_not = (sum(feature in e for e in without_cause) + smoothing) / (
+                n_not + 2 * smoothing
+            )
+            evidence_ratios[feature] = p_e_r / p_e_not
+            absence_ratios[feature] = (1 - p_e_r) / (1 - p_e_not)
+        models.append(
+            RootCauseModel(
+                name=cause,
+                prior_ratio=prior,
+                evidence_ratios=evidence_ratios,
+                absence_ratios=absence_ratios,
+            )
+        )
+    del total
+    return models

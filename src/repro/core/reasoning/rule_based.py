@@ -1,0 +1,81 @@
+"""Rule-based (priority) reasoning (Section II-D.1).
+
+After spatial-temporal correlation places the symptom instance at the
+root of the diagnosis graph and diagnostic instances at the other nodes,
+the engine "starts from the root, searches through each node (if there
+is a diagnostic event instance), and identifies the leaf node with the
+maximum priority as the root cause.  In the case of a tie between
+different leaf nodes, all of them are output as joint root causes."
+
+"Leaf" here means leaf of the *matched* subgraph: a matched node none of
+whose children matched — e.g. "eBGP HTE (due to unknown reasons)" in
+Table IV is the HTE node matched with nothing deeper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set
+
+from ..events import EventInstance
+from ..graph import DiagnosisGraph, DiagnosisRule
+
+#: Root-cause label when no diagnostic evidence joined the symptom.
+UNKNOWN = "Unknown"
+
+
+@dataclass(frozen=True)
+class MatchedEvidence:
+    """One diagnostic instance joined along one graph edge."""
+
+    rule: DiagnosisRule
+    parent_instance: EventInstance
+    instance: EventInstance
+    depth: int
+
+
+@dataclass
+class RuleBasedResult:
+    """Outcome of priority reasoning for one symptom."""
+
+    root_causes: List[str]
+    priority: int
+    supporting: List[MatchedEvidence]
+
+    @property
+    def primary(self) -> str:
+        """Single label for breakdowns: first cause, or ``Unknown``."""
+        return self.root_causes[0] if self.root_causes else UNKNOWN
+
+
+def reason(graph: DiagnosisGraph, evidence: Sequence[MatchedEvidence]) -> RuleBasedResult:
+    """Apply max-priority leaf selection to correlated evidence."""
+    if not evidence:
+        return RuleBasedResult(root_causes=[], priority=0, supporting=[])
+    matched_nodes: Set[str] = {e.rule.child_event for e in evidence}
+    by_node: Dict[str, List[MatchedEvidence]] = {}
+    for item in evidence:
+        by_node.setdefault(item.rule.child_event, []).append(item)
+
+    candidates: List[str] = []
+    for node in matched_nodes:
+        children_matched = any(
+            rule.child_event in matched_nodes for rule in graph.rules_from(node)
+        )
+        if children_matched:
+            continue
+        if not any(e.rule.is_root_cause for e in by_node[node]):
+            continue
+        candidates.append(node)
+
+    if not candidates:
+        # everything matched was corroborating-only evidence
+        return RuleBasedResult(root_causes=[], priority=0, supporting=list(evidence))
+
+    def node_priority(node: str) -> int:
+        return max(e.rule.priority for e in by_node[node] if e.rule.is_root_cause)
+
+    best = max(node_priority(node) for node in candidates)
+    winners = sorted(node for node in candidates if node_priority(node) == best)
+    supporting = [e for node in winners for e in by_node[node]]
+    return RuleBasedResult(root_causes=winners, priority=best, supporting=supporting)

@@ -1,0 +1,175 @@
+"""SCORE-style shared-risk set-cover localization (Section V).
+
+The paper positions SCORE [27] and the black-hole work [28] as
+complementary: "G-RCA could actually incorporate SCORE-like algorithms
+to infer what is happening if there is no direct evidence."  This
+module does exactly that as a third reasoning engine.
+
+The model: each *risk group* (a layer-1 device, a line card, a router)
+explains a set of symptom locations — its Shared Risk Link Group.  When
+many symptoms fire together with no joined diagnostic evidence, the
+most plausible explanation is the smallest set of risk groups covering
+them (greedy weighted set cover, as in SCORE), subject to a hit-ratio
+threshold so a risk group is only blamed when enough of what it would
+break actually broke.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..locations import Location
+from ..spatial import JoinLevel, LocationResolver
+
+
+@dataclass(frozen=True)
+class RiskGroup:
+    """One potential shared cause and the symptom keys it can explain."""
+
+    name: str
+    kind: str  # "layer1-device" | "line-card" | "router" | custom
+    members: FrozenSet[str]
+
+
+@dataclass(frozen=True)
+class RiskHypothesis:
+    """One risk group selected by the cover, with its explanatory stats."""
+
+    group: RiskGroup
+    explained: FrozenSet[str]
+    hit_ratio: float  # |explained ∩ failed| / |members|
+    coverage: float  # |explained| / |failed at selection time|
+
+
+@dataclass
+class ScoreResult:
+    """Outcome of a set-cover localization."""
+
+    hypotheses: List[RiskHypothesis]
+    unexplained: FrozenSet[str]
+
+    @property
+    def explained_fraction(self) -> float:
+        explained = sum(len(h.explained) for h in self.hypotheses)
+        total = explained + len(self.unexplained)
+        return explained / total if total else 0.0
+
+
+class ScoreEngine:
+    """Greedy weighted set cover over risk groups (the SCORE heuristic)."""
+
+    def __init__(self, groups: Iterable[RiskGroup], min_hit_ratio: float = 0.5) -> None:
+        if not 0.0 < min_hit_ratio <= 1.0:
+            raise ValueError("min_hit_ratio must be in (0, 1]")
+        self.groups = list(groups)
+        names = [g.name for g in self.groups]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate risk group names")
+        self.min_hit_ratio = min_hit_ratio
+
+    def localize(self, failed: Iterable[str]) -> ScoreResult:
+        """Cover the failed symptom keys with as few risk groups as possible.
+
+        At each step the group with the best hit ratio (ties: most newly
+        explained, then name) is chosen, provided its hit ratio meets
+        the threshold.  Remaining keys come back as ``unexplained``.
+        """
+        remaining: Set[str] = set(failed)
+        hypotheses: List[RiskHypothesis] = []
+        while remaining:
+            best: Optional[Tuple[float, int, str, RiskGroup, Set[str]]] = None
+            for group in self.groups:
+                explained = remaining & group.members
+                if not explained:
+                    continue
+                hit_ratio = len(explained) / len(group.members)
+                if hit_ratio < self.min_hit_ratio:
+                    continue
+                # deterministic: higher hit ratio, then more newly
+                # explained, then lexicographically smaller name
+                if (
+                    best is None
+                    or hit_ratio > best[0]
+                    or (hit_ratio == best[0] and len(explained) > best[1])
+                    or (
+                        hit_ratio == best[0]
+                        and len(explained) == best[1]
+                        and group.name < best[2]
+                    )
+                ):
+                    best = (hit_ratio, len(explained), group.name, group, explained)
+            if best is None:
+                break
+            hit_ratio, _count, _name, group, explained = best
+            hypotheses.append(
+                RiskHypothesis(
+                    group=group,
+                    explained=frozenset(explained),
+                    hit_ratio=hit_ratio,
+                    coverage=len(explained) / len(remaining),
+                )
+            )
+            remaining -= explained
+        return ScoreResult(hypotheses=hypotheses, unexplained=frozenset(remaining))
+
+
+_LEVEL_LOCATION = {
+    JoinLevel.LAYER1_DEVICE: Location.layer1_device,
+    JoinLevel.LINE_CARD: Location.line_card,
+    JoinLevel.ROUTER: Location.router,
+    JoinLevel.LOGICAL_LINK: Location.logical_link,
+    JoinLevel.PHYSICAL_LINK: Location.physical_link,
+    JoinLevel.INTERFACE: Location.interface,
+}
+
+_TYPE_LEVEL = {
+    "interface": JoinLevel.INTERFACE,
+    "logical-link": JoinLevel.LOGICAL_LINK,
+    "router": JoinLevel.ROUTER,
+    "physical-link": JoinLevel.PHYSICAL_LINK,
+}
+
+
+def risk_groups_from_topology(
+    resolver: LocationResolver,
+    symptom_locations: Sequence[Location],
+    timestamp: float,
+    kinds: Tuple[JoinLevel, ...] = (
+        JoinLevel.LAYER1_DEVICE,
+        JoinLevel.LINE_CARD,
+        JoinLevel.ROUTER,
+    ),
+) -> List[RiskGroup]:
+    """Build the risk model from the spatial resolver.
+
+    Candidate risk elements are found by expanding each symptom location
+    to each risk kind (a flapping interface suggests its line card, its
+    router and the layer-1 devices under it).  Crucially, each group's
+    members are the element's *full blast radius* — every symptom-level
+    location the element could break, not just the observed ones — so
+    that a line card fully covered by failures outranks its router,
+    most of whose other ports stayed up (the SCORE hit-ratio principle).
+    """
+    if not symptom_locations:
+        return []
+    symptom_level = _TYPE_LEVEL.get(symptom_locations[0].type.value)
+    if symptom_level is None:
+        raise ValueError(
+            f"cannot build a risk model over {symptom_locations[0].type.value} "
+            "symptom locations"
+        )
+    location_ctor = _LEVEL_LOCATION[symptom_level]
+    candidates: Set[Tuple[JoinLevel, str]] = set()
+    for location in symptom_locations:
+        for level in kinds:
+            for element in resolver.expand(location, level, timestamp):
+                candidates.add((level, element))
+    groups: List[RiskGroup] = []
+    for level, element in sorted(candidates, key=lambda c: (c[0].value, c[1])):
+        element_location = _LEVEL_LOCATION[level](element)
+        blast_radius = resolver.expand(element_location, symptom_level, timestamp)
+        members = frozenset(str(location_ctor(item)) for item in blast_radius)
+        if members:
+            groups.append(RiskGroup(name=element, kind=level.value, members=members))
+    return groups

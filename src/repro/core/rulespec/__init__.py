@@ -1,0 +1,15 @@
+"""The rule-specification language: text specs -> diagnosis graphs."""
+
+from .compiler import SpecCompiler
+from .formatter import format_graph, format_rule
+from .parser import RuleSpecError, SpecAst, parse, tokenize
+
+__all__ = [
+    "RuleSpecError",
+    "SpecAst",
+    "SpecCompiler",
+    "format_graph",
+    "format_rule",
+    "parse",
+    "tokenize",
+]

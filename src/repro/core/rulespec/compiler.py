@@ -1,0 +1,145 @@
+"""Compile parsed rule specifications into diagnosis graphs."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..events import EventLibrary
+from ..graph import DiagnosisGraph, DiagnosisRule, GraphError
+from ..knowledge.rules import RuleCatalog
+from ..locations import LocationType
+from ..spatial import JoinLevel, SpatialJoinRule
+from ..temporal import ExpandOption, TemporalExpansion, TemporalJoinRule
+from .parser import ExpandClause, RuleSpecError, RuleStmt, SpecAst, parse
+
+_OPTIONS = {
+    "start/end": ExpandOption.START_END,
+    "start/start": ExpandOption.START_START,
+    "end/end": ExpandOption.END_END,
+}
+
+_LOCATION_TYPES = {member.value: member for member in LocationType}
+_JOIN_LEVELS = {member.value: member for member in JoinLevel}
+
+
+def _expansion(clause: ExpandClause) -> TemporalExpansion:
+    return TemporalExpansion(_OPTIONS[clause.option], clause.left, clause.right)
+
+
+class SpecCompiler:
+    """Turns an AST into a :class:`DiagnosisGraph`, with validation."""
+
+    def __init__(self, events: EventLibrary, catalog: Optional[RuleCatalog] = None) -> None:
+        self.events = events
+        self.catalog = catalog
+
+    def compile(self, ast: SpecAst) -> DiagnosisGraph:
+        """Compile a parsed AST into a diagnosis graph."""
+        if ast.symptom not in self.events:
+            raise RuleSpecError(f"unknown symptom event {ast.symptom!r}")
+        graph = DiagnosisGraph(symptom_event=ast.symptom, name=ast.application)
+        for stmt in ast.rules:
+            try:
+                graph.add_rule(self._compile_rule(ast, stmt))
+            except GraphError as exc:
+                raise RuleSpecError(str(exc), stmt.line) from exc
+        return graph
+
+    def compile_text(self, text: str) -> DiagnosisGraph:
+        """Parse and compile specification text."""
+        return self.compile(parse(text))
+
+    # ------------------------------------------------------------------
+
+    def _compile_rule(self, ast: SpecAst, stmt: RuleStmt) -> DiagnosisRule:
+        for event in (stmt.parent, stmt.child):
+            if event not in self.events:
+                raise RuleSpecError(f"unknown event {event!r}", stmt.line)
+        if stmt.use_library:
+            base = self._library_rule(stmt)
+            temporal = base.temporal
+            spatial = base.spatial
+        else:
+            temporal = spatial = None
+        if stmt.symptom_expand or stmt.diagnostic_expand:
+            if not (stmt.symptom_expand and stmt.diagnostic_expand) and temporal is None:
+                raise RuleSpecError(
+                    "both symptom and diagnostic expand clauses are required "
+                    "unless the rule uses the library",
+                    stmt.line,
+                )
+            symptom_exp = (
+                _expansion(stmt.symptom_expand)
+                if stmt.symptom_expand
+                else temporal.symptom
+            )
+            diagnostic_exp = (
+                _expansion(stmt.diagnostic_expand)
+                if stmt.diagnostic_expand
+                else temporal.diagnostic
+            )
+            temporal = TemporalJoinRule(symptom_exp, diagnostic_exp)
+        if stmt.join is not None:
+            spatial = self._spatial(stmt)
+        if temporal is None or spatial is None:
+            raise RuleSpecError(
+                f"rule {stmt.parent!r} -> {stmt.child!r} needs either "
+                "'use library' or explicit expand/join clauses",
+                stmt.line,
+            )
+        self._check_location_types(stmt, spatial)
+        return DiagnosisRule(
+            parent_event=stmt.parent,
+            child_event=stmt.child,
+            temporal=temporal,
+            spatial=spatial,
+            priority=stmt.priority,
+            is_root_cause=not stmt.evidence_only,
+            note=stmt.note,
+        )
+
+    def _library_rule(self, stmt: RuleStmt) -> DiagnosisRule:
+        if self.catalog is None:
+            raise RuleSpecError(
+                "'use library' requires a rule catalog", stmt.line
+            )
+        try:
+            return self.catalog.rule(stmt.parent, stmt.child, stmt.priority)
+        except KeyError:
+            raise RuleSpecError(
+                f"no library rule {stmt.parent!r} -> {stmt.child!r}", stmt.line
+            ) from None
+
+    def _spatial(self, stmt: RuleStmt) -> SpatialJoinRule:
+        join = stmt.join
+        if join.symptom_type not in _LOCATION_TYPES:
+            raise RuleSpecError(
+                f"unknown location type {join.symptom_type!r}", stmt.line
+            )
+        if join.diagnostic_type not in _LOCATION_TYPES:
+            raise RuleSpecError(
+                f"unknown location type {join.diagnostic_type!r}", stmt.line
+            )
+        if join.level not in _JOIN_LEVELS:
+            raise RuleSpecError(f"unknown join level {join.level!r}", stmt.line)
+        return SpatialJoinRule(
+            _LOCATION_TYPES[join.symptom_type],
+            _LOCATION_TYPES[join.diagnostic_type],
+            _JOIN_LEVELS[join.level],
+        )
+
+    def _check_location_types(self, stmt: RuleStmt, spatial: SpatialJoinRule) -> None:
+        parent_type = self.events.get(stmt.parent).location_type
+        child_type = self.events.get(stmt.child).location_type
+        if spatial.symptom_type is not parent_type:
+            raise RuleSpecError(
+                f"event {stmt.parent!r} has location type {parent_type.value!r}, "
+                f"rule joins on {spatial.symptom_type.value!r}",
+                stmt.line,
+            )
+        if spatial.diagnostic_type is not child_type:
+            raise RuleSpecError(
+                f"event {stmt.child!r} has location type {child_type.value!r}, "
+                f"rule joins on {spatial.diagnostic_type.value!r}",
+                stmt.line,
+            )

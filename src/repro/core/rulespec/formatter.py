@@ -1,0 +1,88 @@
+"""Serialize diagnosis graphs back to the rule-specification language.
+
+The inverse of the compiler: lets an application built programmatically
+(or refined interactively through the Correlation Tester workflow) be
+exported as a spec for review, versioning and redeployment.  Round-trip
+guarantee: ``compile_text(format_graph(graph))`` reproduces the graph.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..graph import DiagnosisGraph, DiagnosisRule
+from ..temporal import ExpandOption, TemporalExpansion
+
+_OPTION_TEXT = {
+    ExpandOption.START_END: "start/end",
+    ExpandOption.START_START: "start/start",
+    ExpandOption.END_END: "end/end",
+}
+
+
+def _quote(text: str) -> str:
+    if '"' in text or "\n" in text:
+        raise ValueError(f"cannot serialize name containing quotes/newlines: {text!r}")
+    return f'"{text}"'
+
+
+def _number(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+def _expand_clause(side: str, expansion: TemporalExpansion) -> str:
+    return (
+        f"    {side} expand {_OPTION_TEXT[expansion.option]} "
+        f"{_number(expansion.left)} {_number(expansion.right)}"
+    )
+
+
+def format_rule(rule: DiagnosisRule) -> str:
+    """One ``rule`` statement with fully explicit clauses."""
+    header = f"rule {_quote(rule.parent_event)} -> {_quote(rule.child_event)}"
+    if rule.priority:
+        header += f" priority {rule.priority}"
+    if not rule.is_root_cause:
+        header += " evidence-only"
+    if rule.note:
+        header += f" note {_quote(rule.note)}"
+    body = [
+        header + " {",
+        _expand_clause("symptom", rule.temporal.symptom),
+        _expand_clause("diagnostic", rule.temporal.diagnostic),
+        f"    join {rule.spatial.symptom_type.value} "
+        f"{rule.spatial.diagnostic_type.value} at {rule.spatial.level.value}",
+        "}",
+    ]
+    return "\n".join(body)
+
+
+def format_graph(graph: DiagnosisGraph) -> str:
+    """The full specification text for a diagnosis graph.
+
+    Rules are emitted in an order the compiler accepts: an edge appears
+    only after its parent is reachable (breadth-first from the symptom).
+    """
+    lines: List[str] = []
+    if graph.name:
+        lines.append(f"application {_quote(graph.name)}")
+    lines.append(f"symptom {_quote(graph.symptom_event)}")
+    lines.append("")
+    emitted = set()
+    frontier = [graph.symptom_event]
+    visited = {graph.symptom_event}
+    while frontier:
+        node = frontier.pop(0)
+        for rule in graph.rules_from(node):
+            key = (rule.parent_event, rule.child_event, id(rule))
+            if key in emitted:
+                continue
+            emitted.add(key)
+            lines.append(format_rule(rule))
+            lines.append("")
+            if rule.child_event not in visited:
+                visited.add(rule.child_event)
+                frontier.append(rule.child_event)
+    return "\n".join(lines).rstrip() + "\n"

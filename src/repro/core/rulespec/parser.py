@@ -1,0 +1,253 @@
+"""The rule-specification language: lexer, AST and parser.
+
+The paper: "We define a simple yet flexible rule specification language
+that allows operators to quickly customize G-RCA into different RCA
+tools as new problems need to be investigated."
+
+A specification names the application and its symptom event, then lists
+diagnosis rules.  Rules either pull their join parameters from the
+Knowledge Library (``use library``) or spell them out::
+
+    application "bgp-flaps"
+    symptom "eBGP flap"
+
+    # paper example: hold-timer delay + syslog timestamp noise
+    rule "eBGP flap" -> "Interface flap" priority 160 {
+        symptom expand start/start 180 5
+        diagnostic expand start/end 5 5
+        join router:neighbor-ip interface at interface
+    }
+
+    rule "Interface flap" -> "SONET restoration" use library priority 180
+
+Comments run from ``#`` to end of line.  Event names are quoted strings;
+location types and join levels use the :class:`LocationType` /
+:class:`JoinLevel` enum values.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+class RuleSpecError(ValueError):
+    """Raised on lexical, syntactic or semantic errors in a spec."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        super().__init__(f"line {line}: {message}" if line else message)
+        self.line = line
+
+
+# ---------------------------------------------------------------------------
+# lexer
+
+_TOKEN_SPEC = [
+    ("COMMENT", r"#[^\n]*"),
+    ("STRING", r'"[^"\n]*"'),
+    ("ARROW", r"->"),
+    ("NUMBER", r"-?\d+(?:\.\d+)?"),
+    ("LBRACE", r"\{"),
+    ("RBRACE", r"\}"),
+    ("IDENT", r"[A-Za-z][A-Za-z0-9_/:\-]*"),
+    ("NEWLINE", r"\n"),
+    ("SKIP", r"[ \t\r]+"),
+    ("BAD", r"."),
+]
+
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+
+
+def tokenize(text: str) -> List[Token]:
+    """Split specification text into tokens; rejects bad characters."""
+    tokens: List[Token] = []
+    line = 1
+    for match in _TOKEN_RE.finditer(text):
+        kind = match.lastgroup
+        value = match.group()
+        if kind == "NEWLINE":
+            line += 1
+            continue
+        if kind in ("SKIP", "COMMENT"):
+            continue
+        if kind == "BAD":
+            raise RuleSpecError(f"unexpected character {value!r}", line)
+        if kind == "STRING":
+            value = value[1:-1]
+        tokens.append(Token(kind, value, line))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# AST
+
+
+@dataclass
+class ExpandClause:
+    side: str  # "symptom" | "diagnostic"
+    option: str  # "start/end" | "start/start" | "end/end"
+    left: float
+    right: float
+
+
+@dataclass
+class JoinClause:
+    symptom_type: str
+    diagnostic_type: str
+    level: str
+
+
+@dataclass
+class RuleStmt:
+    parent: str
+    child: str
+    use_library: bool = False
+    priority: int = 0
+    evidence_only: bool = False
+    note: str = ""
+    symptom_expand: Optional[ExpandClause] = None
+    diagnostic_expand: Optional[ExpandClause] = None
+    join: Optional[JoinClause] = None
+    line: int = 0
+
+
+@dataclass
+class SpecAst:
+    application: str = ""
+    symptom: str = ""
+    rules: List[RuleStmt] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------
+# parser
+
+_EXPAND_OPTIONS = ("start/end", "start/start", "end/end")
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> Optional[Token]:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            last_line = self._tokens[-1].line if self._tokens else 0
+            raise RuleSpecError("unexpected end of specification", last_line)
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self._next()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text or kind
+            raise RuleSpecError(f"expected {wanted}, got {token.text!r}", token.line)
+        return token
+
+    def parse(self) -> SpecAst:
+        ast = SpecAst()
+        while self._peek() is not None:
+            token = self._next()
+            if token.kind != "IDENT":
+                raise RuleSpecError(f"expected a statement, got {token.text!r}", token.line)
+            if token.text == "application":
+                ast.application = self._expect("STRING").text
+            elif token.text == "symptom":
+                ast.symptom = self._expect("STRING").text
+            elif token.text == "rule":
+                ast.rules.append(self._parse_rule(token.line))
+            else:
+                raise RuleSpecError(f"unknown statement {token.text!r}", token.line)
+        if not ast.symptom:
+            raise RuleSpecError("specification lacks a symptom statement")
+        return ast
+
+    def _parse_rule(self, line: int) -> RuleStmt:
+        parent = self._expect("STRING").text
+        self._expect("ARROW")
+        child = self._expect("STRING").text
+        rule = RuleStmt(parent=parent, child=child, line=line)
+        while True:
+            token = self._peek()
+            if token is None:
+                break
+            if token.kind == "IDENT" and token.text == "use":
+                self._next()
+                self._expect("IDENT", "library")
+                rule.use_library = True
+            elif token.kind == "IDENT" and token.text == "priority":
+                self._next()
+                rule.priority = int(float(self._expect("NUMBER").text))
+            elif token.kind == "IDENT" and token.text == "evidence-only":
+                self._next()
+                rule.evidence_only = True
+            elif token.kind == "IDENT" and token.text == "note":
+                self._next()
+                rule.note = self._expect("STRING").text
+            elif token.kind == "LBRACE":
+                self._next()
+                self._parse_block(rule)
+            else:
+                break
+        return rule
+
+    def _parse_block(self, rule: RuleStmt) -> None:
+        while True:
+            token = self._next()
+            if token.kind == "RBRACE":
+                return
+            if token.kind != "IDENT":
+                raise RuleSpecError(f"expected a clause, got {token.text!r}", token.line)
+            if token.text in ("symptom", "diagnostic"):
+                clause = self._parse_expand(token.text, token.line)
+                if token.text == "symptom":
+                    rule.symptom_expand = clause
+                else:
+                    rule.diagnostic_expand = clause
+            elif token.text == "join":
+                rule.join = self._parse_join(token.line)
+            elif token.text == "priority":
+                rule.priority = int(float(self._expect("NUMBER").text))
+            elif token.text == "evidence-only":
+                rule.evidence_only = True
+            elif token.text == "note":
+                rule.note = self._expect("STRING").text
+            else:
+                raise RuleSpecError(f"unknown clause {token.text!r}", token.line)
+
+    def _parse_expand(self, side: str, line: int) -> ExpandClause:
+        self._expect("IDENT", "expand")
+        option = self._expect("IDENT").text
+        if option not in _EXPAND_OPTIONS:
+            raise RuleSpecError(
+                f"expand option must be one of {_EXPAND_OPTIONS}, got {option!r}", line
+            )
+        left = float(self._expect("NUMBER").text)
+        right = float(self._expect("NUMBER").text)
+        return ExpandClause(side, option, left, right)
+
+    def _parse_join(self, line: int) -> JoinClause:
+        symptom_type = self._expect("IDENT").text
+        diagnostic_type = self._expect("IDENT").text
+        self._expect("IDENT", "at")
+        level = self._expect("IDENT").text
+        del line
+        return JoinClause(symptom_type, diagnostic_type, level)
+
+
+def parse(text: str) -> SpecAst:
+    """Parse a rule specification into its AST."""
+    return _Parser(tokenize(text)).parse()

@@ -1,0 +1,446 @@
+"""Spatial join rules and the location resolver (Section II-C, Fig. 2).
+
+A spatial joining rule is (symptom location type, diagnostic location
+type, joining level).  The engine "automatically converts the locations
+of symptom and diagnostic events into the same 'join level' location so
+that they can be directly compared" — that conversion is the
+:class:`LocationResolver`, which folds in every Section II-B utility:
+containment from configs, /30 and bundle mappings, the layer-1
+inventory, OSPF path simulation with ECMP and BGP egress emulation.
+
+Because routing state is time-varying, every expansion takes the
+timestamp of the symptom event and reconstructs the network condition
+*at that time*.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, Optional, Set
+
+from ..routing.paths import PathService
+from .locations import Location, LocationType
+
+
+class JoinLevel(enum.Enum):
+    """The level two locations are converted to before comparison."""
+
+    SAME_LOCATION = "same-location"
+    ROUTER = "router"
+    LINE_CARD = "line-card"
+    INTERFACE = "interface"
+    LOGICAL_LINK = "logical-link"
+    PHYSICAL_LINK = "physical-link"
+    LAYER1_DEVICE = "layer1-device"
+    POP = "pop"
+    #: alias of ROUTER in comparison semantics; names the intent of
+    #: "Backbone Router-level Path" joins where one side is a path
+    ROUTER_PATH = "router-path"
+    #: alias of LOGICAL_LINK for "link-level path" joins
+    LINK_PATH = "link-path"
+    #: a specific CDN cache server
+    SERVER = "server"
+    #: no spatial constraint: any two locations join (used for
+    #: network-wide effects such as routing reconvergence shifting
+    #: traffic onto a distant link)
+    NETWORK = "network"
+
+
+_LEVEL_CANONICAL = {
+    JoinLevel.ROUTER_PATH: JoinLevel.ROUTER,
+    JoinLevel.LINK_PATH: JoinLevel.LOGICAL_LINK,
+}
+
+_EMPTY: FrozenSet[str] = frozenset()
+
+
+class LocationResolver:
+    """Expands any :class:`Location` to a set of join-level identifiers.
+
+    ``path_lookback`` widens time-varying expansions (routed paths, BGP
+    egresses): the network condition that *caused* a symptom is the one
+    just before it, so path expansions take the union of the state at
+    the symptom instant and ``path_lookback`` seconds earlier.  Routing
+    may already have healed around the cause by the time the symptom is
+    measured; without the lookback those joins would be missed.
+    """
+
+    def __init__(self, paths: PathService, path_lookback: float = 60.0) -> None:
+        self.paths = paths
+        self.network = paths.network
+        self.path_lookback = path_lookback
+
+    # ------------------------------------------------------------------
+
+    def expand(
+        self, location: Location, level: JoinLevel, timestamp: float
+    ) -> FrozenSet[str]:
+        """Join-level identifiers related to ``location`` at ``timestamp``.
+
+        Unresolvable locations (an egress with no BGP route, a neighbor
+        IP absent from configs) expand to the empty set: they simply
+        cannot join, which is how "outside of our network" outcomes
+        arise (Table VI).
+        """
+        level = _LEVEL_CANONICAL.get(level, level)
+        if level is JoinLevel.NETWORK:
+            return frozenset({"network"})
+        if level is JoinLevel.SAME_LOCATION:
+            return frozenset({str(location)})
+        handler = _HANDLERS.get(location.type)
+        if handler is None:  # pragma: no cover - all types handled
+            return _EMPTY
+        try:
+            return handler(self, location, level, timestamp)
+        except KeyError:
+            # stale location (element no longer in / never in topology)
+            return _EMPTY
+
+    def joined(
+        self,
+        symptom_location: Location,
+        diagnostic_location: Location,
+        level: JoinLevel,
+        timestamp: float,
+    ) -> bool:
+        """True when the two locations share a join-level identifier."""
+        symptom_set = self.expand(symptom_location, level, timestamp)
+        if not symptom_set:
+            return False
+        diagnostic_set = self.expand(diagnostic_location, level, timestamp)
+        return not symptom_set.isdisjoint(diagnostic_set)
+
+    # ------------------------------------------------------------------
+    # per-location-type expansions
+
+    def _expand_router(
+        self, location: Location, level: JoinLevel, timestamp: float
+    ) -> FrozenSet[str]:
+        router = location.value
+        if router not in self.network.routers:
+            return _EMPTY
+        if level is JoinLevel.ROUTER:
+            return frozenset({router})
+        if level is JoinLevel.POP:
+            return frozenset({self.network.router(router).pop})
+        if level is JoinLevel.LINE_CARD:
+            return frozenset(
+                card.fqname for card in self.network.router(router).line_cards
+            )
+        if level is JoinLevel.INTERFACE:
+            return frozenset(
+                iface.fqname for iface in self.network.router(router).interfaces
+            )
+        links = self.network.logical_links_of_router(router)
+        if level is JoinLevel.LOGICAL_LINK:
+            return frozenset(link.name for link in links)
+        if level is JoinLevel.PHYSICAL_LINK:
+            return frozenset(p for link in links for p in link.physical_links)
+        if level is JoinLevel.LAYER1_DEVICE:
+            return frozenset(
+                d for link in links for d in self.network.layer1_devices_of_logical(link.name)
+            )
+        return _EMPTY
+
+    def _expand_interface(
+        self, location: Location, level: JoinLevel, timestamp: float
+    ) -> FrozenSet[str]:
+        fqname = location.value
+        if level is JoinLevel.INTERFACE:
+            return frozenset({fqname})
+        iface = self.network.interface(fqname)
+        if level is JoinLevel.ROUTER:
+            return frozenset({iface.router})
+        if level is JoinLevel.POP:
+            return frozenset({self.network.router(iface.router).pop})
+        if level is JoinLevel.LINE_CARD:
+            return frozenset({f"{iface.router}:slot{iface.slot}"})
+        link = self.network.link_of_interface(fqname)
+        if level is JoinLevel.LOGICAL_LINK:
+            return frozenset({link.name}) if link else _EMPTY
+        # physical/layer-1 expansion covers access circuits too (customer
+        # attachments carry no logical link but do ride layer-1 devices)
+        physical = self.network.physical_links_of_interface(fqname)
+        if level is JoinLevel.PHYSICAL_LINK:
+            return frozenset(p.name for p in physical)
+        if level is JoinLevel.LAYER1_DEVICE:
+            return frozenset(
+                d for p in physical for d in self.network.layer1_path(p.name)
+            )
+        return _EMPTY
+
+    def _expand_line_card(
+        self, location: Location, level: JoinLevel, timestamp: float
+    ) -> FrozenSet[str]:
+        fqname = location.value
+        if level is JoinLevel.LINE_CARD:
+            return frozenset({fqname})
+        card = self.network.line_card(fqname)
+        if level is JoinLevel.ROUTER:
+            return frozenset({card.router})
+        if level is JoinLevel.POP:
+            return frozenset({self.network.router(card.router).pop})
+        interfaces = self.network.router(card.router).interfaces_on_slot(card.slot)
+        if level is JoinLevel.INTERFACE:
+            return frozenset(iface.fqname for iface in interfaces)
+        links = set()
+        for iface in interfaces:
+            link = self.network.link_of_interface(iface.fqname)
+            if link is not None:
+                links.add(link)
+        if level is JoinLevel.LOGICAL_LINK:
+            return frozenset(link.name for link in links)
+        if level is JoinLevel.PHYSICAL_LINK:
+            return frozenset(p for link in links for p in link.physical_links)
+        if level is JoinLevel.LAYER1_DEVICE:
+            return frozenset(
+                d
+                for link in links
+                for d in self.network.layer1_devices_of_logical(link.name)
+            )
+        return _EMPTY
+
+    def _expand_logical_link(
+        self, location: Location, level: JoinLevel, timestamp: float
+    ) -> FrozenSet[str]:
+        name = location.value
+        if level is JoinLevel.LOGICAL_LINK:
+            return frozenset({name})
+        link = self.network.logical_link(name)
+        if level is JoinLevel.ROUTER:
+            return frozenset(link.routers)
+        if level is JoinLevel.POP:
+            return frozenset(self.network.router(r).pop for r in link.routers)
+        if level is JoinLevel.INTERFACE:
+            return frozenset({link.interface_a, link.interface_z})
+        if level is JoinLevel.LINE_CARD:
+            cards = set()
+            for fq in (link.interface_a, link.interface_z):
+                iface = self.network.interface(fq)
+                cards.add(f"{iface.router}:slot{iface.slot}")
+            return frozenset(cards)
+        if level is JoinLevel.PHYSICAL_LINK:
+            return frozenset(link.physical_links)
+        if level is JoinLevel.LAYER1_DEVICE:
+            return frozenset(self.network.layer1_devices_of_logical(name))
+        return _EMPTY
+
+    def _expand_physical_link(
+        self, location: Location, level: JoinLevel, timestamp: float
+    ) -> FrozenSet[str]:
+        name = location.value
+        if level is JoinLevel.PHYSICAL_LINK:
+            return frozenset({name})
+        link = self.network.physical_link(name)
+        if level is JoinLevel.LAYER1_DEVICE:
+            return frozenset(self.network.layer1_path(name))
+        if level is JoinLevel.INTERFACE:
+            return frozenset(link.endpoints)
+        if level is JoinLevel.ROUTER:
+            return frozenset(fq.partition(":")[0] for fq in link.endpoints)
+        if level is JoinLevel.POP:
+            return frozenset(
+                self.network.router(fq.partition(":")[0]).pop for fq in link.endpoints
+            )
+        if level is JoinLevel.LOGICAL_LINK:
+            return frozenset(
+                logical.name
+                for logical in self.network.logical_links.values()
+                if name in logical.physical_links
+            )
+        return _EMPTY
+
+    def _expand_layer1_device(
+        self, location: Location, level: JoinLevel, timestamp: float
+    ) -> FrozenSet[str]:
+        name = location.value
+        if level is JoinLevel.LAYER1_DEVICE:
+            return frozenset({name})
+        if level is JoinLevel.PHYSICAL_LINK:
+            return frozenset(
+                link.name for link in self.network.physical_links_riding(name)
+            )
+        riding = self.network.logical_links_riding(name)
+        if level is JoinLevel.LOGICAL_LINK:
+            return frozenset(link.name for link in riding)
+        # interface/router expansion comes from the riding *circuits*, so
+        # access circuits without logical links are covered too
+        circuits = self.network.physical_links_riding(name)
+        if level is JoinLevel.INTERFACE:
+            return frozenset(fq for link in circuits for fq in link.endpoints)
+        if level is JoinLevel.ROUTER:
+            return frozenset(
+                fq.partition(":")[0] for link in circuits for fq in link.endpoints
+            )
+        if level is JoinLevel.POP:
+            device = self.network.layer1_devices[name]
+            return frozenset({device.pop})
+        return _EMPTY
+
+    def _expand_router_neighbor(
+        self, location: Location, level: JoinLevel, timestamp: float
+    ) -> FrozenSet[str]:
+        router, neighbor_ip = location.parts
+        if level is JoinLevel.ROUTER:
+            return frozenset({router})
+        if level is JoinLevel.POP:
+            return frozenset({self.network.router(router).pop})
+        fq = self.paths.interface_for_neighbor(router, neighbor_ip, timestamp)
+        if fq is None:
+            return _EMPTY
+        return self._expand_interface(Location.interface(fq), level, timestamp)
+
+    def _expand_server(
+        self, location: Location, level: JoinLevel, timestamp: float
+    ) -> FrozenSet[str]:
+        server = self.network.cdn_servers.get(location.value)
+        if server is None:
+            return _EMPTY
+        if level is JoinLevel.SERVER:
+            return frozenset({server.name})
+        attached = Location.router(server.attached_router)
+        return self._expand_router(attached, level, timestamp)
+
+    def _expand_prefix(
+        self, location: Location, level: JoinLevel, timestamp: float
+    ) -> FrozenSet[str]:
+        """Egress routers serving a prefix around ``timestamp``.
+
+        Includes egresses live shortly *before* the instant, so that an
+        egress-change event joins against paths through the old egress
+        as well as the new one.
+        """
+        if self.paths.bgp is None:
+            return _EMPTY
+        prefix = location.value
+        lookback = 60.0
+        egresses: Set[str] = set()
+        for instant in (timestamp - lookback, timestamp):
+            for route in self.paths.bgp.log.routes_at(prefix, instant):
+                egresses.add(route.egress_router)
+        if level is JoinLevel.ROUTER:
+            return frozenset(egresses)
+        if level is JoinLevel.POP:
+            return frozenset(
+                self.network.router(r).pop for r in egresses if r in self.network.routers
+            )
+        return _EMPTY
+
+    # -- pair locations -------------------------------------------------
+
+    def _pair_endpoints(
+        self, location: Location, timestamp: float
+    ) -> Optional[tuple]:
+        """Resolve any pair location to an (ingress, egress) router pair."""
+        a, b = location.parts
+        if location.type is LocationType.INGRESS_EGRESS:
+            return (a, b)
+        if location.type is LocationType.SOURCE_INGRESS:
+            return (b, b)
+        if location.type is LocationType.EGRESS_DESTINATION:
+            return (a, a)
+        if location.type is LocationType.INGRESS_DESTINATION:
+            egress = self.paths.egress_for_destination(a, b, timestamp)
+            return (a, egress) if egress else None
+        if location.type is LocationType.SOURCE_DESTINATION:
+            ingress = self.paths.ingress_for_source(a)
+            if ingress is None:
+                return None
+            egress = self.paths.egress_for_destination(ingress, b, timestamp)
+            return (ingress, egress) if egress else None
+        return None
+
+    def _expand_pair(
+        self, location: Location, level: JoinLevel, timestamp: float
+    ) -> FrozenSet[str]:
+        if level is JoinLevel.SERVER:
+            # a SOURCE_DESTINATION pair whose source is a CDN server
+            source = location.parts[0]
+            if source in self.network.cdn_servers:
+                return frozenset({source})
+            return _EMPTY
+        combined: Set[str] = set()
+        for instant in (timestamp - self.path_lookback, timestamp):
+            combined.update(self._expand_pair_at(location, level, instant))
+        return frozenset(combined)
+
+    def _expand_pair_at(
+        self, location: Location, level: JoinLevel, timestamp: float
+    ) -> FrozenSet[str]:
+        endpoints = self._pair_endpoints(location, timestamp)
+        if endpoints is None:
+            return _EMPTY
+        ingress, egress = endpoints
+        if ingress == egress:
+            return self._expand_router(Location.router(ingress), level, timestamp)
+        elements = self.paths.path_elements(ingress, egress, timestamp)
+        if elements.empty:
+            return _EMPTY
+        if level is JoinLevel.ROUTER:
+            return elements.routers
+        if level is JoinLevel.LOGICAL_LINK:
+            return elements.logical_links
+        if level is JoinLevel.INTERFACE:
+            return elements.interfaces
+        if level is JoinLevel.PHYSICAL_LINK:
+            return elements.physical_links
+        if level is JoinLevel.LAYER1_DEVICE:
+            return elements.layer1_devices
+        if level is JoinLevel.POP:
+            return frozenset(self.network.router(r).pop for r in elements.routers)
+        if level is JoinLevel.LINE_CARD:
+            return frozenset(
+                f"{self.network.interface(fq).router}:slot{self.network.interface(fq).slot}"
+                for fq in elements.interfaces
+            )
+        return _EMPTY
+
+
+_HANDLERS = {
+    LocationType.ROUTER: LocationResolver._expand_router,
+    LocationType.INTERFACE: LocationResolver._expand_interface,
+    LocationType.LINE_CARD: LocationResolver._expand_line_card,
+    LocationType.LOGICAL_LINK: LocationResolver._expand_logical_link,
+    LocationType.PHYSICAL_LINK: LocationResolver._expand_physical_link,
+    LocationType.LAYER1_DEVICE: LocationResolver._expand_layer1_device,
+    LocationType.ROUTER_NEIGHBOR: LocationResolver._expand_router_neighbor,
+    LocationType.SERVER: LocationResolver._expand_server,
+    LocationType.PREFIX: LocationResolver._expand_prefix,
+    LocationType.SOURCE_DESTINATION: LocationResolver._expand_pair,
+    LocationType.SOURCE_INGRESS: LocationResolver._expand_pair,
+    LocationType.INGRESS_DESTINATION: LocationResolver._expand_pair,
+    LocationType.INGRESS_EGRESS: LocationResolver._expand_pair,
+    LocationType.EGRESS_DESTINATION: LocationResolver._expand_pair,
+}
+
+
+@dataclass(frozen=True)
+class SpatialJoinRule:
+    """(symptom location type, diagnostic location type, join level)."""
+
+    symptom_type: LocationType
+    diagnostic_type: LocationType
+    level: JoinLevel
+
+    def joined(
+        self,
+        resolver: LocationResolver,
+        symptom_location: Location,
+        diagnostic_location: Location,
+        timestamp: float,
+    ) -> bool:
+        """True when the two locations share a join-level identifier."""
+        if symptom_location.type is not self.symptom_type:
+            raise ValueError(
+                f"symptom location is {symptom_location.type.value}, rule "
+                f"expects {self.symptom_type.value}"
+            )
+        if diagnostic_location.type is not self.diagnostic_type:
+            raise ValueError(
+                f"diagnostic location is {diagnostic_location.type.value}, "
+                f"rule expects {self.diagnostic_type.value}"
+            )
+        return resolver.joined(
+            symptom_location, diagnostic_location, self.level, timestamp
+        )

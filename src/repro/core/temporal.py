@@ -1,0 +1,108 @@
+"""Temporal join rules (Section II-C, Fig. 3).
+
+A temporal joining rule has six parameters: a left expansion margin X,
+a right margin Y and an expanding option (Start/End, Start/Start or
+End/End) *for each* of the symptom and diagnostic events.  Margins can
+be positive or negative.  Two event instances join when their expanded
+time windows overlap.
+
+The paper's worked example, preserved as a doctest::
+
+    >>> symptom = TemporalExpansion(ExpandOption.START_START, 180, 5)
+    >>> symptom.expand(1000, 2000)
+    (820.0, 1005.0)
+    >>> diagnostic = TemporalExpansion(ExpandOption.START_END, 5, 5)
+    >>> diagnostic.expand(900, 901)
+    (895.0, 906.0)
+    >>> TemporalJoinRule(symptom, diagnostic).joined((1000, 2000), (900, 901))
+    True
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class ExpandOption(enum.Enum):
+    """How an event's [start, end] becomes an expanded window (Fig. 3).
+
+    * ``START_END`` — window anchored at [start, end] (the full event);
+    * ``START_START`` — window anchored at [start, start];
+    * ``END_END`` — window anchored at [end, end].
+    """
+
+    START_END = "Start/End"
+    START_START = "Start/Start"
+    END_END = "End/End"
+
+
+@dataclass(frozen=True)
+class TemporalExpansion:
+    """One side of a temporal join rule: option plus X/Y margins.
+
+    ``left`` (X) extends the window backward in time from its left
+    anchor; ``right`` (Y) extends it forward from its right anchor.
+    Negative values shift inward.
+    """
+
+    option: ExpandOption
+    left: float  # X, seconds
+    right: float  # Y, seconds
+
+    def expand(self, start: float, end: float) -> Tuple[float, float]:
+        """Expanded window for an event instance's [start, end]."""
+        if end < start:
+            raise ValueError(f"event ends ({end}) before it starts ({start})")
+        if self.option is ExpandOption.START_END:
+            anchor_lo, anchor_hi = start, end
+        elif self.option is ExpandOption.START_START:
+            anchor_lo, anchor_hi = start, start
+        else:  # END_END
+            anchor_lo, anchor_hi = end, end
+        lo = anchor_lo - self.left
+        hi = anchor_hi + self.right
+        if hi < lo:
+            # negative margins may invert the window; treat as empty by
+            # collapsing to a zero-length window at the midpoint
+            mid = (lo + hi) / 2.0
+            return (mid, mid)
+        return (float(lo), float(hi))
+
+
+@dataclass(frozen=True)
+class TemporalJoinRule:
+    """Expansions for the symptom and the diagnostic event."""
+
+    symptom: TemporalExpansion
+    diagnostic: TemporalExpansion
+
+    def joined(
+        self, symptom_interval: Tuple[float, float], diagnostic_interval: Tuple[float, float]
+    ) -> bool:
+        """True when the two expanded (closed) windows overlap."""
+        s_lo, s_hi = self.symptom.expand(*symptom_interval)
+        d_lo, d_hi = self.diagnostic.expand(*diagnostic_interval)
+        return s_lo <= d_hi and d_lo <= s_hi
+
+    def search_window(self, symptom_interval: Tuple[float, float]) -> Tuple[float, float]:
+        """Raw-time range a diagnostic event must intersect to possibly join.
+
+        Used by the engine to bound the store query before the exact
+        check: a diagnostic instance whose raw [start, end] lies wholly
+        outside this range cannot join regardless of its expansion.
+        """
+        s_lo, s_hi = self.symptom.expand(*symptom_interval)
+        # invert the diagnostic expansion conservatively: a diagnostic
+        # window reaches left by max(left, 0) from its earliest anchor
+        # and right by max(right, 0); anchors lie within [start, end].
+        reach_left = max(self.diagnostic.left, 0.0)
+        reach_right = max(self.diagnostic.right, 0.0)
+        return (s_lo - reach_right, s_hi + reach_left)
+
+
+def default_rule(slack_seconds: float = 5.0) -> TemporalJoinRule:
+    """A symmetric Start/End rule with small timestamp-noise slack."""
+    expansion = TemporalExpansion(ExpandOption.START_END, slack_seconds, slack_seconds)
+    return TemporalJoinRule(expansion, expansion)

@@ -1,0 +1,72 @@
+"""Small IPv4 helpers shared across the library.
+
+Kept dependency-free (no :mod:`ipaddress`) because the hot paths —
+longest-prefix match during BGP egress lookup — run once per diagnostic
+join and profile better on plain integers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+
+def ip_to_int(address: str) -> int:
+    """Convert dotted-quad IPv4 text to an integer.
+
+    Raises :class:`ValueError` on malformed input.
+    """
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"malformed IPv4 address {address!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if octet < 0 or octet > 255:
+            raise ValueError(f"malformed IPv4 address {address!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def int_to_ip(value: int) -> str:
+    """Convert an integer to dotted-quad IPv4 text."""
+    if value < 0 or value > 0xFFFFFFFF:
+        raise ValueError(f"IPv4 integer out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def parse_prefix(prefix: str) -> Tuple[int, int]:
+    """Parse ``"a.b.c.d/len"`` into ``(network_int, prefix_len)``."""
+    address, _, len_part = prefix.partition("/")
+    if not len_part:
+        raise ValueError(f"prefix {prefix!r} lacks a /len")
+    prefix_len = int(len_part)
+    if prefix_len < 0 or prefix_len > 32:
+        raise ValueError(f"prefix length out of range in {prefix!r}")
+    network = ip_to_int(address) & prefix_mask(prefix_len)
+    return network, prefix_len
+
+
+def prefix_mask(prefix_len: int) -> int:
+    """Netmask integer for a prefix length."""
+    if prefix_len == 0:
+        return 0
+    return ((1 << prefix_len) - 1) << (32 - prefix_len)
+
+
+def prefix_contains(prefix: str, address: str) -> bool:
+    """True when ``address`` falls inside ``prefix``."""
+    network, prefix_len = parse_prefix(prefix)
+    return (ip_to_int(address) & prefix_mask(prefix_len)) == network
+
+
+def longest_prefix_match(prefixes, address: str) -> Optional[str]:
+    """Return the most specific prefix covering ``address``, or ``None``."""
+    value = ip_to_int(address)
+    best: Optional[str] = None
+    best_len = -1
+    for prefix in prefixes:
+        network, prefix_len = parse_prefix(prefix)
+        if prefix_len > best_len and (value & prefix_mask(prefix_len)) == network:
+            best = prefix
+            best_len = prefix_len
+    return best

@@ -1,0 +1,112 @@
+"""Platform assembly: wire G-RCA from a topology plus collected data.
+
+The deployed system builds its service-dependency state purely from
+*proactively collected* feeds (Section I): OSPF paths from the route
+monitor, BGP egresses from the reflector feed, containment from config
+snapshots, source-to-ingress mappings from NetFlow.  This module does
+the same wiring from the Data Collector's store, producing the
+:class:`GrcaPlatform` bundle every RCA application starts from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from .collector import DataCollector
+from .collector.sources.bgpmon import update_log_from_store
+from .collector.sources.ospfmon import weight_history_from_store
+from .core.knowledge import KnowledgeLibrary
+from .core.spatial import LocationResolver
+from .routing.bgp import BgpEmulator
+from .routing.ospf import OspfSimulator
+from .routing.paths import IngressMap, PathService
+from .topology.builder import BuiltTopology
+from .topology.config_parser import ConfigArchive, snapshot_network
+
+
+@dataclass
+class GrcaPlatform:
+    """Everything an RCA application needs, wired together."""
+
+    topology: BuiltTopology
+    collector: DataCollector
+    paths: PathService
+    resolver: LocationResolver
+    knowledge: KnowledgeLibrary
+    #: substrate handles passed into retrieval contexts
+    services: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def store(self):
+        return self.collector.store
+
+    def refresh_routing(self) -> None:
+        """Rebuild routing state from the (grown) store.
+
+        Streaming ingestion appends to the OSPFMon / BGP-monitor /
+        NetFlow tables after the platform was wired; this re-derives the
+        weight history, the BGP update log and the ingress map so
+        subsequent spatial expansions see the new state.
+        """
+        history = weight_history_from_store(self.store)
+        self.paths.ospf.replace_history(history)
+        self.services["weight_history"] = self.paths.ospf.history
+        if self.paths.bgp is not None:
+            log = update_log_from_store(self.store)
+            self.paths.bgp.log = log
+            self.paths.bgp._decision_cache.clear()
+            self.services["bgp_log"] = log
+        for record in self.store.table("netflow").scan():
+            self.paths.ingress_map.learn(record["source"], record["ingress_router"])
+
+    @classmethod
+    def from_collector(
+        cls,
+        topology: BuiltTopology,
+        collector: DataCollector,
+        config_time: float = 0.0,
+        configs: Optional[ConfigArchive] = None,
+        knowledge: Optional[KnowledgeLibrary] = None,
+    ) -> "GrcaPlatform":
+        """Reconstruct routing/config state from the collected feeds."""
+        store = collector.store
+        history = weight_history_from_store(store)
+        ospf = OspfSimulator(topology.network, history)
+        bgp_log = update_log_from_store(store)
+        bgp = BgpEmulator(bgp_log, ospf)
+        if configs is None:
+            configs = snapshot_network(topology, config_time)
+        ingress_map = IngressMap()
+        for record in store.table("netflow").scan():
+            ingress_map.learn(record["source"], record["ingress_router"])
+        for server in topology.network.cdn_servers.values():
+            ingress_map.learn(server.name, server.attached_router)
+        paths = PathService(
+            network=topology.network,
+            ospf=ospf,
+            bgp=bgp,
+            configs=configs,
+            ingress_map=ingress_map,
+        )
+        resolver = LocationResolver(paths)
+        loopbacks = {
+            router.loopback: router.name
+            for router in topology.network.routers.values()
+            if router.loopback
+        }
+        services = {
+            "network": topology.network,
+            "weight_history": ospf.history,
+            "bgp_log": bgp_log,
+            "loopbacks": loopbacks,
+            "paths": paths,
+        }
+        return cls(
+            topology=topology,
+            collector=collector,
+            paths=paths,
+            resolver=resolver,
+            knowledge=knowledge or KnowledgeLibrary(),
+            services=services,
+        )

@@ -1,0 +1,32 @@
+"""Routing substrate: OSPF SPF/ECMP simulation, BGP decision emulation
+and the combined path service used by the spatial model."""
+
+from .bgp import BgpDecision, BgpEmulator, BgpRoute, BgpUpdate, BgpUpdateLog
+from .ospf import (
+    COST_OUT_WEIGHT,
+    DEFAULT_WEIGHT,
+    EcmpPaths,
+    OspfSimulator,
+    WeightChange,
+    WeightHistory,
+    reconvergence_windows,
+)
+from .paths import IngressMap, PathElements, PathService
+
+__all__ = [
+    "BgpDecision",
+    "BgpEmulator",
+    "BgpRoute",
+    "BgpUpdate",
+    "BgpUpdateLog",
+    "COST_OUT_WEIGHT",
+    "DEFAULT_WEIGHT",
+    "EcmpPaths",
+    "IngressMap",
+    "OspfSimulator",
+    "PathElements",
+    "PathService",
+    "WeightChange",
+    "WeightHistory",
+    "reconvergence_windows",
+]

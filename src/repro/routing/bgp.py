@@ -1,0 +1,225 @@
+"""BGP route emulation for the service dependency model.
+
+Section II-B requires mapping "Ingress router:Destination" to
+"Ingress router:Egress router" by looking up *historical* BGP tables.
+Because "BGP routing changes are typically not available at all ingress
+routers, and only those changes at the BGP route-reflectors are
+available", the deployed G-RCA emulates the ingress router's BGP decision
+process from the reflector-visible routes plus the OSPF distance to the
+candidate egress routers.  This module implements exactly that emulation:
+
+* :class:`BgpUpdateLog` — the time-stamped feed of announcements and
+  withdrawals as seen by the route reflectors (the BGP monitor feed);
+* :class:`BgpEmulator` — longest-prefix match plus best-path selection
+  (local preference, AS-path length, hot-potato IGP distance, router-id
+  tiebreak) evaluated *as of* an arbitrary historical instant.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..netutils import longest_prefix_match
+from .ospf import OspfSimulator
+
+
+@dataclass(frozen=True)
+class BgpRoute:
+    """One candidate route to a prefix via an egress router."""
+
+    prefix: str
+    egress_router: str
+    next_hop: str = ""
+    local_pref: int = 100
+    as_path_len: int = 1
+
+
+@dataclass(frozen=True)
+class BgpUpdate:
+    """One announcement (or withdrawal) in the reflector feed."""
+
+    timestamp: float
+    route: BgpRoute
+    withdrawn: bool = False
+
+
+@dataclass(frozen=True)
+class BgpDecision:
+    """Outcome of the emulated best-path selection at an ingress router."""
+
+    prefix: str
+    route: Optional[BgpRoute]
+    igp_distance: Optional[int] = None
+
+    @property
+    def egress_router(self) -> Optional[str]:
+        return self.route.egress_router if self.route else None
+
+
+class BgpUpdateLog:
+    """Chronological BGP updates with as-of-time RIB reconstruction."""
+
+    def __init__(self) -> None:
+        self._updates: Dict[str, List[BgpUpdate]] = {}
+        self._sorted = True
+
+    def record(self, update: BgpUpdate) -> None:
+        """Append one observed update."""
+        self._updates.setdefault(update.route.prefix, []).append(update)
+        self._sorted = False
+
+    def record_many(self, updates: Iterable[BgpUpdate]) -> None:
+        """Append several observed updates."""
+        for update in updates:
+            self.record(update)
+
+    def announce(
+        self,
+        timestamp: float,
+        prefix: str,
+        egress_router: str,
+        next_hop: str = "",
+        local_pref: int = 100,
+        as_path_len: int = 1,
+    ) -> None:
+        """Convenience wrapper to record an announcement."""
+        self.record(
+            BgpUpdate(
+                timestamp=timestamp,
+                route=BgpRoute(prefix, egress_router, next_hop, local_pref, as_path_len),
+            )
+        )
+
+    def withdraw(self, timestamp: float, prefix: str, egress_router: str) -> None:
+        """Record a withdrawal of a prefix from one egress."""
+        self.record(
+            BgpUpdate(
+                timestamp=timestamp,
+                route=BgpRoute(prefix, egress_router),
+                withdrawn=True,
+            )
+        )
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            for updates in self._updates.values():
+                updates.sort(key=lambda u: u.timestamp)
+            self._sorted = True
+
+    def prefixes(self) -> List[str]:
+        """All prefixes ever seen in the feed, sorted."""
+        return sorted(self._updates)
+
+    def routes_at(self, prefix: str, timestamp: float) -> List[BgpRoute]:
+        """Routes for ``prefix`` still announced as of ``timestamp``.
+
+        Replays the per-prefix update history: the latest update from each
+        egress wins (an egress either currently announces or has
+        withdrawn).
+        """
+        self._ensure_sorted()
+        updates = self._updates.get(prefix, [])
+        timestamps = [u.timestamp for u in updates]
+        cutoff = bisect.bisect_right(timestamps, timestamp)
+        latest: Dict[str, BgpUpdate] = {}
+        for update in updates[:cutoff]:
+            latest[update.route.egress_router] = update
+        return [u.route for u in latest.values() if not u.withdrawn]
+
+    def updates_between(self, start: float, end: float) -> List[BgpUpdate]:
+        """All updates in a window, across prefixes, in time order."""
+        self._ensure_sorted()
+        result: List[BgpUpdate] = []
+        for updates in self._updates.values():
+            timestamps = [u.timestamp for u in updates]
+            lo = bisect.bisect_left(timestamps, start)
+            hi = bisect.bisect_right(timestamps, end)
+            result.extend(updates[lo:hi])
+        result.sort(key=lambda u: u.timestamp)
+        return result
+
+
+@dataclass
+class BgpEmulator:
+    """Emulated BGP decision process at ingress routers.
+
+    Best-path selection follows the standard order restricted to the
+    attributes the reflector feed carries: highest local preference,
+    shortest AS path, lowest IGP (hot-potato) distance to the egress,
+    then lowest egress router name as the deterministic router-id stand-in.
+    """
+
+    log: BgpUpdateLog
+    ospf: OspfSimulator
+    _decision_cache: Dict[Tuple[str, str, int], BgpDecision] = field(
+        default_factory=dict, repr=False
+    )
+
+    def lookup_prefix(self, dest_ip: str, timestamp: float) -> Optional[str]:
+        """Longest-prefix match over prefixes with live routes."""
+        live = [
+            prefix
+            for prefix in self.log.prefixes()
+            if self.log.routes_at(prefix, timestamp)
+        ]
+        return longest_prefix_match(live, dest_ip)
+
+    def best_egress(
+        self, ingress_router: str, dest_ip: str, timestamp: float
+    ) -> BgpDecision:
+        """The egress the ingress router would pick for a destination IP."""
+        prefix = self.lookup_prefix(dest_ip, timestamp)
+        if prefix is None:
+            return BgpDecision(prefix="", route=None)
+        return self.best_egress_for_prefix(ingress_router, prefix, timestamp)
+
+    def best_egress_for_prefix(
+        self, ingress_router: str, prefix: str, timestamp: float
+    ) -> BgpDecision:
+        """Best-path selection for a known prefix."""
+        # Cache keyed on the OSPF version: decisions only change when a
+        # route or a weight changes, and route changes bust per-call below.
+        version = self.ospf.history.version_at(timestamp)
+        routes = self.log.routes_at(prefix, timestamp)
+        if not routes:
+            return BgpDecision(prefix=prefix, route=None)
+        cache_key = (ingress_router, prefix, version)
+        cached = self._decision_cache.get(cache_key)
+        if cached is not None and cached.route in routes:
+            return cached
+
+        def sort_key(route: BgpRoute) -> Tuple[int, int, int, str]:
+            distance = self.ospf.distance(ingress_router, route.egress_router, timestamp)
+            if distance is None:
+                distance = 1 << 30  # unreachable egress loses hot-potato
+            return (-route.local_pref, route.as_path_len, distance, route.egress_router)
+
+        best = min(routes, key=sort_key)
+        distance = self.ospf.distance(ingress_router, best.egress_router, timestamp)
+        decision = BgpDecision(prefix=prefix, route=best, igp_distance=distance)
+        self._decision_cache[cache_key] = decision
+        return decision
+
+    def egress_timeline(
+        self, ingress_router: str, dest_ip: str, start: float, end: float
+    ) -> List[Tuple[float, Optional[str]]]:
+        """(timestamp, egress) at ``start`` and after each relevant change.
+
+        This is how "BGP egress change" diagnostic events are validated
+        against the emulated decision process.
+        """
+        points = [start]
+        prefix = self.lookup_prefix(dest_ip, start) or self.lookup_prefix(dest_ip, end)
+        for update in self.log.updates_between(start, end):
+            if prefix is None or update.route.prefix == prefix:
+                points.append(update.timestamp)
+        timeline: List[Tuple[float, Optional[str]]] = []
+        last: Optional[str] = object()  # type: ignore[assignment]
+        for point in sorted(set(points)):
+            egress = self.best_egress(ingress_router, dest_ip, point).egress_router
+            if egress != last:
+                timeline.append((point, egress))
+                last = egress
+        return timeline

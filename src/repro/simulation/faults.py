@@ -1,0 +1,440 @@
+"""Root-cause fault recipes.
+
+Each ``inject_*`` method emits the full causal telemetry chain for one
+root cause — the cause's own signature, the protocol messages it
+triggers (with realistic timer delays: line protocol follows the
+interface within a second; an eBGP hold-timer expiry lags the cause by
+up to 180 s), and the symptom events the RCA applications will pick up.
+
+Every injection returns the list of :class:`GroundTruth` records (one
+per symptom instance it creates), which the benchmark harness compares
+against the engine's diagnosed breakdown.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..collector.sources.misc import (
+    EVENT_MESH_FAST,
+    EVENT_MESH_REGULAR,
+    EVENT_SONET,
+)
+from ..routing.ospf import COST_OUT_WEIGHT, DEFAULT_WEIGHT, OspfSimulator, WeightChange, WeightHistory
+from ..topology.builder import BuiltTopology
+from .telemetry import BGP_HOLD_TIMER, TelemetryEmitter
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """What was actually injected behind one symptom instance."""
+
+    symptom: str  # symptom event name, e.g. "eBGP flap"
+    cause: str  # injected root-cause label (matches app vocabulary)
+    time: float
+    location: str  # free-form: session / pe pair / server:client
+    detail: Tuple[Tuple[str, str], ...] = ()
+
+
+class FaultInjector:
+    """Stateful injector over a topology: emits telemetry + ground truth."""
+
+    def __init__(
+        self,
+        topology: BuiltTopology,
+        emitter: TelemetryEmitter,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.topology = topology
+        self.network = topology.network
+        self.emitter = emitter
+        self.rng = rng or random.Random(4242)
+        # the injector's own view of IGP weights, kept consistent with
+        # the ospfmon rows it emits, so path-dependent injections use
+        # the same paths the RCA engine will later reconstruct
+        self._weight_history = WeightHistory(
+            {name: DEFAULT_WEIGHT for name in self.network.logical_links}
+        )
+        self._ospf = OspfSimulator(self.network, self._weight_history)
+        self._last_weight_time = float("-inf")
+
+    # ------------------------------------------------------------------
+    # shared helpers
+
+    def _set_weight(self, timestamp: float, link: str, weight: int) -> None:
+        self.emitter.ospf_weight(timestamp, link, weight)
+        self._weight_history.record(WeightChange(timestamp, link, weight))
+        if timestamp < self._last_weight_time:
+            # out-of-order insert shifts history version numbering, so
+            # cached SPF tables keyed by version are no longer valid
+            self._ospf._spf_cache.clear()
+        else:
+            self._last_weight_time = timestamp
+
+    def attachment(self, customer: str) -> Tuple[str, str, str]:
+        """(per, customer-facing interface fq, neighbor ip) for a customer."""
+        return self.topology.customer_attachments[customer]
+
+    def paths_between(self, a: str, b: str, timestamp: float):
+        """Current equal-cost paths in the injector's IGP view."""
+        return self._ospf.paths(a, b, timestamp)
+
+    def pe_pairs_crossing(
+        self, link: str, timestamp: float, limit: int = 4
+    ) -> List[Tuple[str, str]]:
+        """PE pairs whose current path uses ``link``."""
+        pes = self.topology.provider_edges
+        pairs = []
+        for i, a in enumerate(pes):
+            for b in pes[i + 1 :]:
+                paths = self._ospf.paths(a, b, timestamp)
+                if paths.reachable and link in paths.links:
+                    pairs.append((a, b))
+                    if len(pairs) >= limit:
+                        return pairs
+        return pairs
+
+    def pe_pairs_through_router(
+        self, router: str, timestamp: float, limit: int = 4
+    ) -> List[Tuple[str, str]]:
+        """PE pairs whose current path transits a router."""
+        pes = self.topology.provider_edges
+        pairs = []
+        for i, a in enumerate(pes):
+            for b in pes[i + 1 :]:
+                if router in (a, b):
+                    continue
+                paths = self._ospf.paths(a, b, timestamp)
+                if paths.reachable and router in paths.routers:
+                    pairs.append((a, b))
+                    if len(pairs) >= limit:
+                        return pairs
+        return pairs
+
+    def _flap_session(
+        self, t: float, per: str, neighbor_ip: str, duration: float = 45.0
+    ) -> None:
+        self.emitter.ebgp_flap(t, per, neighbor_ip, duration)
+
+    def _truth(self, symptom: str, cause: str, t: float, location: str, **detail) -> GroundTruth:
+        return GroundTruth(
+            symptom=symptom,
+            cause=cause,
+            time=t,
+            location=location,
+            detail=tuple(sorted((k, str(v)) for k, v in detail.items())),
+        )
+
+    # ------------------------------------------------------------------
+    # BGP-flap root causes (Table IV vocabulary)
+
+    def bgp_interface_flap(self, t: float, customer: str) -> List[GroundTruth]:
+        """Customer-facing interface flap -> eBGP flap (fast fallover)."""
+        per, iface, neighbor_ip = self.attachment(customer)
+        duration = self.rng.uniform(5.0, 40.0)
+        self.emitter.interface_flap(t, iface, duration)
+        self._flap_session(t + 2.0, per, neighbor_ip, duration + 30.0)
+        return [self._truth("eBGP flap", "Interface flap", t, f"{per}~{neighbor_ip}")]
+
+    def bgp_lineproto_flap(self, t: float, customer: str) -> List[GroundTruth]:
+        """Line protocol flap only -> eBGP flap via hold-timer expiry."""
+        per, iface, neighbor_ip = self.attachment(customer)
+        duration = self.rng.uniform(10.0, 60.0)
+        self.emitter.line_protocol_flap(t, iface, duration)
+        t_flap = t + BGP_HOLD_TIMER
+        self.emitter.bgp_hold_timer_expiry(t_flap, per, neighbor_ip)
+        self._flap_session(t_flap, per, neighbor_ip)
+        return [self._truth("eBGP flap", "Line protocol flap", t_flap, f"{per}~{neighbor_ip}")]
+
+    def bgp_cpu_spike(self, t: float, customer: str) -> List[GroundTruth]:
+        """CPU spike -> hold-timer expiry -> session flap."""
+        per, _iface, neighbor_ip = self.attachment(customer)
+        self.emitter.cpu_spike(t, per, percent=self.rng.randint(91, 99))
+        t_flap = t + self.rng.uniform(5.0, 30.0)
+        self.emitter.bgp_hold_timer_expiry(t_flap, per, neighbor_ip)
+        self._flap_session(t_flap, per, neighbor_ip)
+        return [self._truth("eBGP flap", "CPU high (spike)", t_flap, f"{per}~{neighbor_ip}")]
+
+    def bgp_cpu_average(self, t: float, customer: str) -> List[GroundTruth]:
+        """Sustained CPU overload -> hold-timer expiry -> flap."""
+        per, _iface, neighbor_ip = self.attachment(customer)
+        # the 5-minute SNMP sample covering t reports the overload
+        sample_t = t - (t % 300.0) + 300.0
+        self.emitter.snmp(sample_t, per, "cpu_util_5min", "", self.rng.uniform(82, 95))
+        t_flap = t + self.rng.uniform(5.0, 60.0)
+        self.emitter.bgp_hold_timer_expiry(t_flap, per, neighbor_ip)
+        self._flap_session(t_flap, per, neighbor_ip)
+        return [self._truth("eBGP flap", "CPU high (average)", t_flap, f"{per}~{neighbor_ip}")]
+
+    def bgp_customer_reset(self, t: float, customer: str) -> List[GroundTruth]:
+        """Customer-side administrative reset -> session flap."""
+        per, _iface, neighbor_ip = self.attachment(customer)
+        self.emitter.bgp_customer_reset(t, per, neighbor_ip)
+        self._flap_session(t + 1.0, per, neighbor_ip, duration=20.0)
+        return [self._truth("eBGP flap", "Customer reset session", t, f"{per}~{neighbor_ip}")]
+
+    def bgp_router_reboot(self, t: float, per: str) -> List[GroundTruth]:
+        """Reboot a PER: every eBGP session on it flaps."""
+        truths = []
+        boot_time = t + 120.0
+        self.emitter.router_restart(boot_time, per)
+        for customer, (owner, iface, neighbor_ip) in sorted(
+            self.topology.customer_attachments.items()
+        ):
+            if owner != per:
+                continue
+            self.emitter.interface_flap(t, iface, boot_time - t + 10.0)
+            self._flap_session(t + 1.0, per, neighbor_ip, duration=boot_time - t + 60.0)
+            truths.append(
+                self._truth("eBGP flap", "Router reboot", t, f"{per}~{neighbor_ip}")
+            )
+        return truths
+
+    def bgp_hte_unknown(self, t: float, customer: str) -> List[GroundTruth]:
+        """Hold-timer expiry with no deeper observable cause."""
+        per, _iface, neighbor_ip = self.attachment(customer)
+        self.emitter.bgp_hold_timer_expiry(t, per, neighbor_ip)
+        self._flap_session(t, per, neighbor_ip)
+        return [self._truth("eBGP flap", "eBGP HTE", t, f"{per}~{neighbor_ip}")]
+
+    def bgp_layer1_restoration(
+        self, t: float, customer: str, kind: str
+    ) -> List[GroundTruth]:
+        """Layer-1 restoration hits a customer circuit riding it."""
+        per, iface, neighbor_ip = self.attachment(customer)
+        device = self.topology.customer_layer1.get(customer)
+        if device is None:
+            raise ValueError(f"customer {customer!r} has no layer-1 access circuit")
+        event = {
+            "SONET restoration": EVENT_SONET,
+            "Regular optical mesh network restoration": EVENT_MESH_REGULAR,
+            "Fast optical mesh network restoration": EVENT_MESH_FAST,
+        }[kind]
+        circuit = self.network.physical_links_of_interface(iface)[0].name
+        self.emitter.layer1(t, device, event, circuit)
+        flap_duration = 4.0 if event == EVENT_MESH_FAST else self.rng.uniform(8.0, 25.0)
+        self.emitter.interface_flap(t + 1.0, iface, flap_duration)
+        self._flap_session(t + 3.0, per, neighbor_ip, flap_duration + 30.0)
+        return [self._truth("eBGP flap", kind, t, f"{per}~{neighbor_ip}")]
+
+    def bgp_unknown(self, t: float, customer: str) -> List[GroundTruth]:
+        """A flap with no in-network evidence at all."""
+        per, _iface, neighbor_ip = self.attachment(customer)
+        self._flap_session(t, per, neighbor_ip, duration=30.0)
+        return [self._truth("eBGP flap", "Unknown", t, f"{per}~{neighbor_ip}")]
+
+    def bgp_linecard_crash(self, t: float, per: str, slot: int) -> List[GroundTruth]:
+        """Section IV-C: a crashing line card flaps every session on it.
+
+        The crash itself is *unobservable* to the RCA tool (the OIR
+        signature was not in the Knowledge Library at the time), so only
+        the per-interface flaps and session flaps are emitted unless the
+        caller also emits the crash message.
+        """
+        truths = []
+        router = self.network.router(per)
+        spread = 170.0  # all flaps land within ~3 minutes (paper: 3 min)
+        for iface in router.interfaces_on_slot(slot):
+            fq = iface.fqname
+            for customer, (owner, cust_iface, neighbor_ip) in sorted(
+                self.topology.customer_attachments.items()
+            ):
+                if owner != per or cust_iface != fq:
+                    continue
+                flap_t = t + self.rng.uniform(0.0, spread)
+                self.emitter.interface_flap(flap_t, fq, self.rng.uniform(20.0, 60.0))
+                self._flap_session(flap_t + 2.0, per, neighbor_ip)
+                truths.append(
+                    self._truth(
+                        "eBGP flap", "Line-card crash", flap_t,
+                        f"{per}~{neighbor_ip}", slot=slot,
+                    )
+                )
+        return truths
+
+    # ------------------------------------------------------------------
+    # PIM / MVPN root causes (Table VIII vocabulary)
+
+    def _pim_changes(
+        self,
+        t: float,
+        pe: str,
+        remote_pes: Sequence[str],
+        cause: str,
+        vrf: str = "cust-vpn-1",
+    ) -> List[GroundTruth]:
+        """PIM NBRCHG (vrf) messages on ``pe`` towards remote PEs."""
+        truths = []
+        uplink = self.network.uplinks_of(pe)[0]
+        local_if = (
+            uplink.interface_a
+            if uplink.interface_a.startswith(pe)
+            else uplink.interface_z
+        ).partition(":")[2]
+        for remote in remote_pes:
+            loopback = self.network.router(remote).loopback
+            self.emitter.pim_neighbor_change(t, pe, loopback, local_if, "down", vrf)
+            self.emitter.pim_neighbor_change(
+                t + self.rng.uniform(30.0, 90.0), pe, loopback, local_if, "up", vrf
+            )
+            truths.append(
+                self._truth("PIM Neighbor Adjacency Change", cause, t, f"{pe}~{remote}")
+            )
+        return truths
+
+    def _remote_pes(self, pe: str, count: int = 2) -> List[str]:
+        others = [p for p in self.topology.provider_edges if p != pe]
+        self.rng.shuffle(others)
+        return sorted(others[:count])
+
+    def pim_config_change(self, t: float, pe: str) -> List[GroundTruth]:
+        """MVPN (de)provisioning -> PIM adjacency changes."""
+        self.emitter.workflow(
+            t, pe, "provisioning.mvpn_config", f"ticket-{self.rng.randint(1000, 9999)}"
+        )
+        self.emitter.tacacs(
+            t + 2.0, pe, "prov-sys", "conf t; ip vrf cust-vpn-1; mdt default 239.1.1.1"
+        )
+        return self._pim_changes(t + 10.0, pe, self._remote_pes(pe, 1),
+                                 "PIM Configuration change")
+
+    def pim_router_cost(self, t: float, router: str) -> List[GroundTruth]:
+        """Maintenance cost-out of a core router disturbs PE adjacencies."""
+        pairs = self.pe_pairs_through_router(router, t - 1.0)
+        links = self.network.logical_links_of_router(router)
+        for index, link in enumerate(links):
+            self._set_weight(t + index * 1.0, link.name, COST_OUT_WEIGHT)
+        truths = []
+        for a, b in pairs[:2]:
+            truths.extend(
+                self._pim_changes(t + 5.0, a, [b], "Router Cost In/Out")
+            )
+        # cost the router back in later (creates the paired In event)
+        t_in = t + 1800.0
+        for index, link in enumerate(links):
+            self._set_weight(t_in + index * 1.0, link.name, DEFAULT_WEIGHT)
+        return truths
+
+    def pim_link_cost_out(self, t: float, link: str) -> List[GroundTruth]:
+        """Backbone link costed out -> PIM adjacency changes."""
+        pairs = self.pe_pairs_crossing(link, t - 1.0, limit=1)
+        self._set_weight(t, link, COST_OUT_WEIGHT)
+        self._set_weight(t + 1800.0, link, DEFAULT_WEIGHT)
+        truths = []
+        for a, b in pairs:
+            truths.extend(self._pim_changes(t + 5.0, a, [b], "Link Cost Out/Down"))
+        return truths
+
+    def pim_link_cost_in(self, t: float, link: str) -> List[GroundTruth]:
+        """A link returning to service (was out since t-3600)."""
+        self._set_weight(t - 3600.0, link, COST_OUT_WEIGHT)
+        self._set_weight(t, link, DEFAULT_WEIGHT)
+        pairs = self.pe_pairs_crossing(link, t + 1.0, limit=1)
+        truths = []
+        for a, b in pairs:
+            truths.extend(self._pim_changes(t + 5.0, a, [b], "Link Cost In/Up"))
+        return truths
+
+    def pim_ospf_reconvergence(self, t: float, link: str) -> List[GroundTruth]:
+        """A traffic-engineering weight tweak (not a cost in/out)."""
+        pairs = self.pe_pairs_crossing(link, t - 1.0, limit=1)
+        self._set_weight(t, link, DEFAULT_WEIGHT + self.rng.randint(5, 30))
+        truths = []
+        for a, b in pairs:
+            truths.extend(self._pim_changes(t + 5.0, a, [b], "OSPF re-convergence"))
+        return truths
+
+    def pim_uplink_adjacency(self, t: float, pe: str) -> List[GroundTruth]:
+        """The PE's uplink PIM adjacency (no vrf) drops first."""
+        uplink = self.network.uplinks_of(pe)[0]
+        local_if = (
+            uplink.interface_a
+            if uplink.interface_a.startswith(pe)
+            else uplink.interface_z
+        ).partition(":")[2]
+        neighbor = uplink.other_router(pe)
+        neighbor_loopback = self.network.router(neighbor).loopback
+        self.emitter.pim_neighbor_change(t, pe, neighbor_loopback, local_if, "down")
+        self.emitter.pim_neighbor_change(
+            t + 60.0, pe, neighbor_loopback, local_if, "up"
+        )
+        return self._pim_changes(
+            t + 5.0, pe, self._remote_pes(pe, 1), "Uplink PIM adjacency loss"
+        )
+
+    def pim_customer_interface_flap(self, t: float, customer: str) -> List[GroundTruth]:
+        """Customer-facing flap -> PIM adjacency changes."""
+        per, iface, _neighbor_ip = self.attachment(customer)
+        self.emitter.interface_flap(t, iface, self.rng.uniform(10.0, 50.0))
+        return self._pim_changes(
+            t + 3.0, per, self._remote_pes(per, 1), "interface (customer facing) flap"
+        )
+
+    def pim_unknown(self, t: float, pe: str) -> List[GroundTruth]:
+        """PIM adjacency change with no observable cause."""
+        return self._pim_changes(t, pe, self._remote_pes(pe, 1), "Unknown")
+
+    # ------------------------------------------------------------------
+    # CDN root causes (Table VI vocabulary)
+
+    def cdn_policy_change(self, t: float, servers: Sequence[str]) -> None:
+        """CDN assignment-map change logged on the servers."""
+        for server in servers:
+            self.emitter.cdn(t, server, "policy_change", f"map-v{self.rng.randint(2, 99)}")
+
+    def cdn_server_overload(self, t: float, server: str, duration: float) -> None:
+        """Sustained high load samples on one CDN server."""
+        for offset in range(0, int(duration), 300):
+            self.emitter.cdn(t + offset, server, "load", self.rng.uniform(0.92, 0.99))
+
+    def cdn_link_congestion(self, t: float, interface_fq: str, duration: float) -> None:
+        """High-utilization SNMP samples on one interface."""
+        router, _, if_name = interface_fq.partition(":")
+        for offset in range(0, int(duration), 300):
+            self.emitter.snmp(
+                t + offset, router, "link_util", if_name, self.rng.uniform(85.0, 99.0)
+            )
+
+    def cdn_link_loss(self, t: float, interface_fq: str, duration: float) -> None:
+        """Corrupted-packet SNMP samples on one interface."""
+        router, _, if_name = interface_fq.partition(":")
+        for offset in range(0, int(duration), 300):
+            self.emitter.snmp(
+                t + offset, router, "corrupted_packets", if_name,
+                float(self.rng.randint(150, 2000)),
+            )
+
+    def cdn_backbone_interface_flap(self, t: float, link_name: str) -> str:
+        """Flap one end of a backbone link (plus the OSPF ripple)."""
+        link = self.network.logical_link(link_name)
+        self.emitter.interface_flap(t, link.interface_a, self.rng.uniform(15.0, 45.0))
+        self._set_weight(t + 1.0, link_name, COST_OUT_WEIGHT)
+        self._set_weight(t + 120.0, link_name, DEFAULT_WEIGHT)
+        return link.interface_a
+
+    def cdn_egress_change(
+        self,
+        t: float,
+        prefix: str,
+        old_egress: str,
+        new_egress: Optional[str] = None,
+        duration: float = 1700.0,
+    ) -> None:
+        """Inter-domain routing change: a prefix moves egress and back.
+
+        The neighboring ISP withdraws the prefix from ``old_egress``;
+        traffic shifts to ``new_egress`` (when given) until the original
+        announcement returns ``duration`` seconds later.
+        """
+        self.emitter.bgp_update(t, "W", prefix, old_egress)
+        if new_egress is not None:
+            self.emitter.bgp_update(t + 2.0, "A", prefix, new_egress)
+            self.emitter.bgp_update(t + duration + 2.0, "W", prefix, new_egress)
+        self.emitter.bgp_update(t + duration, "A", prefix, old_egress)
+
+    def cdn_ospf_reconvergence(self, t: float, link: str, duration: float = 900.0) -> None:
+        """A traffic-engineering tweak, reverted after ``duration``."""
+        self._set_weight(t, link, DEFAULT_WEIGHT + self.rng.randint(5, 25))
+        self._set_weight(t + duration, link, DEFAULT_WEIGHT)

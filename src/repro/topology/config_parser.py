@@ -1,0 +1,304 @@
+"""Router configuration snapshots: rendering and parsing.
+
+G-RCA "parses daily router configuration snapshots" (Section II-B) to
+learn (a) router -> line-card -> interface containment, (b) interface IP
+addresses and the /30 networks that associate point-to-point links with
+their attached routers, (c) logical-to-physical mappings such as MLPPP
+bundles and SONET APS pairs, and (d) BGP neighbor and route-reflector
+client configuration.
+
+Since production configs are proprietary, this module also contains the
+*renderer* that produces Cisco-IOS-flavoured snapshots from the synthetic
+topology; the parser then recovers the mappings from the text exactly the
+way the deployed system does — so the parse path is exercised end to end
+rather than short-circuited through in-memory objects.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .builder import BuiltTopology
+from .elements import Router, RouterRole
+
+
+@dataclass
+class BgpNeighborConfig:
+    """One ``neighbor`` stanza of a BGP configuration."""
+
+    neighbor_ip: str
+    remote_as: int
+    description: str = ""
+    route_reflector_client: bool = False
+
+
+@dataclass
+class ParsedInterface:
+    name: str
+    ip_address: Optional[str] = None
+    prefix_len: Optional[int] = None
+    description: str = ""
+    bundle: Optional[str] = None  # MLPPP bundle name, if a member
+
+
+@dataclass
+class ParsedConfig:
+    """Everything the conversion utilities need from one router's config."""
+
+    hostname: str = ""
+    timezone: str = "UTC"
+    interfaces: Dict[str, ParsedInterface] = field(default_factory=dict)
+    bgp_asn: Optional[int] = None
+    bgp_neighbors: List[BgpNeighborConfig] = field(default_factory=list)
+
+    @property
+    def slot_of(self) -> Dict[str, int]:
+        """Interface name -> line card slot, from ``seS/P`` naming."""
+        result = {}
+        for name in self.interfaces:
+            match = re.match(r"[a-z]+(\d+)/(\d+)", name)
+            if match:
+                result[name] = int(match.group(1))
+        return result
+
+    def neighbor_interface(self, neighbor_ip: str) -> Optional[str]:
+        """Map a BGP neighbor IP to the local interface on its /30.
+
+        This is the "Router:NeighborIP -> Interface" conversion of
+        Section II-B, item 2.
+        """
+        neighbor_value = _ip_to_int(neighbor_ip)
+        if neighbor_value is None:
+            return None
+        for iface in self.interfaces.values():
+            if iface.ip_address is None or iface.prefix_len is None:
+                continue
+            local = _ip_to_int(iface.ip_address)
+            if local is None:
+                continue
+            mask = ((1 << 32) - 1) ^ ((1 << (32 - iface.prefix_len)) - 1)
+            if (local & mask) == (neighbor_value & mask):
+                return iface.name
+        return None
+
+
+def _ip_to_int(address: str) -> Optional[int]:
+    parts = address.split(".")
+    if len(parts) != 4:
+        return None
+    try:
+        octets = [int(p) for p in parts]
+    except ValueError:
+        return None
+    if any(o < 0 or o > 255 for o in octets):
+        return None
+    return (octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3]
+
+
+# ---------------------------------------------------------------------------
+# rendering (synthetic substitute for collecting real configs)
+
+PROVIDER_ASN = 7018
+_CUSTOMER_ASN_BASE = 64512
+
+
+def render_config(router: Router, topology: BuiltTopology) -> str:
+    """Render a Cisco-IOS-style configuration snapshot for one router."""
+    network = topology.network
+    lines = [
+        "!",
+        f"hostname {router.name}",
+        f"clock timezone {router.timezone}",
+        "!",
+    ]
+    for iface in router.interfaces:
+        lines.append(f"interface {iface.name}")
+        if iface.description:
+            lines.append(f" description {iface.description}")
+        if iface.ip_address:
+            lines.append(f" ip address {iface.ip_address} 255.255.255.252")
+        lines.append("!")
+    neighbors = _bgp_neighbors_for(router, topology)
+    if neighbors:
+        lines.append(f"router bgp {PROVIDER_ASN}")
+        for nbr in neighbors:
+            lines.append(f" neighbor {nbr.neighbor_ip} remote-as {nbr.remote_as}")
+            if nbr.description:
+                lines.append(f" neighbor {nbr.neighbor_ip} description {nbr.description}")
+            if nbr.route_reflector_client:
+                lines.append(f" neighbor {nbr.neighbor_ip} route-reflector-client")
+        lines.append("!")
+    del network  # topology.network retained for future per-link stanzas
+    return "\n".join(lines) + "\n"
+
+
+def _bgp_neighbors_for(router: Router, topology: BuiltTopology) -> List[BgpNeighborConfig]:
+    neighbors: List[BgpNeighborConfig] = []
+    network = topology.network
+    if router.role is RouterRole.PROVIDER_EDGE:
+        customer_index = 0
+        for customer, (per, _iface, cust_ip) in sorted(
+            topology.customer_attachments.items()
+        ):
+            if per != router.name:
+                continue
+            customer_index += 1
+            neighbors.append(
+                BgpNeighborConfig(
+                    neighbor_ip=cust_ip,
+                    remote_as=_CUSTOMER_ASN_BASE + customer_index,
+                    description=f"ebgp to {customer}",
+                )
+            )
+        for rr in topology.route_reflectors:
+            neighbors.append(
+                BgpNeighborConfig(
+                    neighbor_ip=network.router(rr).loopback,
+                    remote_as=PROVIDER_ASN,
+                    description=f"ibgp to reflector {rr}",
+                )
+            )
+    elif router.role is RouterRole.ROUTE_REFLECTOR:
+        for per in topology.provider_edges:
+            neighbors.append(
+                BgpNeighborConfig(
+                    neighbor_ip=network.router(per).loopback,
+                    remote_as=PROVIDER_ASN,
+                    description=f"ibgp client {per}",
+                    route_reflector_client=True,
+                )
+            )
+    return neighbors
+
+
+# ---------------------------------------------------------------------------
+# parsing
+
+_HOSTNAME_RE = re.compile(r"^hostname\s+(\S+)")
+_TIMEZONE_RE = re.compile(r"^clock timezone\s+(\S+)")
+_INTERFACE_RE = re.compile(r"^interface\s+(\S+)")
+_IP_RE = re.compile(r"^\s+ip address\s+(\S+)\s+(\S+)")
+_DESCRIPTION_RE = re.compile(r"^\s+description\s+(.*)")
+_BUNDLE_RE = re.compile(r"^\s+ppp multilink group\s+(\S+)")
+_BGP_RE = re.compile(r"^router bgp\s+(\d+)")
+_NEIGHBOR_AS_RE = re.compile(r"^\s+neighbor\s+(\S+)\s+remote-as\s+(\d+)")
+_NEIGHBOR_DESC_RE = re.compile(r"^\s+neighbor\s+(\S+)\s+description\s+(.*)")
+_NEIGHBOR_RRC_RE = re.compile(r"^\s+neighbor\s+(\S+)\s+route-reflector-client")
+
+
+def _mask_to_prefix_len(mask: str) -> Optional[int]:
+    value = _ip_to_int(mask)
+    if value is None:
+        return None
+    return bin(value).count("1")
+
+
+def parse_config(text: str) -> ParsedConfig:
+    """Parse a configuration snapshot into :class:`ParsedConfig`."""
+    parsed = ParsedConfig()
+    current_iface: Optional[ParsedInterface] = None
+    in_bgp = False
+    neighbors: Dict[str, BgpNeighborConfig] = {}
+    for line in text.splitlines():
+        if line.strip() == "!":
+            current_iface = None
+            continue
+        match = _HOSTNAME_RE.match(line)
+        if match:
+            parsed.hostname = match.group(1)
+            continue
+        match = _TIMEZONE_RE.match(line)
+        if match:
+            parsed.timezone = match.group(1)
+            continue
+        match = _INTERFACE_RE.match(line)
+        if match:
+            current_iface = ParsedInterface(name=match.group(1))
+            parsed.interfaces[current_iface.name] = current_iface
+            in_bgp = False
+            continue
+        match = _BGP_RE.match(line)
+        if match:
+            parsed.bgp_asn = int(match.group(1))
+            in_bgp = True
+            current_iface = None
+            continue
+        if current_iface is not None:
+            match = _IP_RE.match(line)
+            if match:
+                current_iface.ip_address = match.group(1)
+                current_iface.prefix_len = _mask_to_prefix_len(match.group(2))
+                continue
+            match = _DESCRIPTION_RE.match(line)
+            if match:
+                current_iface.description = match.group(1).strip()
+                continue
+            match = _BUNDLE_RE.match(line)
+            if match:
+                current_iface.bundle = match.group(1)
+                continue
+        if in_bgp:
+            match = _NEIGHBOR_AS_RE.match(line)
+            if match:
+                ip, asn = match.group(1), int(match.group(2))
+                neighbors.setdefault(ip, BgpNeighborConfig(ip, asn)).remote_as = asn
+                continue
+            match = _NEIGHBOR_DESC_RE.match(line)
+            if match:
+                ip = match.group(1)
+                neighbors.setdefault(ip, BgpNeighborConfig(ip, 0)).description = (
+                    match.group(2).strip()
+                )
+                continue
+            match = _NEIGHBOR_RRC_RE.match(line)
+            if match:
+                ip = match.group(1)
+                neighbors.setdefault(ip, BgpNeighborConfig(ip, 0)).route_reflector_client = True
+                continue
+    parsed.bgp_neighbors = list(neighbors.values())
+    return parsed
+
+
+class ConfigArchive:
+    """Daily archive of parsed configuration snapshots, by router.
+
+    G-RCA extracts "the reflectors that feed the ingress router" and the
+    containment model from "the daily archive of router configurations";
+    this class is that archive.  Snapshots are keyed by (router, day) and
+    queries return the latest snapshot at or before the requested time.
+    """
+
+    def __init__(self) -> None:
+        self._snapshots: Dict[str, List[Tuple[float, ParsedConfig]]] = {}
+
+    def add_snapshot(self, router: str, timestamp: float, text: str) -> ParsedConfig:
+        """Parse and archive one config snapshot for a router."""
+        parsed = parse_config(text)
+        self._snapshots.setdefault(router, []).append((timestamp, parsed))
+        self._snapshots[router].sort(key=lambda item: item[0])
+        return parsed
+
+    def config_at(self, router: str, timestamp: float) -> Optional[ParsedConfig]:
+        """Latest parsed config at or before ``timestamp``."""
+        best: Optional[ParsedConfig] = None
+        for snap_time, parsed in self._snapshots.get(router, []):
+            if snap_time <= timestamp:
+                best = parsed
+            else:
+                break
+        return best
+
+    def routers(self) -> List[str]:
+        """Routers with at least one archived snapshot."""
+        return sorted(self._snapshots)
+
+
+def snapshot_network(topology: BuiltTopology, timestamp: float) -> ConfigArchive:
+    """Render-and-parse configs for every router into a fresh archive."""
+    archive = ConfigArchive()
+    for router in topology.network.routers.values():
+        text = render_config(router, topology)
+        archive.add_snapshot(router.name, timestamp, text)
+    return archive

@@ -1,0 +1,172 @@
+"""Network element model.
+
+These classes mirror the element kinds of the paper's spatial model
+(Fig. 2): routers containing line cards containing interfaces, logical
+(layer-3) links riding one or more physical links for redundancy/capacity
+(SONET APS, MLPPP bundles), and physical links traversing layer-1 devices
+(SONET rings, optical mesh nodes).
+
+All elements are identified by stable string names so that locations in
+event records (which arrive as text from syslog/SNMP/etc.) can be resolved
+against the topology.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class RouterRole(enum.Enum):
+    """Functional role of a router in a tier-1 ISP network."""
+
+    CORE = "core"  # backbone router inside a PoP
+    PROVIDER_EDGE = "per"  # provider edge router (customer attachment)
+    CUSTOMER = "cr"  # customer router, outside the provider's control
+    PEER = "peer"  # peering router towards another ISP
+    ROUTE_REFLECTOR = "rr"  # iBGP route reflector
+
+
+class Layer1Kind(enum.Enum):
+    """Kind of layer-1 transport a physical link rides on."""
+
+    SONET = "sonet"
+    OPTICAL_MESH = "optical-mesh"
+    ETHERNET = "ethernet"  # direct fiber, no restorable layer-1 network
+
+
+@dataclass(frozen=True)
+class Interface:
+    """A router interface (port).
+
+    ``name`` is unique within its router (e.g. ``se1/0``); the globally
+    unique identifier is ``"<router>:<name>"`` (see :meth:`fqname`).
+    """
+
+    router: str
+    name: str
+    slot: int  # line-card slot the interface lives on
+    ip_address: Optional[str] = None  # /30 endpoint address, if numbered
+    description: str = ""
+
+    @property
+    def fqname(self) -> str:
+        """Globally unique ``router:interface`` identifier."""
+        return f"{self.router}:{self.name}"
+
+
+@dataclass(frozen=True)
+class LineCard:
+    """A line card installed in a router slot."""
+
+    router: str
+    slot: int
+    model: str = "generic-linecard"
+
+    @property
+    def fqname(self) -> str:
+        return f"{self.router}:slot{self.slot}"
+
+
+@dataclass
+class Router:
+    """A router with its line cards and interfaces."""
+
+    name: str
+    role: RouterRole
+    pop: str
+    loopback: str = ""
+    timezone: str = "UTC"
+    vendor: str = "generic"
+    line_cards: List[LineCard] = field(default_factory=list)
+    interfaces: List[Interface] = field(default_factory=list)
+
+    def interface(self, if_name: str) -> Interface:
+        """Return the interface called ``if_name`` on this router."""
+        for iface in self.interfaces:
+            if iface.name == if_name:
+                return iface
+        raise KeyError(f"no interface {if_name!r} on router {self.name!r}")
+
+    def interfaces_on_slot(self, slot: int) -> List[Interface]:
+        """All interfaces hosted by the line card in ``slot``."""
+        return [iface for iface in self.interfaces if iface.slot == slot]
+
+
+@dataclass(frozen=True)
+class PhysicalLink:
+    """A physical circuit between two interfaces.
+
+    A physical link traverses zero or more layer-1 devices (SONET ADMs or
+    optical-mesh nodes), recorded in the layer-1 inventory database.
+    """
+
+    name: str  # circuit identifier, e.g. "c-nyc1-chi1-0"
+    interface_a: str  # fully qualified "router:interface"
+    interface_z: str
+    layer1_kind: Layer1Kind = Layer1Kind.ETHERNET
+
+    @property
+    def endpoints(self) -> Tuple[str, str]:
+        return (self.interface_a, self.interface_z)
+
+
+@dataclass(frozen=True)
+class LogicalLink:
+    """A layer-3 (routed) adjacency between two routers.
+
+    A logical link maps to one or more physical links (APS protection
+    pairs or MLPPP bundle members).  The OSPF topology is built from
+    logical links; physical links and layer-1 devices enter only through
+    the cross-layer mapping used for spatial correlation.
+    """
+
+    name: str  # e.g. "nyc-cr1--chi-cr1"
+    router_a: str
+    router_z: str
+    interface_a: str  # fully qualified
+    interface_z: str
+    physical_links: Tuple[str, ...] = ()
+    subnet: str = ""  # the /30 the endpoints live in, e.g. "10.1.2.0/30"
+
+    @property
+    def routers(self) -> Tuple[str, str]:
+        """Routers with at least one archived snapshot."""
+        return (self.router_a, self.router_z)
+
+    def other_router(self, router: str) -> str:
+        """Return the far-end router of this link relative to ``router``."""
+        if router == self.router_a:
+            return self.router_z
+        if router == self.router_z:
+            return self.router_a
+        raise ValueError(f"router {router!r} is not an endpoint of {self.name!r}")
+
+
+@dataclass(frozen=True)
+class Layer1Device:
+    """A layer-1 transport device (SONET ADM or optical-mesh node)."""
+
+    name: str
+    kind: Layer1Kind
+    pop: str
+
+
+@dataclass(frozen=True)
+class Pop:
+    """A point of presence (a city-level site)."""
+
+    name: str
+    city: str = ""
+    timezone: str = "UTC"
+
+
+@dataclass(frozen=True)
+class CdnServer:
+    """A CDN cache server hosted in a data center attached to a PoP."""
+
+    name: str
+    data_center: str
+    pop: str
+    attached_router: str  # the PER that fronts the data center

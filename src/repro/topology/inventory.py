@@ -1,0 +1,66 @@
+"""Layer-1 inventory database.
+
+The paper (Section II-B, item 7) uses "an external database that keeps
+track of layer-1 inventory" to map physical links to the layer-1 devices
+in between.  This module models that external database as its own store,
+decoupled from the :class:`~repro.topology.network.Network`, so the
+spatial model consumes it the way G-RCA consumes the external system:
+through circuit-id keyed queries that may be stale or incomplete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .network import Network
+
+
+@dataclass(frozen=True)
+class CircuitRecord:
+    """One row of the layer-1 inventory: a circuit and its transport path."""
+
+    circuit_id: str
+    layer1_devices: Tuple[str, ...]
+    kind: str
+
+
+class Layer1Inventory:
+    """Circuit-id -> layer-1 device path lookups, as an external database."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, CircuitRecord] = {}
+
+    @classmethod
+    def from_network(cls, network: Network) -> "Layer1Inventory":
+        """Snapshot the inventory implied by a topology."""
+        inventory = cls()
+        for name, link in network.physical_links.items():
+            inventory.add(
+                CircuitRecord(
+                    circuit_id=name,
+                    layer1_devices=network.layer1_path(name),
+                    kind=link.layer1_kind.value,
+                )
+            )
+        return inventory
+
+    def add(self, record: CircuitRecord) -> None:
+        """Insert or replace one circuit record."""
+        self._records[record.circuit_id] = record
+
+    def devices_for(self, circuit_id: str) -> Tuple[str, ...]:
+        """Layer-1 devices for a circuit; empty when unknown (stale DB)."""
+        record = self._records.get(circuit_id)
+        return record.layer1_devices if record else ()
+
+    def circuits_on(self, layer1_device: str) -> List[str]:
+        """All circuit ids riding a layer-1 device."""
+        return [
+            record.circuit_id
+            for record in self._records.values()
+            if layer1_device in record.layer1_devices
+        ]
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,79 @@
+"""Tests for the backbone probe-loss application (zero custom rules)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.apps import BackboneApp
+from repro.apps.backbone import BACKBONE_LOSS_SPEC
+from repro.core.knowledge import names
+from repro.simulation import backbone_probe_month
+from repro.topology import TopologyParams
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    result = backbone_probe_month(
+        total_losses=100,
+        params=TopologyParams(n_pops=4, pers_per_pop=2, customers_per_per=2, seed=62),
+        seed=62,
+        duration_days=15,
+    )
+    app = BackboneApp.build(result.platform())
+    diagnoses = app.engine.diagnose_all(app.find_symptoms(result.start, result.end))
+    return result, app, diagnoses
+
+
+class TestPureLibraryConstruction:
+    def test_spec_uses_only_library_rules(self):
+        assert BACKBONE_LOSS_SPEC.count("use library") == 3
+        assert "{" not in BACKBONE_LOSS_SPEC  # no explicit clauses at all
+
+    def test_graph_events_all_from_table1(self, outcome):
+        _result, app, _diagnoses = outcome
+        assert app.engine.graph.events() <= set(names.TABLE1_EVENTS)
+
+
+class TestDiagnosis:
+    def test_symptom_count_matches_truth(self, outcome):
+        result, _app, diagnoses = outcome
+        assert len(diagnoses) == len(result.ground_truth)
+
+    def test_breakdown_matches_injected_mixture(self, outcome):
+        result, _app, diagnoses = outcome
+        truth = result.truth_counts()
+        counts = Counter(d.primary_cause for d in diagnoses)
+        assert counts[names.LINK_CONGESTION] == truth["Link Congestions"]
+        assert counts[names.OSPF_RECONVERGENCE] == truth["OSPF re-convergence"]
+        assert counts["Unknown"] == truth["Unknown"]
+
+    def test_congestion_dominates(self, outcome):
+        _result, _app, diagnoses = outcome
+        counts = Counter(d.primary_cause for d in diagnoses)
+        assert counts[names.LINK_CONGESTION] == max(counts.values())
+
+
+class TestAdvice:
+    def test_capacity_recommendation_when_congestion_dominates(self, outcome):
+        result, app, diagnoses = outcome
+        from repro.core import ResultBrowser
+
+        advice = BackboneApp.advise(ResultBrowser(diagnoses))
+        assert advice.congestion_share > advice.reconvergence_share
+        assert "capacity" in advice.recommendation
+
+    def test_frr_recommendation_when_reconvergence_dominates(self, outcome):
+        _result, _app, diagnoses = outcome
+        from repro.core import ResultBrowser
+
+        reconvergence_only = [
+            d for d in diagnoses if d.primary_cause == names.OSPF_RECONVERGENCE
+        ]
+        advice = BackboneApp.advise(ResultBrowser(reconvergence_only))
+        assert "fast reroute" in advice.recommendation
+
+    def test_tie_recommendation(self):
+        from repro.core import ResultBrowser
+
+        advice = BackboneApp.advise(ResultBrowser([]))
+        assert "monitoring" in advice.recommendation

@@ -1,0 +1,172 @@
+"""Tests for the BGP flap RCA application (Fig. 4, Tables III/IV)."""
+
+import random
+
+import pytest
+
+from repro.collector import DataCollector
+from repro.core.knowledge import names
+from repro.platform import GrcaPlatform
+from repro.apps.bgp_flaps import BgpFlapApp, SESSION_FLAP_WINDOW
+from repro.simulation.faults import FaultInjector
+from repro.simulation.telemetry import BASE_EPOCH, TelemetryEmitter
+from repro.topology import TopologyParams, build_topology
+
+T = BASE_EPOCH + 7200.0
+
+
+@pytest.fixture
+def harness():
+    """Topology + injector + a function building the app after injection."""
+    topo = build_topology(
+        TopologyParams(
+            n_pops=3, pers_per_pop=2, customers_per_per=4,
+            access_sonet_fraction=0.5, access_mesh_fraction=0.2, seed=33,
+        )
+    )
+    emitter = TelemetryEmitter(topo, random.Random(1), syslog_jitter=1.0)
+    injector = FaultInjector(topo, emitter, random.Random(2))
+
+    def build_app():
+        collector = DataCollector()
+        for router in topo.network.routers.values():
+            collector.registry.register_device(router.name, router.timezone)
+        emitter.buffers.ingest_into(collector)
+        platform = GrcaPlatform.from_collector(topo, collector, config_time=BASE_EPOCH)
+        return BgpFlapApp.build(platform)
+
+    return topo, injector, build_app
+
+
+def diagnose_single(app, start=T - 3600, end=T + 3600):
+    symptoms = app.find_symptoms(start, end)
+    assert len(symptoms) == 1, symptoms
+    return app.engine.diagnose(symptoms[0])
+
+
+class TestGraphStructure:
+    def test_graph_compiles_from_spec(self, harness):
+        _topo, _injector, build_app = harness
+        app = build_app()
+        graph = app.engine.graph
+        assert graph.symptom_event == names.EBGP_FLAP
+        assert names.CPU_HIGH_SPIKE in graph.events()
+        assert graph.rule_for_edge("Interface flap", "SONET restoration").priority == 180
+
+    def test_table3_events_registered(self, harness):
+        _topo, _injector, build_app = harness
+        app = build_app()
+        for event in (names.EBGP_FLAP, names.CUSTOMER_RESET, names.EBGP_HTE):
+            assert event in app.events
+
+
+@pytest.mark.parametrize(
+    "recipe,expected",
+    [
+        ("bgp_interface_flap", "Interface flap"),
+        ("bgp_lineproto_flap", "Line protocol flap"),
+        ("bgp_cpu_spike", "CPU high (spike)"),
+        ("bgp_cpu_average", "CPU high (average)"),
+        ("bgp_customer_reset", "Customer reset session"),
+        ("bgp_hte_unknown", names.EBGP_HTE),
+        ("bgp_unknown", "Unknown"),
+    ],
+)
+class TestSingleCauseDiagnosis:
+    def test_recipe_diagnosed_correctly(self, harness, recipe, expected):
+        topo, injector, build_app = harness
+        customer = sorted(topo.customer_attachments)[0]
+        getattr(injector, recipe)(T, customer)
+        app = build_app()
+        diagnosis = diagnose_single(app)
+        assert diagnosis.primary_cause == expected
+
+
+class TestLayer1Diagnosis:
+    @pytest.mark.parametrize(
+        "kind",
+        [
+            "SONET restoration",
+            "Fast optical mesh network restoration",
+            "Regular optical mesh network restoration",
+        ],
+    )
+    def test_restoration_beats_interface_flap(self, harness, kind):
+        topo, injector, build_app = harness
+        prefix = "adm-" if kind == "SONET restoration" else "omx-"
+        riding = sorted(
+            c for c, d in topo.customer_layer1.items() if d.startswith(prefix)
+        )
+        assert riding, "fixture lacks layer-1 access customers"
+        injector.bgp_layer1_restoration(T, riding[0], kind)
+        app = build_app()
+        diagnosis = diagnose_single(app)
+        assert diagnosis.primary_cause == kind
+        # the interface flap is in the evidence, outranked by layer-1
+        assert diagnosis.evidence_for("Interface flap")
+
+
+class TestRebootDiagnosis:
+    def test_every_session_blamed_on_reboot(self, harness):
+        topo, injector, build_app = harness
+        per = topo.provider_edges[0]
+        truths = injector.bgp_router_reboot(T, per)
+        app = build_app()
+        symptoms = app.find_symptoms(T - 3600, T + 3600)
+        assert len(symptoms) == len(truths)
+        for symptom in symptoms:
+            assert app.engine.diagnose(symptom).primary_cause == "Router reboot"
+
+
+class TestPriorityInteraction:
+    def test_layer1_beats_cpu_when_both_join(self, harness):
+        """The paper's example: flap joins high CPU and a layer-1 flap;
+        the layer-1 flap (priority 180) is the diagnosed cause."""
+        topo, injector, build_app = harness
+        riding = sorted(topo.customer_layer1)
+        customer = riding[0]
+        per, _iface, _ip = topo.customer_attachments[customer]
+        injector.emitter.cpu_spike(T - 10.0, per)
+        injector.bgp_layer1_restoration(T, customer, "SONET restoration")
+        app = build_app()
+        diagnosis = diagnose_single(app)
+        assert diagnosis.primary_cause == "SONET restoration"
+
+
+class TestSessionIsolation:
+    def test_flap_on_one_session_does_not_explain_another(self, harness):
+        topo, injector, build_app = harness
+        customers = sorted(topo.customer_attachments)
+        per0 = topo.customer_attachments[customers[0]][0]
+        sibling = next(
+            c for c in customers[1:] if topo.customer_attachments[c][0] == per0
+        )
+        injector.bgp_interface_flap(T, customers[0])
+        injector.bgp_unknown(T + 20.0, sibling)  # same router, same time
+        app = build_app()
+        symptoms = app.find_symptoms(T - 3600, T + 3600)
+        assert len(symptoms) == 2
+        causes = {
+            tuple(s.location.parts): app.engine.diagnose(s).primary_cause
+            for s in symptoms
+        }
+        assert sorted(causes.values()) == ["Interface flap", "Unknown"]
+
+
+class TestBayesianConfig:
+    def test_engine_has_three_virtual_causes(self):
+        engine = BgpFlapApp.bayesian_engine()
+        assert {m.name for m in engine.models} == {
+            "CPU High Issue", "Interface Issue", "Line-card Issue",
+        }
+        assert all(m.virtual for m in engine.models)
+
+    def test_cpu_evidence_classified_cpu(self):
+        engine = BgpFlapApp.bayesian_engine()
+        verdict = engine.classify({names.CPU_HIGH_SPIKE, names.EBGP_HTE})
+        assert verdict.best == "CPU High Issue"
+
+    def test_single_interface_flap_classified_interface(self):
+        engine = BgpFlapApp.bayesian_engine()
+        verdict = engine.classify({names.INTERFACE_FLAP, names.LINEPROTO_FLAP})
+        assert verdict.best == "Interface Issue"

@@ -1,0 +1,183 @@
+"""Tests for the CDN RCA application (Fig. 5, Tables V/VI)."""
+
+import random
+
+import pytest
+
+from repro.apps.cdn import CdnApp, build_cdn_graph
+from repro.collector import DataCollector
+from repro.core.knowledge import names
+from repro.platform import GrcaPlatform
+from repro.simulation.faults import FaultInjector
+from repro.simulation.telemetry import BASE_EPOCH, TelemetryEmitter
+from repro.topology import TopologyParams, build_topology
+
+INTERVAL = 1800.0
+T0 = BASE_EPOCH
+FAULT_SLOT = 8
+T_FAULT = T0 + FAULT_SLOT * INTERVAL + 60.0
+
+
+@pytest.fixture
+def harness():
+    topo = build_topology(
+        TopologyParams(
+            n_pops=4, pers_per_pop=2, customers_per_per=2,
+            cdn_pops=("nyc",), peering_pops=("chi",), cdn_servers_per_dc=2, seed=55,
+        )
+    )
+    emitter = TelemetryEmitter(topo, random.Random(1), syslog_jitter=1.0)
+    injector = FaultInjector(topo, emitter, random.Random(2))
+    server = sorted(topo.network.cdn_servers)[0]
+    client_ip = "198.51.100.25"
+    # steady state: client prefix egresses at chi, server enters at nyc-per1
+    emitter.bgp_update(T0 - 86400.0, "A", "198.51.100.0/24", "chi-cr1")
+    emitter.netflow(T0 - 86400.0, server, "203.0.113.1", "nyc-per1")
+
+    def emit_rtt(elevated_slots=frozenset(), n_slots=16, base=50.0):
+        rng = random.Random(7)
+        for slot in range(n_slots):
+            t = T0 + (slot + 1) * INTERVAL
+            value = base + rng.gauss(0.0, 1.0)
+            if slot in elevated_slots:
+                value *= 2.5
+            emitter.perf(t, server, client_ip, "rtt_ms", value)
+
+    def build_app():
+        collector = DataCollector()
+        for router in topo.network.routers.values():
+            collector.registry.register_device(router.name, router.timezone)
+        emitter.buffers.ingest_into(collector)
+        platform = GrcaPlatform.from_collector(
+            topo, collector, config_time=T0 - 2 * 86400.0
+        )
+        return CdnApp.build(platform)
+
+    return topo, injector, emitter, server, client_ip, emit_rtt, build_app
+
+
+def diagnose_single(app, t0=T0):
+    symptoms = app.find_symptoms(t0, t0 + 20 * INTERVAL)
+    assert len(symptoms) == 1, symptoms
+    return app.engine.diagnose(symptoms[0])
+
+
+class TestGraphStructure:
+    def test_graph_children(self):
+        graph = build_cdn_graph()
+        children = {r.child_event for r in graph.rules_from(graph.symptom_event)}
+        assert children == {
+            names.CDN_SERVER_ISSUE,
+            names.CDN_POLICY_CHANGE,
+            names.INTERFACE_FLAP,
+            names.BGP_EGRESS_CHANGE,
+            names.LINK_LOSS,
+            names.LINK_CONGESTION,
+            names.OSPF_RECONVERGENCE,
+        }
+
+
+class TestSymptomDetection:
+    def test_stable_rtt_no_symptoms(self, harness):
+        *_, emit_rtt, build_app = harness
+        emit_rtt()
+        app = build_app()
+        assert app.find_symptoms(T0, T0 + 20 * INTERVAL) == []
+
+    def test_elevated_sample_detected(self, harness):
+        topo, injector, emitter, server, client_ip, emit_rtt, build_app = harness
+        emit_rtt(elevated_slots={FAULT_SLOT})
+        app = build_app()
+        symptoms = app.find_symptoms(T0, T0 + 20 * INTERVAL)
+        assert len(symptoms) == 1
+        assert symptoms[0].location.parts == (server, client_ip)
+
+
+class TestDiagnosisPerCause:
+    def path_link(self, injector, topo):
+        paths = injector.paths_between("nyc-per1", "chi-cr1", T_FAULT - 10.0)
+        assert paths.reachable
+        return sorted(paths.links)[0]
+
+    def test_outside_network_unknown(self, harness):
+        *_, emit_rtt, build_app = harness
+        emit_rtt(elevated_slots={FAULT_SLOT})
+        diagnosis = diagnose_single(build_app())
+        assert diagnosis.primary_cause == "Unknown"
+
+    def test_policy_change(self, harness):
+        topo, injector, emitter, server, client_ip, emit_rtt, build_app = harness
+        injector.cdn_policy_change(T_FAULT, [server])
+        emit_rtt(elevated_slots={FAULT_SLOT})
+        assert diagnose_single(build_app()).primary_cause == names.CDN_POLICY_CHANGE
+
+    def test_server_issue(self, harness):
+        topo, injector, emitter, server, client_ip, emit_rtt, build_app = harness
+        injector.cdn_server_overload(T_FAULT, server, INTERVAL)
+        emit_rtt(elevated_slots={FAULT_SLOT})
+        assert diagnose_single(build_app()).primary_cause == names.CDN_SERVER_ISSUE
+
+    def test_other_servers_issue_does_not_join(self, harness):
+        topo, injector, emitter, server, client_ip, emit_rtt, build_app = harness
+        other = sorted(topo.network.cdn_servers)[1]
+        injector.cdn_server_overload(T_FAULT, other, INTERVAL)
+        emit_rtt(elevated_slots={FAULT_SLOT})
+        assert diagnose_single(build_app()).primary_cause == "Unknown"
+
+    def test_link_congestion_on_path(self, harness):
+        topo, injector, emitter, server, client_ip, emit_rtt, build_app = harness
+        link = self.path_link(injector, topo)
+        iface = topo.network.logical_link(link).interface_a
+        injector.cdn_link_congestion(T_FAULT, iface, INTERVAL)
+        emit_rtt(elevated_slots={FAULT_SLOT})
+        assert diagnose_single(build_app()).primary_cause == names.LINK_CONGESTION
+
+    def test_link_loss_on_path(self, harness):
+        topo, injector, emitter, server, client_ip, emit_rtt, build_app = harness
+        link = self.path_link(injector, topo)
+        iface = topo.network.logical_link(link).interface_a
+        injector.cdn_link_loss(T_FAULT, iface, INTERVAL)
+        emit_rtt(elevated_slots={FAULT_SLOT})
+        assert diagnose_single(build_app()).primary_cause == names.LINK_LOSS
+
+    def test_congestion_off_path_does_not_join(self, harness):
+        topo, injector, emitter, server, client_ip, emit_rtt, build_app = harness
+        # an interface in a PoP that cannot be on the nyc->chi path
+        off_path = topo.network.router("lax-per2").interfaces[0].fqname
+        injector.cdn_link_congestion(T_FAULT, off_path, INTERVAL)
+        emit_rtt(elevated_slots={FAULT_SLOT})
+        assert diagnose_single(build_app()).primary_cause == "Unknown"
+
+    def test_interface_flap_on_path(self, harness):
+        topo, injector, emitter, server, client_ip, emit_rtt, build_app = harness
+        link = self.path_link(injector, topo)
+        injector.cdn_backbone_interface_flap(T_FAULT, link)
+        emit_rtt(elevated_slots={FAULT_SLOT})
+        assert diagnose_single(build_app()).primary_cause == names.INTERFACE_FLAP
+
+    def test_ospf_reconvergence_on_path(self, harness):
+        topo, injector, emitter, server, client_ip, emit_rtt, build_app = harness
+        link = self.path_link(injector, topo)
+        injector.cdn_ospf_reconvergence(T_FAULT, link)
+        emit_rtt(elevated_slots={FAULT_SLOT})
+        assert diagnose_single(build_app()).primary_cause == names.OSPF_RECONVERGENCE
+
+    def test_egress_change(self, harness):
+        topo, injector, emitter, server, client_ip, emit_rtt, build_app = harness
+        injector.cdn_egress_change(T_FAULT, "198.51.100.0/24", "chi-cr1", "dfw-cr1")
+        emit_rtt(elevated_slots={FAULT_SLOT})
+        assert diagnose_single(build_app()).primary_cause == names.BGP_EGRESS_CHANGE
+
+
+class TestManualEntry:
+    def test_operator_entered_event_diagnosed(self, harness):
+        """Section III-B: operators may enter an event directly (e.g. a
+        customer service call) instead of a traffic-monitor detection."""
+        topo, injector, emitter, server, client_ip, emit_rtt, build_app = harness
+        injector.cdn_policy_change(T_FAULT, [server])
+        emit_rtt()  # no detectable elevation at all
+        app = build_app()
+        diagnosis = app.diagnose_manual_event(
+            T_FAULT - 60.0, T_FAULT + 600.0, server, client_ip
+        )
+        assert diagnosis.primary_cause == names.CDN_POLICY_CHANGE

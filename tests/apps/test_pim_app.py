@@ -1,0 +1,167 @@
+"""Tests for the PIM/MVPN RCA application (Fig. 6, Tables VII/VIII)."""
+
+import random
+
+import pytest
+
+from repro.apps.pim import CUSTOMER_IFACE_FLAP, PimApp, build_pim_graph
+from repro.collector import DataCollector
+from repro.core.knowledge import names
+from repro.platform import GrcaPlatform
+from repro.simulation.faults import FaultInjector
+from repro.simulation.telemetry import BASE_EPOCH, TelemetryEmitter
+from repro.topology import TopologyParams, build_topology
+
+T = BASE_EPOCH + 7200.0
+
+
+@pytest.fixture
+def harness():
+    topo = build_topology(
+        TopologyParams(n_pops=4, pers_per_pop=2, customers_per_per=3, seed=44)
+    )
+    emitter = TelemetryEmitter(topo, random.Random(1), syslog_jitter=1.0)
+    injector = FaultInjector(topo, emitter, random.Random(2))
+
+    def build_app():
+        collector = DataCollector()
+        for router in topo.network.routers.values():
+            collector.registry.register_device(router.name, router.timezone)
+        emitter.buffers.ingest_into(collector)
+        platform = GrcaPlatform.from_collector(topo, collector, config_time=BASE_EPOCH)
+        return PimApp.build(platform)
+
+    return topo, injector, build_app
+
+
+class TestGraphStructure:
+    def test_graph_shape(self):
+        graph = build_pim_graph()
+        assert graph.symptom_event == names.PIM_ADJACENCY_CHANGE
+        children = {r.child_event for r in graph.rules_from(graph.symptom_event)}
+        assert CUSTOMER_IFACE_FLAP in children
+        assert names.ROUTER_COST_IN_OUT in children
+        assert names.OSPF_RECONVERGENCE in children
+        assert len(children) == 7
+
+    def test_customer_flap_has_top_priority(self):
+        graph = build_pim_graph()
+        priorities = {
+            r.child_event: r.priority for r in graph.rules_from(graph.symptom_event)
+        }
+        assert priorities[CUSTOMER_IFACE_FLAP] == max(priorities.values())
+        assert priorities[names.LINK_COST_OUT] > priorities[names.OSPF_RECONVERGENCE]
+
+
+class TestDiagnosisPerCause:
+    def run_one(self, build_app, expected, n_min=1):
+        app = build_app()
+        symptoms = app.find_symptoms(T - 7200, T + 7200)
+        assert len(symptoms) >= n_min
+        causes = {app.engine.diagnose(s).primary_cause for s in symptoms}
+        assert causes == {expected}
+
+    def test_config_change(self, harness):
+        topo, injector, build_app = harness
+        injector.pim_config_change(T, topo.provider_edges[0])
+        self.run_one(build_app, names.PIM_CONFIG_CHANGE)
+
+    def test_router_cost(self, harness):
+        topo, injector, build_app = harness
+        core = f"{sorted(topo.network.pops)[0]}-cr1"
+        truths = injector.pim_router_cost(T, core)
+        if not truths:
+            pytest.skip("no PE pair crossed the chosen core in this draw")
+        self.run_one(build_app, names.ROUTER_COST_IN_OUT)
+
+    def test_link_cost_out(self, harness):
+        topo, injector, build_app = harness
+        backbone = [
+            l.name for l in topo.network.logical_links.values()
+            if l.router_a.endswith("cr1") and l.router_z.endswith("cr1")
+        ]
+        truths = []
+        for link in backbone:
+            truths = injector.pim_link_cost_out(T, link)
+            if truths:
+                break
+        assert truths, "need a backbone link with a crossing PE pair"
+        self.run_one(build_app, names.LINK_COST_OUT)
+
+    def test_ospf_reconvergence(self, harness):
+        topo, injector, build_app = harness
+        backbone = [
+            l.name for l in topo.network.logical_links.values()
+            if l.router_a.endswith("cr1") and l.router_z.endswith("cr1")
+        ]
+        truths = []
+        for link in backbone:
+            truths = injector.pim_ospf_reconvergence(T, link)
+            if truths:
+                break
+        assert truths
+        self.run_one(build_app, names.OSPF_RECONVERGENCE)
+
+    def test_uplink_adjacency(self, harness):
+        topo, injector, build_app = harness
+        injector.pim_uplink_adjacency(T, topo.provider_edges[0])
+        self.run_one(build_app, names.UPLINK_PIM_ADJACENCY_CHANGE)
+
+    def test_customer_interface_flap(self, harness):
+        topo, injector, build_app = harness
+        customer = sorted(topo.customer_attachments)[0]
+        injector.pim_customer_interface_flap(T, customer)
+        self.run_one(build_app, CUSTOMER_IFACE_FLAP)
+
+    def test_unknown(self, harness):
+        topo, injector, build_app = harness
+        injector.pim_unknown(T, topo.provider_edges[0])
+        self.run_one(build_app, "Unknown")
+
+
+class TestSymptomRetrieval:
+    def test_uplink_changes_are_not_symptoms(self, harness):
+        topo, injector, build_app = harness
+        injector.pim_uplink_adjacency(T, topo.provider_edges[0])
+        app = build_app()
+        symptoms = app.find_symptoms(T - 3600, T + 3600)
+        # only the vrf-scoped changes count as symptoms, not the uplink one
+        assert all(
+            s.name == names.PIM_ADJACENCY_CHANGE for s in symptoms
+        )
+        uplink_events = app.events.get(names.UPLINK_PIM_ADJACENCY_CHANGE)
+        assert uplink_events is not None
+
+    def test_symptom_location_is_pe_pair(self, harness):
+        topo, injector, build_app = harness
+        injector.pim_unknown(T, topo.provider_edges[0])
+        app = build_app()
+        symptom = app.find_symptoms(T - 3600, T + 3600)[0]
+        local, remote = symptom.location.parts
+        assert local == topo.provider_edges[0]
+        assert remote in topo.provider_edges
+
+    def test_backbone_interface_flap_not_customer_facing(self, harness):
+        """A backbone flap must not be classified as a customer-facing
+        flap: the app-specific event filters to link-less interfaces."""
+        topo, injector, build_app = harness
+        backbone = [
+            l.name for l in topo.network.logical_links.values()
+            if l.router_a.endswith("cr1") and l.router_z.endswith("cr1")
+        ]
+        truths = []
+        for link in backbone:
+            pairs = injector.pe_pairs_crossing(link, T - 1.0, limit=1)
+            if not pairs:
+                continue
+            # flap the backbone interface AND ripple OSPF, then a PIM change
+            injector.emitter.interface_flap(
+                T, topo.network.logical_link(link).interface_a, 20.0
+            )
+            truths = injector.pim_link_cost_out(T + 1.0, link)
+            break
+        assert truths
+        app = build_app()
+        symptoms = app.find_symptoms(T - 3600, T + 3600)
+        causes = {app.engine.diagnose(s).primary_cause for s in symptoms}
+        assert CUSTOMER_IFACE_FLAP not in causes

@@ -1,0 +1,67 @@
+"""Tests for the Section IV correlation study harness."""
+
+import pytest
+
+from repro.apps import BgpFlapApp
+from repro.apps.studies import CPU_RELATED_CAUSES, cpu_correlation_study
+from repro.core.correlation import CorrelationTester
+from repro.simulation import cpu_bgp_study
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    result = cpu_bgp_study(
+        seed=201, duration_days=20, n_provisioning=120,
+        provisioning_flap_probability=0.15, n_other_flaps=400, n_pure_cpu_flaps=10,
+    )
+    app = BgpFlapApp.build(result.platform())
+    diagnoses = app.engine.diagnose_all(app.find_symptoms(result.start, result.end))
+    return result, app, diagnoses
+
+
+class TestCpuCorrelationStudy:
+    def test_counts_reported(self, outcome):
+        result, app, diagnoses = outcome
+        study = cpu_correlation_study(app, diagnoses, result.start, result.end)
+        assert study.n_all_flaps == len(diagnoses)
+        assert study.n_cpu_related == sum(
+            1 for d in diagnoses if d.primary_cause in CPU_RELATED_CAUSES
+        )
+        assert study.n_candidates > 5
+
+    def test_every_candidate_tested_in_both_modes(self, outcome):
+        result, app, diagnoses = outcome
+        study = cpu_correlation_study(app, diagnoses, result.start, result.end)
+        assert len(study.prefiltered) == study.n_candidates
+        assert len(study.unfiltered) == study.n_candidates
+
+    def test_lookup_helpers(self, outcome):
+        result, app, diagnoses = outcome
+        study = cpu_correlation_study(app, diagnoses, result.start, result.end)
+        assert study.prefiltered_result("provisioning.port_turnup") is not None
+        assert study.prefiltered_result("no-such-series") is None
+
+    def test_prefiltered_provisioning_scores_higher(self, outcome):
+        result, app, diagnoses = outcome
+        study = cpu_correlation_study(app, diagnoses, result.start, result.end)
+        pre = study.prefiltered_result("provisioning.port_turnup")
+        unf = study.unfiltered_result("provisioning.port_turnup")
+        assert pre.score > unf.score
+
+    def test_per_router_universe_is_larger(self, outcome):
+        result, app, diagnoses = outcome
+        aggregated = cpu_correlation_study(
+            app, diagnoses, result.start, result.end, per_router=False
+        )
+        per_router = cpu_correlation_study(
+            app, diagnoses, result.start, result.end, per_router=True
+        )
+        assert per_router.n_candidates > aggregated.n_candidates
+
+    def test_custom_tester_respected(self, outcome):
+        result, app, diagnoses = outcome
+        strict = CorrelationTester(score_threshold=1e9)
+        study = cpu_correlation_study(
+            app, diagnoses, result.start, result.end, tester=strict
+        )
+        assert study.significant_prefiltered() == []

@@ -1,0 +1,125 @@
+"""Failure injection: the collector must survive hostile feeds.
+
+A production collector ingests ~600 sources; any of them can emit
+truncated lines, wrong field counts, garbage encodings or absurd
+values.  Parsers must count and skip, never raise, and good records
+around the bad ones must land intact.
+"""
+
+import random
+import string
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collector import DataCollector
+from repro.collector.sources.misc import render_perfmon_row
+from repro.collector.sources.snmp import render_snmp_row
+from repro.collector.sources.syslog import render_syslog_line
+
+BASE = 1262692800.0
+
+
+@pytest.fixture
+def collector():
+    c = DataCollector()
+    c.registry.register_device("nyc-per1", "US/Eastern")
+    return c
+
+
+CORRUPT_LINES = [
+    "",
+    " ",
+    "\x00\x01\x02",
+    "a" * 10_000,
+    "|||||",
+    "2010-01-05 12:00:00",
+    "not even close",
+    "2010-01-05 12:00:00|r1",  # truncated
+    "9999999999999999999999|r1|x|y|z",  # absurd numbers
+    "NaN|r1|cpu_util_5min||NaN",
+    "2010-01-05 12:00:00|r1|cpu_util_5min||not-a-number",
+    "Jan 99 99:99:99 ghost %FOO: bar",  # impossible timestamp
+]
+
+
+class TestCorruptFeeds:
+    @pytest.mark.parametrize("source", [
+        "syslog", "snmp", "ospfmon", "bgpmon", "tacacs",
+        "layer1", "perfmon", "netflow", "workflow", "cdn",
+    ])
+    def test_corrupt_lines_never_raise(self, collector, source):
+        stats = collector.ingest(source, CORRUPT_LINES)
+        # blank lines are skipped silently; a couple of corrupt rows may
+        # be syntactically valid for lenient free-text formats (tacacs,
+        # workflow), but most must be rejected and none may crash
+        assert stats.accepted <= 2
+        assert stats.last_error is None or isinstance(stats.last_error, str)
+
+    def test_good_records_survive_surrounding_garbage(self, collector):
+        good = render_syslog_line(
+            BASE, "nyc-per1", "US/Eastern", "SYS-5-RESTART", "System restarted"
+        )
+        lines = CORRUPT_LINES[:5] + [good] + CORRUPT_LINES[5:]
+        stats = collector.ingest("syslog", lines)
+        assert stats.accepted == 1
+        assert len(collector.store.table("syslog").query()) == 1
+
+    def test_reject_counts_accumulate(self, collector):
+        collector.ingest("snmp", ["garbage-1"])
+        collector.ingest("snmp", ["garbage-2", "garbage-3"])
+        assert collector.parsers["snmp"].stats.rejected == 3
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(alphabet=string.printable, max_size=200))
+    def test_fuzzed_syslog_never_raises(self, line):
+        collector = DataCollector()
+        collector.ingest("syslog", [line])  # must not raise
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(alphabet=string.printable, max_size=200))
+    def test_fuzzed_snmp_never_raises(self, line):
+        collector = DataCollector()
+        collector.ingest("snmp", [line])
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.text(alphabet=string.printable, max_size=200))
+    def test_fuzzed_bgpmon_never_raises(self, line):
+        collector = DataCollector()
+        collector.ingest("bgpmon", [line])
+
+
+class TestMessyButValidFeeds:
+    def test_duplicate_records_both_stored(self, collector):
+        row = render_snmp_row(BASE, "nyc-per1", "cpu_util_5min", "", 50.0)
+        collector.ingest("snmp", [row, row])
+        assert len(collector.store.table("snmp").query()) == 2
+
+    def test_out_of_order_arrival_sorted_in_store(self, collector):
+        rows = [
+            render_perfmon_row(BASE + 600, "a", "b", "rtt_ms", 30.0),
+            render_perfmon_row(BASE, "a", "b", "rtt_ms", 31.0),
+            render_perfmon_row(BASE + 300, "a", "b", "rtt_ms", 29.0),
+        ]
+        collector.ingest("perfmon", rows)
+        timestamps = [r.timestamp for r in collector.store.table("perfmon").scan()]
+        assert timestamps == sorted(timestamps)
+
+    def test_mixed_case_and_domain_suffixes_normalized(self, collector):
+        lines = [
+            render_syslog_line(BASE, "NYC-PER1", "US/Eastern",
+                               "SYS-5-RESTART", "System restarted"),
+        ]
+        # hand-mangle the hostname with a domain suffix
+        lines[0] = lines[0].replace("NYC-PER1", "NYC-PER1.core.ispnet.example")
+        collector.ingest("syslog", lines)
+        assert collector.store.table("syslog").query()[0]["router"] == "nyc-per1"
+
+    def test_unknown_device_defaults_to_utc(self, collector):
+        line = render_syslog_line(
+            BASE, "mystery-router", "UTC", "SYS-5-RESTART", "System restarted"
+        )
+        stats = collector.ingest("syslog", [line])
+        assert stats.accepted == 1
+        record = collector.store.table("syslog").query()[0]
+        assert abs(record.timestamp - BASE) < 1.5

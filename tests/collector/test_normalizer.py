@@ -1,0 +1,104 @@
+"""Tests for name/timestamp normalization."""
+
+import pytest
+
+from repro.collector.normalizer import (
+    DeviceRegistry,
+    NormalizationError,
+    epoch_to_text,
+    normalize_interface_name,
+    normalize_router_name,
+    parse_timestamp,
+)
+
+
+class TestRouterNames:
+    def test_strips_domain_and_lowercases(self):
+        assert normalize_router_name("NYC-PER1.ispnet.example") == "nyc-per1"
+
+    def test_alias_applied(self):
+        assert normalize_router_name("lo-192", {"lo-192": "nyc-per1"}) == "nyc-per1"
+
+    def test_empty_rejected(self):
+        with pytest.raises(NormalizationError):
+            normalize_router_name("   ")
+
+    def test_plain_name_passthrough(self):
+        assert normalize_router_name("chi-cr2") == "chi-cr2"
+
+
+class TestInterfaceNames:
+    @pytest.mark.parametrize(
+        "raw,expected",
+        [
+            ("Serial1/0", "se1/0"),
+            ("GigabitEthernet0/2", "gi0/2"),
+            ("TenGigabitEthernet3/0", "te3/0"),
+            ("se1/0", "se1/0"),
+            ("POS2/1", "pos2/1"),
+            ("Loopback0", "lo0"),
+        ],
+    )
+    def test_long_forms_shortened(self, raw, expected):
+        assert normalize_interface_name(raw) == expected
+
+    def test_garbage_rejected(self):
+        with pytest.raises(NormalizationError):
+            normalize_interface_name("???")
+
+    def test_missing_numbering_rejected(self):
+        with pytest.raises(NormalizationError):
+            normalize_interface_name("Serial")
+
+
+class TestTimestamps:
+    def test_utc_datetime(self):
+        epoch = parse_timestamp("2010-01-05 12:00:00", "UTC")
+        assert epoch_to_text(epoch) == "2010-01-05 12:00:00"
+
+    def test_eastern_offset_applied(self):
+        utc = parse_timestamp("2010-01-05 12:00:00", "UTC")
+        eastern = parse_timestamp("2010-01-05 07:00:00", "US/Eastern")
+        assert utc == eastern
+
+    def test_pacific_vs_eastern_three_hours(self):
+        eastern = parse_timestamp("2010-01-05 09:00:00", "US/Eastern")
+        pacific = parse_timestamp("2010-01-05 06:00:00", "US/Pacific")
+        assert eastern == pacific
+
+    def test_syslog_style_gets_default_year(self):
+        epoch = parse_timestamp("Jan  5 12:00:00", "UTC", default_year=2010)
+        assert epoch_to_text(epoch) == "2010-01-05 12:00:00"
+
+    def test_epoch_passthrough(self):
+        assert parse_timestamp("1262692800.5") == 1262692800.5
+
+    def test_iso_t_separator(self):
+        assert parse_timestamp("2010-01-05T12:00:00", "UTC") == parse_timestamp(
+            "2010-01-05 12:00:00", "UTC"
+        )
+
+    def test_garbage_rejected(self):
+        with pytest.raises(NormalizationError):
+            parse_timestamp("yesterday-ish")
+
+    def test_unknown_zone_rejected(self):
+        with pytest.raises(NormalizationError):
+            parse_timestamp("2010-01-05 12:00:00", "Mars/OlympusMons")
+
+
+class TestDeviceRegistry:
+    def test_timezone_lookup(self):
+        registry = DeviceRegistry()
+        registry.register_device("NYC-PER1", "US/Eastern")
+        assert registry.timezone_of("nyc-per1.ispnet.example") == "US/Eastern"
+
+    def test_unknown_device_defaults_utc(self):
+        assert DeviceRegistry().timezone_of("ghost") == "UTC"
+
+    def test_alias_resolution_in_timestamp_parse(self):
+        registry = DeviceRegistry()
+        registry.register_device("nyc-per1", "US/Eastern")
+        registry.register_alias("edge-tag-7", "nyc-per1")
+        local = registry.parse_device_timestamp("2010-01-05 07:00:00", "edge-tag-7")
+        assert local == parse_timestamp("2010-01-05 12:00:00", "UTC")

@@ -1,0 +1,219 @@
+"""Tests for the data-source parsers (render -> parse round trips)."""
+
+import pytest
+
+from repro.collector import DataCollector
+from repro.collector.sources.misc import (
+    render_cdn_row,
+    render_layer1_row,
+    render_netflow_row,
+    render_perfmon_row,
+    render_tacacs_row,
+    render_workflow_row,
+)
+from repro.collector.sources.bgpmon import render_bgpmon_row, update_log_from_store
+from repro.collector.sources.ospfmon import render_ospfmon_row, weight_history_from_store
+from repro.collector.sources.snmp import render_snmp_row
+from repro.collector.sources.syslog import render_syslog_line
+
+
+@pytest.fixture
+def collector():
+    c = DataCollector()
+    c.registry.register_device("nyc-per1", "US/Eastern")
+    return c
+
+
+BASE = 1262692800.0  # 2010-01-05 12:00:00 UTC
+
+
+class TestSyslog:
+    def test_link_updown_parsed(self, collector):
+        line = render_syslog_line(
+            BASE, "nyc-per1", "US/Eastern", "LINK-3-UPDOWN",
+            "Interface Serial1/0, changed state to down",
+        )
+        stats = collector.ingest("syslog", [line])
+        assert stats.accepted == 1
+        record = collector.store.table("syslog").query()[0]
+        assert record["router"] == "nyc-per1"
+        assert record["interface"] == "se1/0"
+        assert record["state"] == "down"
+        assert abs(record.timestamp - BASE) < 1.0
+
+    def test_local_timezone_normalized(self, collector):
+        # rendered in Eastern, parsed back to the same UTC epoch
+        line = render_syslog_line(
+            BASE, "nyc-per1", "US/Eastern", "SYS-5-RESTART", "System restarted"
+        )
+        collector.ingest("syslog", [line])
+        record = collector.store.table("syslog").query()[0]
+        assert abs(record.timestamp - BASE) < 1.0
+
+    def test_bgp_notification_hold_timer(self, collector):
+        line = render_syslog_line(
+            BASE, "nyc-per1", "US/Eastern", "BGP-5-NOTIFICATION",
+            "sent to neighbor 10.0.0.2 4/0 (hold time expired) 0 bytes",
+        )
+        collector.ingest("syslog", [line])
+        record = collector.store.table("syslog").query()[0]
+        assert record["reason"] == "hold_timer_expired"
+        assert record["direction"] == "sent"
+        assert record["neighbor"] == "10.0.0.2"
+
+    def test_bgp_notification_customer_reset(self, collector):
+        line = render_syslog_line(
+            BASE, "nyc-per1", "US/Eastern", "BGP-5-NOTIFICATION",
+            "received from neighbor 10.0.0.2 6/4 (administrative reset)",
+        )
+        collector.ingest("syslog", [line])
+        assert collector.store.table("syslog").query()[0]["reason"] == "administrative_reset"
+
+    def test_bgp_adjchange_state(self, collector):
+        line = render_syslog_line(
+            BASE, "nyc-per1", "US/Eastern", "BGP-5-ADJCHANGE", "neighbor 10.0.0.2 Down hold time expired"
+        )
+        collector.ingest("syslog", [line])
+        assert collector.store.table("syslog").query()[0]["state"] == "down"
+
+    def test_pim_nbrchg_with_vrf(self, collector):
+        line = render_syslog_line(
+            BASE, "nyc-per1", "US/Eastern", "PIM-5-NBRCHG",
+            "neighbor 10.9.9.2 DOWN on interface Serial2/0 (vrf cust-vpn-3)",
+        )
+        collector.ingest("syslog", [line])
+        record = collector.store.table("syslog").query()[0]
+        assert record["vrf"] == "cust-vpn-3"
+        assert record["interface"] == "se2/0"
+        assert record["state"] == "down"
+
+    def test_cpuhog_percentage(self, collector):
+        line = render_syslog_line(
+            BASE, "nyc-per1", "US/Eastern", "SYS-3-CPUHOG",
+            "CPU utilization over last 5 seconds: 96%",
+        )
+        collector.ingest("syslog", [line])
+        assert collector.store.table("syslog").query()[0]["cpu_pct"] == 96
+
+    def test_garbage_rejected_not_raised(self, collector):
+        stats = collector.ingest("syslog", ["totally not syslog"])
+        assert stats.rejected == 1
+        assert stats.accepted == 0
+
+    def test_blank_lines_skipped(self, collector):
+        stats = collector.ingest("syslog", ["", "   "])
+        assert stats.accepted == 0
+        assert stats.rejected == 0
+
+
+class TestSnmp:
+    def test_cpu_row(self, collector):
+        row = render_snmp_row(BASE, "nyc-per1", "cpu_util_5min", "", 72.0)
+        collector.ingest("snmp", [row])
+        record = collector.store.table("snmp").query()[0]
+        assert record["metric"] == "cpu_util_5min"
+        assert record["value"] == 72.0
+        assert record.get("interface") is None
+
+    def test_link_util_row_normalizes_interface(self, collector):
+        row = render_snmp_row(BASE, "NYC-PER1", "link_util", "Serial1/0", 83.5)
+        collector.ingest("snmp", [row])
+        record = collector.store.table("snmp").query()[0]
+        assert record["interface"] == "se1/0"
+        assert record["router"] == "nyc-per1"
+
+    def test_unknown_metric_rejected(self, collector):
+        stats = collector.ingest("snmp", [f"2010-01-05 12:00:00|r1|bogus||1"])
+        assert stats.rejected == 1
+
+
+class TestRoutingFeeds:
+    def test_ospfmon_roundtrip_to_history(self, collector):
+        rows = [
+            render_ospfmon_row(BASE, "nyc--chi", 65535),
+            render_ospfmon_row(BASE + 60, "nyc--chi", 10),
+        ]
+        collector.ingest("ospfmon", rows)
+        history = weight_history_from_store(collector.store)
+        assert history.weights_at(BASE + 30)["nyc--chi"] == 65535
+        assert history.weights_at(BASE + 90)["nyc--chi"] == 10
+
+    def test_ospfmon_negative_weight_rejected(self, collector):
+        stats = collector.ingest("ospfmon", [f"{BASE}|nyc--chi|-4"])
+        assert stats.rejected == 1
+
+    def test_bgpmon_roundtrip_to_log(self, collector):
+        rows = [
+            render_bgpmon_row(BASE, "A", "198.51.100.0/24", "chi-per1"),
+            render_bgpmon_row(BASE + 100, "W", "198.51.100.0/24", "chi-per1"),
+        ]
+        collector.ingest("bgpmon", rows)
+        log = update_log_from_store(collector.store)
+        assert len(log.routes_at("198.51.100.0/24", BASE + 50)) == 1
+        assert log.routes_at("198.51.100.0/24", BASE + 150) == []
+
+    def test_bgpmon_bad_kind_rejected(self, collector):
+        stats = collector.ingest("bgpmon", [f"{BASE}|X|198.51.100.0/24|r1||100|1"])
+        assert stats.rejected == 1
+
+
+class TestMiscSources:
+    def test_tacacs_extracts_interface(self, collector):
+        row = render_tacacs_row(
+            BASE, "nyc-cr1", "op17", "conf t; interface Serial1/0; ip ospf cost 65535"
+        )
+        collector.ingest("tacacs", [row])
+        record = collector.store.table("tacacs").query()[0]
+        assert record["interface"] == "se1/0"
+        assert record["user"] == "op17"
+
+    def test_layer1_event(self, collector):
+        row = render_layer1_row(BASE, "adm-nyc-chi-1", "sonet_restoration", "c-x")
+        collector.ingest("layer1", [row])
+        record = collector.store.table("layer1").query()[0]
+        assert record["device"] == "adm-nyc-chi-1"
+        assert record["event"] == "sonet_restoration"
+
+    def test_layer1_unknown_event_rejected(self, collector):
+        stats = collector.ingest("layer1", [f"{BASE}|adm-1|alien_event|c-x"])
+        assert stats.rejected == 1
+
+    def test_perfmon_row(self, collector):
+        row = render_perfmon_row(BASE, "nyc-per1", "chi-per1", "delay_ms", 31.5)
+        collector.ingest("perfmon", [row])
+        record = collector.store.table("perfmon").query()[0]
+        assert record["source"] == "nyc-per1"
+        assert record["metric"] == "delay_ms"
+
+    def test_netflow_row(self, collector):
+        row = render_netflow_row(BASE, "agent-bos", "198.51.100.9", "NYC-PER1")
+        collector.ingest("netflow", [row])
+        assert collector.store.table("netflow").query()[0]["ingress_router"] == "nyc-per1"
+
+    def test_workflow_row(self, collector):
+        row = render_workflow_row(BASE, "nyc-per1", "provisioning.add_customer", "tkt-1")
+        collector.ingest("workflow", [row])
+        assert collector.store.table("workflow").query()[0]["activity"] == (
+            "provisioning.add_customer"
+        )
+
+    def test_cdn_load_and_policy(self, collector):
+        rows = [
+            render_cdn_row(BASE, "dc-nyc-srv1", "load", 0.93),
+            render_cdn_row(BASE, "dc-nyc-srv1", "policy_change", "map-v42"),
+        ]
+        collector.ingest("cdn", rows)
+        records = collector.store.table("cdn").query()
+        kinds = {r["kind"] for r in records}
+        assert kinds == {"load", "policy_change"}
+
+
+class TestCollectorFacade:
+    def test_unknown_source_raises(self, collector):
+        with pytest.raises(KeyError):
+            collector.ingest("carrier-pigeon", ["x"])
+
+    def test_summary_spans_tables(self, collector):
+        collector.ingest("layer1", [render_layer1_row(BASE, "adm-1", "sonet_restoration", "c")])
+        collector.ingest("perfmon", [render_perfmon_row(BASE, "a", "b", "loss_pct", 1.0)])
+        assert collector.summary() == {"layer1": 1, "perfmon": 1}

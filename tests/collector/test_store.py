@@ -1,0 +1,96 @@
+"""Tests for the normalized record store."""
+
+from repro.collector.store import DataStore, Record, Table
+
+
+class TestRecord:
+    def test_make_and_getitem(self):
+        record = Record.make(10.0, router="r1", value=5)
+        assert record["router"] == "r1"
+        assert record.get("missing") is None
+        assert record.as_dict() == {"router": "r1", "value": 5}
+
+    def test_records_hashable_and_comparable(self):
+        a = Record.make(10.0, router="r1")
+        b = Record.make(10.0, router="r1")
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestTable:
+    def test_time_range_query_inclusive(self):
+        table = Table("t")
+        for t in (10.0, 20.0, 30.0):
+            table.insert_row(t, router="r1")
+        assert len(table.query(10.0, 20.0)) == 2
+        assert len(table.query(10.5, 19.5)) == 0
+        assert len(table.query()) == 3
+
+    def test_equality_filter_without_index(self):
+        table = Table("t")
+        table.insert_row(10.0, router="r1")
+        table.insert_row(11.0, router="r2")
+        assert [r["router"] for r in table.query(router="r2")] == ["r2"]
+
+    def test_indexed_query_matches_scan(self):
+        indexed = Table("t", indexed_columns=("router",))
+        plain = Table("t")
+        rows = [(float(i), f"r{i % 3}") for i in range(100)]
+        for t, router in rows:
+            indexed.insert_row(t, router=router)
+            plain.insert_row(t, router=router)
+        assert indexed.query(10.0, 60.0, router="r1") == plain.query(
+            10.0, 60.0, router="r1"
+        )
+
+    def test_out_of_order_insert_keeps_sorted(self):
+        table = Table("t", indexed_columns=("router",))
+        table.insert_row(20.0, router="r1")
+        table.insert_row(10.0, router="r1")
+        table.insert_row(15.0, router="r2")
+        timestamps = [r.timestamp for r in table.scan()]
+        assert timestamps == [10.0, 15.0, 20.0]
+        # index rebuilt correctly after out-of-order insert
+        assert [r.timestamp for r in table.query(router="r1")] == [10.0, 20.0]
+
+    def test_multi_column_filter(self):
+        table = Table("t", indexed_columns=("router",))
+        table.insert_row(10.0, router="r1", metric="cpu", value=10)
+        table.insert_row(10.0, router="r1", metric="mem", value=20)
+        result = table.query(router="r1", metric="cpu")
+        assert len(result) == 1
+        assert result[0]["value"] == 10
+
+    def test_distinct(self):
+        table = Table("t", indexed_columns=("router",))
+        for router in ("r2", "r1", "r2"):
+            table.insert_row(1.0, router=router)
+        assert table.distinct("router") == ["r1", "r2"]
+
+    def test_distinct_unindexed_column(self):
+        table = Table("t")
+        table.insert_row(1.0, router="r1", metric="cpu")
+        table.insert_row(2.0, router="r1")
+        assert table.distinct("metric") == ["cpu"]
+
+    def test_time_span(self):
+        table = Table("t")
+        assert table.time_span is None
+        table.insert_row(5.0, x=1)
+        table.insert_row(9.0, x=1)
+        assert table.time_span == (5.0, 9.0)
+
+
+class TestDataStore:
+    def test_table_autocreation_with_default_indexes(self):
+        store = DataStore()
+        store.insert("syslog", 10.0, router="r1", code="X")
+        assert "router" in store.table("syslog")._indexes
+
+    def test_summary_counts(self):
+        store = DataStore()
+        store.insert("syslog", 10.0, router="r1")
+        store.insert("syslog", 11.0, router="r1")
+        store.insert("snmp", 10.0, router="r1", metric="cpu", value=1.0)
+        assert store.summary() == {"snmp": 1, "syslog": 2}
+        assert store.total_records() == 3

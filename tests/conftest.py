@@ -1,0 +1,66 @@
+"""Shared fixtures: a small tier-1 topology with routing and resolver."""
+
+import pytest
+
+from repro.collector.store import DataStore
+from repro.core.spatial import LocationResolver
+from repro.routing.bgp import BgpEmulator, BgpUpdateLog
+from repro.routing.ospf import OspfSimulator
+from repro.routing.paths import IngressMap, PathService
+from repro.topology import TopologyParams, build_topology, snapshot_network
+
+
+@pytest.fixture(scope="session")
+def small_topology():
+    """4 PoPs, 2 PERs each, CDN in nyc, peering in chi."""
+    return build_topology(
+        TopologyParams(
+            n_pops=4,
+            pers_per_pop=2,
+            customers_per_per=3,
+            cdn_pops=("nyc",),
+            peering_pops=("chi",),
+            seed=11,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def config_archive(small_topology):
+    return snapshot_network(small_topology, timestamp=0.0)
+
+
+@pytest.fixture
+def ospf(small_topology):
+    return OspfSimulator(small_topology.network)
+
+
+@pytest.fixture
+def bgp_log():
+    return BgpUpdateLog()
+
+
+@pytest.fixture
+def path_service(small_topology, ospf, bgp_log, config_archive):
+    emulator = BgpEmulator(bgp_log, ospf)
+    service = PathService(
+        network=small_topology.network,
+        ospf=ospf,
+        bgp=emulator,
+        configs=config_archive,
+        ingress_map=IngressMap(),
+    )
+    # CDN servers enter the network at their attached routers
+    for server in small_topology.network.cdn_servers.values():
+        service.ingress_map.learn(server.name, server.attached_router)
+    return service
+
+
+@pytest.fixture
+def resolver(path_service):
+    return LocationResolver(path_service)
+
+
+@pytest.fixture
+def store():
+    return DataStore()

@@ -1,0 +1,116 @@
+"""Tests for the Result Browser."""
+
+import pytest
+
+from repro.collector.store import DataStore
+from repro.core.browser import ResultBrowser
+from repro.core.engine import Diagnosis
+from repro.core.events import EventInstance
+from repro.core.graph import DiagnosisRule
+from repro.core.locations import Location, LocationType
+from repro.core.reasoning.rule_based import MatchedEvidence, RuleBasedResult
+from repro.core.spatial import JoinLevel, SpatialJoinRule
+from repro.core.temporal import default_rule
+
+
+def make_diagnosis(cause, t=1000.0, router="r1"):
+    symptom = EventInstance.make("s", t, t + 10.0, Location.router(router))
+    if cause is None:
+        result = RuleBasedResult(root_causes=[], priority=0, supporting=[])
+        evidence = []
+    else:
+        rule = DiagnosisRule(
+            "s", cause, default_rule(),
+            SpatialJoinRule(LocationType.ROUTER, LocationType.ROUTER, JoinLevel.ROUTER),
+            priority=10,
+        )
+        instance = EventInstance.make(cause, t, t, Location.router(router))
+        evidence = [MatchedEvidence(rule, symptom, instance, 1)]
+        result = RuleBasedResult(root_causes=[cause], priority=10, supporting=evidence)
+    return Diagnosis(symptom=symptom, evidence=evidence, result=result)
+
+
+@pytest.fixture
+def browser():
+    diagnoses = (
+        [make_diagnosis("iface-flap", t=1000.0 + i) for i in range(6)]
+        + [make_diagnosis("cpu-high", t=90000.0 + i) for i in range(3)]
+        + [make_diagnosis(None, t=2000.0 + i) for i in range(1)]
+    )
+    return ResultBrowser(diagnoses)
+
+
+class TestBreakdown:
+    def test_counts_and_percentages(self, browser):
+        rows = {r.root_cause: r for r in browser.breakdown()}
+        assert rows["iface-flap"].count == 6
+        assert rows["iface-flap"].percentage == pytest.approx(60.0)
+        assert rows["cpu-high"].percentage == pytest.approx(30.0)
+        assert rows["Unknown"].percentage == pytest.approx(10.0)
+
+    def test_unknown_sorted_last(self, browser):
+        assert browser.breakdown()[-1].root_cause == "Unknown"
+
+    def test_explicit_order_respected(self, browser):
+        rows = browser.breakdown(order=["cpu-high", "iface-flap"])
+        assert [r.root_cause for r in rows] == ["cpu-high", "iface-flap", "Unknown"]
+
+    def test_format_breakdown_is_paper_style(self, browser):
+        text = browser.format_breakdown()
+        assert "Root Cause" in text
+        assert "Percentage (%)" in text
+        assert "60.00" in text
+
+    def test_explained_fraction(self, browser):
+        assert browser.explained_fraction() == pytest.approx(0.9)
+
+    def test_empty_browser(self):
+        assert ResultBrowser([]).explained_fraction() == 0.0
+        assert ResultBrowser([]).breakdown() == []
+
+
+class TestFiltering:
+    def test_filter_by_cause(self, browser):
+        assert len(browser.with_cause("cpu-high")) == 3
+
+    def test_unexplained(self, browser):
+        assert len(browser.unexplained()) == 1
+
+    def test_filter_predicate(self, browser):
+        late = browser.filter(predicate=lambda d: d.symptom.start > 50000.0)
+        assert len(late) == 3
+
+    def test_filters_compose(self, browser):
+        assert len(browser.filter(cause="iface-flap", explained=True)) == 6
+        assert len(browser.filter(cause="iface-flap", explained=False)) == 0
+
+
+class TestDrillDown:
+    def test_drill_down_scopes_by_router_and_time(self, browser):
+        store = DataStore()
+        store.insert("syslog", 1005.0, router="r1", code="X-1-Y")
+        store.insert("syslog", 1005.0, router="r2", code="X-1-Y")
+        store.insert("syslog", 99999.0, router="r1", code="X-1-Y")
+        diagnosis = browser.diagnoses[0]  # r1 at t=1000
+        records = browser.drill_down(store, diagnosis, window_seconds=60.0)
+        assert list(records) == ["syslog"]
+        assert len(records["syslog"]) == 1
+        assert records["syslog"][0]["router"] == "r1"
+
+    def test_drill_down_unindexed_table_time_only(self, browser):
+        store = DataStore()
+        store.insert("custom", 1005.0, info="x")
+        records = browser.drill_down(store, browser.diagnoses[0], window_seconds=60.0)
+        assert len(records["custom"]) == 1
+
+
+class TestTrend:
+    def test_daily_buckets(self, browser):
+        trend = browser.trend(bucket_seconds=86400.0)
+        assert trend["iface-flap"] == [(0.0, 6)]
+        assert trend["cpu-high"] == [(86400.0, 3)]
+
+    def test_format_trend(self, browser):
+        text = browser.format_trend()
+        assert "iface-flap" in text
+        assert "(no diagnoses)" == ResultBrowser([]).format_trend()

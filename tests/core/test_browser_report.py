@@ -1,0 +1,82 @@
+"""Tests for the Browser's markdown report and the parser fuzz gate."""
+
+import string
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.browser import ResultBrowser
+from repro.core.rulespec import RuleSpecError, parse
+
+from .test_browser import make_diagnosis
+
+
+class TestMarkdownReport:
+    @pytest.fixture
+    def browser(self):
+        return ResultBrowser(
+            [make_diagnosis("iface-flap", t=1000.0 + i) for i in range(4)]
+            + [make_diagnosis(None, t=90000.0)]
+        )
+
+    def test_report_sections_present(self, browser):
+        text = browser.report()
+        assert "# Root cause analysis report" in text
+        assert "## Root cause breakdown" in text
+        assert "## Daily trend" in text
+        assert "## Example diagnoses" in text
+
+    def test_breakdown_rows_rendered(self, browser):
+        text = browser.report()
+        assert "| iface-flap | 4 | 80.00 |" in text
+        assert "| Unknown | 1 | 20.00 |" in text
+
+    def test_one_example_per_cause(self, browser):
+        text = browser.report()
+        assert text.count("### iface-flap") == 1
+        assert text.count("### Unknown") == 1
+
+    def test_custom_title(self, browser):
+        assert browser.report("BGP month").startswith("# BGP month")
+
+    def test_cli_report_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        code = main(
+            ["diagnose", "bgp-month", "--size", "20", "--seed", "6",
+             "--report", str(out)]
+        )
+        assert code == 0
+        text = out.read_text()
+        assert "## Root cause breakdown" in text
+        assert "report written" in capsys.readouterr().out
+
+
+class TestParserFuzz:
+    @settings(max_examples=150, deadline=None)
+    @given(st.text(alphabet=string.printable, max_size=300))
+    def test_parse_never_hangs_or_raises_foreign_errors(self, text):
+        """Arbitrary input either parses or raises RuleSpecError."""
+        try:
+            parse(text)
+        except RuleSpecError:
+            pass
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(
+            st.sampled_from(
+                ['rule', '"a"', '->', '"b"', 'priority', '5', '{', '}',
+                 'symptom', 'expand', 'start/end', 'join', 'at', 'use',
+                 'library', 'application', 'evidence-only', 'note', '-3.5']
+            ),
+            max_size=30,
+        )
+    )
+    def test_token_soup_never_crashes(self, tokens):
+        """Token-shaped garbage exercises the parser's error paths."""
+        try:
+            parse(" ".join(tokens))
+        except RuleSpecError:
+            pass

@@ -1,0 +1,122 @@
+"""Tests for empirical temporal-rule calibration."""
+
+import random
+
+import pytest
+
+from repro.core.calibration import (
+    CalibrationResult,
+    LagSample,
+    calibrate_temporal_rule,
+    coverage_curve,
+    pair_for_calibration,
+)
+from repro.core.events import EventInstance
+from repro.core.locations import Location
+
+
+def instance(name, t, router="r1", duration=0.0):
+    return EventInstance.make(name, t, t + duration, Location.router(router))
+
+
+def lag_samples(lags, base=10000.0):
+    samples = []
+    for index, lag in enumerate(lags):
+        t = base + index * 1000.0
+        samples.append(
+            LagSample(
+                symptom=instance("s", t),
+                diagnostic=instance("d", t - lag),
+            )
+        )
+    return samples
+
+
+class TestCalibrateTemporalRule:
+    def test_hold_timer_like_lags_recovered(self):
+        rng = random.Random(1)
+        lags = [180.0 + rng.uniform(-3.0, 3.0) for _ in range(200)]
+        result = calibrate_temporal_rule(lag_samples(lags), coverage=0.98, slack=5.0)
+        # margin must cover the ~183 s tail plus slack, but not balloon
+        assert 183.0 <= result.rule.symptom.left <= 200.0
+        assert result.n_samples == 200
+
+    def test_calibrated_rule_joins_the_samples(self):
+        rng = random.Random(2)
+        lags = [rng.uniform(0.0, 120.0) for _ in range(100)]
+        samples = lag_samples(lags)
+        result = calibrate_temporal_rule(samples, coverage=1.0)
+        joined = sum(
+            1
+            for sample in samples
+            if result.rule.joined(sample.symptom.interval, sample.diagnostic.interval)
+        )
+        assert joined == len(samples)
+
+    def test_negative_lags_covered_by_right_margin(self):
+        # diagnostic recorded after the symptom (clock skew)
+        result = calibrate_temporal_rule(lag_samples([-8.0, -5.0, -2.0]), coverage=1.0)
+        assert result.rule.symptom.right >= 8.0
+
+    def test_bad_coverage_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_temporal_rule(lag_samples([1.0]), coverage=0.3)
+
+    def test_no_samples_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_temporal_rule([])
+
+    def test_describe(self):
+        result = calibrate_temporal_rule(lag_samples([10.0, 20.0]))
+        assert "pairs" in result.describe()
+        assert isinstance(result, CalibrationResult)
+
+
+class TestPairing:
+    def test_nearest_pairing_same_router(self):
+        symptoms = [instance("s", 1000.0), instance("s", 5000.0)]
+        diagnostics = [
+            instance("d", 820.0),
+            instance("d", 4810.0),
+            instance("d", 900.0, router="r9"),  # other router: ignored
+        ]
+        samples = pair_for_calibration(symptoms, diagnostics, max_lag=300.0)
+        assert len(samples) == 2
+        assert samples[0].start_lag == pytest.approx(180.0)
+        assert samples[1].start_lag == pytest.approx(190.0)
+
+    def test_diagnostic_used_once(self):
+        symptoms = [instance("s", 1000.0), instance("s", 1010.0)]
+        diagnostics = [instance("d", 995.0)]
+        samples = pair_for_calibration(symptoms, diagnostics, max_lag=300.0)
+        assert len(samples) == 1
+
+    def test_max_lag_respected(self):
+        symptoms = [instance("s", 1000.0)]
+        diagnostics = [instance("d", 0.0)]
+        assert pair_for_calibration(symptoms, diagnostics, max_lag=300.0) == []
+
+    def test_cross_router_allowed_when_disabled(self):
+        symptoms = [instance("s", 1000.0, router="a")]
+        diagnostics = [instance("d", 990.0, router="b")]
+        assert pair_for_calibration(symptoms, diagnostics, 300.0, same_router=False)
+
+
+class TestCoverageCurve:
+    def test_monotone_nondecreasing(self):
+        rng = random.Random(3)
+        samples = lag_samples([rng.uniform(0, 200) for _ in range(100)])
+        curve = coverage_curve(samples, margins=[0, 50, 100, 150, 200, 250])
+        fractions = [fraction for _margin, fraction in curve]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+    def test_hold_timer_step(self):
+        """Coverage jumps once the margin crosses the 180 s hold timer."""
+        samples = lag_samples([180.0] * 50)
+        curve = dict(coverage_curve(samples, margins=[100.0, 200.0]))
+        assert curve[100.0] < 0.1
+        assert curve[200.0] == 1.0
+
+    def test_empty_samples(self):
+        assert coverage_curve([], [10.0]) == [(10.0, 0.0)]

@@ -1,0 +1,206 @@
+"""Tests for time series, the NICE tester and the rule miner."""
+
+import numpy as np
+import pytest
+
+from repro.collector.store import DataStore
+from repro.core.correlation import (
+    BinSpec,
+    CorrelationTester,
+    EventSeries,
+    RuleMiner,
+    candidate_series_from_store,
+    from_event_instances,
+    pearson,
+)
+from repro.core.events import EventInstance
+from repro.core.locations import Location
+
+
+class TestBinSpec:
+    def test_n_bins(self):
+        spec = BinSpec(0.0, 3000.0, 300.0)
+        assert spec.n_bins == 10
+
+    def test_bin_of(self):
+        spec = BinSpec(0.0, 3000.0, 300.0)
+        assert spec.bin_of(0.0) == 0
+        assert spec.bin_of(299.0) == 0
+        assert spec.bin_of(300.0) == 1
+
+    def test_invalid_windows_rejected(self):
+        with pytest.raises(ValueError):
+            BinSpec(10.0, 10.0)
+        with pytest.raises(ValueError):
+            BinSpec(0.0, 10.0, width=0)
+
+
+class TestEventSeries:
+    def test_from_intervals_marks_touched_bins(self):
+        spec = BinSpec(0.0, 1500.0, 300.0)
+        series = EventSeries.from_intervals("e", spec, [(310.0, 620.0)])
+        assert list(series.values) == [0, 1, 1, 0, 0]
+
+    def test_margin_widens(self):
+        spec = BinSpec(0.0, 1500.0, 300.0)
+        series = EventSeries.from_intervals("e", spec, [(310.0, 320.0)], margin=300.0)
+        assert list(series.values) == [1, 1, 1, 0, 0]
+
+    def test_out_of_window_intervals_ignored(self):
+        spec = BinSpec(0.0, 1500.0, 300.0)
+        series = EventSeries.from_intervals("e", spec, [(-900.0, -700.0), (9000.0, 9100.0)])
+        assert series.count == 0
+
+    def test_interval_clamped_to_window(self):
+        spec = BinSpec(0.0, 1500.0, 300.0)
+        series = EventSeries.from_intervals("e", spec, [(-100.0, 100.0)])
+        assert list(series.values) == [1, 0, 0, 0, 0]
+
+    def test_from_event_instances(self):
+        spec = BinSpec(0.0, 1500.0, 300.0)
+        instances = [
+            EventInstance.make("e", 310.0, 320.0, Location.router("r1")),
+        ]
+        series = from_event_instances("e", spec, instances)
+        assert series.count == 1
+
+    def test_occupancy(self):
+        spec = BinSpec(0.0, 1000.0, 100.0)
+        series = EventSeries.from_timestamps("e", spec, [50.0, 150.0])
+        assert series.occupancy == pytest.approx(0.2)
+
+
+class TestPearson:
+    def test_perfect_correlation(self):
+        a = np.array([0, 1, 0, 1, 0], dtype=float)
+        assert pearson(a, a) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        a = np.array([0, 1, 0, 1], dtype=float)
+        assert pearson(a, 1 - a) == pytest.approx(-1.0)
+
+    def test_constant_series_gives_zero(self):
+        a = np.zeros(10)
+        b = np.ones(10)
+        assert pearson(a, b) == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pearson(np.zeros(3), np.zeros(4))
+
+
+def correlated_pair(n_bins=600, n_events=40, lag_bins=0, seed=7):
+    """Symptom series + diagnostic series co-occurring at a fixed lag."""
+    rng = np.random.default_rng(seed)
+    spec = BinSpec(0.0, n_bins * 300.0, 300.0)
+    positions = rng.choice(n_bins - 10, size=n_events, replace=False)
+    symptom = EventSeries.empty("symptom", spec)
+    diagnostic = EventSeries.empty("diagnostic", spec)
+    for p in positions:
+        symptom.values[p + lag_bins] = 1.0
+        diagnostic.values[p] = 1.0
+    return symptom, diagnostic, spec
+
+
+class TestCorrelationTester:
+    def test_aligned_series_significant(self):
+        symptom, diagnostic, _ = correlated_pair()
+        result = CorrelationTester().test(symptom, diagnostic)
+        assert result.significant
+        assert result.r > 0.9
+
+    def test_independent_series_not_significant(self):
+        rng = np.random.default_rng(1)
+        spec = BinSpec(0.0, 600 * 300.0, 300.0)
+        a = EventSeries("a", spec, (rng.random(600) < 0.05).astype(float))
+        b = EventSeries("b", spec, (rng.random(600) < 0.05).astype(float))
+        result = CorrelationTester().test(a, b)
+        assert not result.significant
+
+    def test_sparse_series_declared_not_significant(self):
+        spec = BinSpec(0.0, 600 * 300.0, 300.0)
+        a = EventSeries.from_timestamps("a", spec, [100.0])
+        b = EventSeries.from_timestamps("b", spec, [100.0])
+        result = CorrelationTester().test(a, b)
+        assert not result.significant
+        assert result.p_value == 1.0
+
+    def test_autocorrelated_bursts_handled(self):
+        """Two bursty but unrelated series must not test significant.
+
+        This is NICE's raison d'être: burstiness fools naive tests, the
+        circular permutation preserves it in the null distribution.
+        """
+        rng = np.random.default_rng(3)
+        spec = BinSpec(0.0, 800 * 300.0, 300.0)
+
+        def bursty(seed):
+            r = np.random.default_rng(seed)
+            values = np.zeros(800)
+            for _ in range(6):
+                start = r.integers(0, 760)
+                values[start : start + 30] = 1.0  # long bursts
+            return values
+
+        a = EventSeries("a", spec, bursty(10))
+        b = EventSeries("b", spec, bursty(20))
+        result = CorrelationTester(n_permutations=400).test(a, b)
+        assert not result.significant
+        del rng
+
+    def test_grid_mismatch_rejected(self):
+        a = EventSeries.empty("a", BinSpec(0.0, 3000.0, 300.0))
+        b = EventSeries.empty("b", BinSpec(0.0, 6000.0, 300.0))
+        with pytest.raises(ValueError):
+            CorrelationTester().test(a, b)
+
+    def test_result_str(self):
+        symptom, diagnostic, _ = correlated_pair()
+        result = CorrelationTester().test(symptom, diagnostic)
+        assert "SIGNIFICANT" in str(result)
+
+    def test_deterministic_given_seed(self):
+        symptom, diagnostic, _ = correlated_pair(n_bins=2000)
+        r1 = CorrelationTester(seed=5).test(symptom, diagnostic)
+        r2 = CorrelationTester(seed=5).test(symptom, diagnostic)
+        assert r1 == r2
+
+
+class TestRuleMiner:
+    def test_mines_only_significant(self):
+        symptom, diagnostic, spec = correlated_pair()
+        rng = np.random.default_rng(9)
+        noise = EventSeries("noise", spec, (rng.random(spec.n_bins) < 0.05).astype(float))
+        mined = RuleMiner().mine(symptom, [diagnostic, noise])
+        assert [m.diagnostic_name for m in mined] == ["diagnostic"]
+
+    def test_ranked_by_score(self):
+        symptom, diagnostic, spec = correlated_pair()
+        partial = EventSeries("partial", spec, diagnostic.values.copy())
+        # degrade half the co-occurrences
+        on_bins = np.flatnonzero(partial.values)
+        partial.values[on_bins[::2]] = 0.0
+        mined = RuleMiner().mine(symptom, [partial, diagnostic])
+        assert mined[0].diagnostic_name == "diagnostic"
+
+    def test_candidate_series_from_store(self):
+        store = DataStore()
+        spec = BinSpec(0.0, 3000.0, 300.0)
+        store.insert("syslog", 100.0, router="r1", code="BGP-5-NOTIFICATION")
+        store.insert("syslog", 200.0, router="r2", code="BGP-5-NOTIFICATION")
+        store.insert("workflow", 300.0, router="r1", activity="provisioning.add")
+        series = candidate_series_from_store(store, spec)
+        names = {s.name for s in series}
+        assert names == {
+            "syslog:BGP-5-NOTIFICATION@r1",
+            "syslog:BGP-5-NOTIFICATION@r2",
+            "workflow:provisioning.add@r1",
+        }
+
+    def test_candidate_router_filter(self):
+        store = DataStore()
+        spec = BinSpec(0.0, 3000.0, 300.0)
+        store.insert("syslog", 100.0, router="r1", code="X-1-Y")
+        store.insert("syslog", 100.0, router="r2", code="X-1-Y")
+        series = candidate_series_from_store(store, spec, routers=["r1"])
+        assert [s.name for s in series] == ["syslog:X-1-Y@r1"]

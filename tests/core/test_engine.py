@@ -1,0 +1,157 @@
+"""Tests for the generic RCA engine (correlation + reasoning)."""
+
+import pytest
+
+from repro.collector.store import DataStore
+from repro.core.engine import Diagnosis, EngineConfig, RcaEngine
+from repro.core.events import (
+    EventDefinition,
+    EventInstance,
+    EventLibrary,
+    RetrievalContext,
+)
+from repro.core.graph import DiagnosisGraph, DiagnosisRule
+from repro.core.locations import Location, LocationType
+from repro.core.spatial import JoinLevel, SpatialJoinRule
+from repro.core.temporal import ExpandOption, TemporalExpansion, TemporalJoinRule
+
+
+def store_backed_event(name, table, location_type=LocationType.ROUTER):
+    """Event definition reading (timestamp, router) rows from a table."""
+
+    def retrieve(context: RetrievalContext):
+        for record in context.store.table(table).query(context.start, context.end):
+            yield EventInstance.make(
+                name, record.timestamp, record.timestamp,
+                Location.router(record["router"]),
+            )
+
+    return EventDefinition(name, location_type, retrieve)
+
+
+def symptom_event(name):
+    def retrieve(context):
+        return []
+
+    return EventDefinition(name, LocationType.ROUTER, retrieve)
+
+
+ROUTER_JOIN = SpatialJoinRule(LocationType.ROUTER, LocationType.ROUTER, JoinLevel.ROUTER)
+
+
+def temporal(left=30.0, right=30.0):
+    exp = TemporalExpansion(ExpandOption.START_END, left, right)
+    return TemporalJoinRule(exp, exp)
+
+
+@pytest.fixture
+def setup(resolver):
+    """Graph s -> a -> b over store tables 'ta' and 'tb'."""
+    store = DataStore()
+    library = EventLibrary()
+    library.register(symptom_event("s"))
+    library.register(store_backed_event("a", "ta"))
+    library.register(store_backed_event("b", "tb"))
+    graph = DiagnosisGraph(symptom_event="s")
+    graph.add_rule(
+        DiagnosisRule("s", "a", temporal(), ROUTER_JOIN, priority=10)
+    )
+    graph.add_rule(
+        DiagnosisRule("a", "b", temporal(), ROUTER_JOIN, priority=20)
+    )
+    engine = RcaEngine(graph, library, resolver, store)
+    return store, engine
+
+
+def symptom_at(t, router="nyc-per1"):
+    return EventInstance.make("s", t, t + 10.0, Location.router(router))
+
+
+class TestDiagnose:
+    def test_no_evidence_unknown(self, setup):
+        _store, engine = setup
+        diagnosis = engine.diagnose(symptom_at(1000.0))
+        assert diagnosis.primary_cause == "Unknown"
+        assert not diagnosis.is_explained
+
+    def test_single_level_match(self, setup):
+        store, engine = setup
+        store.insert("ta", 1005.0, router="nyc-per1")
+        diagnosis = engine.diagnose(symptom_at(1000.0))
+        assert diagnosis.root_causes == ["a"]
+
+    def test_chained_match_goes_deeper(self, setup):
+        store, engine = setup
+        store.insert("ta", 1005.0, router="nyc-per1")
+        store.insert("tb", 1008.0, router="nyc-per1")
+        diagnosis = engine.diagnose(symptom_at(1000.0))
+        assert diagnosis.root_causes == ["b"]
+        assert {e.rule.child_event for e in diagnosis.evidence} == {"a", "b"}
+
+    def test_deep_event_without_intermediate_not_matched(self, setup):
+        store, engine = setup
+        store.insert("tb", 1008.0, router="nyc-per1")  # b without a
+        diagnosis = engine.diagnose(symptom_at(1000.0))
+        assert diagnosis.primary_cause == "Unknown"
+
+    def test_temporal_filtering(self, setup):
+        store, engine = setup
+        store.insert("ta", 5000.0, router="nyc-per1")  # far away in time
+        diagnosis = engine.diagnose(symptom_at(1000.0))
+        assert diagnosis.primary_cause == "Unknown"
+
+    def test_spatial_filtering(self, setup):
+        store, engine = setup
+        store.insert("ta", 1005.0, router="chi-per1")  # wrong router
+        diagnosis = engine.diagnose(symptom_at(1000.0))
+        assert diagnosis.primary_cause == "Unknown"
+
+    def test_wrong_symptom_name_rejected(self, setup):
+        _store, engine = setup
+        bad = EventInstance.make("other", 0.0, 1.0, Location.router("nyc-per1"))
+        with pytest.raises(ValueError):
+            engine.diagnose(bad)
+
+    def test_diagnose_all_order_preserved(self, setup):
+        store, engine = setup
+        store.insert("ta", 1005.0, router="nyc-per1")
+        diagnoses = engine.diagnose_all([symptom_at(1000.0), symptom_at(9000.0)])
+        assert [d.primary_cause for d in diagnoses] == ["a", "Unknown"]
+
+    def test_evidence_depth_tracked(self, setup):
+        store, engine = setup
+        store.insert("ta", 1005.0, router="nyc-per1")
+        store.insert("tb", 1008.0, router="nyc-per1")
+        diagnosis = engine.diagnose(symptom_at(1000.0))
+        depths = {e.rule.child_event: e.depth for e in diagnosis.evidence}
+        assert depths == {"a": 1, "b": 2}
+
+    def test_explain_mentions_cause(self, setup):
+        store, engine = setup
+        store.insert("ta", 1005.0, router="nyc-per1")
+        text = engine.diagnose(symptom_at(1000.0)).explain()
+        assert "root cause: a" in text
+        assert "symptom:" in text
+
+    def test_missing_event_definition_rejected_at_build(self, setup, resolver):
+        graph = DiagnosisGraph(symptom_event="ghost-symptom")
+        with pytest.raises(KeyError):
+            RcaEngine(graph, EventLibrary(), resolver, DataStore())
+
+    def test_max_matches_cap(self, setup, resolver):
+        store, engine = setup
+        engine.config.max_matches_per_rule = 3
+        for i in range(10):
+            store.insert("ta", 1001.0 + i, router="nyc-per1")
+        diagnosis = engine.diagnose(symptom_at(1000.0))
+        assert len(diagnosis.evidence_for("a")) == 3
+
+    def test_retrieval_cache_shared_across_symptoms(self, setup):
+        store, engine = setup
+        store.insert("ta", 1005.0, router="nyc-per1")
+        engine.diagnose(symptom_at(1000.0))
+        cache_size = len(engine._retrieval_cache)
+        engine.diagnose(symptom_at(1001.0))  # same bucket
+        assert len(engine._retrieval_cache) == cache_size
+        engine.clear_cache()
+        assert not engine._retrieval_cache

@@ -1,0 +1,78 @@
+"""Engine-level properties: determinism and margin monotonicity."""
+
+import pytest
+
+from repro.collector.store import DataStore
+from repro.core.engine import EngineConfig, RcaEngine
+from repro.core.events import EventLibrary
+from repro.core.graph import DiagnosisGraph, DiagnosisRule
+from repro.core.locations import LocationType
+from repro.core.spatial import JoinLevel, SpatialJoinRule
+from repro.core.temporal import ExpandOption, TemporalExpansion, TemporalJoinRule
+
+from .test_engine import ROUTER_JOIN, store_backed_event, symptom_at, symptom_event
+
+
+def build_engine(resolver, store, margin):
+    library = EventLibrary()
+    library.register(symptom_event("s"))
+    library.register(store_backed_event("a", "ta"))
+    graph = DiagnosisGraph(symptom_event="s")
+    expansion = TemporalExpansion(ExpandOption.START_END, margin, margin)
+    graph.add_rule(
+        DiagnosisRule(
+            "s", "a", TemporalJoinRule(expansion, expansion), ROUTER_JOIN, priority=10
+        )
+    )
+    return RcaEngine(graph, library, resolver, store)
+
+
+@pytest.fixture
+def populated_store():
+    store = DataStore()
+    for offset in (-500.0, -120.0, -30.0, 5.0, 40.0, 300.0, 900.0):
+        store.insert("ta", 1000.0 + offset, router="nyc-per1")
+    store.insert("ta", 1000.0, router="chi-per1")  # wrong router, never joins
+    return store
+
+
+class TestMarginMonotonicity:
+    def test_wider_margins_never_lose_evidence(self, resolver, populated_store):
+        """Evidence sets grow monotonically with the temporal margin."""
+        previous: set = set()
+        for margin in (0.0, 10.0, 60.0, 200.0, 600.0, 2000.0):
+            engine = build_engine(resolver, populated_store, margin)
+            diagnosis = engine.diagnose(symptom_at(1000.0))
+            current = {e.instance.start for e in diagnosis.evidence}
+            assert previous <= current, margin
+            previous = current
+        # the widest margin sees every same-router record
+        assert len(previous) == 7
+
+    def test_zero_margin_sees_only_overlap(self, resolver, populated_store):
+        engine = build_engine(resolver, populated_store, 0.0)
+        diagnosis = engine.diagnose(symptom_at(1000.0))
+        starts = {e.instance.start for e in diagnosis.evidence}
+        assert starts == {1005.0}  # inside the symptom's [1000, 1010]
+
+
+class TestDeterminism:
+    def test_repeated_diagnosis_identical(self, resolver, populated_store):
+        engine = build_engine(resolver, populated_store, 100.0)
+        first = engine.diagnose(symptom_at(1000.0))
+        second = engine.diagnose(symptom_at(1000.0))
+        assert first.root_causes == second.root_causes
+        assert [e.instance for e in first.evidence] == [
+            e.instance for e in second.evidence
+        ]
+
+    def test_fresh_engine_agrees_with_warm_cache(self, resolver, populated_store):
+        warm = build_engine(resolver, populated_store, 100.0)
+        warm.diagnose(symptom_at(900.0))  # populate cache
+        cached = warm.diagnose(symptom_at(1000.0))
+        fresh = build_engine(resolver, populated_store, 100.0).diagnose(
+            symptom_at(1000.0)
+        )
+        assert {e.instance for e in cached.evidence} == {
+            e.instance for e in fresh.evidence
+        }

@@ -1,0 +1,101 @@
+"""Tests for the data-exploration (manual iterative analysis) tool."""
+
+import pytest
+
+from repro.collector.store import DataStore
+from repro.core.events import EventInstance
+from repro.core.exploration import (
+    CoOccurrence,
+    co_occurring_signatures,
+    format_exploration,
+)
+from repro.core.locations import Location, LocationType
+
+
+def anchor(t, router="r1"):
+    return EventInstance.make("symptom", t, t + 10.0, Location.router(router))
+
+
+@pytest.fixture
+def store():
+    s = DataStore()
+    # a signature near every anchor (full support)
+    for t in (1000.0, 5000.0, 9000.0):
+        s.insert("syslog", t + 20.0, router="r1", code="PIM-5-NBRCHG")
+    # a signature near one anchor only
+    s.insert("workflow", 1010.0, router="r1", activity="provisioning.mvpn_config")
+    # same-time records on another router: excluded by same_router
+    s.insert("syslog", 1015.0, router="r9", code="SYS-5-RESTART")
+    # far-away record: outside every window
+    s.insert("syslog", 99999.0, router="r1", code="LINK-3-UPDOWN")
+    return s
+
+
+ANCHORS = [anchor(1000.0), anchor(5000.0), anchor(9000.0)]
+
+
+class TestCoOccurrence:
+    def test_support_ranking(self, store):
+        results = co_occurring_signatures(store, ANCHORS)
+        assert results[0].name == "syslog:PIM-5-NBRCHG"
+        assert results[0].support == pytest.approx(1.0)
+        by_name = {r.name: r for r in results}
+        assert by_name["workflow:provisioning.mvpn_config"].support == pytest.approx(1 / 3)
+
+    def test_other_router_excluded(self, store):
+        results = co_occurring_signatures(store, ANCHORS)
+        assert "syslog:SYS-5-RESTART" not in {r.name for r in results}
+
+    def test_other_router_included_when_disabled(self, store):
+        results = co_occurring_signatures(store, ANCHORS, same_router=False)
+        assert "syslog:SYS-5-RESTART" in {r.name for r in results}
+
+    def test_far_records_excluded(self, store):
+        results = co_occurring_signatures(store, ANCHORS)
+        assert "syslog:LINK-3-UPDOWN" not in {r.name for r in results}
+
+    def test_min_support_filter(self, store):
+        results = co_occurring_signatures(store, ANCHORS, min_support=0.5)
+        assert {r.name for r in results} == {"syslog:PIM-5-NBRCHG"}
+
+    def test_anchor_counted_once_per_signature(self, store):
+        # add a second record of the same signature near one anchor
+        store.insert("syslog", 1030.0, router="r1", code="PIM-5-NBRCHG")
+        results = co_occurring_signatures(store, ANCHORS)
+        top = results[0]
+        assert top.anchors_hit == 3  # still 3 anchors, not 4
+        assert top.record_count == 4
+
+    def test_pair_location_anchor_uses_first_part(self, store):
+        pair_anchor = EventInstance.make(
+            "symptom", 1000.0, 1010.0,
+            Location.pair(LocationType.INGRESS_EGRESS, "r1", "r2"),
+        )
+        results = co_occurring_signatures(store, [pair_anchor])
+        assert "syslog:PIM-5-NBRCHG" in {r.name for r in results}
+
+    def test_no_anchors(self, store):
+        assert co_occurring_signatures(store, []) == []
+
+    def test_example_record_kept(self, store):
+        results = co_occurring_signatures(store, ANCHORS)
+        assert results[0].example is not None
+        assert results[0].example["code"] == "PIM-5-NBRCHG"
+
+    def test_table_selection(self, store):
+        results = co_occurring_signatures(store, ANCHORS, tables=("workflow",))
+        assert {r.table for r in results} == {"workflow"}
+
+
+class TestFormatting:
+    def test_format_lists_ranked(self, store):
+        text = format_exploration(co_occurring_signatures(store, ANCHORS))
+        assert "syslog:PIM-5-NBRCHG" in text
+        assert "support" in text
+
+    def test_format_empty(self):
+        assert "no co-occurring" in format_exploration([])
+
+    def test_str_of_co_occurrence(self):
+        item = CoOccurrence("syslog", "X-1-Y", 2, 0.5, 3)
+        assert "support 50%" in str(item)

@@ -1,0 +1,96 @@
+"""Tests for diagnosis graphs."""
+
+import pytest
+
+from repro.core.graph import DiagnosisGraph, DiagnosisRule, GraphError
+from repro.core.locations import LocationType
+from repro.core.spatial import JoinLevel, SpatialJoinRule
+from repro.core.temporal import default_rule
+
+
+def rule(parent, child, priority=0, is_root_cause=True):
+    return DiagnosisRule(
+        parent_event=parent,
+        child_event=child,
+        temporal=default_rule(),
+        spatial=SpatialJoinRule(LocationType.ROUTER, LocationType.ROUTER, JoinLevel.ROUTER),
+        priority=priority,
+        is_root_cause=is_root_cause,
+    )
+
+
+@pytest.fixture
+def bgp_like_graph():
+    graph = DiagnosisGraph(symptom_event="ebgp-flap", name="bgp")
+    graph.add_rule(rule("ebgp-flap", "router-reboot", 100))
+    graph.add_rule(rule("ebgp-flap", "ebgp-hte", 20))
+    graph.add_rule(rule("ebgp-hte", "cpu-high-spike", 50))
+    graph.add_rule(rule("ebgp-flap", "line-protocol-flap", 150))
+    graph.add_rule(rule("line-protocol-flap", "interface-flap", 160))
+    graph.add_rule(rule("interface-flap", "sonet-restoration", 180))
+    return graph
+
+
+class TestConstruction:
+    def test_events_and_leaves(self, bgp_like_graph):
+        assert "ebgp-flap" in bgp_like_graph.events()
+        assert bgp_like_graph.leaves() == {
+            "router-reboot",
+            "cpu-high-spike",
+            "sonet-restoration",
+        }
+
+    def test_diagnostic_events_excludes_symptom(self, bgp_like_graph):
+        assert "ebgp-flap" not in bgp_like_graph.diagnostic_events()
+
+    def test_orphan_parent_rejected(self):
+        graph = DiagnosisGraph(symptom_event="s")
+        with pytest.raises(GraphError):
+            graph.add_rule(rule("not-reachable", "x"))
+
+    def test_symptom_as_child_rejected(self):
+        graph = DiagnosisGraph(symptom_event="s")
+        graph.add_rule(rule("s", "a"))
+        with pytest.raises(GraphError):
+            graph.add_rule(rule("a", "s"))
+
+    def test_cycle_rejected_and_rolled_back(self):
+        graph = DiagnosisGraph(symptom_event="s")
+        graph.add_rule(rule("s", "a"))
+        graph.add_rule(rule("a", "b"))
+        with pytest.raises(GraphError):
+            graph.add_rule(rule("b", "a"))
+        # rollback: the offending edge is not present
+        assert graph.rule_for_edge("b", "a") is None
+
+    def test_dag_with_shared_child_allowed(self):
+        graph = DiagnosisGraph(symptom_event="s")
+        graph.add_rule(rule("s", "a"))
+        graph.add_rule(rule("s", "b"))
+        graph.add_rule(rule("a", "c"))
+        graph.add_rule(rule("b", "c"))  # diamond, not a cycle
+        assert graph.depth_of("c") == 2
+
+
+class TestQueries:
+    def test_rules_from(self, bgp_like_graph):
+        children = {r.child_event for r in bgp_like_graph.rules_from("ebgp-flap")}
+        assert children == {"router-reboot", "ebgp-hte", "line-protocol-flap"}
+
+    def test_rule_for_edge(self, bgp_like_graph):
+        edge = bgp_like_graph.rule_for_edge("interface-flap", "sonet-restoration")
+        assert edge is not None
+        assert edge.priority == 180
+        assert bgp_like_graph.rule_for_edge("ebgp-flap", "sonet-restoration") is None
+
+    def test_depth(self, bgp_like_graph):
+        assert bgp_like_graph.depth_of("ebgp-flap") == 0
+        assert bgp_like_graph.depth_of("interface-flap") == 2
+        assert bgp_like_graph.depth_of("sonet-restoration") == 3
+
+    def test_depth_of_unknown_event(self, bgp_like_graph):
+        with pytest.raises(GraphError):
+            bgp_like_graph.depth_of("ghost")
+
+    def test_all_rules_count(self, bgp_like_graph):
+        assert len(bgp_like_graph.all_rules()) == 6

@@ -1,0 +1,82 @@
+"""Tests for the Table II rule catalog."""
+
+import pytest
+
+from repro.core.knowledge import KnowledgeLibrary, names
+from repro.core.knowledge.rules import TABLE2_PAIRS
+from repro.core.spatial import JoinLevel
+from repro.core.temporal import ExpandOption
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return KnowledgeLibrary()
+
+
+class TestCatalogCoverage:
+    def test_every_table2_pair_present(self, kb):
+        for symptom, diagnostic in TABLE2_PAIRS:
+            assert (symptom, diagnostic) in kb.rules, (symptom, diagnostic)
+
+    def test_catalog_size(self, kb):
+        # Table II has 30 rows; state-expanded they exceed 50 templates
+        assert len(kb.rules) >= 50
+
+    def test_every_template_references_defined_events(self, kb):
+        for symptom, diagnostic in kb.rules.pairs():
+            assert symptom in kb.events, symptom
+            assert diagnostic in kb.events, diagnostic
+
+    def test_template_location_types_match_event_definitions(self, kb):
+        for symptom, diagnostic in kb.rules.pairs():
+            template = kb.rules.get(symptom, diagnostic)
+            assert (
+                template.spatial.symptom_type
+                is kb.events.get(symptom).location_type
+            ), (symptom, diagnostic)
+            assert (
+                template.spatial.diagnostic_type
+                is kb.events.get(diagnostic).location_type
+            ), (symptom, diagnostic)
+
+
+class TestInstantiation:
+    def test_rule_attaches_priority(self, kb):
+        rule = kb.rules.rule(names.LINEPROTO_FLAP, names.INTERFACE_FLAP, priority=160)
+        assert rule.priority == 160
+        assert rule.parent_event == names.LINEPROTO_FLAP
+        assert rule.is_root_cause
+
+    def test_rule_non_root_cause_flag(self, kb):
+        rule = kb.rules.rule(
+            names.LINK_LOSS, names.LINK_CONGESTION, priority=10, is_root_cause=False
+        )
+        assert not rule.is_root_cause
+
+    def test_unknown_pair_raises(self, kb):
+        with pytest.raises(KeyError):
+            kb.rules.rule("no-such-event", names.INTERFACE_FLAP, priority=1)
+
+    def test_duplicate_registration_rejected(self, kb):
+        template = kb.rules.get(names.LINEPROTO_FLAP, names.INTERFACE_FLAP)
+        with pytest.raises(ValueError):
+            kb.rules.register(template)
+
+
+class TestJoinParameters:
+    def test_restoration_rules_join_at_layer1(self, kb):
+        template = kb.rules.get(names.INTERFACE_FLAP, names.SONET_RESTORATION)
+        assert template.spatial.level is JoinLevel.LAYER1_DEVICE
+
+    def test_congestion_from_reconvergence_is_network_wide(self, kb):
+        template = kb.rules.get(names.LINK_CONGESTION, names.OSPF_RECONVERGENCE)
+        assert template.spatial.level is JoinLevel.NETWORK
+
+    def test_lineproto_looks_back_for_interface(self, kb):
+        template = kb.rules.get(names.LINEPROTO_DOWN, names.INTERFACE_DOWN)
+        assert template.temporal.symptom.option is ExpandOption.START_START
+        assert template.temporal.symptom.left > 0
+
+    def test_e2e_rules_use_measurement_sized_margins(self, kb):
+        template = kb.rules.get(names.DELAY_INCREASE, names.LINK_CONGESTION)
+        assert template.temporal.symptom.left >= 300

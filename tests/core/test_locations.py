@@ -1,0 +1,70 @@
+"""Tests for the location model."""
+
+import pytest
+
+from repro.core.locations import Location, LocationType
+
+
+class TestConstruction:
+    def test_router(self):
+        loc = Location.router("nyc-per1")
+        assert loc.type is LocationType.ROUTER
+        assert loc.value == "nyc-per1"
+
+    def test_interface_requires_fqname(self):
+        with pytest.raises(ValueError):
+            Location.interface("se1/0")
+        assert Location.interface("r1:se1/0").value == "r1:se1/0"
+
+    def test_pair_arity_enforced(self):
+        with pytest.raises(ValueError):
+            Location(LocationType.INGRESS_EGRESS, ("only-one",))
+        with pytest.raises(ValueError):
+            Location(LocationType.ROUTER, ("a", "b"))
+
+    def test_empty_part_rejected(self):
+        with pytest.raises(ValueError):
+            Location(LocationType.ROUTER, ("",))
+
+    def test_pair_constructor(self):
+        loc = Location.pair(LocationType.INGRESS_EGRESS, "a", "b")
+        assert loc.parts == ("a", "b")
+
+    def test_router_neighbor(self):
+        loc = Location.router_neighbor("nyc-per1", "10.0.0.2")
+        assert loc.type is LocationType.ROUTER_NEIGHBOR
+        assert loc.router_part == "nyc-per1"
+
+
+class TestAccessors:
+    def test_value_rejects_pairs(self):
+        loc = Location.pair(LocationType.SOURCE_DESTINATION, "a", "b")
+        with pytest.raises(ValueError):
+            _ = loc.value
+
+    def test_router_part_of_interface(self):
+        assert Location.interface("nyc-per1:se1/0").router_part == "nyc-per1"
+
+    def test_router_part_of_line_card(self):
+        assert Location.line_card("nyc-per1:slot2").router_part == "nyc-per1"
+
+    def test_router_part_undefined_for_links(self):
+        with pytest.raises(ValueError):
+            _ = Location.logical_link("a--b").router_part
+
+    def test_str_rendering(self):
+        assert str(Location.router("r1")) == "router[r1]"
+        assert (
+            str(Location.pair(LocationType.INGRESS_EGRESS, "a", "b"))
+            == "ingress:egress[a:b]"
+        )
+
+    def test_hashable_and_equal(self):
+        a = Location.router("r1")
+        b = Location.router("r1")
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_arity_property(self):
+        assert LocationType.ROUTER.arity == 1
+        assert LocationType.SOURCE_DESTINATION.arity == 2

@@ -1,0 +1,207 @@
+"""Tests for rule-based and Bayesian reasoning."""
+
+import math
+
+import pytest
+
+from repro.core.events import EventInstance
+from repro.core.locations import Location
+from repro.core.reasoning.bayesian import (
+    BayesianEngine,
+    FuzzyRatio,
+    RootCauseModel,
+    resolve_ratio,
+    train_ratios_from_labels,
+)
+from repro.core.reasoning.rule_based import UNKNOWN, MatchedEvidence, reason
+
+from .test_graph import bgp_like_graph, rule  # noqa: F401  (fixture reuse)
+
+
+def evidence_for(graph, parent, child, depth):
+    edge = graph.rule_for_edge(parent, child)
+    assert edge is not None, (parent, child)
+    loc = Location.router("r1")
+    return MatchedEvidence(
+        rule=edge,
+        parent_instance=EventInstance.make(parent, 0.0, 1.0, loc),
+        instance=EventInstance.make(child, 0.0, 1.0, loc),
+        depth=depth,
+    )
+
+
+class TestRuleBased:
+    def test_no_evidence_is_unknown(self, bgp_like_graph):
+        result = reason(bgp_like_graph, [])
+        assert result.root_causes == []
+        assert result.primary == UNKNOWN
+
+    def test_single_match(self, bgp_like_graph):
+        items = [evidence_for(bgp_like_graph, "ebgp-flap", "router-reboot", 1)]
+        result = reason(bgp_like_graph, items)
+        assert result.root_causes == ["router-reboot"]
+        assert result.priority == 100
+
+    def test_deeper_cause_wins_over_shallow_on_same_branch(self, bgp_like_graph):
+        items = [
+            evidence_for(bgp_like_graph, "ebgp-flap", "line-protocol-flap", 1),
+            evidence_for(bgp_like_graph, "line-protocol-flap", "interface-flap", 2),
+        ]
+        result = reason(bgp_like_graph, items)
+        assert result.root_causes == ["interface-flap"]
+
+    def test_paper_priority_example(self, bgp_like_graph):
+        """BGP flap joining high CPU and a layer-1 flap -> layer-1 wins."""
+        items = [
+            evidence_for(bgp_like_graph, "ebgp-flap", "ebgp-hte", 1),
+            evidence_for(bgp_like_graph, "ebgp-hte", "cpu-high-spike", 2),
+            evidence_for(bgp_like_graph, "ebgp-flap", "line-protocol-flap", 1),
+            evidence_for(bgp_like_graph, "line-protocol-flap", "interface-flap", 2),
+            evidence_for(bgp_like_graph, "interface-flap", "sonet-restoration", 3),
+        ]
+        result = reason(bgp_like_graph, items)
+        assert result.root_causes == ["sonet-restoration"]
+        assert result.priority == 180
+
+    def test_intermediate_node_as_deepest_match(self, bgp_like_graph):
+        """eBGP HTE with no deeper cause is itself the root cause."""
+        items = [evidence_for(bgp_like_graph, "ebgp-flap", "ebgp-hte", 1)]
+        result = reason(bgp_like_graph, items)
+        assert result.root_causes == ["ebgp-hte"]
+
+    def test_tie_outputs_joint_root_causes(self):
+        from repro.core.graph import DiagnosisGraph
+
+        graph = DiagnosisGraph(symptom_event="s")
+        graph.add_rule(rule("s", "a", priority=10))
+        graph.add_rule(rule("s", "b", priority=10))
+        items = [
+            evidence_for(graph, "s", "a", 1),
+            evidence_for(graph, "s", "b", 1),
+        ]
+        result = reason(graph, items)
+        assert result.root_causes == ["a", "b"]
+
+    def test_non_root_cause_evidence_never_reported(self):
+        from repro.core.graph import DiagnosisGraph
+
+        graph = DiagnosisGraph(symptom_event="s")
+        graph.add_rule(rule("s", "corroborating", priority=99, is_root_cause=False))
+        items = [evidence_for(graph, "s", "corroborating", 1)]
+        result = reason(graph, items)
+        assert result.root_causes == []
+        assert result.supporting == items  # still surfaced as evidence
+
+
+class TestFuzzyRatios:
+    def test_fuzzy_values_match_paper(self):
+        assert resolve_ratio(FuzzyRatio.LOW) == 2.0
+        assert resolve_ratio(FuzzyRatio.MEDIUM) == 100.0
+        assert resolve_ratio(FuzzyRatio.HIGH) == 20000.0
+
+    def test_string_names(self):
+        assert resolve_ratio("low") == 2.0
+        assert resolve_ratio("High") == 20000.0
+
+    def test_unknown_string_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_ratio("sorta-likely")
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_ratio(0)
+
+
+class TestBayesian:
+    def make_engine(self):
+        return BayesianEngine(
+            [
+                RootCauseModel(
+                    "cpu-issue",
+                    prior_ratio="low",
+                    evidence_ratios={"cpu-high": "high", "ebgp-hte": "medium"},
+                ),
+                RootCauseModel(
+                    "interface-issue",
+                    prior_ratio="medium",
+                    evidence_ratios={"interface-flap": "high"},
+                ),
+                RootCauseModel(
+                    "line-card-issue",
+                    prior_ratio="low",
+                    evidence_ratios={
+                        "interface-flap": "medium",
+                        "multi-session-flap": "high",
+                    },
+                    virtual=True,
+                ),
+            ]
+        )
+
+    def test_classify_ranks_by_evidence(self):
+        engine = self.make_engine()
+        verdict = engine.classify({"cpu-high", "ebgp-hte"})
+        assert verdict.best == "cpu-issue"
+
+    def test_absence_is_neutral_by_default(self):
+        engine = self.make_engine()
+        verdict = engine.classify(set())
+        # only priors apply; interface-issue has the highest prior
+        assert verdict.best == "interface-issue"
+
+    def test_group_inference_flips_to_common_cause(self):
+        """Many flaps each look like interface-issue individually, but a
+        shared line-card feature dominates when examined together."""
+        engine = self.make_engine()
+        single = engine.classify({"interface-flap"})
+        assert single.best == "interface-issue"
+        observations = [{"interface-flap", "multi-session-flap"} for _ in range(50)]
+        group = engine.classify_group(observations)
+        assert group.best == "line-card-issue"
+
+    def test_group_needs_observations(self):
+        with pytest.raises(ValueError):
+            self.make_engine().classify_group([])
+
+    def test_margin_confidence(self):
+        engine = self.make_engine()
+        verdict = engine.classify({"cpu-high", "ebgp-hte"})
+        assert verdict.margin() > 0
+
+    def test_duplicate_model_names_rejected(self):
+        with pytest.raises(ValueError):
+            BayesianEngine([RootCauseModel("x"), RootCauseModel("x")])
+
+    def test_empty_models_rejected(self):
+        with pytest.raises(ValueError):
+            BayesianEngine([])
+
+    def test_model_lookup(self):
+        engine = self.make_engine()
+        assert engine.model("cpu-issue").name == "cpu-issue"
+        with pytest.raises(KeyError):
+            engine.model("ghost")
+
+
+class TestTraining:
+    def test_trained_models_recover_structure(self):
+        labelled = []
+        for _ in range(40):
+            labelled.append(("cpu-issue", {"cpu-high", "ebgp-hte"}))
+        for _ in range(60):
+            labelled.append(("interface-issue", {"interface-flap"}))
+        models = train_ratios_from_labels(labelled)
+        engine = BayesianEngine(models)
+        assert engine.classify({"cpu-high", "ebgp-hte"}).best == "cpu-issue"
+        assert engine.classify({"interface-flap"}).best == "interface-issue"
+
+    def test_training_requires_data(self):
+        with pytest.raises(ValueError):
+            train_ratios_from_labels([])
+
+    def test_trained_ratios_positive_finite(self):
+        labelled = [("a", {"x"}), ("b", {"y"}), ("a", {"x", "y"})]
+        for model in train_ratios_from_labels(labelled):
+            assert math.isfinite(resolve_ratio(model.prior_ratio))
+            for ratio in model.evidence_ratios.values():
+                assert resolve_ratio(ratio) > 0

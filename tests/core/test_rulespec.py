@@ -1,0 +1,172 @@
+"""Tests for the rule-specification language."""
+
+import pytest
+
+from repro.core.knowledge import KnowledgeLibrary, names
+from repro.core.locations import LocationType
+from repro.core.rulespec import RuleSpecError, SpecCompiler, parse, tokenize
+from repro.core.spatial import JoinLevel
+from repro.core.temporal import ExpandOption
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return KnowledgeLibrary()
+
+
+@pytest.fixture
+def compiler(kb):
+    return SpecCompiler(kb.events, kb.rules)
+
+
+GOOD_SPEC = f'''
+application "demo"
+symptom "{names.LINEPROTO_FLAP}"
+
+# both styles: explicit clauses and library reuse
+rule "{names.LINEPROTO_FLAP}" -> "{names.INTERFACE_FLAP}" priority 160 {{
+    symptom expand start/start 15 5
+    diagnostic expand start/end 5 5
+    join interface interface at interface
+}}
+rule "{names.INTERFACE_FLAP}" -> "{names.SONET_RESTORATION}" use library priority 180
+'''
+
+
+class TestTokenizer:
+    def test_strings_and_idents(self):
+        tokens = tokenize('rule "a b" -> "c" priority 5')
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["IDENT", "STRING", "ARROW", "STRING", "IDENT", "NUMBER"]
+        assert tokens[1].text == "a b"
+
+    def test_comments_skipped(self):
+        assert tokenize("# a comment\nsymptom")[0].text == "symptom"
+
+    def test_negative_numbers(self):
+        tokens = tokenize("-5 3.5")
+        assert [t.text for t in tokens] == ["-5", "3.5"]
+
+    def test_bad_character_reports_line(self):
+        with pytest.raises(RuleSpecError, match="line 2"):
+            tokenize('symptom\n"unterminated @')
+
+
+class TestParser:
+    def test_full_spec(self):
+        ast = parse(GOOD_SPEC)
+        assert ast.application == "demo"
+        assert ast.symptom == names.LINEPROTO_FLAP
+        assert len(ast.rules) == 2
+        assert ast.rules[0].priority == 160
+        assert ast.rules[0].join.level == "interface"
+        assert ast.rules[1].use_library
+
+    def test_missing_symptom_rejected(self):
+        with pytest.raises(RuleSpecError, match="symptom"):
+            parse('application "x"')
+
+    def test_bad_expand_option(self):
+        spec = (
+            'symptom "s"\nrule "s" -> "d" { symptom expand sideways 1 2 }'
+        )
+        with pytest.raises(RuleSpecError, match="expand option"):
+            parse(spec)
+
+    def test_unknown_statement(self):
+        with pytest.raises(RuleSpecError, match="unknown statement"):
+            parse('frobnicate "x"')
+
+    def test_unknown_clause(self):
+        with pytest.raises(RuleSpecError, match="unknown clause"):
+            parse('symptom "s"\nrule "s" -> "d" { wibble }')
+
+    def test_truncated_spec(self):
+        with pytest.raises(RuleSpecError, match="end of specification"):
+            parse('symptom "s"\nrule "s" ->')
+
+    def test_evidence_only_and_note(self):
+        ast = parse(
+            'symptom "s"\nrule "s" -> "d" evidence-only note "corroboration"'
+        )
+        assert ast.rules[0].evidence_only
+        assert ast.rules[0].note == "corroboration"
+
+
+class TestCompiler:
+    def test_compiles_good_spec(self, compiler):
+        graph = compiler.compile_text(GOOD_SPEC)
+        assert graph.symptom_event == names.LINEPROTO_FLAP
+        edge = graph.rule_for_edge(names.LINEPROTO_FLAP, names.INTERFACE_FLAP)
+        assert edge.priority == 160
+        assert edge.temporal.symptom.option is ExpandOption.START_START
+        assert edge.spatial.level is JoinLevel.INTERFACE
+        library_edge = graph.rule_for_edge(
+            names.INTERFACE_FLAP, names.SONET_RESTORATION
+        )
+        assert library_edge.priority == 180
+        assert library_edge.spatial.level is JoinLevel.LAYER1_DEVICE
+
+    def test_unknown_event_rejected(self, compiler):
+        spec = 'symptom "No such event"\n'
+        with pytest.raises(RuleSpecError, match="unknown symptom"):
+            compiler.compile_text(spec)
+
+    def test_unknown_library_pair_rejected(self, compiler):
+        spec = (
+            f'symptom "{names.LINEPROTO_FLAP}"\n'
+            f'rule "{names.LINEPROTO_FLAP}" -> "{names.ROUTER_REBOOT}" use library'
+        )
+        with pytest.raises(RuleSpecError, match="no library rule"):
+            compiler.compile_text(spec)
+
+    def test_location_type_mismatch_rejected(self, compiler):
+        spec = (
+            f'symptom "{names.LINEPROTO_FLAP}"\n'
+            f'rule "{names.LINEPROTO_FLAP}" -> "{names.ROUTER_REBOOT}" {{\n'
+            "    symptom expand start/end 5 5\n"
+            "    diagnostic expand start/end 5 5\n"
+            "    join interface interface at router\n"
+            "}"
+        )
+        with pytest.raises(RuleSpecError, match="location type"):
+            compiler.compile_text(spec)
+
+    def test_rule_without_joins_rejected(self, compiler):
+        spec = (
+            f'symptom "{names.LINEPROTO_FLAP}"\n'
+            f'rule "{names.LINEPROTO_FLAP}" -> "{names.INTERFACE_FLAP}" priority 5'
+        )
+        with pytest.raises(RuleSpecError, match="use library"):
+            compiler.compile_text(spec)
+
+    def test_library_rule_with_temporal_override(self, compiler):
+        spec = (
+            f'symptom "{names.LINEPROTO_FLAP}"\n'
+            f'rule "{names.LINEPROTO_FLAP}" -> "{names.INTERFACE_FLAP}" use library {{\n'
+            "    symptom expand start/start 60 10\n"
+            "}"
+        )
+        graph = compiler.compile_text(spec)
+        edge = graph.rule_for_edge(names.LINEPROTO_FLAP, names.INTERFACE_FLAP)
+        assert edge.temporal.symptom.left == 60
+        # diagnostic side kept from the library template
+        assert edge.temporal.diagnostic.left == 5
+
+    def test_orphan_rule_parent_rejected(self, compiler):
+        spec = (
+            f'symptom "{names.LINEPROTO_FLAP}"\n'
+            f'rule "{names.INTERFACE_FLAP}" -> "{names.SONET_RESTORATION}" use library'
+        )
+        with pytest.raises(RuleSpecError, match="not reachable"):
+            compiler.compile_text(spec)
+
+    def test_evidence_only_compiles_to_non_root_cause(self, compiler):
+        spec = (
+            f'symptom "{names.LINEPROTO_FLAP}"\n'
+            f'rule "{names.LINEPROTO_FLAP}" -> "{names.INTERFACE_FLAP}"'
+            " use library evidence-only"
+        )
+        graph = compiler.compile_text(spec)
+        edge = graph.rule_for_edge(names.LINEPROTO_FLAP, names.INTERFACE_FLAP)
+        assert not edge.is_root_cause

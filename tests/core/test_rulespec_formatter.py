@@ -1,0 +1,162 @@
+"""Round-trip tests for the spec formatter (graph -> DSL -> graph)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.bgp_flaps import BGP_FLAPS_SPEC, register_bgp_events
+from repro.apps.cdn import build_cdn_graph, register_cdn_events
+from repro.apps.pim import build_pim_graph, register_pim_events
+from repro.core.graph import DiagnosisGraph, DiagnosisRule
+from repro.core.knowledge import KnowledgeLibrary, names
+from repro.core.locations import LocationType
+from repro.core.rulespec import SpecCompiler, format_graph, format_rule
+from repro.core.spatial import JoinLevel, SpatialJoinRule
+from repro.core.temporal import ExpandOption, TemporalExpansion, TemporalJoinRule
+
+
+@pytest.fixture(scope="module")
+def kb():
+    return KnowledgeLibrary()
+
+
+def graph_signature(graph):
+    """Comparable structural form: the set of fully expanded rules."""
+    return (
+        graph.symptom_event,
+        frozenset(
+            (
+                rule.parent_event,
+                rule.child_event,
+                rule.temporal,
+                rule.spatial,
+                rule.priority,
+                rule.is_root_cause,
+                rule.note,
+            )
+            for rule in graph.all_rules()
+        ),
+    )
+
+
+class TestAppGraphRoundTrips:
+    def test_bgp_graph_round_trip(self, kb):
+        events = kb.scoped_events()
+        register_bgp_events(events)
+        compiler = SpecCompiler(events, kb.rules)
+        graph = compiler.compile_text(BGP_FLAPS_SPEC)
+        text = format_graph(graph)
+        rebuilt = compiler.compile_text(text)
+        assert graph_signature(rebuilt) == graph_signature(graph)
+
+    def test_pim_graph_round_trip(self, kb):
+        events = kb.scoped_events()
+        register_pim_events(events)
+        graph = build_pim_graph()
+        compiler = SpecCompiler(events, kb.rules)
+        rebuilt = compiler.compile_text(format_graph(graph))
+        assert graph_signature(rebuilt) == graph_signature(graph)
+
+    def test_cdn_graph_round_trip(self, kb):
+        events = kb.scoped_events()
+        register_cdn_events(events)
+        graph = build_cdn_graph()
+        compiler = SpecCompiler(events, kb.rules)
+        rebuilt = compiler.compile_text(format_graph(graph))
+        assert graph_signature(rebuilt) == graph_signature(graph)
+
+
+class TestFormatRule:
+    def make_rule(self, **overrides):
+        defaults = dict(
+            parent_event=names.LINEPROTO_FLAP,
+            child_event=names.INTERFACE_FLAP,
+            temporal=TemporalJoinRule(
+                TemporalExpansion(ExpandOption.START_START, 15, 5),
+                TemporalExpansion(ExpandOption.START_END, 5, 5),
+            ),
+            spatial=SpatialJoinRule(
+                LocationType.INTERFACE, LocationType.INTERFACE, JoinLevel.INTERFACE
+            ),
+            priority=160,
+        )
+        defaults.update(overrides)
+        return DiagnosisRule(**defaults)
+
+    def test_priority_and_flags_serialized(self):
+        text = format_rule(self.make_rule(is_root_cause=False, note="corroboration"))
+        assert "priority 160" in text
+        assert "evidence-only" in text
+        assert 'note "corroboration"' in text
+
+    def test_zero_priority_omitted(self):
+        assert "priority" not in format_rule(self.make_rule(priority=0))
+
+    def test_fractional_margins_preserved(self, kb):
+        rule = self.make_rule(
+            temporal=TemporalJoinRule(
+                TemporalExpansion(ExpandOption.START_START, 15.5, 5.25),
+                TemporalExpansion(ExpandOption.START_END, 5, 5),
+            )
+        )
+        graph = DiagnosisGraph(symptom_event=names.LINEPROTO_FLAP)
+        graph.add_rule(rule)
+        compiler = SpecCompiler(kb.events, kb.rules)
+        rebuilt = compiler.compile_text(format_graph(graph))
+        edge = rebuilt.rule_for_edge(names.LINEPROTO_FLAP, names.INTERFACE_FLAP)
+        assert edge.temporal.symptom.left == 15.5
+        assert edge.temporal.symptom.right == 5.25
+
+    def test_quote_in_name_rejected(self):
+        with pytest.raises(ValueError):
+            format_rule(self.make_rule(note='has "quotes"'))
+
+
+# -- property test: random library-derived graphs round-trip ----------------
+
+_LIBRARY = KnowledgeLibrary()
+_PAIRS = _LIBRARY.rules.pairs()
+
+
+@st.composite
+def random_graphs(draw):
+    """A random diagnosis graph grown from library rule templates."""
+    rng = random.Random(draw(st.integers(min_value=0, max_value=2**31)))
+    symptom_candidates = sorted({pair[0] for pair in _PAIRS})
+    symptom = rng.choice(symptom_candidates)
+    graph = DiagnosisGraph(symptom_event=symptom, name="prop")
+    reachable = {symptom}
+    n_rules = draw(st.integers(min_value=1, max_value=12))
+    for _ in range(n_rules):
+        candidates = [
+            (parent, child)
+            for parent, child in _PAIRS
+            if parent in reachable
+            and graph.rule_for_edge(parent, child) is None
+            and child != symptom
+        ]
+        if not candidates:
+            break
+        parent, child = rng.choice(candidates)
+        priority = rng.randint(1, 300)
+        evidence_only = rng.random() < 0.2
+        try:
+            graph.add_rule(
+                _LIBRARY.rules.rule(parent, child, priority, not evidence_only)
+            )
+        except Exception:
+            continue
+        reachable.add(child)
+    return graph
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=30, deadline=None)
+    @given(random_graphs())
+    def test_random_graphs_round_trip(self, graph):
+        if not graph.all_rules():
+            return
+        compiler = SpecCompiler(_LIBRARY.events, _LIBRARY.rules)
+        rebuilt = compiler.compile_text(format_graph(graph))
+        assert graph_signature(rebuilt) == graph_signature(graph)

@@ -1,0 +1,128 @@
+"""Tests for the SCORE-style shared-risk set-cover engine."""
+
+import pytest
+
+from repro.core.locations import Location
+from repro.core.reasoning.score import (
+    RiskGroup,
+    ScoreEngine,
+    risk_groups_from_topology,
+)
+from repro.core.spatial import JoinLevel
+
+
+def group(name, members, kind="layer1-device"):
+    return RiskGroup(name=name, kind=kind, members=frozenset(members))
+
+
+class TestGreedyCover:
+    def test_single_group_explains_all(self):
+        engine = ScoreEngine([group("adm-1", {"a", "b", "c"})])
+        result = engine.localize({"a", "b", "c"})
+        assert [h.group.name for h in result.hypotheses] == ["adm-1"]
+        assert result.unexplained == frozenset()
+        assert result.explained_fraction == 1.0
+
+    def test_minimal_cover_preferred(self):
+        engine = ScoreEngine(
+            [
+                group("big", {"a", "b", "c", "d"}),
+                group("half1", {"a", "b"}),
+                group("half2", {"c", "d"}),
+            ]
+        )
+        result = engine.localize({"a", "b", "c", "d"})
+        assert [h.group.name for h in result.hypotheses] == ["big"]
+
+    def test_hit_ratio_threshold_blocks_weak_groups(self):
+        # the group would explain the failure but most of its members
+        # did NOT fail -> implausible shared cause
+        engine = ScoreEngine(
+            [group("adm-1", {"a", "b", "c", "d", "e", "f"})], min_hit_ratio=0.5
+        )
+        result = engine.localize({"a"})
+        assert result.hypotheses == []
+        assert result.unexplained == frozenset({"a"})
+
+    def test_multiple_independent_causes(self):
+        engine = ScoreEngine(
+            [group("adm-1", {"a", "b"}), group("adm-2", {"c", "d"})]
+        )
+        result = engine.localize({"a", "b", "c", "d"})
+        assert sorted(h.group.name for h in result.hypotheses) == ["adm-1", "adm-2"]
+
+    def test_partial_cover_reports_unexplained(self):
+        engine = ScoreEngine([group("adm-1", {"a", "b"})])
+        result = engine.localize({"a", "b", "z"})
+        assert result.unexplained == frozenset({"z"})
+        assert 0 < result.explained_fraction < 1
+
+    def test_hit_ratio_and_coverage_recorded(self):
+        engine = ScoreEngine([group("adm-1", {"a", "b", "c", "d"})])
+        result = engine.localize({"a", "b", "c"})
+        hypothesis = result.hypotheses[0]
+        assert hypothesis.hit_ratio == pytest.approx(0.75)
+        assert hypothesis.coverage == pytest.approx(1.0)
+
+    def test_deterministic_tie_break_by_name(self):
+        engine = ScoreEngine([group("z", {"a"}), group("b", {"a"})])
+        result = engine.localize({"a"})
+        assert result.hypotheses[0].group.name == "b"
+
+    def test_empty_failures(self):
+        engine = ScoreEngine([group("adm-1", {"a"})])
+        result = engine.localize(set())
+        assert result.hypotheses == []
+        assert result.explained_fraction == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScoreEngine([], min_hit_ratio=0.0)
+        with pytest.raises(ValueError):
+            ScoreEngine([group("x", {"a"}), group("x", {"b"})])
+
+
+class TestRiskModelFromTopology:
+    def test_linecard_crash_localized(self, resolver, small_topology):
+        """Interfaces on one card fail together -> the card is blamed."""
+        router = small_topology.network.router("nyc-per1")
+        slot0 = [i.fqname for i in router.interfaces_on_slot(0)]
+        locations = [Location.interface(fq) for fq in slot0]
+        groups = risk_groups_from_topology(resolver, locations, timestamp=0.0)
+        engine = ScoreEngine(groups, min_hit_ratio=0.6)
+        result = engine.localize({str(l) for l in locations})
+        names = [h.group.name for h in result.hypotheses]
+        assert "nyc-per1:slot0" in names
+        assert result.unexplained == frozenset()
+
+    def test_router_level_failure_prefers_router_group(
+        self, resolver, small_topology
+    ):
+        """Every interface of the router failing points at the router,
+        not its individual cards."""
+        router = small_topology.network.router("nyc-per1")
+        locations = [Location.interface(i.fqname) for i in router.interfaces]
+        groups = risk_groups_from_topology(resolver, locations, timestamp=0.0)
+        engine = ScoreEngine(groups, min_hit_ratio=0.9)
+        result = engine.localize({str(l) for l in locations})
+        assert result.hypotheses[0].group.name == "nyc-per1"
+        assert len(result.hypotheses) == 1
+
+    def test_shared_layer1_device_localized(self, resolver, small_topology):
+        """Two logical links over the same ADM failing together blame
+        the ADM rather than the links' routers."""
+        network = small_topology.network
+        device = next(
+            d
+            for d in sorted(network.layer1_devices)
+            if len(network.logical_links_riding(d)) >= 2
+        )
+        riding = network.logical_links_riding(device)
+        locations = [Location.logical_link(link.name) for link in riding]
+        groups = risk_groups_from_topology(
+            resolver, locations, 0.0, kinds=(JoinLevel.LAYER1_DEVICE, JoinLevel.ROUTER)
+        )
+        engine = ScoreEngine(groups, min_hit_ratio=0.9)
+        result = engine.localize({str(l) for l in locations})
+        assert result.hypotheses[0].group.kind == "layer1-device"
+        assert result.hypotheses[0].group.name == device

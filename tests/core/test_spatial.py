@@ -1,0 +1,236 @@
+"""Tests for the spatial model: location expansion and joins (Fig. 2)."""
+
+import pytest
+
+from repro.core.locations import Location, LocationType
+from repro.core.spatial import JoinLevel, SpatialJoinRule
+from repro.routing.ospf import COST_OUT_WEIGHT, WeightChange
+
+T = 1000.0
+
+
+class TestContainmentExpansion:
+    def test_router_to_itself(self, resolver):
+        assert resolver.expand(Location.router("nyc-per1"), JoinLevel.ROUTER, T) == {
+            "nyc-per1"
+        }
+
+    def test_interface_to_router(self, resolver, small_topology):
+        iface = small_topology.network.router("nyc-per1").interfaces[0]
+        got = resolver.expand(Location.interface(iface.fqname), JoinLevel.ROUTER, T)
+        assert got == {"nyc-per1"}
+
+    def test_interface_to_line_card(self, resolver, small_topology):
+        iface = small_topology.network.router("nyc-per1").interfaces[0]
+        got = resolver.expand(Location.interface(iface.fqname), JoinLevel.LINE_CARD, T)
+        assert got == {f"nyc-per1:slot{iface.slot}"}
+
+    def test_router_to_interfaces_covers_all(self, resolver, small_topology):
+        router = small_topology.network.router("nyc-cr1")
+        got = resolver.expand(Location.router("nyc-cr1"), JoinLevel.INTERFACE, T)
+        assert got == {i.fqname for i in router.interfaces}
+
+    def test_line_card_to_interfaces(self, resolver, small_topology):
+        router = small_topology.network.router("nyc-cr1")
+        got = resolver.expand(Location.line_card("nyc-cr1:slot0"), JoinLevel.INTERFACE, T)
+        assert got == {i.fqname for i in router.interfaces_on_slot(0)}
+
+    def test_pop_level(self, resolver):
+        assert resolver.expand(Location.router("nyc-per1"), JoinLevel.POP, T) == {"nyc"}
+
+    def test_unknown_element_expands_empty(self, resolver):
+        assert resolver.expand(Location.router("ghost"), JoinLevel.ROUTER, T) == frozenset()
+
+    def test_same_location_level(self, resolver):
+        loc = Location.router("nyc-per1")
+        assert resolver.expand(loc, JoinLevel.SAME_LOCATION, T) == {str(loc)}
+
+
+class TestCrossLayerExpansion:
+    def backbone_link(self, topo):
+        network = topo.network
+        for link in network.logical_links.values():
+            if network.layer1_devices_of_logical(link.name):
+                return link
+        pytest.fail("no backbone link with layer-1 devices")
+
+    def test_logical_link_to_layer1(self, resolver, small_topology):
+        link = self.backbone_link(small_topology)
+        got = resolver.expand(Location.logical_link(link.name), JoinLevel.LAYER1_DEVICE, T)
+        assert got == set(small_topology.network.layer1_devices_of_logical(link.name))
+
+    def test_layer1_to_logical_links(self, resolver, small_topology):
+        link = self.backbone_link(small_topology)
+        device = small_topology.network.layer1_devices_of_logical(link.name)[0]
+        got = resolver.expand(Location.layer1_device(device), JoinLevel.LOGICAL_LINK, T)
+        assert link.name in got
+
+    def test_interface_to_layer1_via_link(self, resolver, small_topology):
+        link = self.backbone_link(small_topology)
+        got = resolver.expand(
+            Location.interface(link.interface_a), JoinLevel.LAYER1_DEVICE, T
+        )
+        assert got == set(small_topology.network.layer1_devices_of_logical(link.name))
+
+    def test_physical_link_expansions(self, resolver, small_topology):
+        link = self.backbone_link(small_topology)
+        phys = link.physical_links[0]
+        assert resolver.expand(
+            Location.physical_link(phys), JoinLevel.LOGICAL_LINK, T
+        ) == {link.name}
+        routers = resolver.expand(Location.physical_link(phys), JoinLevel.ROUTER, T)
+        assert routers == set(link.routers)
+
+    def test_customer_facing_interface_has_no_logical_link(
+        self, resolver, small_topology
+    ):
+        _, iface, _ = next(iter(small_topology.customer_attachments.values()))
+        got = resolver.expand(Location.interface(iface), JoinLevel.LOGICAL_LINK, T)
+        assert got == frozenset()
+
+
+class TestNeighborExpansion:
+    def test_neighbor_ip_resolves_to_customer_interface(
+        self, resolver, small_topology
+    ):
+        customer, (per, iface, neighbor_ip) = next(
+            iter(small_topology.customer_attachments.items())
+        )
+        loc = Location.router_neighbor(per, neighbor_ip)
+        assert resolver.expand(loc, JoinLevel.INTERFACE, T) == {iface}
+        assert resolver.expand(loc, JoinLevel.ROUTER, T) == {per}
+
+    def test_unknown_neighbor_expands_empty_at_interface_level(self, resolver):
+        loc = Location.router_neighbor("nyc-per1", "203.0.113.200")
+        assert resolver.expand(loc, JoinLevel.INTERFACE, T) == frozenset()
+
+
+class TestPathExpansion:
+    def test_ingress_egress_router_path(self, resolver, path_service):
+        loc = Location.pair(LocationType.INGRESS_EGRESS, "nyc-per1", "chi-per1")
+        routers = resolver.expand(loc, JoinLevel.ROUTER, T)
+        assert "nyc-per1" in routers
+        assert "chi-per1" in routers
+        assert len(routers) >= 3  # at least one core in between
+
+    def test_path_changes_with_weights(self, resolver, path_service, small_topology):
+        loc = Location.pair(LocationType.INGRESS_EGRESS, "nyc-per1", "chi-per1")
+        before = resolver.expand(loc, JoinLevel.LOGICAL_LINK, T)
+        # cost out every link on the current path that touches nyc-cr1
+        for link_name in sorted(before):
+            link = small_topology.network.logical_link(link_name)
+            if "nyc-cr1" in link.routers:
+                path_service.ospf.history.record(
+                    WeightChange(2000.0, link_name, COST_OUT_WEIGHT)
+                )
+        after = resolver.expand(loc, JoinLevel.LOGICAL_LINK, 3000.0)
+        assert after, "path must re-route, not vanish"
+        assert after != before
+        # historical query still sees the old path
+        assert resolver.expand(loc, JoinLevel.LOGICAL_LINK, T) == before
+
+    def test_ingress_destination_resolves_egress_via_bgp(
+        self, resolver, path_service, bgp_log
+    ):
+        bgp_log.announce(0.0, "198.51.100.0/24", "chi-per1")
+        loc = Location.pair(LocationType.INGRESS_DESTINATION, "nyc-per1", "198.51.100.9")
+        routers = resolver.expand(loc, JoinLevel.ROUTER, T)
+        assert "chi-per1" in routers
+
+    def test_unroutable_destination_expands_empty(self, resolver):
+        loc = Location.pair(LocationType.INGRESS_DESTINATION, "nyc-per1", "8.8.8.8")
+        assert resolver.expand(loc, JoinLevel.ROUTER, T) == frozenset()
+
+    def test_source_destination_via_ingress_map(
+        self, resolver, path_service, bgp_log, small_topology
+    ):
+        bgp_log.announce(0.0, "198.51.100.0/24", "chi-per1")
+        server = next(iter(small_topology.network.cdn_servers))
+        loc = Location.pair(LocationType.SOURCE_DESTINATION, server, "198.51.100.9")
+        routers = resolver.expand(loc, JoinLevel.ROUTER, T)
+        assert "nyc-per1" in routers  # CDN attachment
+        assert "chi-per1" in routers
+
+    def test_unknown_source_expands_empty(self, resolver, bgp_log):
+        bgp_log.announce(0.0, "198.51.100.0/24", "chi-per1")
+        loc = Location.pair(
+            LocationType.SOURCE_DESTINATION, "mystery-agent", "198.51.100.9"
+        )
+        assert resolver.expand(loc, JoinLevel.ROUTER, T) == frozenset()
+
+    def test_server_expands_to_attachment_router(self, resolver, small_topology):
+        server = next(iter(small_topology.network.cdn_servers))
+        assert resolver.expand(Location.server(server), JoinLevel.ROUTER, T) == {
+            "nyc-per1"
+        }
+
+    def test_prefix_includes_old_and_new_egress(self, resolver, bgp_log):
+        bgp_log.announce(0.0, "198.51.100.0/24", "chi-per1")
+        bgp_log.withdraw(980.0, "198.51.100.0/24", "chi-per1")
+        bgp_log.announce(980.0, "198.51.100.0/24", "dfw-per1")
+        routers = resolver.expand(Location.prefix("198.51.100.0/24"), JoinLevel.ROUTER, T)
+        assert routers == {"chi-per1", "dfw-per1"}
+
+    def test_router_path_alias_behaves_like_router(self, resolver):
+        loc = Location.pair(LocationType.INGRESS_EGRESS, "nyc-per1", "chi-per1")
+        assert resolver.expand(loc, JoinLevel.ROUTER_PATH, T) == resolver.expand(
+            loc, JoinLevel.ROUTER, T
+        )
+
+
+class TestSpatialJoinRule:
+    def test_paper_cpu_on_path_example(self, resolver):
+        """End-to-end symptom joins CPU overload only on on-path routers."""
+        rule = SpatialJoinRule(
+            LocationType.INGRESS_EGRESS, LocationType.ROUTER, JoinLevel.ROUTER_PATH
+        )
+        symptom = Location.pair(LocationType.INGRESS_EGRESS, "nyc-per1", "chi-per1")
+        on_path = Location.router("nyc-per1")
+        assert rule.joined(resolver, symptom, on_path, T)
+        # a router in a PoP not on the path must not join
+        off_path = Location.router("lax-per2")
+        assert not rule.joined(resolver, symptom, off_path, T)
+
+    def test_paper_same_router_example(self, resolver, small_topology):
+        """Uplink loss and customer-facing loss join at router level."""
+        rule = SpatialJoinRule(
+            LocationType.INTERFACE, LocationType.INTERFACE, JoinLevel.ROUTER
+        )
+        router = small_topology.network.router("nyc-per1")
+        a = Location.interface(router.interfaces[0].fqname)
+        b = Location.interface(router.interfaces[1].fqname)
+        assert rule.joined(resolver, a, b, T)
+        other = small_topology.network.router("chi-per1").interfaces[0]
+        assert not rule.joined(resolver, a, Location.interface(other.fqname), T)
+
+    def test_type_mismatch_raises(self, resolver):
+        rule = SpatialJoinRule(
+            LocationType.INTERFACE, LocationType.ROUTER, JoinLevel.ROUTER
+        )
+        with pytest.raises(ValueError):
+            rule.joined(resolver, Location.router("r"), Location.router("r"), T)
+        with pytest.raises(ValueError):
+            rule.joined(
+                resolver,
+                Location.interface("r:se0/0"),
+                Location.interface("r:se0/0"),
+                T,
+            )
+
+    def test_interface_joins_layer1_device(self, resolver, small_topology):
+        network = small_topology.network
+        link = next(
+            l
+            for l in network.logical_links.values()
+            if network.layer1_devices_of_logical(l.name)
+        )
+        device = network.layer1_devices_of_logical(link.name)[0]
+        rule = SpatialJoinRule(
+            LocationType.INTERFACE, LocationType.LAYER1_DEVICE, JoinLevel.LAYER1_DEVICE
+        )
+        assert rule.joined(
+            resolver,
+            Location.interface(link.interface_a),
+            Location.layer1_device(device),
+            T,
+        )

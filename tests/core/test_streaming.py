@@ -1,0 +1,142 @@
+"""Tests for the streaming (real-time) RCA extension."""
+
+import random
+
+import pytest
+
+from repro.apps.bgp_flaps import BgpFlapApp
+from repro.collector import DataCollector
+from repro.core.streaming import FeedReplayer, StreamingConfig, StreamingRca
+from repro.platform import GrcaPlatform
+from repro.simulation.faults import FaultInjector
+from repro.simulation.telemetry import BASE_EPOCH, TelemetryEmitter
+from repro.topology import TopologyParams, build_topology
+
+
+@pytest.fixture
+def live_setup():
+    """A topology, a stream of injected telemetry, and a streaming app."""
+    topo = build_topology(
+        TopologyParams(n_pops=3, pers_per_pop=2, customers_per_per=4, seed=88)
+    )
+    emitter = TelemetryEmitter(topo, random.Random(1), syslog_jitter=1.0)
+    injector = FaultInjector(topo, emitter, random.Random(2))
+    customers = sorted(topo.customer_attachments)
+
+    truths = []
+    t = BASE_EPOCH + 3600.0
+    truths += injector.bgp_interface_flap(t, customers[0])
+    truths += injector.bgp_cpu_spike(t + 3600.0, customers[1])
+    truths += injector.bgp_unknown(t + 7200.0, customers[2])
+    truths += injector.bgp_customer_reset(t + 10800.0, customers[3])
+
+    collector = DataCollector()
+    for router in topo.network.routers.values():
+        collector.registry.register_device(router.name, router.timezone)
+    platform = GrcaPlatform.from_collector(topo, collector, config_time=BASE_EPOCH)
+    app = BgpFlapApp.build(platform)
+    replayer = FeedReplayer(collector, emitter.buffers.replay_order())
+    return topo, app, replayer, truths, t
+
+
+class TestStreamingRca:
+    def test_incremental_matches_batch(self, live_setup):
+        topo, app, replayer, truths, t0 = live_setup
+        streaming = StreamingRca(app.engine, StreamingConfig(settle_seconds=420.0))
+        collected = []
+        now = t0 - 600.0
+        while replayer.pending or (streaming.watermark or 0) < t0 + 14400.0:
+            now += 900.0
+            replayer.deliver_until(now)
+            collected.extend(streaming.advance(now))
+            if now > t0 + 20000.0:
+                break
+        assert len(collected) == len(truths)
+        causes = sorted(d.primary_cause for d in collected)
+        assert causes == sorted(t.cause for t in truths)
+
+    def test_no_duplicate_diagnoses(self, live_setup):
+        _topo, app, replayer, truths, t0 = live_setup
+        replayer.deliver_until(t0 + 20000.0)
+        streaming = StreamingRca(app.engine, start=t0 - 600.0)
+        first = streaming.advance(t0 + 20000.0)
+        again = streaming.advance(t0 + 20001.0)
+        more = streaming.advance(t0 + 30000.0)
+        assert len(first) == len(truths)
+        assert again == []
+        assert more == []
+
+    def test_unsettled_symptom_deferred(self, live_setup):
+        _topo, app, replayer, truths, t0 = live_setup
+        streaming = StreamingRca(app.engine, StreamingConfig(settle_seconds=420.0))
+        streaming._start = t0 - 600.0
+        # deliver everything, but advance only to just after the first flap
+        replayer.deliver_until(t0 + 20000.0)
+        early = streaming.advance(t0 + 100.0)  # flap not settled yet
+        assert early == []
+        later = streaming.advance(t0 + 20000.0)
+        assert len(later) == len(truths)
+
+    def test_callback_invoked(self, live_setup):
+        _topo, app, replayer, truths, t0 = live_setup
+        replayer.deliver_until(t0 + 20000.0)
+        seen = []
+        streaming = StreamingRca(app.engine, on_diagnosis=seen.append, start=t0 - 600.0)
+        streaming.advance(t0 + 20000.0)
+        assert len(seen) == len(truths)
+        assert streaming.diagnosed_count == len(truths)
+
+    def test_late_evidence_still_joins(self, live_setup):
+        """Evidence delivered after the symptom (but before settling)
+        must be used — the point of the settle delay."""
+        topo, app, replayer, truths, t0 = live_setup
+        streaming = StreamingRca(app.engine, StreamingConfig(settle_seconds=420.0))
+        # deliver only up to the middle of the first flap's message burst
+        replayer.deliver_until(t0 + 1.0)
+        assert streaming.advance(t0 + 2.0) == []
+        replayer.deliver_until(t0 + 20000.0)
+        diagnoses = streaming.advance(t0 + 20000.0)
+        first = min(diagnoses, key=lambda d: d.symptom.start)
+        assert first.primary_cause == "Interface flap"
+
+    def test_watermark_monotonic(self, live_setup):
+        _topo, app, replayer, _truths, t0 = live_setup
+        streaming = StreamingRca(app.engine)
+        streaming.advance(t0)
+        w1 = streaming.watermark
+        streaming.advance(t0 - 5000.0)  # time going backwards: no-op
+        assert streaming.watermark == w1
+
+
+class TestFeedReplayer:
+    def test_delivery_in_time_order(self, live_setup):
+        _topo, app, replayer, _truths, t0 = live_setup
+        total = replayer.pending
+        first = replayer.deliver_until(t0 + 1800.0)
+        second = replayer.deliver_until(t0 + 20000.0)
+        assert first + second == total
+        assert replayer.pending == 0
+
+    def test_nothing_delivered_before_start(self, live_setup):
+        _topo, _app, replayer, _truths, t0 = live_setup
+        assert replayer.deliver_until(t0 - 7200.0) == 0
+
+
+class TestPlatformRefresh:
+    def test_refresh_routing_picks_up_new_feeds(self):
+        topo = build_topology(TopologyParams(n_pops=2, pers_per_pop=1, seed=9))
+        collector = DataCollector()
+        platform = GrcaPlatform.from_collector(topo, collector)
+        link = sorted(topo.network.logical_links)[0]
+        assert platform.paths.ospf.history.weights_at(1e9).get(link, 10) == 10
+        from repro.collector.sources.ospfmon import render_ospfmon_row
+        from repro.collector.sources.bgpmon import render_bgpmon_row
+
+        collector.ingest("ospfmon", [render_ospfmon_row(100.0, link, 65535)])
+        collector.ingest(
+            "bgpmon", [render_bgpmon_row(100.0, "A", "198.51.100.0/24", "chi-per1")]
+        )
+        platform.refresh_routing()
+        assert platform.paths.ospf.history.weights_at(200.0)[link] == 65535
+        decision = platform.paths.bgp.best_egress("nyc-per1", "198.51.100.4", 200.0)
+        assert decision.egress_router == "chi-per1"

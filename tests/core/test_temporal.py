@@ -1,0 +1,141 @@
+"""Tests for temporal join rules, including the paper's worked example."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.temporal import (
+    ExpandOption,
+    TemporalExpansion,
+    TemporalJoinRule,
+    default_rule,
+)
+
+
+class TestExpansion:
+    def test_paper_example_symptom(self):
+        # eBGP flap (Start/Start, X=180, Y=5) at [1000, 2000] -> [820, 1005]
+        expansion = TemporalExpansion(ExpandOption.START_START, 180, 5)
+        assert expansion.expand(1000, 2000) == (820.0, 1005.0)
+
+    def test_paper_example_diagnostic(self):
+        # Interface flap (Start/End, X=5, Y=5) at [900, 901] -> [895, 906]
+        expansion = TemporalExpansion(ExpandOption.START_END, 5, 5)
+        assert expansion.expand(900, 901) == (895.0, 906.0)
+
+    def test_end_end(self):
+        expansion = TemporalExpansion(ExpandOption.END_END, 10, 20)
+        assert expansion.expand(100, 200) == (190.0, 220.0)
+
+    def test_negative_margins_shift_inward(self):
+        expansion = TemporalExpansion(ExpandOption.START_END, -10, -10)
+        assert expansion.expand(100, 200) == (110.0, 190.0)
+
+    def test_inverted_window_collapses(self):
+        expansion = TemporalExpansion(ExpandOption.START_START, -50, -50)
+        lo, hi = expansion.expand(100, 200)
+        assert lo == hi  # empty window
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            TemporalExpansion(ExpandOption.START_END, 0, 0).expand(200, 100)
+
+
+class TestJoin:
+    def test_paper_example_joins(self):
+        rule = TemporalJoinRule(
+            symptom=TemporalExpansion(ExpandOption.START_START, 180, 5),
+            diagnostic=TemporalExpansion(ExpandOption.START_END, 5, 5),
+        )
+        assert rule.joined((1000, 2000), (900, 901))
+
+    def test_far_apart_does_not_join(self):
+        rule = default_rule()
+        assert not rule.joined((1000, 1001), (2000, 2001))
+
+    def test_touching_windows_join(self):
+        rule = TemporalJoinRule(
+            symptom=TemporalExpansion(ExpandOption.START_END, 0, 0),
+            diagnostic=TemporalExpansion(ExpandOption.START_END, 0, 0),
+        )
+        assert rule.joined((100, 200), (200, 300))  # closed intervals touch
+
+    def test_hold_timer_modelling(self):
+        # diagnostic 180 s before symptom start should join via X=180
+        rule = TemporalJoinRule(
+            symptom=TemporalExpansion(ExpandOption.START_START, 180, 5),
+            diagnostic=TemporalExpansion(ExpandOption.START_END, 5, 5),
+        )
+        assert rule.joined((1000, 1060), (821, 822))
+        assert not rule.joined((1000, 1060), (700, 701))
+
+
+class TestSearchWindow:
+    def test_search_window_covers_joinable_instants(self):
+        rule = TemporalJoinRule(
+            symptom=TemporalExpansion(ExpandOption.START_START, 180, 5),
+            diagnostic=TemporalExpansion(ExpandOption.START_END, 5, 5),
+        )
+        lo, hi = rule.search_window((1000, 2000))
+        # a diagnostic at 820 (the left edge) must be inside
+        assert lo <= 820 - 5
+        assert hi >= 1005 + 5
+
+
+intervals = st.tuples(
+    st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    st.floats(min_value=0, max_value=1e4, allow_nan=False),
+).map(lambda pair: (pair[0], pair[0] + pair[1]))
+
+margins = st.floats(min_value=0, max_value=1000, allow_nan=False)
+options = st.sampled_from(list(ExpandOption))
+
+
+class TestProperties:
+    @given(intervals, margins, margins, options)
+    def test_expansion_contains_anchor(self, interval, left, right, option):
+        expansion = TemporalExpansion(option, left, right)
+        lo, hi = expansion.expand(*interval)
+        start, end = interval
+        anchor = {
+            ExpandOption.START_END: start,
+            ExpandOption.START_START: start,
+            ExpandOption.END_END: end,
+        }[option]
+        assert lo <= anchor <= hi
+
+    @given(intervals, intervals, margins, margins, options, options)
+    def test_join_is_symmetric_in_overlap(self, si, di, x, y, so, do):
+        """Swapping the roles (and their expansions) preserves the join."""
+        rule = TemporalJoinRule(TemporalExpansion(so, x, y), TemporalExpansion(do, x, y))
+        flipped = TemporalJoinRule(TemporalExpansion(do, x, y), TemporalExpansion(so, x, y))
+        assert rule.joined(si, di) == flipped.joined(di, si)
+
+    @given(intervals, intervals, margins, margins)
+    def test_wider_margins_never_unjoin(self, si, di, x, y):
+        narrow = TemporalJoinRule(
+            TemporalExpansion(ExpandOption.START_END, x, y),
+            TemporalExpansion(ExpandOption.START_END, x, y),
+        )
+        wide = TemporalJoinRule(
+            TemporalExpansion(ExpandOption.START_END, x + 10, y + 10),
+            TemporalExpansion(ExpandOption.START_END, x + 10, y + 10),
+        )
+        if narrow.joined(si, di):
+            assert wide.joined(si, di)
+
+    @given(intervals, margins, margins, options, options)
+    def test_search_window_is_sound(self, si, x, y, so, do):
+        """Any diagnostic instant outside the search window cannot join."""
+        rule = TemporalJoinRule(TemporalExpansion(so, x, y), TemporalExpansion(do, x, y))
+        lo, hi = rule.search_window(si)
+        for instant in (lo - 1.0, hi + 1.0):
+            assert not rule.joined(si, (instant, instant))
+
+    @given(intervals, intervals)
+    def test_zero_margin_start_end_equals_interval_overlap(self, si, di):
+        rule = TemporalJoinRule(
+            TemporalExpansion(ExpandOption.START_END, 0, 0),
+            TemporalExpansion(ExpandOption.START_END, 0, 0),
+        )
+        expected = si[0] <= di[1] and di[0] <= si[1]
+        assert rule.joined(si, di) == expected

@@ -1,0 +1,52 @@
+"""Tests for the Result Browser's trend-shift view."""
+
+import pytest
+
+from repro.core.browser import ResultBrowser
+
+from .test_browser import make_diagnosis
+
+
+DAY = 86400.0
+
+
+class TestTrendShift:
+    def test_rate_jump_detected(self):
+        # 5/day of cause A before the split, 20/day after
+        diagnoses = []
+        for day in range(4):
+            for i in range(5):
+                diagnoses.append(make_diagnosis("A", t=day * DAY + i * 1000.0))
+        for day in range(4, 8):
+            for i in range(20):
+                diagnoses.append(make_diagnosis("A", t=day * DAY + i * 1000.0))
+        browser = ResultBrowser(diagnoses)
+        rates = browser.trend_shift(split_time=4 * DAY)
+        before, after = rates["A"]
+        assert after / before == pytest.approx(4.0, rel=0.3)
+
+    def test_stable_cause_flat(self):
+        diagnoses = [
+            make_diagnosis("B", t=day * DAY + i * 2000.0)
+            for day in range(8)
+            for i in range(10)
+        ]
+        browser = ResultBrowser(diagnoses)
+        before, after = browser.trend_shift(split_time=4 * DAY)["B"]
+        assert after == pytest.approx(before, rel=0.25)
+
+    def test_small_causes_omitted(self):
+        diagnoses = [make_diagnosis("rare", t=1000.0)] + [
+            make_diagnosis("common", t=i * 5000.0) for i in range(20)
+        ]
+        rates = ResultBrowser(diagnoses).trend_shift(split_time=50000.0)
+        assert "rare" not in rates
+        assert "common" in rates
+
+    def test_empty_browser(self):
+        assert ResultBrowser([]).trend_shift(split_time=0.0) == {}
+
+    def test_unknown_tracked_as_a_cause(self):
+        diagnoses = [make_diagnosis(None, t=i * 1000.0) for i in range(10)]
+        rates = ResultBrowser(diagnoses).trend_shift(split_time=5000.0)
+        assert "Unknown" in rates

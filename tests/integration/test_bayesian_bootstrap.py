@@ -1,0 +1,70 @@
+"""Integration: bootstrap Bayesian ratios from rule-based history.
+
+Section II-D: the likelihood ratios "can be trained from classified
+historical data, which we can bootstrap using the rule-based reasoning".
+This test runs the full loop: simulate a month, classify with the
+rule-based engine, train a Naive-Bayes model on the (cause, evidence)
+pairs, and check the trained classifier agrees with the rule-based
+labels on held-out flaps.
+"""
+
+import pytest
+
+from repro.apps import BgpFlapApp
+from repro.core.reasoning.bayesian import BayesianEngine, train_ratios_from_labels
+from repro.simulation import bgp_month
+from repro.topology import TopologyParams
+
+
+@pytest.fixture(scope="module")
+def labelled_history():
+    result = bgp_month(
+        total_flaps=400,
+        params=TopologyParams(n_pops=5, pers_per_pop=2, customers_per_per=6, seed=301),
+        seed=301,
+        duration_days=20,
+    )
+    app = BgpFlapApp.build(result.platform())
+    diagnoses = app.engine.diagnose_all(app.find_symptoms(result.start, result.end))
+    labelled = [
+        (d.primary_cause, app.bayesian_features(d))
+        for d in diagnoses
+        if d.is_explained
+    ]
+    return app, diagnoses, labelled
+
+
+class TestBootstrapTraining:
+    def test_enough_history_to_train(self, labelled_history):
+        _app, _diagnoses, labelled = labelled_history
+        assert len(labelled) > 300
+        assert len({cause for cause, _ in labelled}) >= 6
+
+    def test_trained_classifier_agrees_with_rule_based(self, labelled_history):
+        app, diagnoses, labelled = labelled_history
+        split = int(len(labelled) * 0.7)
+        models = train_ratios_from_labels(labelled[:split])
+        engine = BayesianEngine(models)
+        holdout = labelled[split:]
+        agree = sum(
+            1 for cause, evidence in holdout if engine.classify(evidence).best == cause
+        )
+        assert agree / len(holdout) >= 0.9
+
+    def test_trained_model_ranks_true_cause_highly(self, labelled_history):
+        _app, _diagnoses, labelled = labelled_history
+        models = train_ratios_from_labels(labelled)
+        engine = BayesianEngine(models)
+        misses = 0
+        for cause, evidence in labelled[:100]:
+            ranked = engine.classify(evidence).ranked
+            if cause not in ranked[:2]:
+                misses += 1
+        assert misses <= 5
+
+    def test_unknown_labels_excluded_from_training(self, labelled_history):
+        _app, diagnoses, labelled = labelled_history
+        causes = {cause for cause, _ in labelled}
+        assert "Unknown" not in causes
+        # but unknowns exist in the raw diagnoses
+        assert any(not d.is_explained for d in diagnoses)

@@ -1,0 +1,102 @@
+"""Multiple RCA applications over one shared platform.
+
+G-RCA is a *platform*: many applications run against the same Data
+Collector, Knowledge Library and spatial model at once ("existing RCA
+applications include various diagnostic systems ...").  This test runs
+the BGP-flap and PIM applications over one combined telemetry store and
+checks that scoped event libraries, engine caches and diagnoses do not
+interfere.
+"""
+
+import random
+
+import pytest
+
+from repro.apps import BgpFlapApp, PimApp
+from repro.collector import DataCollector
+from repro.core.knowledge import names
+from repro.platform import GrcaPlatform
+from repro.simulation.faults import FaultInjector
+from repro.simulation.telemetry import BASE_EPOCH, TelemetryEmitter
+from repro.topology import TopologyParams, build_topology
+
+T = BASE_EPOCH + 3600.0
+
+
+@pytest.fixture(scope="module")
+def shared_platform():
+    topo = build_topology(
+        TopologyParams(n_pops=4, pers_per_pop=2, customers_per_per=4, seed=99)
+    )
+    emitter = TelemetryEmitter(topo, random.Random(1), syslog_jitter=1.0)
+    injector = FaultInjector(topo, emitter, random.Random(2))
+    customers = sorted(topo.customer_attachments)
+    # interleaved symptoms for both applications in one telemetry stream
+    bgp_truths = injector.bgp_interface_flap(T, customers[0])
+    bgp_truths += injector.bgp_cpu_spike(T + 3600.0, customers[1])
+    pim_truths = injector.pim_customer_interface_flap(T + 7200.0, customers[2])
+    pim_truths += injector.pim_config_change(T + 10800.0, topo.provider_edges[1])
+    collector = DataCollector()
+    for router in topo.network.routers.values():
+        collector.registry.register_device(router.name, router.timezone)
+    emitter.buffers.ingest_into(collector)
+    platform = GrcaPlatform.from_collector(topo, collector, config_time=BASE_EPOCH)
+    return platform, bgp_truths, pim_truths
+
+
+class TestSharedPlatform:
+    def test_both_apps_build_on_one_platform(self, shared_platform):
+        platform, _bgp, _pim = shared_platform
+        bgp_app = BgpFlapApp.build(platform)
+        pim_app = PimApp.build(platform)
+        assert bgp_app.platform is pim_app.platform
+        assert bgp_app.engine.store is pim_app.engine.store
+
+    def test_each_app_sees_only_its_symptoms(self, shared_platform):
+        platform, bgp_truths, pim_truths = shared_platform
+        bgp_app = BgpFlapApp.build(platform)
+        pim_app = PimApp.build(platform)
+        window = (BASE_EPOCH, BASE_EPOCH + 86400.0)
+        bgp_symptoms = bgp_app.find_symptoms(*window)
+        pim_symptoms = pim_app.find_symptoms(*window)
+        assert len(bgp_symptoms) == len(bgp_truths)
+        assert len(pim_symptoms) == len(pim_truths)
+        assert all(s.name == names.EBGP_FLAP for s in bgp_symptoms)
+        assert all(s.name == names.PIM_ADJACENCY_CHANGE for s in pim_symptoms)
+
+    def test_diagnoses_correct_in_both_apps(self, shared_platform):
+        platform, _bgp, _pim = shared_platform
+        bgp_app = BgpFlapApp.build(platform)
+        pim_app = PimApp.build(platform)
+        window = (BASE_EPOCH, BASE_EPOCH + 86400.0)
+        bgp_causes = sorted(
+            d.primary_cause
+            for d in bgp_app.engine.diagnose_all(bgp_app.find_symptoms(*window))
+        )
+        pim_causes = sorted(
+            d.primary_cause
+            for d in pim_app.engine.diagnose_all(pim_app.find_symptoms(*window))
+        )
+        assert bgp_causes == ["CPU high (spike)", "Interface flap"]
+        assert pim_causes == [
+            names.PIM_CONFIG_CHANGE, "interface (customer facing) flap",
+        ]
+
+    def test_scoped_libraries_do_not_leak(self, shared_platform):
+        platform, _bgp, _pim = shared_platform
+        bgp_app = BgpFlapApp.build(platform)
+        pim_app = PimApp.build(platform)
+        assert names.EBGP_FLAP in bgp_app.events
+        assert names.EBGP_FLAP not in pim_app.events
+        assert names.PIM_ADJACENCY_CHANGE in pim_app.events
+        assert names.PIM_ADJACENCY_CHANGE not in bgp_app.events
+        # and the shared library never gained either
+        assert names.EBGP_FLAP not in platform.knowledge.events
+        assert names.PIM_ADJACENCY_CHANGE not in platform.knowledge.events
+
+    def test_apps_rebuildable_without_side_effects(self, shared_platform):
+        platform, bgp_truths, _pim = shared_platform
+        for _ in range(2):  # building twice must not double-register
+            app = BgpFlapApp.build(platform)
+            window = (BASE_EPOCH, BASE_EPOCH + 86400.0)
+            assert len(app.find_symptoms(*window)) == len(bgp_truths)

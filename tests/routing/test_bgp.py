@@ -1,0 +1,128 @@
+"""Tests for BGP update log and decision emulation."""
+
+import pytest
+
+from repro.routing.bgp import BgpEmulator, BgpUpdateLog
+from repro.routing.ospf import OspfSimulator, WeightChange
+
+from .test_ospf import diamond_network
+
+
+@pytest.fixture
+def ospf():
+    return OspfSimulator(diamond_network())
+
+
+@pytest.fixture
+def log():
+    return BgpUpdateLog()
+
+
+class TestUpdateLog:
+    def test_announce_then_visible(self, log):
+        log.announce(10.0, "198.51.100.0/24", "d")
+        assert [r.egress_router for r in log.routes_at("198.51.100.0/24", 20.0)] == ["d"]
+
+    def test_not_visible_before_announcement(self, log):
+        log.announce(10.0, "198.51.100.0/24", "d")
+        assert log.routes_at("198.51.100.0/24", 5.0) == []
+
+    def test_withdraw_removes_route(self, log):
+        log.announce(10.0, "198.51.100.0/24", "d")
+        log.withdraw(50.0, "198.51.100.0/24", "d")
+        assert log.routes_at("198.51.100.0/24", 60.0) == []
+        assert len(log.routes_at("198.51.100.0/24", 30.0)) == 1
+
+    def test_reannounce_after_withdraw(self, log):
+        log.announce(10.0, "198.51.100.0/24", "d")
+        log.withdraw(50.0, "198.51.100.0/24", "d")
+        log.announce(80.0, "198.51.100.0/24", "d")
+        assert len(log.routes_at("198.51.100.0/24", 90.0)) == 1
+
+    def test_multiple_egresses(self, log):
+        log.announce(10.0, "198.51.100.0/24", "b")
+        log.announce(10.0, "198.51.100.0/24", "c")
+        egresses = {r.egress_router for r in log.routes_at("198.51.100.0/24", 20.0)}
+        assert egresses == {"b", "c"}
+
+    def test_updates_between_is_time_ordered(self, log):
+        log.announce(30.0, "p1/24".replace("p1", "198.51.100.0"), "b")
+        log.announce(10.0, "203.0.113.0/24", "c")
+        updates = log.updates_between(0.0, 100.0)
+        assert [u.timestamp for u in updates] == [10.0, 30.0]
+
+
+class TestBestPath:
+    def test_local_pref_wins(self, ospf, log):
+        log.announce(0.0, "198.51.100.0/24", "d", local_pref=100)
+        log.announce(0.0, "198.51.100.0/24", "b", local_pref=200)
+        emulator = BgpEmulator(log, ospf)
+        decision = emulator.best_egress("a", "198.51.100.5", 10.0)
+        assert decision.egress_router == "b"
+
+    def test_as_path_breaks_local_pref_tie(self, ospf, log):
+        log.announce(0.0, "198.51.100.0/24", "d", as_path_len=3)
+        log.announce(0.0, "198.51.100.0/24", "b", as_path_len=1)
+        emulator = BgpEmulator(log, ospf)
+        assert emulator.best_egress("a", "198.51.100.5", 10.0).egress_router == "b"
+
+    def test_hot_potato_igp_distance(self, ospf, log):
+        # b is 10 from a, d is 20 from a
+        log.announce(0.0, "198.51.100.0/24", "d")
+        log.announce(0.0, "198.51.100.0/24", "b")
+        emulator = BgpEmulator(log, ospf)
+        decision = emulator.best_egress("a", "198.51.100.5", 10.0)
+        assert decision.egress_router == "b"
+        assert decision.igp_distance == 10
+
+    def test_name_tiebreak_is_deterministic(self, ospf, log):
+        log.announce(0.0, "198.51.100.0/24", "c")
+        log.announce(0.0, "198.51.100.0/24", "b")
+        emulator = BgpEmulator(log, ospf)
+        assert emulator.best_egress("a", "198.51.100.5", 10.0).egress_router == "b"
+
+    def test_longest_prefix_match(self, ospf, log):
+        log.announce(0.0, "198.51.0.0/16", "d")
+        log.announce(0.0, "198.51.100.0/24", "b")
+        emulator = BgpEmulator(log, ospf)
+        assert emulator.best_egress("a", "198.51.100.9", 10.0).prefix == "198.51.100.0/24"
+        assert emulator.best_egress("a", "198.51.7.9", 10.0).egress_router == "d"
+
+    def test_no_route_gives_none(self, ospf, log):
+        emulator = BgpEmulator(log, ospf)
+        decision = emulator.best_egress("a", "8.8.8.8", 10.0)
+        assert decision.route is None
+        assert decision.egress_router is None
+
+    def test_unreachable_egress_loses(self, ospf, log):
+        # cost out both links to d: egress d becomes IGP-unreachable
+        ospf.history.record(WeightChange(5.0, "b--d", 65535))
+        ospf.history.record(WeightChange(5.0, "c--d", 65535))
+        log.announce(0.0, "198.51.100.0/24", "d")
+        log.announce(0.0, "198.51.100.0/24", "b")
+        emulator = BgpEmulator(log, ospf)
+        assert emulator.best_egress("a", "198.51.100.5", 10.0).egress_router == "b"
+
+
+class TestEgressTimeline:
+    def test_egress_change_on_withdraw(self, ospf, log):
+        log.announce(0.0, "198.51.100.0/24", "b")
+        log.announce(0.0, "198.51.100.0/24", "d")
+        log.withdraw(100.0, "198.51.100.0/24", "b")
+        emulator = BgpEmulator(log, ospf)
+        timeline = emulator.egress_timeline("a", "198.51.100.5", 10.0, 200.0)
+        assert [egress for _, egress in timeline] == ["b", "d"]
+        assert timeline[1][0] == 100.0
+
+    def test_stable_route_single_entry(self, ospf, log):
+        log.announce(0.0, "198.51.100.0/24", "b")
+        emulator = BgpEmulator(log, ospf)
+        timeline = emulator.egress_timeline("a", "198.51.100.5", 10.0, 200.0)
+        assert timeline == [(10.0, "b")]
+
+    def test_decision_cache_consistent_after_withdraw(self, ospf, log):
+        log.announce(0.0, "198.51.100.0/24", "b")
+        emulator = BgpEmulator(log, ospf)
+        assert emulator.best_egress("a", "198.51.100.5", 10.0).egress_router == "b"
+        log.withdraw(50.0, "198.51.100.0/24", "b")
+        assert emulator.best_egress("a", "198.51.100.5", 60.0).egress_router is None

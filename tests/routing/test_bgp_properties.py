@@ -1,0 +1,111 @@
+"""Property tests for BGP best-path emulation vs a brute-force oracle."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.routing.bgp import BgpEmulator, BgpRoute, BgpUpdate, BgpUpdateLog
+from repro.routing.ospf import OspfSimulator
+
+from .test_ospf import diamond_network
+
+EGRESSES = ["b", "c", "d"]
+PREFIX = "198.51.100.0/24"
+
+
+update_specs = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=1e4, allow_nan=False),  # time
+        st.sampled_from(EGRESSES),
+        st.booleans(),  # withdrawn
+        st.sampled_from([50, 100, 200]),  # local pref
+        st.integers(min_value=1, max_value=4),  # as path len
+    ),
+    max_size=25,
+)
+
+query_times = st.floats(min_value=-10, max_value=1.1e4, allow_nan=False)
+
+
+def brute_force_routes(specs, timestamp):
+    """Latest state per egress, replayed naively."""
+    latest = {}
+    for t, egress, withdrawn, pref, aslen in sorted(specs, key=lambda s: s[0]):
+        if t <= timestamp:
+            latest[egress] = (withdrawn, pref, aslen)
+    return {
+        egress: (pref, aslen)
+        for egress, (withdrawn, pref, aslen) in latest.items()
+        if not withdrawn
+    }
+
+
+class TestLogVsOracle:
+    @settings(max_examples=80, deadline=None)
+    @given(update_specs, query_times)
+    def test_routes_at_matches_replay(self, specs, timestamp):
+        log = BgpUpdateLog()
+        for t, egress, withdrawn, pref, aslen in specs:
+            log.record(
+                BgpUpdate(
+                    timestamp=t,
+                    route=BgpRoute(PREFIX, egress, "", pref, aslen),
+                    withdrawn=withdrawn,
+                )
+            )
+        got = {
+            r.egress_router: (r.local_pref, r.as_path_len)
+            for r in log.routes_at(PREFIX, timestamp)
+        }
+        assert got == brute_force_routes(specs, timestamp)
+
+    @settings(max_examples=60, deadline=None)
+    @given(update_specs, query_times)
+    def test_best_egress_matches_oracle(self, specs, timestamp):
+        ospf = OspfSimulator(diamond_network())
+        log = BgpUpdateLog()
+        for t, egress, withdrawn, pref, aslen in specs:
+            log.record(
+                BgpUpdate(
+                    timestamp=t,
+                    route=BgpRoute(PREFIX, egress, "", pref, aslen),
+                    withdrawn=withdrawn,
+                )
+            )
+        emulator = BgpEmulator(log, ospf)
+        decision = emulator.best_egress("a", "198.51.100.9", timestamp)
+        live = brute_force_routes(specs, timestamp)
+        if not live:
+            assert decision.route is None
+            return
+        # oracle: max local pref, min as-path, min IGP distance, min name
+        def oracle_key(item):
+            egress, (pref, aslen) = item
+            distance = ospf.distance("a", egress, timestamp)
+            if distance is None:
+                distance = 1 << 30
+            return (-pref, aslen, distance, egress)
+
+        expected = min(live.items(), key=oracle_key)[0]
+        assert decision.egress_router == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(update_specs)
+    def test_timeline_changes_only_at_updates(self, specs):
+        ospf = OspfSimulator(diamond_network())
+        log = BgpUpdateLog()
+        for t, egress, withdrawn, pref, aslen in specs:
+            log.record(
+                BgpUpdate(
+                    timestamp=t,
+                    route=BgpRoute(PREFIX, egress, "", pref, aslen),
+                    withdrawn=withdrawn,
+                )
+            )
+        emulator = BgpEmulator(log, ospf)
+        timeline = emulator.egress_timeline("a", "198.51.100.9", 0.0, 1.1e4)
+        # consecutive entries must differ (it is a change log)
+        for (t1, e1), (t2, e2) in zip(timeline, timeline[1:]):
+            assert t1 <= t2
+            assert e1 != e2

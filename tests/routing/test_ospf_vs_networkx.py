@@ -1,0 +1,135 @@
+"""Differential tests: our SPF vs networkx on random topologies."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.routing.ospf import COST_OUT_WEIGHT, OspfSimulator, WeightHistory
+from repro.topology.elements import Interface, LineCard, LogicalLink, Pop, Router, RouterRole
+from repro.topology.network import Network
+
+
+def random_network(seed, n_routers, n_links):
+    rng = random.Random(seed)
+    network = Network()
+    network.add_pop(Pop("x"))
+    names = [f"r{i}" for i in range(n_routers)]
+    for name in names:
+        router = Router(name=name, role=RouterRole.CORE, pop="x")
+        router.line_cards = [LineCard(name, 0)]
+        router.interfaces = [
+            Interface(name, f"se0/{port}", 0) for port in range(n_links + 1)
+        ]
+        network.add_router(router)
+    counters = {name: 0 for name in names}
+    weights = {}
+    made = set()
+    for _ in range(n_links):
+        a, z = rng.sample(names, 2)
+        key = tuple(sorted((a, z)))
+        if key in made:
+            continue
+        made.add(key)
+        link_name = f"{key[0]}--{key[1]}"
+        network.add_logical_link(
+            LogicalLink(
+                name=link_name,
+                router_a=a,
+                router_z=z,
+                interface_a=f"{a}:se0/{counters[a]}",
+                interface_z=f"{z}:se0/{counters[z]}",
+            )
+        )
+        counters[a] += 1
+        counters[z] += 1
+        weights[link_name] = rng.randint(1, 20)
+    return network, weights
+
+
+def as_networkx(network, weights):
+    graph = nx.Graph()
+    graph.add_nodes_from(network.routers)
+    for name, link in network.logical_links.items():
+        weight = weights.get(name, 10)
+        if weight >= COST_OUT_WEIGHT:
+            continue
+        # parallel links between a router pair: keep the cheaper one
+        existing = graph.get_edge_data(link.router_a, link.router_z)
+        if existing is None or existing["weight"] > weight:
+            graph.add_edge(link.router_a, link.router_z, weight=weight)
+    return graph
+
+
+class TestSpfAgainstNetworkx:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=3, max_value=10),
+        st.integers(min_value=2, max_value=20),
+    )
+    def test_distances_match(self, seed, n_routers, n_links):
+        network, weights = random_network(seed, n_routers, n_links)
+        sim = OspfSimulator(network, WeightHistory(dict(weights)))
+        reference = as_networkx(network, weights)
+        lengths = dict(nx.all_pairs_dijkstra_path_length(reference, weight="weight"))
+        routers = sorted(network.routers)
+        for source in routers:
+            for destination in routers:
+                if source == destination:
+                    continue
+                ours = sim.distance(source, destination, 0.0)
+                theirs = lengths.get(source, {}).get(destination)
+                assert ours == theirs, (source, destination)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_every_reported_path_has_the_reported_cost(self, seed):
+        network, weights = random_network(seed, 8, 14)
+        sim = OspfSimulator(network, WeightHistory(dict(weights)))
+        link_weight = {}
+        for name, link in network.logical_links.items():
+            link_weight[frozenset(link.routers)] = min(
+                weights.get(name, 10),
+                link_weight.get(frozenset(link.routers), 1 << 30),
+            )
+        routers = sorted(network.routers)
+        for source in routers[:3]:
+            for destination in routers:
+                if source == destination:
+                    continue
+                paths = sim.paths(source, destination, 0.0)
+                for path in paths.router_paths:
+                    cost = sum(
+                        link_weight[frozenset((a, b))]
+                        for a, b in zip(path, path[1:])
+                    )
+                    assert cost == paths.cost, (path, paths.cost)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_ecmp_link_union_is_consistent(self, seed):
+        """Every link in the ECMP union lies on some minimal path."""
+        network, weights = random_network(seed, 7, 12)
+        sim = OspfSimulator(network, WeightHistory(dict(weights)))
+        routers = sorted(network.routers)
+        source, destination = routers[0], routers[-1]
+        paths = sim.paths(source, destination, 0.0)
+        if not paths.reachable:
+            return
+        for link_name in paths.links:
+            link = network.logical_link(link_name)
+            weight = weights.get(link_name, 10)
+            d_sa = sim.distance(source, link.router_a, 0.0)
+            d_sz = sim.distance(source, link.router_z, 0.0)
+            d_ad = sim.distance(link.router_a, destination, 0.0)
+            d_zd = sim.distance(link.router_z, destination, 0.0)
+            on_minimal = (
+                d_sa is not None and d_zd is not None
+                and d_sa + weight + d_zd == paths.cost
+            ) or (
+                d_sz is not None and d_ad is not None
+                and d_sz + weight + d_ad == paths.cost
+            )
+            assert on_minimal, link_name

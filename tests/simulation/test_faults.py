@@ -1,0 +1,194 @@
+"""Tests for root-cause fault recipes: emitted telemetry matches the
+claimed causal chain and the returned ground truth."""
+
+import random
+
+import pytest
+
+from repro.collector import DataCollector
+from repro.simulation.faults import FaultInjector
+from repro.simulation.telemetry import BASE_EPOCH, BGP_HOLD_TIMER, TelemetryEmitter
+from repro.topology import TopologyParams, build_topology
+
+T = BASE_EPOCH + 3600.0
+
+
+@pytest.fixture
+def topo():
+    return build_topology(
+        TopologyParams(
+            n_pops=3, pers_per_pop=2, customers_per_per=4,
+            access_sonet_fraction=0.5, access_mesh_fraction=0.3, seed=21,
+        )
+    )
+
+
+@pytest.fixture
+def injector(topo):
+    emitter = TelemetryEmitter(topo, random.Random(2), syslog_jitter=0.0)
+    return FaultInjector(topo, emitter, random.Random(3))
+
+
+def ingest(injector, topo):
+    collector = DataCollector()
+    for router in topo.network.routers.values():
+        collector.registry.register_device(router.name, router.timezone)
+    injector.emitter.buffers.ingest_into(collector)
+    return collector.store
+
+
+def first_customer(topo):
+    return sorted(topo.customer_attachments)[0]
+
+
+class TestBgpRecipes:
+    def test_interface_flap_chain(self, injector, topo):
+        customer = first_customer(topo)
+        truths = injector.bgp_interface_flap(T, customer)
+        assert [t.cause for t in truths] == ["Interface flap"]
+        store = ingest(injector, topo)
+        codes = {r["code"] for r in store.table("syslog").query()}
+        assert codes == {"LINK-3-UPDOWN", "LINEPROTO-5-UPDOWN", "BGP-5-ADJCHANGE"}
+
+    def test_lineproto_flap_uses_hold_timer(self, injector, topo):
+        customer = first_customer(topo)
+        truths = injector.bgp_lineproto_flap(T, customer)
+        assert truths[0].time == pytest.approx(T + BGP_HOLD_TIMER)
+        store = ingest(injector, topo)
+        codes = {r["code"] for r in store.table("syslog").query()}
+        assert "LINK-3-UPDOWN" not in codes
+        assert "BGP-5-NOTIFICATION" in codes
+
+    def test_cpu_average_snmp_sample(self, injector, topo):
+        customer = first_customer(topo)
+        injector.bgp_cpu_average(T, customer)
+        store = ingest(injector, topo)
+        samples = store.table("snmp").query(metric="cpu_util_5min")
+        assert len(samples) == 1
+        assert samples[0]["value"] >= 80.0
+
+    def test_reboot_flaps_every_session(self, injector, topo):
+        per = topo.provider_edges[0]
+        truths = injector.bgp_router_reboot(T, per)
+        n_customers = sum(
+            1 for _c, (owner, _i, _ip) in topo.customer_attachments.items()
+            if owner == per
+        )
+        assert len(truths) == n_customers
+        store = ingest(injector, topo)
+        downs = store.table("syslog").query(code="BGP-5-ADJCHANGE", state="down")
+        assert len(downs) == n_customers
+
+    def test_layer1_restoration_requires_access_circuit(self, injector, topo):
+        riding = sorted(topo.customer_layer1)
+        assert riding, "fixture must have customers on layer-1 access"
+        truths = injector.bgp_layer1_restoration(T, riding[0], "SONET restoration")
+        assert truths[0].cause == "SONET restoration"
+        store = ingest(injector, topo)
+        assert len(store.table("layer1").query()) == 1
+
+    def test_layer1_restoration_rejects_plain_ethernet(self, injector, topo):
+        plain = sorted(
+            set(topo.customer_attachments) - set(topo.customer_layer1)
+        )
+        if not plain:
+            pytest.skip("all customers ride layer-1 in this draw")
+        with pytest.raises(ValueError):
+            injector.bgp_layer1_restoration(T, plain[0], "SONET restoration")
+
+    def test_unknown_emits_only_adjchange(self, injector, topo):
+        injector.bgp_unknown(T, first_customer(topo))
+        store = ingest(injector, topo)
+        codes = {r["code"] for r in store.table("syslog").query()}
+        assert codes == {"BGP-5-ADJCHANGE"}
+
+    def test_linecard_crash_within_three_minutes(self, injector, topo):
+        per = topo.provider_edges[0]
+        slots = {
+            topo.network.interface(iface).slot
+            for _c, (owner, iface, _ip) in topo.customer_attachments.items()
+            if owner == per
+        }
+        slot = sorted(slots)[0]
+        truths = injector.bgp_linecard_crash(T, per, slot)
+        assert truths, "expected at least one session on the card"
+        times = [t.time for t in truths]
+        assert max(times) - min(times) <= 180.0
+        assert all(t.cause == "Line-card crash" for t in truths)
+
+
+class TestPimRecipes:
+    def test_config_change_emits_command_and_nbrchg(self, injector, topo):
+        pe = topo.provider_edges[0]
+        truths = injector.pim_config_change(T, pe)
+        assert all(t.cause == "PIM Configuration change" for t in truths)
+        store = ingest(injector, topo)
+        assert store.table("workflow").query()
+        assert store.table("tacacs").query()
+        assert store.table("syslog").query(code="PIM-5-NBRCHG")
+
+    def test_router_cost_touches_all_links(self, injector, topo):
+        core = f"{sorted(topo.network.pops)[0]}-cr1"
+        injector.pim_router_cost(T, core)
+        store = ingest(injector, topo)
+        n_links = len(topo.network.logical_links_of_router(core))
+        outs = [
+            r for r in store.table("ospfmon").query() if r["weight"] >= 65535
+        ]
+        assert len(outs) == n_links
+
+    def test_link_cost_out_selects_crossing_pair(self, injector, topo):
+        links = [
+            l.name for l in topo.network.logical_links.values()
+            if "cr" in l.router_a and "cr" in l.router_z
+        ]
+        produced = []
+        for link in links:
+            produced = injector.pim_link_cost_out(T, link)
+            if produced:
+                break
+        assert produced, "at least one backbone link must carry a PE pair"
+        pe_a, pe_b = produced[0].location.split("~")
+        paths = injector.paths_between(pe_a, pe_b, T - 10.0)
+        assert link in paths.links
+
+    def test_uplink_adjacency_vrfless_message(self, injector, topo):
+        pe = topo.provider_edges[0]
+        injector.pim_uplink_adjacency(T, pe)
+        store = ingest(injector, topo)
+        records = store.table("syslog").query(code="PIM-5-NBRCHG", state="down")
+        vrfless = [r for r in records if r.get("vrf") is None]
+        vrfful = [r for r in records if r.get("vrf") is not None]
+        assert vrfless and vrfful
+
+    def test_customer_flap_cause_label(self, injector, topo):
+        truths = injector.pim_customer_interface_flap(T, first_customer(topo))
+        assert truths[0].cause == "interface (customer facing) flap"
+
+
+class TestCdnRecipes:
+    def test_egress_change_restores_state(self, injector, topo):
+        injector.cdn_egress_change(T, "198.51.100.0/24", "chi-cr1", "dfw-cr1")
+        store = ingest(injector, topo)
+        rows = store.table("bgpmon").query()
+        kinds = [(r["kind"], r["egress_router"]) for r in rows]
+        assert kinds.count(("W", "chi-cr1")) == 1
+        assert kinds.count(("A", "chi-cr1")) == 1
+        assert kinds.count(("A", "dfw-cr1")) == 1
+        assert kinds.count(("W", "dfw-cr1")) == 1
+
+    def test_congestion_samples_span_duration(self, injector, topo):
+        iface = topo.network.router("nyc-cr1").interfaces[0].fqname
+        injector.cdn_link_congestion(T, iface, duration=1800.0)
+        store = ingest(injector, topo)
+        samples = store.table("snmp").query(metric="link_util")
+        assert len(samples) == 6
+        assert all(s["value"] >= 80.0 for s in samples)
+
+    def test_reconvergence_reverts(self, injector, topo):
+        link = sorted(topo.network.logical_links)[0]
+        injector.cdn_ospf_reconvergence(T, link)
+        store = ingest(injector, topo)
+        rows = store.table("ospfmon").query(link=link)
+        assert len(rows) == 2
+        assert rows[-1]["weight"] == 10

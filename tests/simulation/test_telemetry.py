@@ -1,0 +1,124 @@
+"""Tests for telemetry emission and ingest round trips."""
+
+import random
+
+import pytest
+
+from repro.collector import DataCollector
+from repro.simulation.telemetry import (
+    BASE_EPOCH,
+    TelemetryBuffers,
+    TelemetryEmitter,
+)
+from repro.topology import TopologyParams, build_topology
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_topology(TopologyParams(n_pops=2, pers_per_pop=1, customers_per_per=2))
+
+
+@pytest.fixture
+def emitter(topo):
+    return TelemetryEmitter(topo, random.Random(1), syslog_jitter=0.0)
+
+
+def ingest(emitter, topo):
+    collector = DataCollector()
+    for router in topo.network.routers.values():
+        collector.registry.register_device(router.name, router.timezone)
+    emitter.buffers.ingest_into(collector)
+    return collector
+
+
+class TestBuffers:
+    def test_lines_sorted_by_time(self):
+        buffers = TelemetryBuffers()
+        buffers.add("syslog", 20.0, "b")
+        buffers.add("syslog", 10.0, "a")
+        assert buffers.lines("syslog") == ["a", "b"]
+
+    def test_total_lines(self):
+        buffers = TelemetryBuffers()
+        buffers.add("syslog", 1.0, "a")
+        buffers.add("snmp", 1.0, "b")
+        assert buffers.total_lines() == 2
+        assert buffers.sources() == ["snmp", "syslog"]
+
+
+class TestEmitRoundTrips:
+    def test_interface_flap_round_trip(self, emitter, topo):
+        iface = topo.network.router("nyc-per1").interfaces[0].fqname
+        emitter.interface_flap(BASE_EPOCH, iface, duration=30.0)
+        collector = ingest(emitter, topo)
+        records = collector.store.table("syslog").query()
+        codes = sorted(r["code"] for r in records)
+        assert codes == [
+            "LINEPROTO-5-UPDOWN", "LINEPROTO-5-UPDOWN",
+            "LINK-3-UPDOWN", "LINK-3-UPDOWN",
+        ]
+        states = {(r["code"], r["state"]) for r in records}
+        assert ("LINK-3-UPDOWN", "down") in states
+        assert ("LINK-3-UPDOWN", "up") in states
+
+    def test_timezone_round_trip_within_seconds(self, emitter, topo):
+        # nyc routers stamp in US/Eastern; parsing must recover UTC
+        emitter.router_restart(BASE_EPOCH + 3600.0, "nyc-per1")
+        collector = ingest(emitter, topo)
+        record = collector.store.table("syslog").query()[0]
+        assert abs(record.timestamp - (BASE_EPOCH + 3600.0)) < 1.5
+
+    def test_ebgp_flap_round_trip(self, emitter, topo):
+        emitter.ebgp_flap(BASE_EPOCH, "nyc-per1", "10.0.0.2", duration=45.0)
+        collector = ingest(emitter, topo)
+        records = collector.store.table("syslog").query(code="BGP-5-ADJCHANGE")
+        assert [r["state"] for r in records] == ["down", "up"]
+        assert all(r["neighbor"] == "10.0.0.2" for r in records)
+
+    def test_hold_timer_and_reset_reasons(self, emitter, topo):
+        emitter.bgp_hold_timer_expiry(BASE_EPOCH, "nyc-per1", "10.0.0.2")
+        emitter.bgp_customer_reset(BASE_EPOCH + 10, "nyc-per1", "10.0.0.2")
+        collector = ingest(emitter, topo)
+        reasons = [r["reason"] for r in collector.store.table("syslog").query()]
+        assert reasons == ["hold_timer_expired", "administrative_reset"]
+
+    def test_pim_neighbor_change_with_vrf(self, emitter, topo):
+        emitter.pim_neighbor_change(
+            BASE_EPOCH, "nyc-per1", "192.168.0.1", "se0/0", "down", vrf="vpn-7"
+        )
+        collector = ingest(emitter, topo)
+        record = collector.store.table("syslog").query()[0]
+        assert record["vrf"] == "vpn-7"
+        assert record["state"] == "down"
+
+    def test_cpu_spike_percentage(self, emitter, topo):
+        emitter.cpu_spike(BASE_EPOCH, "nyc-per1", percent=97)
+        collector = ingest(emitter, topo)
+        assert collector.store.table("syslog").query()[0]["cpu_pct"] == 97
+
+    def test_linecard_crash_slot(self, emitter, topo):
+        emitter.linecard_crash_msg(BASE_EPOCH, "nyc-per1", slot=2)
+        collector = ingest(emitter, topo)
+        assert collector.store.table("syslog").query()[0]["slot"] == 2
+
+    def test_all_feed_types_parse_cleanly(self, emitter, topo):
+        emitter.snmp(BASE_EPOCH, "nyc-per1", "cpu_util_5min", "", 50.0)
+        emitter.ospf_weight(BASE_EPOCH, "l1", 10)
+        emitter.bgp_update(BASE_EPOCH, "A", "198.51.100.0/24", "nyc-cr1")
+        emitter.tacacs(BASE_EPOCH, "nyc-cr1", "op", "show version")
+        emitter.layer1(BASE_EPOCH, "adm-1", "sonet_restoration", "c-1")
+        emitter.perf(BASE_EPOCH, "a", "b", "rtt_ms", 30.0)
+        emitter.netflow(BASE_EPOCH, "srv", "1.2.3.4", "nyc-per1")
+        emitter.workflow(BASE_EPOCH, "nyc-per1", "prov.x", "d")
+        emitter.cdn(BASE_EPOCH, "srv", "load", 0.5)
+        collector = ingest(emitter, topo)
+        for parser in collector.parsers.values():
+            assert parser.stats.rejected == 0, parser.table_name
+        assert collector.store.total_records() == 9
+
+    def test_jitter_bounded(self, topo):
+        emitter = TelemetryEmitter(topo, random.Random(3), syslog_jitter=2.0)
+        emitter.router_restart(BASE_EPOCH, "nyc-per1")
+        collector = ingest(emitter, topo)
+        record = collector.store.table("syslog").query()[0]
+        assert abs(record.timestamp - BASE_EPOCH) <= 3.5

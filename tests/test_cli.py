@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestDiagnose:
+    def test_bgp_breakdown_printed(self, capsys):
+        code = main(["diagnose", "bgp-month", "--size", "40", "--seed", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Root Cause" in out
+        assert "Interface flap" in out
+        assert "explained:" in out
+
+    def test_trend_flag(self, capsys):
+        code = main(
+            ["diagnose", "pim-fortnight", "--size", "30", "--seed", "2", "--trend"]
+        )
+        assert code == 0
+        assert "per-day trend" in capsys.readouterr().out
+
+    def test_unknown_scenario_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["diagnose", "no-such-scenario"])
+
+
+class TestCatalog:
+    def test_events(self, capsys):
+        assert main(["catalog", "events"]) == 0
+        out = capsys.readouterr().out
+        assert "Link congestion alarm" in out
+        assert "event definitions" in out
+
+    def test_rules(self, capsys):
+        assert main(["catalog", "rules"]) == 0
+        out = capsys.readouterr().out
+        assert "SONET restoration" in out
+        assert "rule templates" in out
+
+
+class TestSpecCheck:
+    def test_valid_spec(self, tmp_path, capsys):
+        spec = tmp_path / "app.grca"
+        spec.write_text(
+            'application "x"\n'
+            'symptom "eBGP flap"\n'
+            'rule "eBGP flap" -> "Interface flap" priority 160 {\n'
+            "    symptom expand start/start 200 10\n"
+            "    diagnostic expand start/end 10 10\n"
+            "    join router:neighbor-ip interface at interface\n"
+            "}\n"
+        )
+        assert main(["spec", "check", str(spec)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_invalid_spec(self, tmp_path, capsys):
+        spec = tmp_path / "bad.grca"
+        spec.write_text('symptom "No such event"\n')
+        assert main(["spec", "check", str(spec)]) == 1
+        assert "unknown symptom" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["spec", "check", "/nonexistent/path.grca"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestSimulate:
+    def test_dump_feeds(self, tmp_path, capsys):
+        code = main(
+            ["simulate", "bgp-month", "--size", "20", "--seed", "2",
+             "--out", str(tmp_path / "feeds")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ground-truth symptoms" in out
+        dumped = sorted(p.name for p in (tmp_path / "feeds").iterdir())
+        assert "syslog.tsv" in dumped
+        assert "snmp.tsv" in dumped
+        syslog = (tmp_path / "feeds" / "syslog.tsv").read_text()
+        assert "router=" in syslog
+
+
+class TestMine:
+    def test_mine_runs(self, capsys):
+        code = main(["mine", "--seed", "2", "--days", "10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "candidate series" in out
+        assert "provisioning activity" in out

@@ -1,0 +1,49 @@
+"""Smoke tests for the shipped example scripts.
+
+The two fastest examples run end-to-end in-process; all others are
+import-checked (their full runs are exercised manually and by the
+scenario/benchmark suites that share their code paths).
+"""
+
+import importlib.util
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_module(name):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+ALL_EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExamples:
+    def test_expected_examples_shipped(self):
+        assert "quickstart" in ALL_EXAMPLES
+        assert len(ALL_EXAMPLES) >= 8
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_example_imports_and_has_main(self, name):
+        module = load_module(name)
+        assert callable(module.main)
+        assert (module.__doc__ or "").strip(), name
+
+    def test_custom_application_runs(self, capsys):
+        load_module("custom_application").main()
+        out = capsys.readouterr().out
+        assert "Link congestion alarm" in out
+        assert "root cause:" in out
+
+    def test_score_localization_runs(self, capsys):
+        load_module("score_localization").main()
+        out = capsys.readouterr().out
+        assert "correctly localized" in out

@@ -1,0 +1,73 @@
+"""Tests for the IPv4 helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netutils import (
+    int_to_ip,
+    ip_to_int,
+    longest_prefix_match,
+    parse_prefix,
+    prefix_contains,
+    prefix_mask,
+)
+
+
+class TestConversions:
+    def test_known_values(self):
+        assert ip_to_int("0.0.0.0") == 0
+        assert ip_to_int("255.255.255.255") == 0xFFFFFFFF
+        assert ip_to_int("10.0.0.1") == (10 << 24) + 1
+
+    @pytest.mark.parametrize("bad", ["1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", ""])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            ip_to_int(bad)
+
+    def test_int_to_ip_bounds(self):
+        with pytest.raises(ValueError):
+            int_to_ip(-1)
+        with pytest.raises(ValueError):
+            int_to_ip(1 << 32)
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_round_trip(self, value):
+        assert ip_to_int(int_to_ip(value)) == value
+
+
+class TestPrefixes:
+    def test_parse_prefix_normalizes_host_bits(self):
+        network, length = parse_prefix("10.0.0.7/30")
+        assert int_to_ip(network) == "10.0.0.4"
+        assert length == 30
+
+    @pytest.mark.parametrize("bad", ["10.0.0.0", "10.0.0.0/33", "10.0.0.0/-1"])
+    def test_bad_prefixes_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_prefix(bad)
+
+    def test_prefix_mask(self):
+        assert prefix_mask(0) == 0
+        assert prefix_mask(32) == 0xFFFFFFFF
+        assert prefix_mask(24) == 0xFFFFFF00
+
+    def test_prefix_contains(self):
+        assert prefix_contains("198.51.100.0/24", "198.51.100.200")
+        assert not prefix_contains("198.51.100.0/24", "198.51.101.1")
+        assert prefix_contains("0.0.0.0/0", "1.2.3.4")
+
+    def test_longest_prefix_match_prefers_specific(self):
+        prefixes = ["10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24"]
+        assert longest_prefix_match(prefixes, "10.1.2.3") == "10.1.2.0/24"
+        assert longest_prefix_match(prefixes, "10.1.9.9") == "10.1.0.0/16"
+        assert longest_prefix_match(prefixes, "10.9.9.9") == "10.0.0.0/8"
+        assert longest_prefix_match(prefixes, "192.0.2.1") is None
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=0, max_value=32),
+    )
+    def test_address_always_inside_its_own_prefix(self, value, length):
+        address = int_to_ip(value)
+        prefix = f"{address}/{length}"
+        assert prefix_contains(prefix, address)

@@ -1,0 +1,89 @@
+"""Tests for APS-protected backbone circuits (logical->many-physical)."""
+
+import pytest
+
+from repro.core.locations import Location
+from repro.core.spatial import JoinLevel
+from repro.topology import Layer1Kind, TopologyParams, build_topology
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_topology(
+        TopologyParams(n_pops=6, pers_per_pop=1, customers_per_per=1,
+                       aps_protect_sonet=True, seed=500)
+    )
+
+
+def sonet_backbone_links(topo):
+    return [
+        link
+        for link in topo.network.logical_links.values()
+        if link.physical_links
+        and topo.network.physical_link(link.physical_links[0]).layer1_kind
+        is Layer1Kind.SONET
+        and topo.network.layer1_devices_of_logical(link.name)
+    ]
+
+
+class TestApsProtection:
+    def test_sonet_backbone_links_have_two_circuits(self, topo):
+        links = sonet_backbone_links(topo)
+        assert links, "expected at least one SONET backbone link"
+        for link in links:
+            assert len(link.physical_links) == 2, link.name
+
+    def test_protection_pair_rides_same_layer1_devices(self, topo):
+        for link in sonet_backbone_links(topo):
+            paths = {
+                topo.network.layer1_path(phys) for phys in link.physical_links
+            }
+            assert len(paths) == 1  # same ADM pair protects both
+
+    def test_layer1_devices_deduplicated(self, topo):
+        for link in sonet_backbone_links(topo):
+            devices = topo.network.layer1_devices_of_logical(link.name)
+            assert len(devices) == len(set(devices)) == 2
+
+    def test_unprotected_kinds_have_single_circuit(self, topo):
+        for link in topo.network.logical_links.values():
+            if not link.physical_links:
+                continue
+            kind = topo.network.physical_link(link.physical_links[0]).layer1_kind
+            if kind in (Layer1Kind.ETHERNET, Layer1Kind.OPTICAL_MESH):
+                assert len(link.physical_links) == 1, link.name
+
+    def test_disabled_flag_gives_single_circuits(self):
+        topo = build_topology(
+            TopologyParams(n_pops=6, pers_per_pop=1, customers_per_per=1,
+                           aps_protect_sonet=False, seed=500)
+        )
+        for link in topo.network.logical_links.values():
+            assert len(link.physical_links) <= 1
+
+
+class TestApsSpatialExpansion:
+    def test_interface_expands_to_both_members(self, topo, path_service_factory=None):
+        from repro.core.spatial import LocationResolver
+        from repro.routing.ospf import OspfSimulator
+        from repro.routing.paths import PathService
+
+        resolver = LocationResolver(
+            PathService(topo.network, OspfSimulator(topo.network))
+        )
+        link = sonet_backbone_links(topo)[0]
+        got = resolver.expand(
+            Location.interface(link.interface_a), JoinLevel.PHYSICAL_LINK, 0.0
+        )
+        assert got == set(link.physical_links)
+        assert len(got) == 2
+
+    def test_either_member_maps_back_to_the_logical_link(self, topo):
+        link = sonet_backbone_links(topo)[0]
+        for phys in link.physical_links:
+            riding = {
+                logical.name
+                for logical in topo.network.logical_links.values()
+                if phys in logical.physical_links
+            }
+            assert riding == {link.name}

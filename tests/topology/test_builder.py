@@ -1,0 +1,108 @@
+"""Tests for the synthetic tier-1 topology generator."""
+
+import pytest
+
+from repro.topology import (
+    RouterRole,
+    TopologyParams,
+    build_topology,
+)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_topology(
+        TopologyParams(
+            n_pops=4,
+            pers_per_pop=2,
+            customers_per_per=3,
+            cdn_pops=("nyc",),
+            peering_pops=("chi",),
+            seed=7,
+        )
+    )
+
+
+class TestStructure:
+    def test_pop_count(self, topo):
+        assert len(topo.network.pops) == 4
+
+    def test_two_cores_per_pop(self, topo):
+        cores = topo.network.routers_by_role(RouterRole.CORE)
+        assert len(cores) == 8
+
+    def test_per_count(self, topo):
+        assert len(topo.provider_edges) == 8
+
+    def test_customer_count(self, topo):
+        assert len(topo.customer_routers) == 8 * 3
+
+    def test_every_per_is_dual_homed(self, topo):
+        for per in topo.provider_edges:
+            uplinks = topo.network.uplinks_of(per)
+            assert len(uplinks) == 2
+
+    def test_customer_attachments_reference_real_elements(self, topo):
+        for customer, (per, iface, neighbor_ip) in topo.customer_attachments.items():
+            assert per in topo.network.routers
+            assert topo.network.interface(iface).router == per
+            assert neighbor_ip.count(".") == 3
+            assert customer in topo.network.routers
+
+    def test_route_reflectors_exist(self, topo):
+        assert len(topo.route_reflectors) == 2
+        for rr in topo.route_reflectors:
+            assert topo.network.router(rr).role is RouterRole.ROUTE_REFLECTOR
+
+    def test_cdn_servers_attached(self, topo):
+        assert len(topo.network.cdn_servers) == 4
+        for server in topo.network.cdn_servers.values():
+            assert server.attached_router == "nyc-per1"
+
+    def test_peering_router(self, topo):
+        peers = topo.network.routers_by_role(RouterRole.PEER)
+        assert [p.name for p in peers] == ["chi-peer1"]
+
+
+class TestBackbone:
+    def test_backbone_links_have_layer1_path(self, topo):
+        backbone = [
+            link
+            for link in topo.network.logical_links.values()
+            if topo.network.router(link.router_a).role is RouterRole.CORE
+            and topo.network.router(link.router_z).role is RouterRole.CORE
+            and topo.network.router(link.router_a).pop
+            != topo.network.router(link.router_z).pop
+        ]
+        assert backbone, "expected inter-PoP backbone links"
+        for link in backbone:
+            devices = topo.network.layer1_devices_of_logical(link.name)
+            assert len(devices) == 2
+
+    def test_interfaces_unique_per_router(self, topo):
+        for router in topo.network.routers.values():
+            names = [i.name for i in router.interfaces]
+            assert len(names) == len(set(names)), router.name
+
+    def test_subnets_unique(self, topo):
+        subnets = [l.subnet for l in topo.network.logical_links.values()]
+        assert len(subnets) == len(set(subnets))
+
+
+class TestDeterminism:
+    def test_same_seed_same_topology(self):
+        params = TopologyParams(n_pops=3, seed=123)
+        a = build_topology(params)
+        b = build_topology(params)
+        assert sorted(a.network.routers) == sorted(b.network.routers)
+        assert sorted(a.network.logical_links) == sorted(b.network.logical_links)
+
+    def test_different_seed_can_differ_in_backbone(self):
+        a = build_topology(TopologyParams(n_pops=6, backbone_degree=3, seed=1))
+        b = build_topology(TopologyParams(n_pops=6, backbone_degree=3, seed=2))
+        # routers identical; chord selection may differ
+        assert sorted(a.network.routers) == sorted(b.network.routers)
+
+    def test_scales_past_pop_name_pool(self):
+        topo = build_topology(TopologyParams(n_pops=20, pers_per_pop=1, customers_per_per=1))
+        assert len(topo.network.pops) == 20

@@ -1,0 +1,108 @@
+"""Tests for config rendering, parsing and the daily archive."""
+
+import pytest
+
+from repro.topology import TopologyParams, build_topology
+from repro.topology.config_parser import (
+    ConfigArchive,
+    parse_config,
+    render_config,
+    snapshot_network,
+)
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return build_topology(TopologyParams(n_pops=2, pers_per_pop=1, customers_per_per=2))
+
+
+class TestRoundTrip:
+    def test_hostname_and_timezone_roundtrip(self, topo):
+        router = topo.network.router("nyc-per1")
+        parsed = parse_config(render_config(router, topo))
+        assert parsed.hostname == "nyc-per1"
+        assert parsed.timezone == router.timezone
+
+    def test_interfaces_roundtrip(self, topo):
+        router = topo.network.router("nyc-per1")
+        parsed = parse_config(render_config(router, topo))
+        assert set(parsed.interfaces) == {i.name for i in router.interfaces}
+        for iface in router.interfaces:
+            if iface.ip_address:
+                assert parsed.interfaces[iface.name].ip_address == iface.ip_address
+                assert parsed.interfaces[iface.name].prefix_len == 30
+
+    def test_per_has_customer_and_reflector_neighbors(self, topo):
+        router = topo.network.router("nyc-per1")
+        parsed = parse_config(render_config(router, topo))
+        assert parsed.bgp_asn == 7018
+        external = [n for n in parsed.bgp_neighbors if n.remote_as != 7018]
+        internal = [n for n in parsed.bgp_neighbors if n.remote_as == 7018]
+        assert len(external) == 2  # two customers
+        assert len(internal) == len(topo.route_reflectors)
+
+    def test_reflector_marks_clients(self, topo):
+        rr = topo.network.router(topo.route_reflectors[0])
+        parsed = parse_config(render_config(rr, topo))
+        assert parsed.bgp_neighbors
+        assert all(n.route_reflector_client for n in parsed.bgp_neighbors)
+
+    def test_slot_of_derived_from_names(self, topo):
+        router = topo.network.router("nyc-cr1")
+        parsed = parse_config(render_config(router, topo))
+        for name, slot in parsed.slot_of.items():
+            assert router.interface(name).slot == slot
+
+
+class TestNeighborInterface:
+    def test_neighbor_ip_maps_to_customer_facing_interface(self, topo):
+        for customer, (per, iface_fq, neighbor_ip) in topo.customer_attachments.items():
+            parsed = parse_config(render_config(topo.network.router(per), topo))
+            if_name = parsed.neighbor_interface(neighbor_ip)
+            assert f"{per}:{if_name}" == iface_fq, customer
+
+    def test_unknown_neighbor_returns_none(self, topo):
+        parsed = parse_config(render_config(topo.network.router("nyc-per1"), topo))
+        assert parsed.neighbor_interface("203.0.113.77") is None
+
+    def test_malformed_neighbor_returns_none(self, topo):
+        parsed = parse_config(render_config(topo.network.router("nyc-per1"), topo))
+        assert parsed.neighbor_interface("not-an-ip") is None
+
+
+class TestArchive:
+    def test_config_at_returns_latest_before_timestamp(self):
+        archive = ConfigArchive()
+        archive.add_snapshot("r1", 100.0, "hostname r1-old\n!")
+        archive.add_snapshot("r1", 200.0, "hostname r1-new\n!")
+        assert archive.config_at("r1", 150.0).hostname == "r1-old"
+        assert archive.config_at("r1", 250.0).hostname == "r1-new"
+
+    def test_config_before_first_snapshot_is_none(self):
+        archive = ConfigArchive()
+        archive.add_snapshot("r1", 100.0, "hostname r1\n!")
+        assert archive.config_at("r1", 50.0) is None
+
+    def test_unknown_router_is_none(self):
+        assert ConfigArchive().config_at("ghost", 0.0) is None
+
+    def test_snapshot_network_covers_all_routers(self, topo):
+        archive = snapshot_network(topo, timestamp=0.0)
+        assert set(archive.routers()) == set(topo.network.routers)
+
+
+class TestParserRobustness:
+    def test_garbage_lines_ignored(self):
+        parsed = parse_config("%% random noise\nhostname r9\nnot config at all\n")
+        assert parsed.hostname == "r9"
+
+    def test_bundle_membership_parsed(self):
+        text = "interface se0/0\n ppp multilink group bundle7\n!\n"
+        parsed = parse_config(text)
+        assert parsed.interfaces["se0/0"].bundle == "bundle7"
+
+    def test_empty_config(self):
+        parsed = parse_config("")
+        assert parsed.hostname == ""
+        assert parsed.interfaces == {}
+        assert parsed.bgp_neighbors == []

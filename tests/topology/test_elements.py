@@ -1,0 +1,95 @@
+"""Unit tests for the network element model."""
+
+import pytest
+
+from repro.topology.elements import (
+    Interface,
+    Layer1Kind,
+    LineCard,
+    LogicalLink,
+    PhysicalLink,
+    Router,
+    RouterRole,
+)
+
+
+def make_router():
+    router = Router(name="nyc-per1", role=RouterRole.PROVIDER_EDGE, pop="nyc")
+    router.line_cards = [LineCard("nyc-per1", 0), LineCard("nyc-per1", 1)]
+    router.interfaces = [
+        Interface("nyc-per1", "se0/0", 0, "10.0.0.1"),
+        Interface("nyc-per1", "se0/1", 0),
+        Interface("nyc-per1", "se1/0", 1),
+    ]
+    return router
+
+
+class TestInterface:
+    def test_fqname_combines_router_and_name(self):
+        iface = Interface("nyc-per1", "se0/0", 0)
+        assert iface.fqname == "nyc-per1:se0/0"
+
+    def test_interfaces_are_hashable(self):
+        a = Interface("r1", "se0/0", 0)
+        b = Interface("r1", "se0/0", 0)
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestLineCard:
+    def test_fqname_uses_slot(self):
+        card = LineCard("r1", 3)
+        assert card.fqname == "r1:slot3"
+
+
+class TestRouter:
+    def test_interface_lookup(self):
+        router = make_router()
+        assert router.interface("se0/1").slot == 0
+
+    def test_interface_lookup_missing_raises(self):
+        router = make_router()
+        with pytest.raises(KeyError):
+            router.interface("se9/9")
+
+    def test_interfaces_on_slot(self):
+        router = make_router()
+        names = [i.name for i in router.interfaces_on_slot(0)]
+        assert names == ["se0/0", "se0/1"]
+        assert [i.name for i in router.interfaces_on_slot(1)] == ["se1/0"]
+
+    def test_interfaces_on_empty_slot(self):
+        router = make_router()
+        assert router.interfaces_on_slot(7) == []
+
+
+class TestLogicalLink:
+    def make_link(self):
+        return LogicalLink(
+            name="a--z",
+            router_a="a",
+            router_z="z",
+            interface_a="a:se0/0",
+            interface_z="z:se0/0",
+            physical_links=("c1", "c2"),
+            subnet="10.0.0.0/30",
+        )
+
+    def test_routers_tuple(self):
+        assert self.make_link().routers == ("a", "z")
+
+    def test_other_router(self):
+        link = self.make_link()
+        assert link.other_router("a") == "z"
+        assert link.other_router("z") == "a"
+
+    def test_other_router_rejects_non_endpoint(self):
+        with pytest.raises(ValueError):
+            self.make_link().other_router("q")
+
+
+class TestPhysicalLink:
+    def test_endpoints(self):
+        link = PhysicalLink("c1", "a:se0/0", "z:se0/0", Layer1Kind.SONET)
+        assert link.endpoints == ("a:se0/0", "z:se0/0")
+        assert link.layer1_kind is Layer1Kind.SONET

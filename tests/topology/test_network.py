@@ -1,0 +1,133 @@
+"""Unit tests for the Network container and cross-layer lookups."""
+
+import pytest
+
+from repro.topology.elements import (
+    Interface,
+    Layer1Device,
+    Layer1Kind,
+    LineCard,
+    LogicalLink,
+    PhysicalLink,
+    Pop,
+    Router,
+    RouterRole,
+)
+from repro.topology.network import Network, TopologyError
+
+
+@pytest.fixture
+def net():
+    """Two routers joined by a logical link over two SONET circuits."""
+    network = Network()
+    network.add_pop(Pop("nyc"))
+    network.add_pop(Pop("chi"))
+    for name, pop in (("nyc-cr1", "nyc"), ("chi-cr1", "chi")):
+        router = Router(name=name, role=RouterRole.CORE, pop=pop)
+        router.line_cards = [LineCard(name, 0)]
+        router.interfaces = [Interface(name, "se0/0", 0, None)]
+        network.add_router(router)
+    network.add_layer1_device(Layer1Device("adm-1", Layer1Kind.SONET, "nyc"))
+    network.add_layer1_device(Layer1Device("adm-2", Layer1Kind.SONET, "chi"))
+    for circuit in ("c-a", "c-b"):
+        network.add_physical_link(
+            PhysicalLink(circuit, "nyc-cr1:se0/0", "chi-cr1:se0/0", Layer1Kind.SONET),
+            layer1_path=("adm-1", "adm-2"),
+        )
+    network.add_logical_link(
+        LogicalLink(
+            name="nyc--chi",
+            router_a="nyc-cr1",
+            router_z="chi-cr1",
+            interface_a="nyc-cr1:se0/0",
+            interface_z="chi-cr1:se0/0",
+            physical_links=("c-a", "c-b"),
+            subnet="10.0.0.0/30",
+        )
+    )
+    return network
+
+
+class TestConstruction:
+    def test_router_in_unknown_pop_rejected(self):
+        network = Network()
+        with pytest.raises(TopologyError):
+            network.add_router(Router("r1", RouterRole.CORE, "nowhere"))
+
+    def test_physical_link_with_unknown_layer1_rejected(self, net):
+        with pytest.raises(TopologyError):
+            net.add_physical_link(
+                PhysicalLink("c-x", "nyc-cr1:se0/0", "chi-cr1:se0/0"),
+                layer1_path=("ghost",),
+            )
+
+    def test_logical_link_with_unknown_router_rejected(self, net):
+        with pytest.raises(TopologyError):
+            net.add_logical_link(
+                LogicalLink("bad", "ghost", "chi-cr1", "ghost:se0/0", "chi-cr1:se0/0")
+            )
+
+    def test_validate_passes_on_consistent_topology(self, net):
+        net.validate()
+
+
+class TestLookups:
+    def test_interface_fqname_resolution(self, net):
+        iface = net.interface("nyc-cr1:se0/0")
+        assert iface.router == "nyc-cr1"
+
+    def test_unknown_interface_raises(self, net):
+        with pytest.raises(TopologyError):
+            net.interface("nyc-cr1:se9/9")
+
+    def test_line_card_resolution(self, net):
+        card = net.line_card("nyc-cr1:slot0")
+        assert card.slot == 0
+
+    def test_line_card_bad_identifier(self, net):
+        with pytest.raises(TopologyError):
+            net.line_card("nyc-cr1:card0")
+
+    def test_unknown_router_raises(self, net):
+        with pytest.raises(TopologyError):
+            net.router("ghost")
+
+
+class TestCrossLayer:
+    def test_link_of_interface(self, net):
+        link = net.link_of_interface("nyc-cr1:se0/0")
+        assert link.name == "nyc--chi"
+
+    def test_link_of_unattached_interface_is_none(self, net):
+        router = net.router("nyc-cr1")
+        router.interfaces.append(Interface("nyc-cr1", "se0/1", 0))
+        assert net.link_of_interface("nyc-cr1:se0/1") is None
+
+    def test_link_by_subnet(self, net):
+        assert net.link_by_subnet("10.0.0.0/30").name == "nyc--chi"
+        assert net.link_by_subnet("10.9.9.0/30") is None
+
+    def test_layer1_path(self, net):
+        assert net.layer1_path("c-a") == ("adm-1", "adm-2")
+
+    def test_layer1_path_unknown_circuit(self, net):
+        with pytest.raises(TopologyError):
+            net.layer1_path("ghost")
+
+    def test_layer1_devices_of_logical_deduplicates(self, net):
+        # both circuits ride the same ADM pair; devices appear once
+        assert net.layer1_devices_of_logical("nyc--chi") == ("adm-1", "adm-2")
+
+    def test_physical_links_riding(self, net):
+        names = {l.name for l in net.physical_links_riding("adm-1")}
+        assert names == {"c-a", "c-b"}
+
+    def test_logical_links_riding(self, net):
+        links = net.logical_links_riding("adm-2")
+        assert [l.name for l in links] == ["nyc--chi"]
+
+    def test_logical_links_of_router(self, net):
+        assert [l.name for l in net.logical_links_of_router("chi-cr1")] == ["nyc--chi"]
+
+    def test_pop_of(self, net):
+        assert net.pop_of("chi-cr1").name == "chi"
