@@ -1,0 +1,170 @@
+"""Diagnosis accuracy under injected feed degradation.
+
+The deployed G-RCA's ~600 feeds can silently drop out; an RCA platform
+that keeps answering "Unknown" over a half-blind store is worse than one
+that says "I could not see".  This benchmark runs the Table VI CDN
+scenario three ways — clean, with the CDN control-plane/server-log feed
+completely down, and with that feed's lines corrupted — and measures
+what the degradation-aware pipeline reports:
+
+* clean: every diagnosis at full confidence, no caveats (the published
+  Table VI breakdown is untouched by the health machinery);
+* outage: the diagnoses that depended on the lost feed degrade to
+  ``Unknown (evidence unavailable)`` — annotated, never silent — with
+  caveats naming the feed and interval;
+* corruption: the parser rejects the garbage, the feed goes DEGRADED,
+  and the rejected lines land in the dead-letter buffer for replay.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.apps import CdnApp
+from repro.core import ResultBrowser
+from repro.core.knowledge import names
+from repro.core.reasoning.rule_based import UNKNOWN_DEGRADED
+from repro.collector.health import FeedState
+from repro.simulation import BASE_EPOCH, cdn_month
+
+DAY = 86400.0
+
+#: scenario size — small enough to run the workload three times
+N_DEGRADATIONS = 200
+N_CLIENTS = 16
+SEED = 103
+
+
+def _run_cdn(feed_faults=None):
+    """One full simulate + diagnose pass of the CDN scenario."""
+    result = cdn_month(
+        total_degradations=N_DEGRADATIONS,
+        n_clients=N_CLIENTS,
+        seed=SEED,
+        feed_faults=feed_faults,
+    )
+    app = CdnApp.build(result.platform())
+    symptoms = app.find_symptoms(result.start, result.end)
+    diagnoses = app.engine.diagnose_all(symptoms)
+    return result, diagnoses
+
+
+@pytest.fixture(scope="module")
+def clean_outcome():
+    """The scenario with every feed healthy."""
+    return _run_cdn()
+
+
+@pytest.fixture(scope="module")
+def outage_outcome():
+    """The scenario with the cdn feed down for the whole month."""
+    def kill_cdn(injector):
+        injector.outage("cdn", BASE_EPOCH - 2 * DAY, BASE_EPOCH + 31 * DAY)
+
+    return _run_cdn(kill_cdn)
+
+
+def test_clean_run_full_confidence(clean_outcome):
+    """No injected feed faults -> no caveats, confidence 1.0 everywhere."""
+    result, diagnoses = clean_outcome
+    assert diagnoses
+    assert all(d.confidence == 1.0 for d in diagnoses)
+    assert all(not d.gaps and not d.caveats for d in diagnoses)
+    browser = ResultBrowser(diagnoses)
+    assert len(browser.degraded()) == 0
+    assert browser.mean_confidence() == 1.0
+    # the health machinery saw only healthy batch feeds
+    assert all(
+        state is FeedState.HEALTHY
+        for state in result.collector.health.summary().values()
+    )
+
+
+def test_cdn_outage_annotates_unknowns(clean_outcome, outage_outcome, console):
+    """A dead evidence feed yields annotated Unknowns, not silent ones."""
+    _clean_result, clean_diagnoses = clean_outcome
+    result, diagnoses = outage_outcome
+
+    # the feed is actually gone from the store
+    assert "cdn" not in result.collector.store.watermarks()
+
+    clean_counts = Counter(d.primary_cause for d in clean_diagnoses)
+    counts = Counter(d.primary_cause for d in diagnoses)
+
+    # accuracy loss: causes whose evidence lived on the cdn feed can no
+    # longer be diagnosed...
+    assert clean_counts[names.CDN_POLICY_CHANGE] > 0
+    assert counts[names.CDN_POLICY_CHANGE] == 0
+    # ...and their instances fall into the Unknown bucket
+    assert counts["Unknown"] > clean_counts["Unknown"]
+
+    # every diagnosis carries the caveat: the lost feed overlapped every
+    # retrieval window, so nothing can rule out a policy change
+    assert all(d.is_degraded for d in diagnoses)
+    assert all(0.0 < d.confidence < 1.0 for d in diagnoses)
+    assert all(any("'cdn'" in c and "DOWN" in c for c in d.caveats) for d in diagnoses)
+
+    # the Unknowns split: evidence unavailable, not evidence absent
+    unknowns = [d for d in diagnoses if not d.is_explained]
+    assert unknowns
+    assert all(d.annotated_cause == UNKNOWN_DEGRADED for d in unknowns)
+    for d in unknowns[:5]:
+        text = d.explain()
+        assert UNKNOWN_DEGRADED in text and "'cdn'" in text
+
+    browser = ResultBrowser(diagnoses)
+    annotated = {row.root_cause: row.count for row in browser.breakdown(annotated=True)}
+    assert annotated.get(UNKNOWN_DEGRADED, 0) == len(unknowns)
+    assert "Unknown" not in annotated
+
+    console.emit("\n=== CDN feed outage: diagnosis accuracy impact ===")
+    width = max(len(c) for c in set(clean_counts) | set(counts))
+    console.emit(f"{'Root Cause':<{width}}  {'clean':>6}  {'outage':>6}")
+    for cause in sorted(set(clean_counts) | set(counts)):
+        console.emit(
+            f"{cause:<{width}}  {clean_counts.get(cause, 0):>6}  {counts.get(cause, 0):>6}"
+        )
+    console.emit(
+        f"mean confidence: clean {ResultBrowser(clean_diagnoses).mean_confidence():.2f}"
+        f" -> outage {browser.mean_confidence():.2f}"
+    )
+
+
+def test_cdn_corruption_degrades_feed(console):
+    """Garbled lines are rejected, counted, dead-lettered — never raised."""
+    window = (BASE_EPOCH + 2 * DAY, BASE_EPOCH + 9 * DAY)
+    hits = {}
+
+    def garble_cdn(injector):
+        hits["lines"] = injector.corruption(
+            "cdn", window[0], window[1], probability=1.0
+        )
+
+    result, diagnoses = _run_cdn(garble_cdn)
+    stats = result.collector.parsers["cdn"].stats
+
+    # every garbled line was rejected (counted), none raised
+    assert hits["lines"] > 0
+    assert stats.rejected == hits["lines"]
+    assert stats.top_reasons(1)  # reject reasons were counted
+
+    # the corrupted lines are waiting in the dead-letter buffer
+    letters = result.collector.dead_letters.entries("cdn")
+    assert len(letters) == stats.rejected
+    assert all(e.line.startswith("~CORRUPT~") for e in letters)
+
+    # the injected interval is on record as a DEGRADED span
+    intervals = result.collector.health.impaired_intervals("cdn", *window)
+    assert any(i.state is FeedState.DEGRADED for i in intervals)
+
+    # diagnoses inside the corruption window carry the caveat
+    inside = [
+        d for d in diagnoses if window[0] <= d.symptom.start <= window[1]
+    ]
+    if inside:  # the fault planner may not land a symptom in any window
+        assert all(
+            any("'cdn'" in c and "DEGRADED" in c for c in d.caveats) for d in inside
+        )
+
+    for line in result.collector.feed_stats_lines():
+        console.emit(line)

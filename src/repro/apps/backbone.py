@@ -66,7 +66,7 @@ class BackboneApp:
             library=events,
             resolver=platform.resolver,
             store=platform.store,
-            config=EngineConfig(services=platform.services),
+            config=EngineConfig(services=platform.services, health=platform.health),
         )
         return cls(platform=platform, events=events, engine=engine)
 

@@ -189,7 +189,7 @@ class BgpFlapApp:
             library=events,
             resolver=platform.resolver,
             store=platform.store,
-            config=EngineConfig(services=platform.services),
+            config=EngineConfig(services=platform.services, health=platform.health),
         )
         return cls(platform=platform, events=events, engine=engine)
 

@@ -180,7 +180,7 @@ class CdnApp:
             library=events,
             resolver=platform.resolver,
             store=platform.store,
-            config=EngineConfig(services=platform.services),
+            config=EngineConfig(services=platform.services, health=platform.health),
         )
         return cls(platform=platform, events=events, engine=engine)
 

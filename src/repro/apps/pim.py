@@ -219,7 +219,7 @@ class PimApp:
             library=events,
             resolver=platform.resolver,
             store=platform.store,
-            config=EngineConfig(services=services),
+            config=EngineConfig(services=services, health=platform.health),
         )
         return cls(platform=platform, events=events, engine=engine)
 

@@ -57,6 +57,8 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="also print the per-day cause trend")
     diagnose.add_argument("--report", metavar="FILE",
                           help="write a markdown report to FILE")
+    diagnose.add_argument("--feed-stats", action="store_true",
+                          help="print per-feed ingest health statistics")
 
     mine = sub.add_parser("mine", help="run the Fig. 7 correlation study")
     mine.add_argument("--seed", type=int, default=1)
@@ -100,6 +102,16 @@ def _cmd_diagnose(args) -> int:
           f"({result.collector.store.total_records()} records ingested)\n")
     print(browser.format_breakdown())
     print(f"\nexplained: {100 * browser.explained_fraction():.1f}%")
+    degraded = browser.degraded()
+    if len(degraded):
+        print(f"degraded evidence: {len(degraded)} diagnoses carry caveats "
+              f"(mean confidence {degraded.mean_confidence():.2f})")
+        for row in degraded.breakdown(annotated=True):
+            print(f"  {row.root_cause}: {row.count}")
+    if args.feed_stats:
+        print()
+        for line in result.collector.feed_stats_lines():
+            print(line)
     if args.trend:
         print("\nper-day trend:")
         print(browser.format_trend())

@@ -59,6 +59,22 @@ class NormalizationError(ValueError):
     """Raised when a record cannot be normalized."""
 
 
+_QUOTED_FRAGMENT = re.compile(r"'[^']*'|\"[^\"]*\"")
+
+
+def brief_reason(reason: str, max_length: int = 80) -> str:
+    """Collapse a reject reason to a low-cardinality grouping key.
+
+    Quoted fragments (the offending raw values) are stripped so that
+    e.g. ``unparseable epoch 'NaN'`` and ``unparseable epoch 'x'``
+    count under one reason, and the result is length-bounded so hostile
+    input cannot bloat accounting structures.
+    """
+    collapsed = _QUOTED_FRAGMENT.sub("<…>", reason).strip()
+    collapsed = " ".join(collapsed.split())
+    return collapsed[:max_length] if collapsed else "unspecified"
+
+
 def normalize_router_name(raw: str, aliases: Optional[Dict[str, str]] = None) -> str:
     """Canonicalize a router name.
 

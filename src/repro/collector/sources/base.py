@@ -3,16 +3,26 @@
 Every source adapter turns raw input (log lines or poller rows) into
 normalized rows in one :class:`~repro.collector.store.DataStore` table.
 Malformed input is counted, not raised: a production collector must keep
-ingesting when one device emits garbage.
+ingesting when one device emits garbage.  Rejected lines are optionally
+captured in a dead-letter buffer for later replay, and every accepted
+row advances the source's watermark so feed-health tracking can tell
+"no data" apart from "late data".
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Iterable, List, Optional, Tuple, TYPE_CHECKING
 
-from ..normalizer import DeviceRegistry, NormalizationError
+from ..normalizer import DeviceRegistry, NormalizationError, brief_reason
 from ..store import DataStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..health import DeadLetterBuffer
+
+#: Cap on distinct reject reasons tracked per source (top-N, approximate).
+MAX_REJECT_REASONS = 16
 
 
 @dataclass
@@ -22,11 +32,36 @@ class ParseStats:
     accepted: int = 0
     rejected: int = 0
     last_error: Optional[str] = None
+    #: bounded counter of normalized reject reasons (top-N, approximate:
+    #: when full, the rarest tracked reason is evicted for a new one)
+    reason_counts: Counter = field(default_factory=Counter)
+    #: timestamp of the newest accepted record
+    watermark: Optional[float] = None
 
-    def reject(self, reason: str) -> None:
+    def reject(self, reason: str, line: Optional[str] = None) -> None:
         """Count one rejected line and keep its reason."""
         self.rejected += 1
-        self.last_error = reason
+        self.last_error = f"{reason} in {line!r}" if line is not None else reason
+        key = brief_reason(reason)
+        if key not in self.reason_counts and len(self.reason_counts) >= MAX_REJECT_REASONS:
+            rarest = min(self.reason_counts, key=self.reason_counts.get)
+            del self.reason_counts[rarest]
+        self.reason_counts[key] += 1
+
+    def note_insert(self, timestamp: float) -> None:
+        """Advance the watermark past one accepted record."""
+        if self.watermark is None or timestamp > self.watermark:
+            self.watermark = timestamp
+
+    def top_reasons(self, n: int = 5) -> List[Tuple[str, int]]:
+        """The ``n`` most frequent reject reasons, most frequent first."""
+        return self.reason_counts.most_common(n)
+
+    @property
+    def reject_ratio(self) -> float:
+        """Rejected fraction of all lines seen (0.0 when none seen)."""
+        total = self.accepted + self.rejected
+        return self.rejected / total if total else 0.0
 
 
 def parse_epoch(raw: str) -> float:
@@ -47,6 +82,8 @@ class SourceParser:
     store: DataStore
     registry: DeviceRegistry = field(default_factory=DeviceRegistry)
     stats: ParseStats = field(default_factory=ParseStats)
+    #: when set (by the collector), rejected raw lines are captured here
+    dead_letters: Optional["DeadLetterBuffer"] = None
 
     #: override in subclasses
     table_name: str = ""
@@ -60,8 +97,17 @@ class SourceParser:
                 self.parse_line(line)
                 self.stats.accepted += 1
             except (NormalizationError, ValueError) as exc:
-                self.stats.reject(f"{exc} in {line!r}")
+                self.stats.reject(str(exc), line)
+                if self.dead_letters is not None:
+                    self.dead_letters.append(
+                        self.table_name, line, brief_reason(str(exc))
+                    )
         return self.stats
+
+    def insert(self, timestamp: float, **fields) -> None:
+        """Insert one normalized row, advancing the source watermark."""
+        self.store.insert(self.table_name, timestamp, **fields)
+        self.stats.note_insert(timestamp)
 
     def parse_line(self, line: str) -> None:  # pragma: no cover - abstract
         """Parse one raw line and insert the normalized row."""

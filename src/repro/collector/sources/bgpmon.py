@@ -39,8 +39,7 @@ class BgpMonParser(SourceParser):
             raise NormalizationError(f"malformed prefix {prefix!r}")
         timestamp = parse_epoch(raw_time)
         egress = self.registry.canonical_name(raw_egress)
-        self.store.insert(
-            self.table_name,
+        self.insert(
             timestamp,
             kind=kind,
             prefix=prefix,

@@ -41,7 +41,7 @@ class TacacsParser(SourceParser):
         interface = _interface_in_command(command)
         if interface:
             fields["interface"] = interface
-        self.store.insert(self.table_name, timestamp, **fields)
+        self.insert(timestamp, **fields)
 
 
 def _interface_in_command(command: str):
@@ -90,8 +90,7 @@ class Layer1Parser(SourceParser):
         raw_time, device, event, circuit = parts
         if event not in _LAYER1_EVENTS:
             raise NormalizationError(f"unknown layer-1 event {event!r}")
-        self.store.insert(
-            self.table_name,
+        self.insert(
             parse_epoch(raw_time),
             device=device.strip().lower(),
             event=event,
@@ -131,8 +130,7 @@ class PerfMonParser(SourceParser):
         raw_time, source, destination, metric, raw_value = parts
         if metric not in _PERF_METRICS:
             raise NormalizationError(f"unknown perf metric {metric!r}")
-        self.store.insert(
-            self.table_name,
+        self.insert(
             parse_epoch(raw_time),
             source=source.strip().lower(),
             destination=destination.strip().lower(),
@@ -165,8 +163,7 @@ class NetflowParser(SourceParser):
         if len(parts) != 4:
             raise NormalizationError("expected 4 pipe-separated fields")
         raw_time, source, source_ip, raw_ingress = parts
-        self.store.insert(
-            self.table_name,
+        self.insert(
             parse_epoch(raw_time),
             source=source.strip().lower(),
             source_ip=source_ip,
@@ -201,8 +198,7 @@ class WorkflowParser(SourceParser):
         raw_time, raw_router, activity, detail = parts
         if not activity:
             raise NormalizationError("empty activity")
-        self.store.insert(
-            self.table_name,
+        self.insert(
             parse_timestamp(raw_time, "UTC"),
             router=self.registry.canonical_name(raw_router),
             activity=activity,
@@ -241,7 +237,7 @@ class CdnLogParser(SourceParser):
             fields["value"] = float(value)
         else:
             fields["detail"] = value
-        self.store.insert(self.table_name, parse_epoch(raw_time), **fields)
+        self.insert(parse_epoch(raw_time), **fields)
 
 
 def render_cdn_row(timestamp: float, server: str, kind: str, value) -> str:

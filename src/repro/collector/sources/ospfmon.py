@@ -39,7 +39,7 @@ class OspfMonParser(SourceParser):
         weight = int(raw_weight)
         if weight < 0:
             raise NormalizationError("negative weight")
-        self.store.insert(self.table_name, timestamp, link=link, weight=weight)
+        self.insert(timestamp, link=link, weight=weight)
 
 
 def render_ospfmon_row(timestamp: float, link: str, weight: int) -> str:

@@ -57,7 +57,7 @@ class SnmpParser(SourceParser):
         fields = {"router": router, "metric": metric, "value": value}
         if raw_interface:
             fields["interface"] = normalize_interface_name(raw_interface)
-        self.store.insert(self.table_name, timestamp, **fields)
+        self.insert(timestamp, **fields)
 
 
 def render_snmp_row(

@@ -75,7 +75,7 @@ class SyslogParser(SourceParser):
             "message": message,
         }
         fields.update(_extract_structured(code, message))
-        self.store.insert(self.table_name, timestamp, **fields)
+        self.insert(timestamp, **fields)
 
 
 def _extract_structured(code: str, message: str) -> Dict[str, Any]:

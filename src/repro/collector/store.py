@@ -171,6 +171,20 @@ class DataStore:
         """Total record count across all tables."""
         return sum(len(t) for t in self.tables.values())
 
+    def watermarks(self) -> Dict[str, float]:
+        """Newest record timestamp per non-empty table.
+
+        The store-side view of feed progress: a table whose watermark
+        trails the others' hints at a lagging or dead feed even before
+        the health registry has flagged it.
+        """
+        marks: Dict[str, float] = {}
+        for name, table in sorted(self.tables.items()):
+            span = table.time_span
+            if span is not None:
+                marks[name] = span[1]
+        return marks
+
     def summary(self) -> Dict[str, int]:
         """Record counts per table — the Data Collector's dashboard view."""
         return {name: len(table) for name, table in sorted(self.tables.items())}

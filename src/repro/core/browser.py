@@ -39,15 +39,20 @@ class ResultBrowser:
     # ------------------------------------------------------------------
     # breakdown (Tables IV / VI / VIII)
 
-    def breakdown(self, order: Optional[Sequence[str]] = None) -> List[BreakdownRow]:
+    def breakdown(
+        self, order: Optional[Sequence[str]] = None, annotated: bool = False
+    ) -> List[BreakdownRow]:
         """Counts and percentages by primary root cause.
 
         ``order`` fixes row order (a paper table's order, say); causes
         not listed are appended by descending count, with Unknown last.
+        With ``annotated=True`` the Unknown bucket splits by evidence
+        health (``Diagnosis.annotated_cause``): "no evidence found" vs
+        "evidence unavailable".
         """
         counts: Dict[str, int] = {}
         for diagnosis in self.diagnoses:
-            cause = diagnosis.primary_cause
+            cause = diagnosis.annotated_cause if annotated else diagnosis.primary_cause
             counts[cause] = counts.get(cause, 0) + 1
         total = len(self.diagnoses)
         ordered: List[str] = []
@@ -55,7 +60,7 @@ class ResultBrowser:
             ordered.extend(cause for cause in order if cause in counts)
         remaining = sorted(
             (c for c in counts if c not in ordered),
-            key=lambda c: (c == UNKNOWN, -counts[c], c),
+            key=lambda c: (c == UNKNOWN or c.startswith(UNKNOWN + " ("), -counts[c], c),
         )
         ordered.extend(remaining)
         return [
@@ -103,6 +108,20 @@ class ResultBrowser:
     def unexplained(self) -> "ResultBrowser":
         """Symptoms with no known root cause — the mining input."""
         return self.filter(explained=False)
+
+    def degraded(self) -> "ResultBrowser":
+        """Diagnoses whose evidence feeds were impaired (caveated)."""
+        return self.filter(predicate=lambda d: d.is_degraded)
+
+    def low_confidence(self, threshold: float = 0.75) -> "ResultBrowser":
+        """Diagnoses with confidence strictly below ``threshold``."""
+        return self.filter(predicate=lambda d: d.confidence < threshold)
+
+    def mean_confidence(self) -> float:
+        """Average diagnosis confidence (1.0 when the view is empty)."""
+        if not self.diagnoses:
+            return 1.0
+        return sum(d.confidence for d in self.diagnoses) / len(self.diagnoses)
 
     def with_cause(self, cause: str) -> "ResultBrowser":
         """A browser restricted to one primary root cause."""
@@ -173,6 +192,13 @@ class ResultBrowser:
         lines = [f"# {title}", ""]
         lines.append(f"Symptoms diagnosed: **{len(self.diagnoses)}** — "
                      f"explained: **{100 * self.explained_fraction():.1f}%**")
+        degraded = len(self.degraded())
+        if degraded:
+            lines.append("")
+            lines.append(
+                f"Degraded evidence: **{degraded}** diagnoses carry caveats — "
+                f"mean confidence **{self.mean_confidence():.2f}**"
+            )
         lines.append("")
         lines.append("## Root cause breakdown")
         lines.append("")

@@ -14,13 +14,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from ..collector.health import HealthRegistry, canonical_source
 from ..collector.store import DataStore
 from .events import EventInstance, EventLibrary, RetrievalContext
 from .graph import DiagnosisGraph
 from .reasoning.rule_based import (
     UNKNOWN,
+    UNKNOWN_DEGRADED,
+    UNKNOWN_NO_EVIDENCE,
+    EvidenceGap,
     MatchedEvidence,
     RuleBasedResult,
+    assess_confidence,
     reason,
 )
 from .spatial import LocationResolver
@@ -33,6 +38,12 @@ class Diagnosis:
     symptom: EventInstance
     evidence: List[MatchedEvidence]
     result: RuleBasedResult
+    #: evidence feeds found impaired inside retrieval windows
+    gaps: List[EvidenceGap] = field(default_factory=list)
+    #: 1.0 with fully healthy evidence feeds, discounted per gap
+    confidence: float = 1.0
+    #: human-readable degraded-evidence notes (one per gap)
+    caveats: List[str] = field(default_factory=list)
 
     @property
     def primary_cause(self) -> str:
@@ -45,6 +56,24 @@ class Diagnosis:
     @property
     def is_explained(self) -> bool:
         return bool(self.result.root_causes)
+
+    @property
+    def is_degraded(self) -> bool:
+        """True when some evidence feed was impaired during correlation."""
+        return bool(self.gaps)
+
+    @property
+    def annotated_cause(self) -> str:
+        """The primary cause with ``Unknown`` split by evidence health.
+
+        ``Unknown (no evidence found)``: feeds were healthy and carried
+        nothing — the paper's genuine Unknown.  ``Unknown (evidence
+        unavailable)``: a feed that could have carried the deciding
+        evidence was lagging, degraded or down.
+        """
+        if self.is_explained:
+            return self.primary_cause
+        return UNKNOWN_DEGRADED if self.gaps else UNKNOWN_NO_EVIDENCE
 
     def evidence_for(self, event_name: str) -> List[MatchedEvidence]:
         """Matched evidence items for one diagnostic event."""
@@ -59,7 +88,14 @@ class Diagnosis:
                 f" {marker} depth {item.depth} priority {item.rule.priority:>4} "
                 f"{item.rule.parent_event} -> {item.instance}"
             )
-        lines.append(f"root cause: {', '.join(self.root_causes) or UNKNOWN}")
+        if self.is_explained:
+            lines.append(f"root cause: {', '.join(self.root_causes)}")
+        else:
+            lines.append(f"root cause: {self.annotated_cause}")
+        if self.gaps:
+            lines.append(f"confidence: {self.confidence:.2f}")
+            for caveat in self.caveats:
+                lines.append(f" ! {caveat}")
         return "\n".join(lines)
 
 
@@ -73,6 +109,8 @@ class EngineConfig:
     services: Dict[str, Any] = field(default_factory=dict)
     #: cap on matched instances per (rule, parent instance) to bound work
     max_matches_per_rule: int = 50
+    #: feed-health registry consulted for evidence gaps (None disables)
+    health: Optional[HealthRegistry] = None
 
 
 class RcaEngine:
@@ -110,9 +148,17 @@ class RcaEngine:
                 f"engine diagnoses {self.graph.symptom_event!r} symptoms, "
                 f"got {symptom.name!r}"
             )
-        evidence = self._correlate(symptom)
+        evidence, gaps = self._correlate(symptom)
         result = reason(self.graph, evidence)
-        return Diagnosis(symptom=symptom, evidence=evidence, result=result)
+        confidence, caveats = assess_confidence(gaps)
+        return Diagnosis(
+            symptom=symptom,
+            evidence=evidence,
+            result=result,
+            gaps=gaps,
+            confidence=confidence,
+            caveats=caveats,
+        )
 
     def diagnose_all(self, symptoms: Iterable[EventInstance]) -> List[Diagnosis]:
         """Diagnose a sequence of symptom instances in order."""
@@ -120,8 +166,12 @@ class RcaEngine:
 
     # ------------------------------------------------------------------
 
-    def _correlate(self, symptom: EventInstance) -> List[MatchedEvidence]:
+    def _correlate(
+        self, symptom: EventInstance
+    ) -> Tuple[List[MatchedEvidence], List[EvidenceGap]]:
         evidence: List[MatchedEvidence] = []
+        gaps: List[EvidenceGap] = []
+        gap_keys: set = set()
         # frontier entries: (event name, matched instance, depth)
         frontier: List[Tuple[str, EventInstance, int]] = [
             (self.graph.symptom_event, symptom, 0)
@@ -130,6 +180,7 @@ class RcaEngine:
         while frontier:
             event_name, parent_instance, depth = frontier.pop()
             for rule in self.graph.rules_from(event_name):
+                self._note_gaps(rule, parent_instance, gaps, gap_keys)
                 matches = self._match_rule(rule, parent_instance)
                 for instance in matches:
                     key = (rule.child_event, instance)
@@ -143,7 +194,45 @@ class RcaEngine:
                     if key not in seen:
                         seen.add(key)
                         frontier.append((rule.child_event, instance, depth + 1))
-        return evidence
+        return evidence, gaps
+
+    def _note_gaps(
+        self,
+        rule,
+        parent_instance: EventInstance,
+        gaps: List[EvidenceGap],
+        gap_keys: set,
+    ) -> None:
+        """Record impaired-feed overlaps with this rule's search window.
+
+        A retrieval that comes back empty while the backing feed was
+        LAGGING/DEGRADED/DOWN is indistinguishable from genuine absence
+        of the diagnostic event, so every overlap is recorded and later
+        discounted by :func:`assess_confidence`.
+        """
+        registry = self.config.health
+        if registry is None:
+            return
+        source = canonical_source(self.library.get(rule.child_event).data_source)
+        if source is None:
+            return
+        lo, hi = rule.temporal.search_window(parent_instance.interval)
+        for interval in registry.impaired_intervals(source, lo, hi):
+            key = (source, rule.child_event, interval.start)
+            if key in gap_keys:
+                continue
+            gap_keys.add(key)
+            end = hi if interval.end is None else min(hi, interval.end)
+            gaps.append(
+                EvidenceGap(
+                    source=source,
+                    state=interval.state,
+                    start=max(lo, interval.start),
+                    end=end,
+                    event=rule.child_event,
+                    parent_event=rule.parent_event,
+                )
+            )
 
     def _match_rule(self, rule, parent_instance: EventInstance) -> List[EventInstance]:
         window = rule.temporal.search_window(parent_instance.interval)

@@ -15,13 +15,20 @@ Table IV is the HTE node matched with nothing deeper.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set
+from typing import Dict, List, Sequence, Set, Tuple
 
+from ...collector.health import FeedState
 from ..events import EventInstance
 from ..graph import DiagnosisGraph, DiagnosisRule
 
 #: Root-cause label when no diagnostic evidence joined the symptom.
 UNKNOWN = "Unknown"
+
+#: Annotated label when evidence may exist but its feed was impaired.
+UNKNOWN_DEGRADED = "Unknown (evidence unavailable)"
+
+#: Annotated label when evidence was genuinely absent from healthy feeds.
+UNKNOWN_NO_EVIDENCE = "Unknown (no evidence found)"
 
 
 @dataclass(frozen=True)
@@ -32,6 +39,60 @@ class MatchedEvidence:
     parent_instance: EventInstance
     instance: EventInstance
     depth: int
+
+
+@dataclass(frozen=True)
+class EvidenceGap:
+    """One evidence feed found impaired inside a rule's retrieval window.
+
+    The correlation step could not distinguish "the diagnostic event did
+    not happen" from "the feed that would have carried it was not
+    delivering"; reasoning must therefore discount its conclusion.
+    """
+
+    source: str  # collector feed / table name
+    state: FeedState  # how impaired the feed was
+    start: float  # overlap of the impairment with the window
+    end: float
+    event: str  # the diagnostic event whose retrieval was affected
+    parent_event: str  # the rule's parent (symptom-side) event
+
+    def describe(self) -> str:
+        """Human-readable caveat line for ``Diagnosis.explain()``."""
+        return (
+            f"evidence source {self.source!r} was {self.state.value.upper()} "
+            f"during [{self.start:.0f}, {self.end:.0f}] while matching "
+            f"{self.event!r} (from {self.parent_event!r})"
+        )
+
+
+#: Confidence penalty per impaired feed, by severity of its worst state.
+GAP_PENALTIES: Dict[FeedState, float] = {
+    FeedState.LAGGING: 0.10,
+    FeedState.DEGRADED: 0.25,
+    FeedState.DOWN: 0.40,
+}
+
+#: Confidence never drops below this (the symptom itself was observed).
+MIN_CONFIDENCE = 0.15
+
+
+def assess_confidence(gaps: Sequence[EvidenceGap]) -> Tuple[float, List[str]]:
+    """Confidence in [MIN_CONFIDENCE, 1.0] plus caveat strings.
+
+    Full confidence with no gaps.  Otherwise each impaired feed charges
+    one penalty for its worst observed state — several gaps on the same
+    feed do not compound, but several impaired feeds do.
+    """
+    if not gaps:
+        return 1.0, []
+    worst: Dict[str, float] = {}
+    for gap in gaps:
+        penalty = GAP_PENALTIES.get(gap.state, 0.25)
+        worst[gap.source] = max(worst.get(gap.source, 0.0), penalty)
+    confidence = max(MIN_CONFIDENCE, round(1.0 - sum(worst.values()), 2))
+    caveats = [gap.describe() for gap in gaps]
+    return confidence, caveats
 
 
 @dataclass

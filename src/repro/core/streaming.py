@@ -20,13 +20,20 @@ Design points:
 * **Cache discipline** — the engine's retrieval cache is cleared on
   every advance, since new records may have landed inside previously
   cached windows.
+* **Watermark deferral** — when the engine has a feed-health registry
+  and a required evidence feed is ``LAGGING``, settling is deferred to
+  that feed's watermark (bounded by ``max_watermark_defer``) so slow
+  feeds produce *late* diagnoses instead of wrong ones.  ``DOWN`` feeds
+  never defer — waiting on a dead feed would stall the pipeline; their
+  absence is annotated on the diagnosis instead.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
+from ..collector.health import FeedState, canonical_source
 from .engine import Diagnosis, RcaEngine
 from .events import EventInstance, RetrievalContext
 
@@ -43,6 +50,8 @@ class StreamingConfig:
     reorder_slack: float = 120.0
     #: forget de-duplication keys older than this (memory bound)
     dedupe_horizon: float = 7200.0
+    #: cap on how long a LAGGING feed may hold back settling
+    max_watermark_defer: float = 1800.0
 
 
 class StreamingRca:
@@ -65,6 +74,7 @@ class StreamingRca:
         self._watermark: Optional[float] = None
         self._seen: Dict[Tuple[str, Tuple[str, ...], float], float] = {}
         self.diagnosed_count = 0
+        self._required_sources: Optional[Set[str]] = None
 
     @property
     def watermark(self) -> Optional[float]:
@@ -77,8 +87,15 @@ class StreamingRca:
         ``now`` is the wall-clock frontier of ingested data.  Returns
         the new diagnoses (also delivered to ``on_diagnosis``).
         """
-        settled_until = now - self.config.settle_seconds
+        registry = self.engine.config.health
+        if registry is not None:
+            registry.tick(now)
+        settled_until = self._defer_for_lagging_feeds(
+            now - self.config.settle_seconds
+        )
         if self._watermark is not None and settled_until <= self._watermark:
+            # nothing newly settled, but memory bounds still apply
+            self._gc_dedupe(max(settled_until, self._watermark))
             return []
         if self._watermark is not None:
             window_start = self._watermark - self.config.reorder_slack
@@ -115,7 +132,41 @@ class StreamingRca:
                 self.on_diagnosis(diagnosis)
         return diagnoses
 
+    def _defer_for_lagging_feeds(self, settled_until: float) -> float:
+        """Hold settling back to the slowest LAGGING evidence feed.
+
+        Only feeds that are LAGGING (still delivering, just behind)
+        defer — a DOWN feed would hold the watermark forever, and a
+        never-observed feed is not expected to deliver at all.  The
+        deferral is bounded by ``max_watermark_defer``.
+        """
+        registry = self.engine.config.health
+        if registry is None:
+            return settled_until
+        floor = settled_until - self.config.max_watermark_defer
+        deferred = settled_until
+        for source in self._evidence_sources():
+            feed = registry.feeds.get(source)
+            if feed is None or feed.state is not FeedState.LAGGING:
+                continue
+            if feed.watermark is not None and feed.watermark < deferred:
+                deferred = max(floor, feed.watermark)
+        return deferred
+
+    def _evidence_sources(self) -> Set[str]:
+        """Collector feeds backing any event in the diagnosis graph."""
+        if self._required_sources is None:
+            sources: Set[str] = set()
+            for name in self.engine.graph.events():
+                definition = self.engine.library.get(name)
+                source = canonical_source(definition.data_source)
+                if source is not None:
+                    sources.add(source)
+            self._required_sources = sources
+        return self._required_sources
+
     def _gc_dedupe(self, settled_until: float) -> None:
+        """Forget dedupe keys whose instances ended before the horizon."""
         horizon = settled_until - self.config.dedupe_horizon
         stale = [key for key, end in self._seen.items() if end < horizon]
         for key in stale:
@@ -152,5 +203,7 @@ class FeedReplayer:
             self._position += 1
             delivered += 1
         for source, lines in by_source.items():
-            self.collector.ingest(source, lines)
+            # the cutoff is the observation clock: feeds whose newest
+            # record trails it are genuinely behind
+            self.collector.ingest(source, lines, now=cutoff)
         return delivered

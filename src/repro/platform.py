@@ -41,6 +41,11 @@ class GrcaPlatform:
     def store(self):
         return self.collector.store
 
+    @property
+    def health(self):
+        """The collector's feed-health registry (for engine configs)."""
+        return self.collector.health
+
     def refresh_routing(self) -> None:
         """Rebuild routing state from the (grown) store.
 

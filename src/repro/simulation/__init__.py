@@ -5,7 +5,7 @@ Telemetry emission, causal fault injection with ground truth, and the
 evaluation scenarios behind every reproduced table and figure.
 """
 
-from .faults import FaultInjector, GroundTruth
+from .faults import FaultInjector, FeedFault, FeedFaultInjector, GroundTruth
 from .scenarios import (
     PROBE_LOSS_MIXTURE,
     SimulationResult,
@@ -25,6 +25,8 @@ __all__ = [
     "BASE_EPOCH",
     "BGP_HOLD_TIMER",
     "FaultInjector",
+    "FeedFault",
+    "FeedFaultInjector",
     "GroundTruth",
     "SimulationResult",
     "TABLE4_MIXTURE",

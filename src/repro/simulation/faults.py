@@ -17,6 +17,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from ..collector.health import FeedState
 from ..collector.sources.misc import (
     EVENT_MESH_FAST,
     EVENT_MESH_REGULAR,
@@ -438,3 +439,104 @@ class FaultInjector:
         """A traffic-engineering tweak, reverted after ``duration``."""
         self._set_weight(t, link, DEFAULT_WEIGHT + self.rng.randint(5, 25))
         self._set_weight(t + duration, link, DEFAULT_WEIGHT)
+
+
+# ---------------------------------------------------------------------------
+# feed-level fault recipes (measurement infrastructure misbehaving)
+
+
+@dataclass(frozen=True)
+class FeedFault:
+    """One injected feed-level impairment (not a network root cause)."""
+
+    source: str  # collector feed / table name
+    kind: str  # "outage" | "lag" | "corruption"
+    start: float
+    end: float
+    detail: str = ""
+
+
+class FeedFaultInjector:
+    """Degrades raw feeds between emission and ingestion.
+
+    Where :class:`FaultInjector` simulates the *network* misbehaving,
+    this simulates the *measurement infrastructure* misbehaving: a feed
+    transport dropping out entirely, delivering late, or emitting
+    garbage.  Recipes rewrite the emitter's :class:`TelemetryBuffers`
+    in place and remember every injected fault so
+    :meth:`apply_to_registry` can stand in for the transport-level
+    monitoring (circuit breakers, poller liveness checks) that would
+    report those intervals in a live deployment.
+    """
+
+    #: health-interval state recorded per fault kind
+    STATE_BY_KIND = {
+        "outage": FeedState.DOWN,
+        "lag": FeedState.LAGGING,
+        "corruption": FeedState.DEGRADED,
+    }
+
+    def __init__(self, buffers, rng: Optional[random.Random] = None) -> None:
+        self.buffers = buffers
+        self.rng = rng or random.Random(7331)
+        self.faults: List[FeedFault] = []
+
+    def outage(self, source: str, start: float, end: float) -> int:
+        """Drop every line of a feed in ``[start, end)`` — transport down.
+
+        Returns the number of lines lost.
+        """
+        def drop(t: float, line: str):
+            return None if start <= t < end else (t, line)
+
+        lost = self.buffers.transform(source, drop)
+        self.faults.append(
+            FeedFault(source, "outage", start, end, f"{lost} lines lost")
+        )
+        return lost
+
+    def lag(self, source: str, start: float, end: float, delay: float) -> int:
+        """Delay delivery of lines in ``[start, end)`` by ``delay`` seconds.
+
+        Data timestamps inside each line are untouched — the records are
+        correct, just late — so a streaming replay sees the feed's
+        watermark trail the arrival clock.  Returns the shifted count.
+        """
+        def shift(t: float, line: str):
+            return (t + delay, line) if start <= t < end else (t, line)
+
+        moved = self.buffers.transform(source, shift)
+        self.faults.append(
+            FeedFault(source, "lag", start, end, f"{moved} lines +{delay:.0f}s")
+        )
+        return moved
+
+    def corruption(
+        self, source: str, start: float, end: float, probability: float = 1.0
+    ) -> int:
+        """Garble lines in ``[start, end)`` so the parser rejects them.
+
+        Returns the number of lines corrupted.
+        """
+        def mangle(t: float, line: str):
+            if start <= t < end and self.rng.random() < probability:
+                return (t, "~CORRUPT~" + line)
+            return (t, line)
+
+        hit = self.buffers.transform(source, mangle)
+        self.faults.append(
+            FeedFault(source, "corruption", start, end, f"{hit} lines garbled")
+        )
+        return hit
+
+    def apply_to_registry(self, registry) -> None:
+        """Record every injected fault as a feed-health interval.
+
+        Batch replays have no live observation clock, so the intervals a
+        transport monitor would have flagged are recorded directly on
+        the :class:`~repro.collector.health.HealthRegistry`.
+        """
+        for fault in self.faults:
+            registry.record_outage(
+                fault.source, fault.start, fault.end, self.STATE_BY_KIND[fault.kind]
+            )

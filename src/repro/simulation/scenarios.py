@@ -16,12 +16,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..collector import DataCollector
 from ..platform import GrcaPlatform
 from ..topology.builder import BuiltTopology, TopologyParams, build_topology
-from .faults import FaultInjector, GroundTruth
+from .faults import FaultInjector, FeedFaultInjector, GroundTruth
 from .telemetry import BASE_EPOCH, TelemetryEmitter
 
 DAY = 86400.0
@@ -117,8 +117,15 @@ def bgp_month(
     params: Optional[TopologyParams] = None,
     seed: int = 1001,
     duration_days: float = 30.0,
+    feed_faults: Optional[Callable[[FeedFaultInjector], None]] = None,
 ) -> SimulationResult:
-    """A month of customer eBGP flaps with the Table IV cause mixture."""
+    """A month of customer eBGP flaps with the Table IV cause mixture.
+
+    ``feed_faults``, when given, receives a :class:`FeedFaultInjector`
+    after all telemetry is emitted and may degrade raw feeds (outage,
+    lag, corruption) before ingestion; the injected impairment
+    intervals are recorded on the collector's health registry.
+    """
     params = params or TopologyParams(
         n_pops=6, pers_per_pop=3, customers_per_per=8, seed=seed
     )
@@ -182,7 +189,11 @@ def bgp_month(
     _emit_background(emitter, topology, rng, start, end)
     collector = DataCollector()
     _register_devices(collector, topology)
+    feed_injector = FeedFaultInjector(emitter.buffers, random.Random(seed + 17))
+    if feed_faults is not None:
+        feed_faults(feed_injector)
     emitter.buffers.ingest_into(collector)
+    feed_injector.apply_to_registry(collector.health)
     return SimulationResult(topology, collector, ground_truth, start, end)
 
 
@@ -331,8 +342,13 @@ def cdn_month(
     seed: int = 3003,
     duration_days: float = 30.0,
     n_clients: int = 24,
+    feed_faults: Optional[Callable[[FeedFaultInjector], None]] = None,
 ) -> SimulationResult:
-    """A month of CDN RTT degradations, Table VI mixture."""
+    """A month of CDN RTT degradations, Table VI mixture.
+
+    ``feed_faults`` may degrade raw feeds before ingestion, as in
+    :func:`bgp_month`.
+    """
     params = params or TopologyParams(
         n_pops=5,
         pers_per_pop=2,
@@ -473,7 +489,11 @@ def cdn_month(
 
     collector = DataCollector()
     _register_devices(collector, topology)
+    feed_injector = FeedFaultInjector(emitter.buffers, random.Random(seed + 17))
+    if feed_faults is not None:
+        feed_faults(feed_injector)
     emitter.buffers.ingest_into(collector)
+    feed_injector.apply_to_registry(collector.health)
     result = SimulationResult(topology, collector, ground_truth, start, end)
     result.extras["clients"] = clients
     result.extras["pairs"] = pairs

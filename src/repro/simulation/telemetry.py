@@ -80,6 +80,27 @@ class TelemetryBuffers:
         """Total buffered lines across sources."""
         return sum(len(v) for v in self._lines.values())
 
+    def transform(self, source: str, fn) -> int:
+        """Rewrite one source's buffered pairs through ``fn``.
+
+        ``fn`` maps ``(timestamp, line)`` to a replacement pair, or to
+        ``None`` to drop the line — the hook feed-level fault recipes
+        (outage, lag, corruption) are built on.  Returns how many pairs
+        were dropped or altered.
+        """
+        kept: List[Tuple[float, str]] = []
+        changed = 0
+        for timestamp, line in self._lines.get(source, []):
+            out = fn(timestamp, line)
+            if out is None:
+                changed += 1
+                continue
+            if out != (timestamp, line):
+                changed += 1
+            kept.append(out)
+        self._lines[source] = kept
+        return changed
+
     def ingest_into(self, collector: DataCollector) -> None:
         """Feed every buffered source through the collector's parsers."""
         for source in self.sources():

@@ -140,3 +140,84 @@ class TestPlatformRefresh:
         assert platform.paths.ospf.history.weights_at(200.0)[link] == 65535
         decision = platform.paths.bgp.best_egress("nyc-per1", "198.51.100.4", 200.0)
         assert decision.egress_router == "chi-per1"
+
+
+class TestDedupePruning:
+    def test_keys_older_than_horizon_pruned_on_advance(self, live_setup):
+        _topo, app, replayer, truths, t0 = live_setup
+        config = StreamingConfig(settle_seconds=420.0, dedupe_horizon=3600.0)
+        streaming = StreamingRca(app.engine, config, start=t0 - 600.0)
+        replayer.deliver_until(t0 + 20000.0)
+        # all symptoms end well before (t0 + 20000 - 420) - 3600: they
+        # are diagnosed, recorded for dedupe, and immediately pruned
+        assert len(streaming.advance(t0 + 20000.0)) == len(truths)
+        assert streaming._seen == {}
+
+    def test_stale_keys_pruned_even_on_idle_advance(self, live_setup):
+        """Regression: the early-return path (nothing newly settled)
+        must still enforce the dedupe_horizon memory bound."""
+        _topo, app, replayer, _truths, t0 = live_setup
+        config = StreamingConfig(settle_seconds=420.0, dedupe_horizon=3600.0)
+        streaming = StreamingRca(app.engine, config, start=t0 - 600.0)
+        replayer.deliver_until(t0 + 20000.0)
+        streaming.advance(t0 + 20000.0)
+        # seed a synthetic stale key ending before the horizon
+        streaming._seen[("ghost", ("r",), 0.0)] = t0
+        # time has not moved: this advance takes the early-return path
+        assert streaming.advance(t0 + 20000.0) == []
+        assert ("ghost", ("r",), 0.0) not in streaming._seen
+
+    def test_fresh_keys_survive_pruning(self, live_setup):
+        _topo, app, replayer, truths, t0 = live_setup
+        config = StreamingConfig(settle_seconds=420.0, dedupe_horizon=30000.0)
+        streaming = StreamingRca(app.engine, config, start=t0 - 600.0)
+        replayer.deliver_until(t0 + 20000.0)
+        streaming.advance(t0 + 20000.0)
+        assert len(streaming._seen) == len(truths)
+        streaming.advance(t0 + 20001.0)  # idle advance, horizon far away
+        assert len(streaming._seen) == len(truths)
+
+
+class TestWatermarkDeferral:
+    def test_lagging_feed_defers_settling(self, live_setup):
+        _topo, app, replayer, _truths, t0 = live_setup
+        streaming = StreamingRca(app.engine, StreamingConfig(settle_seconds=420.0))
+        registry = app.engine.config.health
+        # the snmp feed (backing "CPU high (average)") trails by 700 s
+        registry.observe("snmp", t0, 1, 0, watermark=t0 - 700.0)
+        streaming.advance(t0)
+        assert streaming.watermark == t0 - 700.0  # not t0 - 420
+
+    def test_deferral_bounded(self, live_setup):
+        _topo, app, _replayer, _truths, t0 = live_setup
+        config = StreamingConfig(settle_seconds=420.0, max_watermark_defer=300.0)
+        streaming = StreamingRca(app.engine, config)
+        registry = app.engine.config.health
+        registry.observe("snmp", t0, 1, 0, watermark=t0 - 3000.0)
+        streaming.advance(t0)
+        # still LAGGING (staleness 3000 < down_seconds) but capped
+        assert streaming.watermark == t0 - 420.0 - 300.0
+
+    def test_down_feed_never_stalls_pipeline(self, live_setup):
+        _topo, app, _replayer, _truths, t0 = live_setup
+        streaming = StreamingRca(app.engine, StreamingConfig(settle_seconds=420.0))
+        registry = app.engine.config.health
+        registry.observe("snmp", t0, 1, 0, watermark=t0 - 5000.0)
+        assert registry.state("snmp").value == "down"
+        streaming.advance(t0)
+        assert streaming.watermark == t0 - 420.0
+
+    def test_unobserved_feeds_do_not_defer(self, live_setup):
+        _topo, app, _replayer, _truths, t0 = live_setup
+        streaming = StreamingRca(app.engine, StreamingConfig(settle_seconds=420.0))
+        streaming.advance(t0)
+        assert streaming.watermark == t0 - 420.0
+
+    def test_advance_ticks_the_registry(self, live_setup):
+        _topo, app, _replayer, _truths, t0 = live_setup
+        streaming = StreamingRca(app.engine, StreamingConfig(settle_seconds=420.0))
+        registry = app.engine.config.health
+        registry.observe("snmp", t0 - 5000.0, 1, 0, watermark=t0 - 5000.0)
+        assert registry.state("snmp").value == "healthy"
+        streaming.advance(t0)  # silence since t0-5000 noticed here
+        assert registry.state("snmp").value == "down"
