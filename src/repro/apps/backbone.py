@@ -26,6 +26,7 @@ from ..core.events import EventInstance, EventLibrary, RetrievalContext
 from ..core.knowledge import names
 from ..core.rulespec import SpecCompiler
 from ..platform import GrcaPlatform
+from ..service.workers import parallel_diagnose
 
 #: The whole application is this spec: library events, library rules.
 BACKBONE_LOSS_SPEC = f'''
@@ -78,9 +79,14 @@ class BackboneApp:
         )
         return self.events.get(names.LOSS_INCREASE).retrieve(context)
 
-    def run(self, start: float, end: float) -> ResultBrowser:
-        """Diagnose every symptom in the window; browse the results."""
-        return ResultBrowser(self.engine.diagnose_all(self.find_symptoms(start, end)))
+    def run(self, start: float, end: float, jobs: int = 1) -> ResultBrowser:
+        """Diagnose every symptom in the window; browse the results.
+
+        ``jobs > 1`` runs the batch on the service worker pool with
+        per-worker isolated engines; results match the serial path.
+        """
+        symptoms = self.find_symptoms(start, end)
+        return ResultBrowser(parallel_diagnose(self.engine, symptoms, jobs=jobs))
 
     @staticmethod
     def advise(browser: ResultBrowser) -> InvestmentAdvice:

@@ -30,6 +30,7 @@ from ..core.locations import Location, LocationType
 from ..core.reasoning.bayesian import BayesianEngine, BayesianVerdict, RootCauseModel
 from ..core.rulespec import SpecCompiler
 from ..platform import GrcaPlatform
+from ..service.workers import parallel_diagnose
 
 #: How long a session may stay down and still count as a "flap".
 SESSION_FLAP_WINDOW = 900.0
@@ -201,9 +202,15 @@ class BgpFlapApp:
         )
         return self.events.get(names.EBGP_FLAP).retrieve(context)
 
-    def run(self, start: float, end: float) -> ResultBrowser:
-        """Diagnose every flap in the window; browse the results."""
-        return ResultBrowser(self.engine.diagnose_all(self.find_symptoms(start, end)))
+    def run(self, start: float, end: float, jobs: int = 1) -> ResultBrowser:
+        """Diagnose every flap in the window; browse the results.
+
+        ``jobs > 1`` diagnoses on the service worker pool (contiguous
+        time chunks, one isolated engine each); results are identical
+        to the serial path.
+        """
+        symptoms = self.find_symptoms(start, end)
+        return ResultBrowser(parallel_diagnose(self.engine, symptoms, jobs=jobs))
 
     # ------------------------------------------------------------------
     # Section IV-C: Bayesian inference over virtual root causes (Fig. 8)

@@ -36,6 +36,7 @@ from ..core.locations import Location, LocationType
 from ..core.spatial import JoinLevel, SpatialJoinRule
 from ..core.temporal import TemporalJoinRule
 from ..platform import GrcaPlatform
+from ..service.workers import parallel_diagnose
 
 #: Keynote-style RTT sampling interval (coarser than backbone probes).
 RTT_INTERVAL = 1800.0
@@ -205,6 +206,11 @@ class CdnApp:
         )
         return self.engine.diagnose(symptom)
 
-    def run(self, start: float, end: float) -> ResultBrowser:
-        """Diagnose every symptom in the window; browse the results."""
-        return ResultBrowser(self.engine.diagnose_all(self.find_symptoms(start, end)))
+    def run(self, start: float, end: float, jobs: int = 1) -> ResultBrowser:
+        """Diagnose every symptom in the window; browse the results.
+
+        ``jobs > 1`` runs the batch on the service worker pool with
+        per-worker isolated engines; results match the serial path.
+        """
+        symptoms = self.find_symptoms(start, end)
+        return ResultBrowser(parallel_diagnose(self.engine, symptoms, jobs=jobs))

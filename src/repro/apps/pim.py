@@ -33,6 +33,7 @@ from ..core.locations import Location, LocationType
 from ..core.spatial import JoinLevel, SpatialJoinRule
 from ..core.temporal import ExpandOption, TemporalJoinRule
 from ..platform import GrcaPlatform
+from ..service.workers import parallel_diagnose
 
 #: App-specific event: an interface flap restricted to customer-facing
 #: ports (the Table VIII "interface (customer facing) flap" category).
@@ -232,6 +233,11 @@ class PimApp:
         )
         return self.events.get(names.PIM_ADJACENCY_CHANGE).retrieve(context)
 
-    def run(self, start: float, end: float) -> ResultBrowser:
-        """Diagnose every symptom in the window; browse the results."""
-        return ResultBrowser(self.engine.diagnose_all(self.find_symptoms(start, end)))
+    def run(self, start: float, end: float, jobs: int = 1) -> ResultBrowser:
+        """Diagnose every symptom in the window; browse the results.
+
+        ``jobs > 1`` runs the batch on the service worker pool with
+        per-worker isolated engines; results match the serial path.
+        """
+        symptoms = self.find_symptoms(start, end)
+        return ResultBrowser(parallel_diagnose(self.engine, symptoms, jobs=jobs))

@@ -11,7 +11,12 @@ Subcommands mirror the operator workflows of the paper:
 * ``repro-grca spec check <file>`` — validate a rule-specification file
   against the library;
 * ``repro-grca simulate <scenario> --out DIR`` — dump the raw feeds a
-  scenario produces, one file per data source.
+  scenario produces, one file per data source;
+* ``repro-grca serve <scenario>`` — run the scenario through the RCA
+  *service* layer: periodic scheduled runs on a parallel worker pool
+  with result caching, then print the diagnosis breakdown and the
+  service metrics (queue depth/wait, latency percentiles, cache hit
+  rate, worker utilization).
 """
 
 from __future__ import annotations
@@ -59,6 +64,9 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="write a markdown report to FILE")
     diagnose.add_argument("--feed-stats", action="store_true",
                           help="print per-feed ingest health statistics")
+    diagnose.add_argument("--jobs", type=int, default=1, metavar="N",
+                          help="diagnose with N parallel workers "
+                               "(identical results to serial)")
 
     mine = sub.add_parser("mine", help="run the Fig. 7 correlation study")
     mine.add_argument("--seed", type=int, default=1)
@@ -77,6 +85,23 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=1)
     simulate.add_argument("--size", type=int, default=100)
     simulate.add_argument("--out", required=True, help="output directory")
+
+    serve = sub.add_parser(
+        "serve", help="run a scenario through the concurrent RCA service"
+    )
+    serve.add_argument("scenario", choices=sorted(_SCENARIOS))
+    serve.add_argument("--seed", type=int, default=1)
+    serve.add_argument("--size", type=int, default=300,
+                       help="number of symptom events to inject")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="worker threads in the diagnosis pool")
+    serve.add_argument("--rounds", type=int, default=8,
+                       help="periodic scheduler rounds over the scenario span")
+    serve.add_argument("--queue-depth", type=int, default=256,
+                       help="job queue admission-control limit")
+    serve.add_argument("--repeat", action="store_true",
+                       help="re-run the full window afterwards to "
+                            "exercise the result cache")
     return parser
 
 
@@ -97,7 +122,7 @@ def _run_scenario(name: str, seed: int, size: int):
 def _cmd_diagnose(args) -> int:
     result, app_cls = _run_scenario(args.scenario, args.seed, args.size)
     app = app_cls.build(result.platform())
-    browser = app.run(result.start, result.end)
+    browser = app.run(result.start, result.end, jobs=max(1, args.jobs))
     print(f"scenario {args.scenario}: {len(browser)} symptoms diagnosed "
           f"({result.collector.store.total_records()} records ingested)\n")
     print(browser.format_breakdown())
@@ -205,6 +230,49 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .core.browser import ResultBrowser
+
+    result, app_cls = _run_scenario(args.scenario, args.seed, args.size)
+    platform = result.platform()
+    app = app_cls.build(platform)
+    service = platform.serve(
+        {args.scenario: app},
+        workers=max(1, args.workers),
+        queue_depth=args.queue_depth,
+    )
+    rounds = max(1, args.rounds)
+    interval = (result.end - result.start) / rounds
+    service.schedule_periodic(
+        args.scenario, interval, first_due=result.start + interval
+    )
+    # drive the scheduler with the data clock, one round at a time —
+    # the shape of a live deployment, compressed to the scenario span
+    jobs = []
+    for k in range(rounds):
+        jobs.extend(service.tick(result.start + (k + 1) * interval))
+    service.drain(timeout=600.0)
+    diagnoses = []
+    for job in jobs:
+        diagnoses.extend(job.outcome(timeout=60.0))
+    browser = ResultBrowser(diagnoses)
+    print(f"scenario {args.scenario}: {len(browser)} symptoms diagnosed by "
+          f"{args.workers} workers over {rounds} scheduled rounds\n")
+    print(browser.format_breakdown())
+    print(f"\nexplained: {100 * browser.explained_fraction():.1f}%")
+    if args.repeat:
+        repeat = service.submit_run(
+            args.scenario, result.start, result.end, block=True
+        )
+        repeat.outcome(timeout=600.0)
+        print("\nrepeat of the full window served from the result cache:")
+    print()
+    for line in service.metrics_lines():
+        print(line)
+    service.shutdown(graceful=True)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -218,6 +286,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_spec_check(args)
     if args.command == "simulate":
         return _cmd_simulate(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

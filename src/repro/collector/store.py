@@ -7,13 +7,42 @@ per data source, each holding :class:`Record` rows sorted by timestamp,
 with optional hash indexes on equality-filter columns (router, interface,
 device) so that the retrieval processes of event definitions — which are
 time-range plus location scans — stay fast at scale.
+
+Thread-safety contract
+----------------------
+
+The store serves a live service: ingest threads append records while
+worker threads run retrieval queries.  Every :class:`Table` guards its
+mutable state with a reentrant lock; :class:`DataStore` guards table
+creation with its own.  The guarantees are:
+
+* ``insert`` / ``insert_row`` are atomic — a concurrent ``query`` sees
+  the table either before or after a whole insert, never mid-rebuild;
+* ``query``, ``scan``, ``distinct`` and ``time_span`` return snapshots
+  taken under the lock — iterating a returned list/iterator is safe even
+  while writers keep inserting;
+* ``DataStore.table`` may be called concurrently for the same name and
+  returns the one shared :class:`Table`;
+* monotonicity: :attr:`DataStore.revision` increases by one for every
+  insert through the store's tables, and insert listeners (see
+  :meth:`DataStore.subscribe`) observe each ``(table, timestamp,
+  revision)`` exactly once, after the row is visible to readers.
+
+There is *no* cross-table transaction: a reader joining two tables can
+observe one table ahead of the other.  Retrieval correctness does not
+require it — late rows are handled by the service result cache's
+footprint invalidation and the streaming reorder slack.
 """
 
 from __future__ import annotations
 
 import bisect
+import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+#: Insert listener signature: (table name, record timestamp, store revision).
+InsertListener = Callable[[str, float, int], None]
 
 
 @dataclass(frozen=True)
@@ -46,34 +75,51 @@ class Record:
 
 
 class Table:
-    """Time-sorted records with optional per-column hash indexes."""
+    """Time-sorted records with optional per-column hash indexes.
 
-    def __init__(self, name: str, indexed_columns: Iterable[str] = ()) -> None:
+    All mutating and reading methods are safe to call from multiple
+    threads; see the module docstring for the exact contract.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        indexed_columns: Iterable[str] = (),
+        on_insert: Optional[Callable[[str, float], None]] = None,
+    ) -> None:
         self.name = name
         self._records: List[Record] = []
         self._timestamps: List[float] = []
         self._indexes: Dict[str, Dict[Any, List[int]]] = {
             column: {} for column in indexed_columns
         }
+        self._lock = threading.RLock()
+        self._on_insert = on_insert
 
     def __len__(self) -> int:
-        return len(self._records)
+        with self._lock:
+            return len(self._records)
 
     def insert(self, record: Record) -> None:
         """Insert keeping timestamp order (append-fast for ordered feeds)."""
-        if self._timestamps and record.timestamp < self._timestamps[-1]:
-            position = bisect.bisect_right(self._timestamps, record.timestamp)
-            self._records.insert(position, record)
-            self._timestamps.insert(position, record.timestamp)
-            self._rebuild_indexes()
-            return
-        position = len(self._records)
-        self._records.append(record)
-        self._timestamps.append(record.timestamp)
-        for column, index in self._indexes.items():
-            value = record.get(column)
-            if value is not None:
-                index.setdefault(value, []).append(position)
+        with self._lock:
+            if self._timestamps and record.timestamp < self._timestamps[-1]:
+                position = bisect.bisect_right(self._timestamps, record.timestamp)
+                self._records.insert(position, record)
+                self._timestamps.insert(position, record.timestamp)
+                self._rebuild_indexes()
+            else:
+                position = len(self._records)
+                self._records.append(record)
+                self._timestamps.append(record.timestamp)
+                for column, index in self._indexes.items():
+                    value = record.get(column)
+                    if value is not None:
+                        index.setdefault(value, []).append(position)
+        # notify outside the table lock: listeners may take their own
+        # locks (cache invalidation) and must never deadlock ingest
+        if self._on_insert is not None:
+            self._on_insert(self.name, record.timestamp)
 
     def insert_row(self, timestamp: float, **fields: Any) -> None:
         """Insert a row built from keyword fields."""
@@ -95,45 +141,57 @@ class Table:
         **equals: Any,
     ) -> List[Record]:
         """Records with ``start <= timestamp <= end`` matching all filters."""
-        lo = 0 if start is None else bisect.bisect_left(self._timestamps, start)
-        hi = len(self._records) if end is None else bisect.bisect_right(self._timestamps, end)
-        indexed = [
-            (column, value) for column, value in equals.items() if column in self._indexes
-        ]
-        if indexed:
-            # intersect the smallest index posting list with the time range
-            column, value = min(
-                indexed, key=lambda cv: len(self._indexes[cv[0]].get(cv[1], []))
+        with self._lock:
+            lo = 0 if start is None else bisect.bisect_left(self._timestamps, start)
+            hi = (
+                len(self._records)
+                if end is None
+                else bisect.bisect_right(self._timestamps, end)
             )
-            positions = self._indexes[column].get(value, [])
-            p_lo = bisect.bisect_left(positions, lo)
-            p_hi = bisect.bisect_left(positions, hi)
-            candidates: Iterable[Record] = (self._records[p] for p in positions[p_lo:p_hi])
-        else:
-            candidates = self._records[lo:hi]
-        result = []
-        for record in candidates:
-            if all(record.get(column) == value for column, value in equals.items()):
-                result.append(record)
-        return result
+            indexed = [
+                (column, value)
+                for column, value in equals.items()
+                if column in self._indexes
+            ]
+            if indexed:
+                # intersect the smallest index posting list with the time range
+                column, value = min(
+                    indexed, key=lambda cv: len(self._indexes[cv[0]].get(cv[1], []))
+                )
+                positions = self._indexes[column].get(value, [])
+                p_lo = bisect.bisect_left(positions, lo)
+                p_hi = bisect.bisect_left(positions, hi)
+                candidates: Iterable[Record] = (
+                    self._records[p] for p in positions[p_lo:p_hi]
+                )
+            else:
+                candidates = self._records[lo:hi]
+            result = []
+            for record in candidates:
+                if all(record.get(column) == value for column, value in equals.items()):
+                    result.append(record)
+            return result
 
     def scan(self) -> Iterator[Record]:
-        """Iterate every record in timestamp order."""
-        return iter(self._records)
+        """Iterate a snapshot of every record in timestamp order."""
+        with self._lock:
+            return iter(list(self._records))
 
     def distinct(self, column: str) -> List[Any]:
         """Distinct non-None values of a column."""
-        if column in self._indexes:
-            return sorted(self._indexes[column], key=repr)
-        values = {r.get(column) for r in self._records}
-        values.discard(None)
-        return sorted(values, key=repr)
+        with self._lock:
+            if column in self._indexes:
+                return sorted(self._indexes[column], key=repr)
+            values = {r.get(column) for r in self._records}
+            values.discard(None)
+            return sorted(values, key=repr)
 
     @property
     def time_span(self) -> Optional[Tuple[float, float]]:
-        if not self._timestamps:
-            return None
-        return self._timestamps[0], self._timestamps[-1]
+        with self._lock:
+            if not self._timestamps:
+                return None
+            return self._timestamps[0], self._timestamps[-1]
 
 
 #: Default index columns per well-known table; location-bearing columns.
@@ -153,23 +211,58 @@ DEFAULT_INDEXES: Dict[str, Tuple[str, ...]] = {
 
 @dataclass
 class DataStore:
-    """All tables of the Data Collector, keyed by source name."""
+    """All tables of the Data Collector, keyed by source name.
+
+    Safe for concurrent ingest and query (see module docstring).  The
+    :attr:`revision` counter increments on every insert through the
+    store's tables; subscribers registered with :meth:`subscribe` are
+    invoked after each insert with ``(table, timestamp, revision)`` —
+    the hook the service result cache uses to invalidate entries whose
+    retrieval windows a late record lands in.
+    """
 
     tables: Dict[str, Table] = field(default_factory=dict)
+    #: total inserts observed through this store's tables (monotonic)
+    revision: int = 0
+    _listeners: List[InsertListener] = field(default_factory=list, repr=False)
+    _lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
 
     def table(self, name: str) -> Table:
         """Get (creating on first use) the table for a data source."""
-        if name not in self.tables:
-            self.tables[name] = Table(name, DEFAULT_INDEXES.get(name, ()))
-        return self.tables[name]
+        with self._lock:
+            if name not in self.tables:
+                self.tables[name] = Table(
+                    name, DEFAULT_INDEXES.get(name, ()), on_insert=self._note_insert
+                )
+            return self.tables[name]
 
     def insert(self, table: str, timestamp: float, **fields: Any) -> None:
         """Insert one row into the named table."""
         self.table(table).insert_row(timestamp, **fields)
 
+    def subscribe(self, listener: InsertListener) -> None:
+        """Register a callback fired after every insert (any table)."""
+        with self._lock:
+            self._listeners.append(listener)
+
+    def unsubscribe(self, listener: InsertListener) -> None:
+        """Remove a previously registered insert listener."""
+        with self._lock:
+            self._listeners.remove(listener)
+
+    def _note_insert(self, table: str, timestamp: float) -> None:
+        with self._lock:
+            self.revision += 1
+            revision = self.revision
+            listeners = list(self._listeners)
+        for listener in listeners:
+            listener(table, timestamp, revision)
+
     def total_records(self) -> int:
         """Total record count across all tables."""
-        return sum(len(t) for t in self.tables.values())
+        with self._lock:
+            tables = list(self.tables.values())
+        return sum(len(t) for t in tables)
 
     def watermarks(self) -> Dict[str, float]:
         """Newest record timestamp per non-empty table.
@@ -178,8 +271,10 @@ class DataStore:
         trails the others' hints at a lagging or dead feed even before
         the health registry has flagged it.
         """
+        with self._lock:
+            items = sorted(self.tables.items())
         marks: Dict[str, float] = {}
-        for name, table in sorted(self.tables.items()):
+        for name, table in items:
             span = table.time_span
             if span is not None:
                 marks[name] = span[1]
@@ -187,4 +282,6 @@ class DataStore:
 
     def summary(self) -> Dict[str, int]:
         """Record counts per table — the Data Collector's dashboard view."""
-        return {name: len(table) for name, table in sorted(self.tables.items())}
+        with self._lock:
+            items = sorted(self.tables.items())
+        return {name: len(table) for name, table in items}

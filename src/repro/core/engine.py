@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from typing import Set
+
 from ..collector.health import HealthRegistry, canonical_source
 from ..collector.store import DataStore
 from .events import EventInstance, EventLibrary, RetrievalContext
@@ -30,6 +32,86 @@ from .reasoning.rule_based import (
 )
 from .spatial import LocationResolver
 
+#: One recorded store read: (table name, window start, window end).
+#: ``-inf``/``inf`` bounds mean an unbounded scan of that table.
+FootprintEntry = Tuple[str, float, float]
+
+
+def merge_footprint(reads: Iterable[FootprintEntry]) -> Tuple[FootprintEntry, ...]:
+    """Coalesce raw read records into per-table disjoint windows."""
+    by_table: Dict[str, List[Tuple[float, float]]] = {}
+    for table, lo, hi in reads:
+        by_table.setdefault(table, []).append((lo, hi))
+    merged: List[FootprintEntry] = []
+    for table in sorted(by_table):
+        windows = sorted(by_table[table])
+        current_lo, current_hi = windows[0]
+        for lo, hi in windows[1:]:
+            if lo <= current_hi:
+                current_hi = max(current_hi, hi)
+            else:
+                merged.append((table, current_lo, current_hi))
+                current_lo, current_hi = lo, hi
+        merged.append((table, current_lo, current_hi))
+    return tuple(merged)
+
+
+def evidence_sources(graph: DiagnosisGraph, library: EventLibrary) -> Set[str]:
+    """Collector feeds backing any event in a diagnosis graph.
+
+    Shared by the streaming engine (watermark deferral) and the service
+    scheduler (health-aware job priority): both need to know which
+    ingest feeds could carry this application's evidence.
+    """
+    sources: Set[str] = set()
+    for name in graph.events():
+        source = canonical_source(library.get(name).data_source)
+        if source is not None:
+            sources.add(source)
+    return sources
+
+
+class _RecordingTable:
+    """Table proxy that records the time windows actually read."""
+
+    def __init__(self, table, note) -> None:
+        self._table = table
+        self._note = note
+
+    def query(self, start=None, end=None, **equals):
+        lo = float("-inf") if start is None else start
+        hi = float("inf") if end is None else end
+        self._note((self._table.name, lo, hi))
+        return self._table.query(start, end, **equals)
+
+    def scan(self):
+        self._note((self._table.name, float("-inf"), float("inf")))
+        return self._table.scan()
+
+    def distinct(self, column):
+        self._note((self._table.name, float("-inf"), float("inf")))
+        return self._table.distinct(column)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __getattr__(self, name):
+        return getattr(self._table, name)
+
+
+class _RecordingStore:
+    """Store proxy handed to retrievals while a footprint is recorded."""
+
+    def __init__(self, store: DataStore, note) -> None:
+        self._store = store
+        self._note = note
+
+    def table(self, name: str) -> _RecordingTable:
+        return _RecordingTable(self._store.table(name), self._note)
+
+    def __getattr__(self, name):
+        return getattr(self._store, name)
+
 
 @dataclass
 class Diagnosis:
@@ -44,6 +126,9 @@ class Diagnosis:
     confidence: float = 1.0
     #: human-readable degraded-evidence notes (one per gap)
     caveats: List[str] = field(default_factory=list)
+    #: store windows read while correlating, per table (merged); the
+    #: service result cache invalidates on late records landing inside
+    footprint: Tuple[FootprintEntry, ...] = ()
 
     @property
     def primary_cause(self) -> str:
@@ -138,6 +223,16 @@ class RcaEngine:
             )
         # retrieval cache: (event name, window) -> instances
         self._retrieval_cache: Dict[Tuple[str, float, float], List[EventInstance]] = {}
+        # per cache entry: the store reads that produced it
+        self._retrieval_reads: Dict[
+            Tuple[str, float, float], frozenset
+        ] = {}
+        # accumulator active while one diagnose() call is correlating
+        self._active_reads: Optional[set] = None
+        #: last store revision this engine's retrieval cache was synced
+        #: to (maintained by the owner — service workers use it to drop
+        #: exactly the cached windows a late record landed in)
+        self.synced_revision: Optional[int] = None
 
     # ------------------------------------------------------------------
 
@@ -148,7 +243,12 @@ class RcaEngine:
                 f"engine diagnoses {self.graph.symptom_event!r} symptoms, "
                 f"got {symptom.name!r}"
             )
-        evidence, gaps = self._correlate(symptom)
+        self._active_reads = set()
+        try:
+            evidence, gaps = self._correlate(symptom)
+            footprint = merge_footprint(self._active_reads)
+        finally:
+            self._active_reads = None
         result = reason(self.graph, evidence)
         confidence, caveats = assess_confidence(gaps)
         return Diagnosis(
@@ -158,6 +258,7 @@ class RcaEngine:
             gaps=gaps,
             confidence=confidence,
             caveats=caveats,
+            footprint=footprint,
         )
 
     def diagnose_all(self, symptoms: Iterable[EventInstance]) -> List[Diagnosis]:
@@ -262,14 +363,18 @@ class RcaEngine:
         hi = window[1] + (bucket - window[1] % bucket)
         key = (event_name, lo, hi)
         if key not in self._retrieval_cache:
+            reads: set = set()
             context = RetrievalContext(
-                store=self.store,
+                store=_RecordingStore(self.store, reads.add),
                 start=lo,
                 end=hi,
                 params=self.config.params,
                 services=self.config.services,
             )
             self._retrieval_cache[key] = self.library.get(event_name).retrieve(context)
+            self._retrieval_reads[key] = frozenset(reads)
+        if self._active_reads is not None:
+            self._active_reads |= self._retrieval_reads.get(key, frozenset())
         # the retrieval covers a superset window; exact temporal checks
         # happen in _match_rule
         return [
@@ -281,3 +386,41 @@ class RcaEngine:
     def clear_cache(self) -> None:
         """Drop all cached retrievals (e.g. after new data lands)."""
         self._retrieval_cache.clear()
+        self._retrieval_reads.clear()
+
+    def invalidate_retrievals(self, table: str, timestamp: float) -> int:
+        """Drop cached retrievals whose store reads cover one new record.
+
+        The selective counterpart of :meth:`clear_cache`: a late record
+        at ``(table, timestamp)`` only stales the cache entries whose
+        recorded reads include that point.  Must be called from the
+        thread that owns this engine (the cache is not locked).
+        """
+        stale = [
+            key
+            for key, reads in self._retrieval_reads.items()
+            if any(
+                read_table == table and lo <= timestamp <= hi
+                for read_table, lo, hi in reads
+            )
+        ]
+        for key in stale:
+            self._retrieval_cache.pop(key, None)
+            self._retrieval_reads.pop(key, None)
+        return len(stale)
+
+    def isolated(self) -> "RcaEngine":
+        """A sibling engine with a *private* retrieval cache.
+
+        Shares the (immutable) graph, event library, resolver, config
+        and the live store — everything that is safe to share across
+        threads — but owns its own retrieval cache, so parallel workers
+        never contend on (or corrupt) each other's cached windows.
+        """
+        return RcaEngine(
+            graph=self.graph,
+            library=self.library,
+            resolver=self.resolver,
+            store=self.store,
+            config=self.config,
+        )

@@ -105,6 +105,23 @@ class RetrievalContext:
 
 RetrievalProcess = Callable[[RetrievalContext], Iterable[EventInstance]]
 
+#: An instance's canonical identity: (name, location parts, start rounded
+#: to 0.1 s).  Hashable and order-insensitive to retrieval jitter.
+InstanceKey = Tuple[str, Tuple[str, ...], float]
+
+
+def instance_key(instance: EventInstance) -> InstanceKey:
+    """Canonical identity of an event instance.
+
+    Two retrievals of the same underlying occurrence must map to the
+    same key even when float arithmetic wobbles in the sub-decisecond
+    range.  This single definition backs both the streaming engine's
+    de-duplication and the service layer's result cache — they must
+    agree, or a symptom deduped by one would be re-diagnosed by the
+    other.
+    """
+    return (instance.name, instance.location.parts, round(instance.start, 1))
+
 
 @dataclass(frozen=True)
 class EventDefinition:

@@ -10,6 +10,7 @@ flap, [so] the priority for interface flap is higher").
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
@@ -90,6 +91,29 @@ class DiagnosisGraph:
     def leaves(self) -> Set[str]:
         """Nodes with no outgoing rules — the deepest causes modelled."""
         return {event for event in self.events() if not self._rules_from.get(event)}
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the graph (the cache's "revision").
+
+        Two graphs with the same symptom, name and rule set (including
+        temporal/spatial join parameters and priorities) produce the
+        same fingerprint; editing any rule changes it, so service-layer
+        result caches keyed on the fingerprint never serve a diagnosis
+        computed under a different rule set.
+        """
+        digest = hashlib.sha256()
+        digest.update(f"{self.name}|{self.symptom_event}".encode())
+        lines = [
+            (
+                f"{rule.parent_event}->{rule.child_event}"
+                f"|p{rule.priority}|rc{int(rule.is_root_cause)}"
+                f"|{rule.temporal!r}|{rule.spatial!r}"
+            )
+            for rule in self.all_rules()
+        ]
+        for line in sorted(lines):
+            digest.update(line.encode())
+        return digest.hexdigest()[:16]
 
     def rule_for_edge(self, parent: str, child: str) -> Optional[DiagnosisRule]:
         """The rule on a (parent, child) edge, or None."""

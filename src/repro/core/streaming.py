@@ -33,11 +33,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
-from ..collector.health import FeedState, canonical_source
-from .engine import Diagnosis, RcaEngine
-from .events import EventInstance, RetrievalContext
+from ..collector.health import FeedState
+from .engine import Diagnosis, RcaEngine, evidence_sources
+from .events import EventInstance, RetrievalContext, instance_key
 
 DiagnosisCallback = Callable[[Diagnosis], None]
+
+#: Diagnoses a batch of settled symptoms; a worker-pool dispatcher (see
+#: ``RcaService.dispatcher``) plugs in here to parallelize advances.
+BatchDispatcher = Callable[[List[EventInstance]], List[Diagnosis]]
 
 
 @dataclass
@@ -63,13 +67,19 @@ class StreamingRca:
         config: Optional[StreamingConfig] = None,
         on_diagnosis: Optional[DiagnosisCallback] = None,
         start: Optional[float] = None,
+        dispatcher: Optional[BatchDispatcher] = None,
     ) -> None:
         """``start`` sets where the first advance begins looking for
         symptoms; omit it to stream "from now" (the first advance covers
-        one settle window only, ignoring older backlog)."""
+        one settle window only, ignoring older backlog).  ``dispatcher``
+        replaces inline diagnosis with a batch executor — pass
+        ``RcaService.dispatcher(app)`` to run each advance's settled
+        symptoms on the service worker pool (parallel, cached, metered)
+        instead of on the caller's thread."""
         self.engine = engine
         self.config = config or StreamingConfig()
         self.on_diagnosis = on_diagnosis
+        self.dispatcher = dispatcher
         self._start = start
         self._watermark: Optional[float] = None
         self._seen: Dict[Tuple[str, Tuple[str, ...], float], float] = {}
@@ -116,13 +126,20 @@ class StreamingRca:
         for instance in definition.retrieve(context):
             if instance.end > settled_until:
                 continue  # not settled yet; next advance will take it
-            key = (instance.name, instance.location.parts, round(instance.start, 1))
+            key = instance_key(instance)
             if key in self._seen:
                 continue
             self._seen[key] = instance.end
             fresh.append(instance)
         self._watermark = settled_until
         self._gc_dedupe(settled_until)
+        if self.dispatcher is not None:
+            diagnoses = self.dispatcher(fresh)
+            self.diagnosed_count += len(diagnoses)
+            if self.on_diagnosis is not None:
+                for diagnosis in diagnoses:
+                    self.on_diagnosis(diagnosis)
+            return diagnoses
         diagnoses = []
         for instance in fresh:
             diagnosis = self.engine.diagnose(instance)
@@ -156,13 +173,9 @@ class StreamingRca:
     def _evidence_sources(self) -> Set[str]:
         """Collector feeds backing any event in the diagnosis graph."""
         if self._required_sources is None:
-            sources: Set[str] = set()
-            for name in self.engine.graph.events():
-                definition = self.engine.library.get(name)
-                source = canonical_source(definition.data_source)
-                if source is not None:
-                    sources.add(source)
-            self._required_sources = sources
+            self._required_sources = evidence_sources(
+                self.engine.graph, self.engine.library
+            )
         return self._required_sources
 
     def _gc_dedupe(self, settled_until: float) -> None:

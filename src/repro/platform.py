@@ -46,6 +46,31 @@ class GrcaPlatform:
         """The collector's feed-health registry (for engine configs)."""
         return self.collector.health
 
+    def serve(
+        self,
+        apps: Dict[str, Any],
+        workers: int = 4,
+        start: bool = True,
+        **service_options: Any,
+    ):
+        """Wrap this platform in a running :class:`RcaService`.
+
+        ``apps`` maps service names to built application objects (e.g.
+        ``{"bgp_flaps": BgpFlapApp.build(platform)}``).  Extra keyword
+        options go to the :class:`~repro.service.RcaService`
+        constructor (queue depth, cache capacity, metrics, clock).
+        """
+        from .service import RcaService  # local import: service is optional wiring
+
+        service = RcaService(
+            store=self.store, health=self.health, workers=workers, **service_options
+        )
+        for name, app in apps.items():
+            service.register_app(name, app)
+        if start:
+            service.start()
+        return service
+
     def refresh_routing(self) -> None:
         """Rebuild routing state from the (grown) store.
 

@@ -1,0 +1,68 @@
+"""RCA service layer: scheduling, parallel workers, caching, metrics.
+
+Turns the in-process G-RCA library into a long-running concurrent
+service (the platform the paper operates, Section I/VI):
+
+* :mod:`~repro.service.queue` — priority job queue with admission
+  control and bounded backpressure;
+* :mod:`~repro.service.workers` — thread worker pool (isolated engine
+  per worker) plus :func:`parallel_diagnose` for batch runs;
+* :mod:`~repro.service.cache` — watermark-keyed result cache with
+  footprint invalidation on late-arriving records;
+* :mod:`~repro.service.api` — the :class:`RcaService` facade
+  (submit / poll / drain / graceful shutdown / periodic runs);
+* :mod:`~repro.service.metrics` — counters, gauges and latency
+  histograms surfaced through the CLI.
+
+See ``docs/service.md`` for architecture and tuning.
+"""
+
+from .api import AppHandle, PeriodicSchedule, RcaService
+from .cache import CacheEntry, CacheKey, ResultCache, cache_key
+from .metrics import Counter, Gauge, Histogram, ServiceMetrics
+from .queue import (
+    PRIORITY_IMPAIRED_PENALTY,
+    PRIORITY_INTERACTIVE,
+    PRIORITY_PERIODIC,
+    Job,
+    JobQueue,
+    JobState,
+    QueueClosed,
+    QueueFull,
+)
+from .workers import (
+    Worker,
+    WorkerPool,
+    available_cpus,
+    contiguous_chunks,
+    default_backend,
+    parallel_diagnose,
+)
+
+__all__ = [
+    "AppHandle",
+    "CacheEntry",
+    "CacheKey",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Job",
+    "JobQueue",
+    "JobState",
+    "PeriodicSchedule",
+    "PRIORITY_IMPAIRED_PENALTY",
+    "PRIORITY_INTERACTIVE",
+    "PRIORITY_PERIODIC",
+    "QueueClosed",
+    "QueueFull",
+    "RcaService",
+    "ResultCache",
+    "ServiceMetrics",
+    "Worker",
+    "WorkerPool",
+    "available_cpus",
+    "cache_key",
+    "contiguous_chunks",
+    "default_backend",
+    "parallel_diagnose",
+]

@@ -1,0 +1,404 @@
+"""The RCA service facade: a long-running, concurrent G-RCA.
+
+The paper describes G-RCA as a *platform* — hundreds of RCA
+applications sharing one Data Collector, queried continuously by
+operators (Section I, Section VI).  :class:`RcaService` is that serving
+layer over the in-process library:
+
+* applications register by name; each brings its engine (the prototype
+  from which every worker forks an isolated copy);
+* operators **submit** symptom batches (interactive priority) or whole
+  time-window runs; the service answers with a :class:`Job` handle to
+  poll or wait on;
+* a periodic **scheduler** re-runs registered applications every
+  ``interval`` of data time — the paper's standing applications
+  (bgp_flaps, cdn, pim, backbone) ride this path;
+* the :class:`ResultCache` short-circuits repeated diagnoses of the
+  same symptom, and late-arriving records evict exactly the entries
+  they could have changed;
+* the PR-1 :class:`HealthRegistry` is consulted at submit time: an
+  application whose evidence feeds are impaired gets *demoted* priority
+  (healthy work first) but is never blocked — its diagnoses carry
+  confidence caveats instead;
+* **drain** waits for in-flight work; **shutdown** is graceful by
+  default (finish queued jobs) or immediate (cancel pending).
+
+Everything observable lands in :class:`ServiceMetrics`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+from ..collector.health import IMPAIRED_STATES, HealthRegistry
+from ..core.engine import Diagnosis, RcaEngine, evidence_sources
+from ..core.events import EventInstance
+from .cache import ResultCache, cache_key
+from .metrics import ServiceMetrics
+from .queue import (
+    PRIORITY_IMPAIRED_PENALTY,
+    PRIORITY_INTERACTIVE,
+    PRIORITY_PERIODIC,
+    Job,
+    JobQueue,
+    JobState,
+)
+from .workers import Worker, WorkerPool
+
+
+@dataclass
+class AppHandle:
+    """One registered RCA application."""
+
+    name: str
+    app: object  # exposes .engine and find_symptoms(start, end)
+    engine: RcaEngine
+    fingerprint: str
+    #: collector feeds that can carry this app's evidence
+    sources: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class PeriodicSchedule:
+    """Recurring run of one app over the trailing data window."""
+
+    app: str
+    interval: float
+    window: float
+    next_due: float
+    runs_submitted: int = 0
+
+
+class RcaService:
+    """Concurrent RCA serving layer over a shared platform."""
+
+    def __init__(
+        self,
+        store,
+        health: Optional[HealthRegistry] = None,
+        workers: int = 4,
+        queue_depth: int = 256,
+        cache_capacity: int = 4096,
+        metrics: Optional[ServiceMetrics] = None,
+        clock: Callable[[], float] = time.monotonic,
+        job_history: int = 1024,
+    ) -> None:
+        self.store = store
+        self.health = health
+        self.metrics = metrics or ServiceMetrics()
+        self.clock = clock
+        self.queue = JobQueue(max_depth=queue_depth)
+        self.cache = ResultCache(capacity=cache_capacity, metrics=self.metrics)
+        self.cache.attach(store)
+        self.pool = WorkerPool(
+            self.queue, self._execute, workers=workers,
+            metrics=self.metrics, clock=clock,
+        )
+        self._apps: Dict[str, AppHandle] = {}
+        self._schedules: List[PeriodicSchedule] = []
+        self._jobs: "OrderedDict[int, Job]" = OrderedDict()
+        self._job_history = job_history
+        self._job_counter = 0
+        self._lock = threading.Lock()
+        self._started_at: Optional[float] = None
+        self._shut_down = False
+
+    # ------------------------------------------------------------------
+    # registration and lifecycle
+
+    def register_app(self, name: str, app) -> AppHandle:
+        """Register an application (its engine becomes the prototype)."""
+        engine = app.engine
+        handle = AppHandle(
+            name=name,
+            app=app,
+            engine=engine,
+            fingerprint=engine.graph.fingerprint(),
+            sources=evidence_sources(engine.graph, engine.library),
+        )
+        with self._lock:
+            if name in self._apps:
+                raise ValueError(f"application {name!r} already registered")
+            self._apps[name] = handle
+        return handle
+
+    def apps(self) -> List[str]:
+        """Registered application names."""
+        with self._lock:
+            return sorted(self._apps)
+
+    def start(self) -> None:
+        """Start the worker pool (idempotent)."""
+        if self._started_at is None:
+            self._started_at = self.clock()
+        self.pool.start()
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Wait until the queue is empty and no job is in flight."""
+        return self.queue.join(timeout=timeout)
+
+    def shutdown(self, graceful: bool = True, timeout: float = 30.0) -> None:
+        """Stop the service.
+
+        ``graceful=True`` closes the queue to new work, lets workers
+        finish everything already queued, then joins them.
+        ``graceful=False`` cancels all pending jobs first; only jobs
+        already running complete.  Idempotent: repeated calls no-op.
+        """
+        with self._lock:
+            if self._shut_down:
+                return
+            self._shut_down = True
+        self.queue.close()
+        if not graceful:
+            cancelled = self.queue.cancel_pending()
+            self.metrics.jobs_cancelled.increment(len(cancelled))
+        else:
+            self.queue.join(timeout=timeout)
+        self.pool.stop(timeout=timeout)
+        self.cache.detach(self.store)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return 0.0 if self._started_at is None else self.clock() - self._started_at
+
+    def metrics_lines(self) -> List[str]:
+        """Rendered metrics including worker utilization."""
+        return self.metrics.format_lines(len(self.pool), self.elapsed_seconds)
+
+    # ------------------------------------------------------------------
+    # submission
+
+    def submit_diagnosis(
+        self,
+        app: str,
+        symptoms: Sequence[EventInstance],
+        priority: Optional[int] = None,
+        block: bool = False,
+        timeout: Optional[float] = None,
+    ) -> Job:
+        """Queue a symptom batch for diagnosis; returns the job handle."""
+        handle = self._handle(app)
+        base = PRIORITY_INTERACTIVE if priority is None else priority
+        job = Job(
+            kind="diagnose",
+            app=handle.name,
+            payload=list(symptoms),
+            priority=self.effective_priority(handle, base),
+            submitted_at=self.clock(),
+        )
+        return self._submit(job, block=block, timeout=timeout)
+
+    def submit_run(
+        self,
+        app: str,
+        start: float,
+        end: float,
+        priority: Optional[int] = None,
+        block: bool = False,
+        timeout: Optional[float] = None,
+    ) -> Job:
+        """Queue a whole-window application run (find symptoms + diagnose)."""
+        handle = self._handle(app)
+        base = PRIORITY_PERIODIC if priority is None else priority
+        job = Job(
+            kind="run",
+            app=handle.name,
+            payload=(start, end),
+            priority=self.effective_priority(handle, base),
+            submitted_at=self.clock(),
+        )
+        return self._submit(job, block=block, timeout=timeout)
+
+    def diagnose_now(
+        self, app: str, symptoms: Sequence[EventInstance], timeout: Optional[float] = None
+    ) -> List[Diagnosis]:
+        """Submit an interactive batch and wait for its diagnoses."""
+        return self.submit_diagnosis(app, symptoms, block=True).outcome(timeout)
+
+    def dispatcher(self, app: str) -> Callable[[List[EventInstance]], List[Diagnosis]]:
+        """A StreamingRca dispatcher that routes through this service.
+
+        Plug into :class:`repro.core.streaming.StreamingRca` so each
+        ``advance`` diagnoses its settled symptoms on the worker pool
+        (with caching and metrics) instead of inline.
+        """
+        def dispatch(instances: List[EventInstance]) -> List[Diagnosis]:
+            if not instances:
+                return []
+            return self.diagnose_now(app, instances)
+        return dispatch
+
+    def effective_priority(self, handle: AppHandle, base: int) -> int:
+        """Base priority, demoted while the app's evidence feeds are impaired.
+
+        Impairment never blocks admission — a diagnosis under degraded
+        evidence still runs (and is annotated with caveats by the
+        engine); it just yields the queue to apps whose evidence is
+        whole.
+        """
+        if self.health is None:
+            return base
+        for source in handle.sources:
+            if self.health.state(source) in IMPAIRED_STATES:
+                return base + PRIORITY_IMPAIRED_PENALTY
+        return base
+
+    # ------------------------------------------------------------------
+    # job tracking
+
+    def poll(self, job_id: int) -> Optional[JobState]:
+        """The state of a job by id, or None when unknown/expired."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+        return job.state if job is not None else None
+
+    def job(self, job_id: int) -> Optional[Job]:
+        """The job handle by id, or None when unknown/expired."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    # ------------------------------------------------------------------
+    # periodic scheduling
+
+    def schedule_periodic(
+        self, app: str, interval: float, window: Optional[float] = None,
+        first_due: float = 0.0,
+    ) -> PeriodicSchedule:
+        """Re-run ``app`` every ``interval`` of data time.
+
+        Each due run covers the trailing ``window`` (defaults to the
+        interval, i.e. contiguous coverage).  Runs are submitted by
+        :meth:`tick` — the service is driven by the data clock, so
+        tests and replays control time explicitly.
+        """
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self._handle(app)  # validate registration
+        schedule = PeriodicSchedule(
+            app=app,
+            interval=interval,
+            window=interval if window is None else window,
+            next_due=first_due if first_due > 0 else interval,
+        )
+        with self._lock:
+            self._schedules.append(schedule)
+        return schedule
+
+    def tick(self, data_now: float) -> List[Job]:
+        """Submit every periodic run that has come due by ``data_now``.
+
+        Also re-evaluates feed health at the new data frontier, so
+        priority demotion tracks the current feed states.
+        """
+        if self.health is not None:
+            self.health.tick(data_now)
+        submitted: List[Job] = []
+        with self._lock:
+            schedules = list(self._schedules)
+        for schedule in schedules:
+            while schedule.next_due <= data_now:
+                due = schedule.next_due
+                job = self.submit_run(
+                    schedule.app, due - schedule.window, due
+                )
+                schedule.runs_submitted += 1
+                schedule.next_due = due + schedule.interval
+                submitted.append(job)
+        return submitted
+
+    # ------------------------------------------------------------------
+    # execution (runs on worker threads)
+
+    def _execute(self, job: Job, worker: Worker) -> List[Diagnosis]:
+        handle = self._handle(job.app)
+        if job.kind == "run":
+            start, end = job.payload
+            symptoms = handle.app.find_symptoms(start, end)
+        elif job.kind == "diagnose":
+            symptoms = job.payload
+        else:
+            raise ValueError(f"unknown job kind {job.kind!r}")
+        engine = worker.engine_for(handle.name, handle.engine)
+        diagnoses: List[Diagnosis] = []
+        for symptom in symptoms:
+            key = cache_key(handle.name, symptom, handle.fingerprint)
+            cached = self.cache.lookup(key)
+            if cached is not None:
+                diagnoses.append(cached)
+                continue
+            revision = self._sync_engine(engine)
+            started = self.clock()
+            diagnosis = engine.diagnose(symptom)
+            self.metrics.diagnosis_latency.observe(self.clock() - started)
+            self.metrics.symptoms_diagnosed.increment()
+            self.cache.store(key, diagnosis, revision)
+            diagnoses.append(diagnosis)
+        return diagnoses
+
+    def _sync_engine(self, engine: RcaEngine) -> int:
+        """Bring a worker engine's retrieval cache up to the store head.
+
+        Late records evict entries from the shared :class:`ResultCache`
+        as they land, but each worker engine also keeps a *private*
+        retrieval cache; without this sync a re-diagnosis after an
+        eviction could rebuild the result from stale cached windows.
+        Replays the cache's mutation log against the engine (dropping
+        exactly the windows each record landed in), falling back to a
+        full :meth:`~repro.core.engine.RcaEngine.clear_cache` when the
+        bounded log cannot prove completeness.  Runs on the worker
+        thread that owns the engine; returns the synced revision.
+        """
+        current = self.store.revision
+        last = engine.synced_revision
+        if last is None or last > current:
+            # fresh engine (empty cache): nothing cached predates now
+            engine.synced_revision = current
+            return current
+        if last == current:
+            return current
+        mutations = self.cache.mutations_since(last)
+        if mutations is None or not mutations or mutations[-1][0] < current:
+            # the log cannot account for every insert since `last`
+            engine.clear_cache()
+        else:
+            for _, table, timestamp in mutations:
+                engine.invalidate_retrievals(table, timestamp)
+        engine.synced_revision = current
+        return current
+
+    # ------------------------------------------------------------------
+
+    def _handle(self, app: str) -> AppHandle:
+        with self._lock:
+            try:
+                return self._apps[app]
+            except KeyError:
+                raise KeyError(
+                    f"no application {app!r} registered; "
+                    f"available: {sorted(self._apps)}"
+                ) from None
+
+    def _submit(self, job: Job, block: bool, timeout: Optional[float]) -> Job:
+        with self._lock:
+            self._job_counter += 1
+            job.job_id = self._job_counter
+        try:
+            self.queue.submit(job, block=block, timeout=timeout)
+        except Exception:
+            self.metrics.jobs_rejected.increment()
+            raise
+        self.metrics.jobs_submitted.increment()
+        self.metrics.queue_depth.set(len(self.queue))
+        with self._lock:
+            self._jobs[job.job_id] = job
+            while len(self._jobs) > self._job_history:
+                oldest_id, oldest = next(iter(self._jobs.items()))
+                if not oldest.finished:
+                    break  # never forget a live job
+                del self._jobs[oldest_id]
+        return job

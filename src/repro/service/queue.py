@@ -1,0 +1,232 @@
+"""Priority job queue with admission control and bounded backpressure.
+
+The service schedules two kinds of work: interactive symptom batches
+submitted by operators, and periodic whole-application runs.  Both are
+:class:`Job` objects in one priority queue; a numerically *lower*
+priority runs first, ties drain FIFO (a sequence number breaks them,
+so two equal-priority jobs never compare their payloads).
+
+Admission control is explicit: the queue holds at most ``max_depth``
+pending jobs.  A non-blocking submit raises :class:`QueueFull`
+immediately; a blocking submit waits up to ``timeout`` for capacity
+(bounded backpressure) and only then gives up.  Nothing is silently
+dropped — every rejection is visible to the caller and counted by the
+service metrics.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+class QueueFull(RuntimeError):
+    """Admission control refused the job (queue at max depth)."""
+
+
+class QueueClosed(RuntimeError):
+    """The queue no longer accepts submissions (service draining)."""
+
+
+class JobState(Enum):
+    """Lifecycle of one job."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+#: Priority bands used by the service; lower runs first.
+PRIORITY_INTERACTIVE = 10
+PRIORITY_PERIODIC = 20
+#: Added to a job's priority when its app's evidence feeds are impaired:
+#: the diagnosis would carry low confidence anyway, so healthy work goes
+#: first — but the job still runs (impairment never blocks the queue).
+PRIORITY_IMPAIRED_PENALTY = 5
+
+
+@dataclass
+class Job:
+    """One unit of service work plus its completion state."""
+
+    kind: str  # "diagnose" | "run" | custom
+    app: str
+    payload: Any
+    priority: int = PRIORITY_INTERACTIVE
+    submitted_at: float = 0.0
+    job_id: int = 0
+    state: JobState = JobState.PENDING
+    result: Any = None
+    error: Optional[BaseException] = None
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    _done: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a terminal state."""
+        return self._done.wait(timeout)
+
+    @property
+    def finished(self) -> bool:
+        return self._done.is_set()
+
+    def outcome(self, timeout: Optional[float] = None) -> Any:
+        """The job's result; re-raises its error; raises on timeout."""
+        if not self.wait(timeout):
+            raise TimeoutError(f"job {self.job_id} not finished after {timeout}s")
+        if self.state is JobState.CANCELLED:
+            raise QueueClosed(f"job {self.job_id} was cancelled")
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+    # -- called by the queue/workers -----------------------------------
+
+    def mark_running(self, now: float) -> None:
+        self.state = JobState.RUNNING
+        self.started_at = now
+
+    def mark_done(self, result: Any, now: float) -> None:
+        self.result = result
+        self.state = JobState.DONE
+        self.finished_at = now
+        self._done.set()
+
+    def mark_failed(self, error: BaseException, now: float) -> None:
+        self.error = error
+        self.state = JobState.FAILED
+        self.finished_at = now
+        self._done.set()
+
+    def mark_cancelled(self) -> None:
+        self.state = JobState.CANCELLED
+        self._done.set()
+
+
+class JobQueue:
+    """Thread-safe bounded priority queue of :class:`Job` objects."""
+
+    def __init__(self, max_depth: int = 256) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        self.max_depth = max_depth
+        self._heap: List[Tuple[int, int, Job]] = []
+        self._sequence = itertools.count()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+        #: jobs handed to workers but not yet task_done()
+        self._in_flight = 0
+        self._idle = threading.Condition(self._lock)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._heap)
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def submit(
+        self, job: Job, block: bool = False, timeout: Optional[float] = None
+    ) -> Job:
+        """Enqueue a job, applying admission control.
+
+        ``block=False``: raise :class:`QueueFull` when at max depth.
+        ``block=True``: wait up to ``timeout`` seconds for capacity
+        (``None`` waits indefinitely), then raise :class:`QueueFull`.
+        Raises :class:`QueueClosed` once the queue is closed.
+        """
+        with self._lock:
+            if self._closed:
+                raise QueueClosed("queue is closed to new submissions")
+            if len(self._heap) >= self.max_depth:
+                if not block:
+                    raise QueueFull(
+                        f"queue at max depth {self.max_depth}; job refused"
+                    )
+                if not self._not_full.wait_for(
+                    lambda: len(self._heap) < self.max_depth or self._closed,
+                    timeout=timeout,
+                ):
+                    raise QueueFull(
+                        f"queue still at max depth {self.max_depth} "
+                        f"after {timeout}s backpressure wait"
+                    )
+                if self._closed:
+                    raise QueueClosed("queue closed while waiting for capacity")
+            heapq.heappush(self._heap, (job.priority, next(self._sequence), job))
+            self._not_empty.notify()
+            return job
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Dequeue the highest-priority job; ``None`` on timeout/closed-empty."""
+        with self._lock:
+            if not self._not_empty.wait_for(
+                lambda: self._heap or self._closed, timeout=timeout
+            ):
+                return None
+            if not self._heap:
+                return None  # closed and drained
+            _, _, job = heapq.heappop(self._heap)
+            self._in_flight += 1
+            self._not_full.notify()
+            return job
+
+    def task_done(self) -> None:
+        """Workers call this after finishing a job obtained via get()."""
+        with self._lock:
+            self._in_flight -= 1
+            if self._in_flight < 0:
+                raise RuntimeError("task_done() called more times than get()")
+            if self._in_flight == 0 and not self._heap:
+                self._idle.notify_all()
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Wait until the queue is empty and nothing is in flight."""
+        with self._lock:
+            return self._idle.wait_for(
+                lambda: not self._heap and self._in_flight == 0, timeout=timeout
+            )
+
+    def close(self) -> List[Job]:
+        """Stop accepting submissions; pending jobs stay queued.
+
+        Returns the jobs still pending at close time (they will still be
+        served unless :meth:`cancel_pending` is called).
+        """
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+            return [job for _, _, job in sorted(self._heap)]
+
+    def cancel_pending(self) -> List[Job]:
+        """Drop every queued job, marking each cancelled."""
+        with self._lock:
+            cancelled = [job for _, _, job in self._heap]
+            self._heap.clear()
+            for job in cancelled:
+                job.mark_cancelled()
+            if self._in_flight == 0:
+                self._idle.notify_all()
+            self._not_full.notify_all()
+            return cancelled
+
+    def pending(self) -> List[Job]:
+        """Queued jobs in service order (does not dequeue)."""
+        with self._lock:
+            return [job for _, _, job in sorted(self._heap)]

@@ -1,0 +1,282 @@
+"""Worker pool: parallel diagnosis against a shared store.
+
+Two execution surfaces share this module:
+
+* :class:`WorkerPool` — long-lived worker threads serving the service's
+  :class:`~repro.service.queue.JobQueue`.  Each worker lazily builds an
+  **isolated** engine per application via
+  :meth:`~repro.core.engine.RcaEngine.isolated`, so retrieval caches
+  are private per worker while the (thread-safe) :class:`DataStore` is
+  shared — concurrent diagnoses never contend on cached windows.
+* :func:`parallel_diagnose` — a one-shot batch helper for CLI runs and
+  benchmarks.  It splits the symptom list into contiguous chunks
+  (contiguous in time, so each worker's retrieval cache stays local)
+  and runs them on a backend:
+
+  - ``"thread"`` — isolated-engine threads.  Correct everywhere, but
+    the GIL serializes the pure-Python correlation work, so it offers
+    concurrency, not CPU parallelism.
+  - ``"fork"`` — forked worker processes (POSIX only).  Each child
+    inherits the engine copy-on-write and genuinely runs on its own
+    core; diagnoses are returned by pickle.  Requires a quiescent
+    store (batch mode), which is exactly when it is used.
+  - ``"auto"`` — ``"fork"`` when the platform can fork *and* more than
+    one CPU is available, else ``"thread"``.
+
+  Either backend returns diagnoses in the exact order of the input
+  symptoms and byte-equal to a serial :meth:`diagnose_all` run.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Callable, List, Optional, Sequence
+
+from ..core.engine import Diagnosis, RcaEngine
+from ..core.events import EventInstance
+from .metrics import ServiceMetrics
+from .queue import Job, JobQueue, JobState
+
+#: Module-level slot a forked child inherits its engine through.
+_FORK_ENGINE: Optional[RcaEngine] = None
+_FORK_SYMPTOMS: Optional[Sequence[EventInstance]] = None
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def default_backend() -> str:
+    """The batch backend ``"auto"`` resolves to on this machine."""
+    if hasattr(os, "fork") and available_cpus() > 1:
+        return "fork"
+    return "thread"
+
+
+def contiguous_chunks(items: Sequence, n: int) -> List[Sequence]:
+    """Split into at most ``n`` contiguous, near-equal, non-empty runs."""
+    n = max(1, min(n, len(items)))
+    size, remainder = divmod(len(items), n)
+    chunks, start = [], 0
+    for i in range(n):
+        stop = start + size + (1 if i < remainder else 0)
+        chunks.append(items[start:stop])
+        start = stop
+    return chunks
+
+
+def _fork_worker(span) -> bytes:
+    """Runs in the forked child: diagnose one index range, pickle back."""
+    import pickle
+
+    lo, hi = span
+    engine = _FORK_ENGINE
+    diagnoses = [engine.diagnose(s) for s in _FORK_SYMPTOMS[lo:hi]]
+    return pickle.dumps(diagnoses, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def parallel_diagnose(
+    engine: RcaEngine,
+    symptoms: Sequence[EventInstance],
+    jobs: int = 1,
+    backend: str = "auto",
+) -> List[Diagnosis]:
+    """Diagnose a batch with ``jobs`` parallel workers.
+
+    Output order and content match ``engine.diagnose_all(symptoms)``
+    exactly.  ``jobs <= 1`` (or a single-item batch) falls back to the
+    serial path with zero overhead.
+    """
+    if jobs <= 1 or len(symptoms) <= 1:
+        return engine.diagnose_all(symptoms)
+    if backend == "auto":
+        backend = default_backend()
+    if backend == "thread":
+        return _thread_diagnose(engine, symptoms, jobs)
+    if backend == "fork":
+        return _fork_diagnose(engine, symptoms, jobs)
+    raise ValueError(f"unknown backend {backend!r}; use 'auto', 'thread' or 'fork'")
+
+
+def _thread_diagnose(
+    engine: RcaEngine, symptoms: Sequence[EventInstance], jobs: int
+) -> List[Diagnosis]:
+    chunks = contiguous_chunks(symptoms, jobs)
+    results: List[Optional[List[Diagnosis]]] = [None] * len(chunks)
+    errors: List[BaseException] = []
+
+    def run(index: int, chunk: Sequence[EventInstance]) -> None:
+        worker_engine = engine.isolated()
+        try:
+            results[index] = [worker_engine.diagnose(s) for s in chunk]
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=run, args=(i, chunk), daemon=True)
+        for i, chunk in enumerate(chunks)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+    return [d for chunk in results for d in chunk]  # type: ignore[union-attr]
+
+
+def _fork_diagnose(
+    engine: RcaEngine, symptoms: Sequence[EventInstance], jobs: int
+) -> List[Diagnosis]:
+    import multiprocessing as mp
+    import pickle
+
+    global _FORK_ENGINE, _FORK_SYMPTOMS
+    chunks = contiguous_chunks(symptoms, jobs)
+    spans, start = [], 0
+    for chunk in chunks:
+        spans.append((start, start + len(chunk)))
+        start += len(chunk)
+    context = mp.get_context("fork")
+    # children inherit engine + symptoms via fork (no pickling of the
+    # engine); an isolated copy keeps the parent's retrieval cache as
+    # the serial path would have left it
+    _FORK_ENGINE = engine.isolated()
+    _FORK_SYMPTOMS = symptoms
+    try:
+        with context.Pool(processes=len(spans)) as pool:
+            blobs = pool.map(_fork_worker, spans)
+    finally:
+        _FORK_ENGINE = None
+        _FORK_SYMPTOMS = None
+    ordered: List[Diagnosis] = []
+    for blob in blobs:
+        ordered.extend(pickle.loads(blob))
+    return ordered
+
+
+class Worker(threading.Thread):
+    """One pool thread: pulls jobs, executes them with private engines."""
+
+    def __init__(
+        self,
+        name: str,
+        queue: JobQueue,
+        executor: Callable[[Job, "Worker"], object],
+        metrics: ServiceMetrics,
+        stop_event: threading.Event,
+        clock: Callable[[], float] = time.monotonic,
+        poll_seconds: float = 0.1,
+    ) -> None:
+        super().__init__(name=name, daemon=True)
+        self.queue = queue
+        self.executor = executor
+        self.metrics = metrics
+        self.stop_event = stop_event
+        self.clock = clock
+        self.poll_seconds = poll_seconds
+        #: app name -> this worker's isolated engine
+        self.engines = {}
+        self.jobs_executed = 0
+
+    def engine_for(self, app: str, prototype: RcaEngine) -> RcaEngine:
+        """This worker's isolated engine for one app (built on first use)."""
+        engine = self.engines.get(app)
+        if engine is None:
+            engine = prototype.isolated()
+            self.engines[app] = engine
+        return engine
+
+    def run(self) -> None:  # pragma: no cover - exercised via the pool
+        while True:
+            job = self.queue.get(timeout=self.poll_seconds)
+            if job is None:
+                if self.stop_event.is_set() or self.queue.closed:
+                    if len(self.queue) == 0:
+                        return
+                continue
+            self._execute(job)
+
+    def _execute(self, job: Job) -> None:
+        started = self.clock()
+        self.metrics.queue_depth.set(len(self.queue))
+        self.metrics.queue_wait.observe(max(0.0, started - job.submitted_at))
+        self.metrics.workers_busy.add(1)
+        job.mark_running(started)
+        try:
+            result = self.executor(job, self)
+        except BaseException as exc:  # noqa: BLE001 - job isolation
+            job.mark_failed(exc, self.clock())
+            self.metrics.jobs_failed.increment()
+        else:
+            job.mark_done(result, self.clock())
+            self.metrics.jobs_completed.increment()
+        finally:
+            elapsed = self.clock() - started
+            self.metrics.job_latency.observe(elapsed)
+            self.metrics.add_busy_seconds(elapsed)
+            self.metrics.workers_busy.add(-1)
+            self.jobs_executed += 1
+            self.queue.task_done()
+
+
+class WorkerPool:
+    """Fixed-size pool of :class:`Worker` threads over one queue."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        executor: Callable[[Job, Worker], object],
+        workers: int = 4,
+        metrics: Optional[ServiceMetrics] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.queue = queue
+        self.metrics = metrics or ServiceMetrics()
+        self._stop = threading.Event()
+        self.workers = [
+            Worker(
+                name=f"rca-worker-{i}",
+                queue=queue,
+                executor=executor,
+                metrics=self.metrics,
+                stop_event=self._stop,
+                clock=clock,
+            )
+            for i in range(workers)
+        ]
+        self._started = False
+
+    def __len__(self) -> int:
+        return len(self.workers)
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for worker in self.workers:
+            worker.start()
+
+    def stop(self, timeout: Optional[float] = 10.0) -> None:
+        """Signal workers to exit once the queue drains, then join them."""
+        self._stop.set()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for worker in self.workers:
+            if not worker.is_alive():
+                continue
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            worker.join(remaining)
+
+    @property
+    def alive(self) -> int:
+        return sum(1 for worker in self.workers if worker.is_alive())

@@ -1,0 +1,129 @@
+"""Regression tests for the DataStore's query-while-ingest contract.
+
+The thread-safety contract (see ``repro/collector/store.py``): inserts
+are atomic, queries and scans return consistent snapshots, ``revision``
+is monotonic, and insert listeners fire exactly once per insert after
+the row is visible to readers.
+"""
+
+import threading
+
+from repro.collector.store import DataStore
+
+N_RECORDS = 400
+N_READERS = 3
+
+
+class TestWriterRacingReaders:
+    def test_queries_never_break_while_writer_inserts(self):
+        store = DataStore()
+        errors = []
+        done = threading.Event()
+
+        def write():
+            try:
+                for i in range(N_RECORDS):
+                    store.insert("syslog", float(i), router=f"r{i % 7}", seq=i)
+            except Exception as exc:  # noqa: BLE001 - collected for the assert
+                errors.append(exc)
+            finally:
+                done.set()
+
+        def read():
+            try:
+                last_count = 0
+                while not done.is_set():
+                    records = store.table("syslog").query(0.0, float(N_RECORDS))
+                    # every observed record must be fully formed
+                    for record in records:
+                        assert record["router"].startswith("r")
+                    count = sum(1 for _ in store.table("syslog").scan())
+                    assert count >= last_count  # writer only appends
+                    last_count = count
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        writer = threading.Thread(target=write)
+        readers = [threading.Thread(target=read) for _ in range(N_READERS)]
+        for thread in readers:
+            thread.start()
+        writer.start()
+        writer.join(timeout=60.0)
+        for thread in readers:
+            thread.join(timeout=60.0)
+        assert not errors
+        assert len(store.table("syslog")) == N_RECORDS
+        assert store.revision == N_RECORDS
+
+    def test_scan_snapshot_is_stable_under_later_inserts(self):
+        store = DataStore()
+        for i in range(10):
+            store.insert("snmp", float(i), value=i)
+        snapshot = store.table("snmp").scan()
+        for i in range(10, 20):
+            store.insert("snmp", float(i), value=i)
+        seen = list(snapshot)
+        assert len(seen) == 10  # the snapshot predates the new rows
+        assert len(store.table("snmp")) == 20
+
+    def test_out_of_order_insert_keeps_query_order(self):
+        store = DataStore()
+        store.insert("syslog", 100.0, router="a")
+        store.insert("syslog", 50.0, router="b")  # late record
+        store.insert("syslog", 75.0, router="c")
+        timestamps = [r.timestamp for r in store.table("syslog").scan()]
+        assert timestamps == [50.0, 75.0, 100.0]
+        assert [r.timestamp for r in store.table("syslog").query(60.0, 80.0)] == [75.0]
+
+
+class TestInsertListeners:
+    def test_each_insert_notifies_exactly_once_with_monotonic_revision(self):
+        store = DataStore()
+        seen = []
+        lock = threading.Lock()
+
+        def listener(table, timestamp, revision):
+            with lock:
+                seen.append((table, timestamp, revision))
+
+        store.subscribe(listener)
+        threads = [
+            threading.Thread(
+                target=lambda base=base: [
+                    store.insert("syslog", float(base * 100 + i), seq=i)
+                    for i in range(50)
+                ]
+            )
+            for base in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert len(seen) == 200
+        revisions = sorted(revision for _, _, revision in seen)
+        assert revisions == list(range(1, 201))  # each exactly once, no gaps
+        assert store.revision == 200
+
+    def test_row_visible_before_listener_fires(self):
+        store = DataStore()
+        observed = []
+
+        def listener(table, timestamp, revision):
+            records = store.table(table).query(timestamp, timestamp)
+            observed.append(len(records))
+
+        store.subscribe(listener)
+        store.insert("syslog", 42.0, router="r1")
+        assert observed == [1]
+
+    def test_unsubscribe_stops_notifications(self):
+        store = DataStore()
+        seen = []
+        listener = lambda *args: seen.append(args)  # noqa: E731
+        store.subscribe(listener)
+        store.insert("syslog", 1.0)
+        store.unsubscribe(listener)
+        store.insert("syslog", 2.0)
+        assert len(seen) == 1
+        assert store.revision == 2  # revision still advances

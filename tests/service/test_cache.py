@@ -1,0 +1,200 @@
+"""Tests for the watermark-keyed result cache and its invalidation."""
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import pytest
+
+from repro.collector.store import DataStore
+from repro.core.events import EventInstance
+from repro.core.locations import Location
+from repro.service.cache import CacheKey, ResultCache, cache_key
+from repro.service.metrics import ServiceMetrics
+
+
+@dataclass
+class FakeDiagnosis:
+    """Stands in for a Diagnosis: the cache only needs ``footprint``."""
+
+    label: str
+    footprint: Tuple = field(default_factory=tuple)
+
+
+def symptom(start=1000.0, router="nyc-per1", name="s"):
+    return EventInstance.make(name, start, start + 5.0, Location.router(router))
+
+
+class TestCacheKey:
+    def test_same_symptom_same_key(self):
+        assert cache_key("app", symptom(), "fp") == cache_key("app", symptom(), "fp")
+
+    def test_key_varies_by_app_fingerprint_and_symptom(self):
+        base = cache_key("app", symptom(), "fp")
+        assert cache_key("other", symptom(), "fp") != base
+        assert cache_key("app", symptom(), "fp2") != base
+        assert cache_key("app", symptom(start=2000.0), "fp") != base
+        assert cache_key("app", symptom(router="chi-per1"), "fp") != base
+
+    def test_sub_tenth_second_jitter_collapses(self):
+        # identity rounds start to 0.1 s, matching the streaming dedupe
+        assert cache_key("app", symptom(1000.01), "fp") == cache_key(
+            "app", symptom(1000.04), "fp"
+        )
+
+
+class TestLookupAndStore:
+    def test_miss_then_hit(self):
+        metrics = ServiceMetrics()
+        cache = ResultCache(metrics=metrics)
+        key = cache_key("app", symptom(), "fp")
+        assert cache.lookup(key) is None
+        diagnosis = FakeDiagnosis("d", (("ta", 970.0, 1030.0),))
+        assert cache.store(key, diagnosis, store_revision=0)
+        assert cache.lookup(key) is diagnosis
+        assert metrics.cache_misses.value == 1
+        assert metrics.cache_hits.value == 1
+
+    def test_restore_replaces_entry_without_duplicating_index(self):
+        cache = ResultCache()
+        key = cache_key("app", symptom(), "fp")
+        cache.store(key, FakeDiagnosis("v1", (("ta", 0.0, 10.0),)), 0)
+        cache.store(key, FakeDiagnosis("v2", (("ta", 0.0, 10.0),)), 0)
+        assert len(cache) == 1
+        assert cache.lookup(key).label == "v2"
+        assert cache._by_table["ta"].count(key) == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)
+
+
+class TestLru:
+    def test_oldest_entry_evicted_at_capacity(self):
+        cache = ResultCache(capacity=2)
+        keys = [cache_key("app", symptom(1000.0 + 100 * i), "fp") for i in range(3)]
+        for i, key in enumerate(keys):
+            cache.store(key, FakeDiagnosis(str(i)), 0)
+        assert cache.lookup(keys[0]) is None
+        assert cache.lookup(keys[1]) is not None
+        assert cache.lookup(keys[2]) is not None
+
+    def test_lookup_refreshes_recency(self):
+        cache = ResultCache(capacity=2)
+        keys = [cache_key("app", symptom(1000.0 + 100 * i), "fp") for i in range(3)]
+        cache.store(keys[0], FakeDiagnosis("0"), 0)
+        cache.store(keys[1], FakeDiagnosis("1"), 0)
+        cache.lookup(keys[0])  # 0 becomes most recent
+        cache.store(keys[2], FakeDiagnosis("2"), 0)
+        assert cache.lookup(keys[0]) is not None
+        assert cache.lookup(keys[1]) is None
+
+    def test_eviction_also_unindexes(self):
+        cache = ResultCache(capacity=1)
+        first = cache_key("app", symptom(1000.0), "fp")
+        second = cache_key("app", symptom(2000.0), "fp")
+        cache.store(first, FakeDiagnosis("0", (("ta", 0.0, 10.0),)), 0)
+        cache.store(second, FakeDiagnosis("1", (("ta", 20.0, 30.0),)), 0)
+        assert first not in cache._by_table["ta"]
+
+
+class TestInvalidation:
+    def test_record_inside_footprint_evicts_exactly_that_entry(self):
+        metrics = ServiceMetrics()
+        cache = ResultCache(metrics=metrics)
+        early = cache_key("app", symptom(1000.0), "fp")
+        late = cache_key("app", symptom(5000.0), "fp")
+        cache.store(early, FakeDiagnosis("e", (("ta", 970.0, 1030.0),)), 0)
+        cache.store(late, FakeDiagnosis("l", (("ta", 4970.0, 5030.0),)), 0)
+
+        cache.note_insert("ta", 1010.0, revision=1)  # inside early's window
+        assert cache.lookup(early) is None
+        assert cache.lookup(late) is not None
+        assert metrics.cache_invalidations.value == 1
+
+    def test_record_in_other_table_evicts_nothing(self):
+        cache = ResultCache()
+        key = cache_key("app", symptom(), "fp")
+        cache.store(key, FakeDiagnosis("d", (("ta", 970.0, 1030.0),)), 0)
+        cache.note_insert("tb", 1000.0, revision=1)
+        cache.note_insert("ta", 2000.0, revision=2)  # outside the window
+        assert cache.lookup(key) is not None
+
+    def test_invalidate_all(self):
+        cache = ResultCache()
+        for i in range(3):
+            cache.store(
+                cache_key("app", symptom(1000.0 + i * 100), "fp"),
+                FakeDiagnosis(str(i)),
+                0,
+            )
+        assert cache.invalidate_all() == 3
+        assert len(cache) == 0
+
+    def test_attached_store_drives_eviction(self):
+        store = DataStore()
+        cache = ResultCache()
+        cache.attach(store)
+        key = cache_key("app", symptom(), "fp")
+        cache.store(key, FakeDiagnosis("d", (("ta", 970.0, 1030.0),)), 0)
+        store.insert("ta", 1000.0, router="nyc-per1")  # late record lands
+        assert cache.lookup(key) is None
+        cache.detach(store)
+        cache.store(key, FakeDiagnosis("d", (("ta", 970.0, 1030.0),)), store.revision)
+        store.insert("ta", 1001.0, router="nyc-per1")
+        assert cache.lookup(key) is not None  # detached: no longer notified
+
+
+class TestWriteRaceSafety:
+    def test_result_raced_by_relevant_insert_is_refused(self):
+        cache = ResultCache()
+        key = cache_key("app", symptom(), "fp")
+        # computation started at revision 4; a record landed (revision 5)
+        # inside the footprint before the result was published
+        cache.note_insert("ta", 1000.0, revision=5)
+        stale = FakeDiagnosis("stale", (("ta", 970.0, 1030.0),))
+        assert not cache.store(key, stale, store_revision=4)
+        assert cache.lookup(key) is None
+
+    def test_irrelevant_insert_does_not_block_publication(self):
+        cache = ResultCache()
+        key = cache_key("app", symptom(), "fp")
+        cache.note_insert("tb", 1000.0, revision=5)  # different table
+        cache.note_insert("ta", 9000.0, revision=6)  # outside the window
+        diagnosis = FakeDiagnosis("ok", (("ta", 970.0, 1030.0),))
+        assert cache.store(key, diagnosis, store_revision=4)
+
+    def test_insert_seen_before_computation_is_ignored(self):
+        cache = ResultCache()
+        key = cache_key("app", symptom(), "fp")
+        cache.note_insert("ta", 1000.0, revision=5)
+        diagnosis = FakeDiagnosis("ok", (("ta", 970.0, 1030.0),))
+        # revision 5 was already visible when the diagnosis started
+        assert cache.store(key, diagnosis, store_revision=5)
+
+    def test_truncated_log_refuses_unprovable_results(self):
+        cache = ResultCache(mutation_log_size=2)
+        for revision in range(10, 14):  # log now holds only 12, 13
+            cache.note_insert("tz", 0.0, revision=revision)
+        key = cache_key("app", symptom(), "fp")
+        diagnosis = FakeDiagnosis("d", (("ta", 970.0, 1030.0),))
+        # computation started at revision 3: the log cannot prove no
+        # relevant insert happened in (3, 12) — must refuse
+        assert not cache.store(key, diagnosis, store_revision=3)
+        # a current computation is still provable and cacheable
+        assert cache.store(key, diagnosis, store_revision=13)
+
+
+class TestMutationsSince:
+    def test_returns_newer_mutations(self):
+        cache = ResultCache()
+        for revision in range(1, 5):
+            cache.note_insert("ta", float(revision), revision=revision)
+        assert cache.mutations_since(2) == [(3, "ta", 3.0), (4, "ta", 4.0)]
+        assert cache.mutations_since(4) == []
+
+    def test_gap_in_log_returns_none(self):
+        cache = ResultCache(mutation_log_size=2)
+        for revision in range(1, 6):  # log holds only 4, 5
+            cache.note_insert("ta", float(revision), revision=revision)
+        assert cache.mutations_since(1) is None
+        assert cache.mutations_since(3) == [(4, "ta", 4.0), (5, "ta", 5.0)]

@@ -1,0 +1,152 @@
+"""Tests for the priority job queue: ordering, admission, backpressure."""
+
+import threading
+
+import pytest
+
+from repro.service.queue import (
+    PRIORITY_INTERACTIVE,
+    PRIORITY_PERIODIC,
+    Job,
+    JobQueue,
+    JobState,
+    QueueClosed,
+    QueueFull,
+)
+
+
+def make_job(priority=PRIORITY_INTERACTIVE, payload=None, kind="diagnose"):
+    return Job(kind=kind, app="app", payload=payload, priority=priority)
+
+
+class TestOrdering:
+    def test_lower_priority_number_served_first(self):
+        queue = JobQueue()
+        periodic = queue.submit(make_job(PRIORITY_PERIODIC, "periodic"))
+        interactive = queue.submit(make_job(PRIORITY_INTERACTIVE, "interactive"))
+        assert queue.get() is interactive
+        assert queue.get() is periodic
+
+    def test_equal_priority_drains_fifo(self):
+        queue = JobQueue()
+        jobs = [queue.submit(make_job(payload=i)) for i in range(5)]
+        assert [queue.get() for _ in jobs] == jobs
+
+    def test_ties_never_compare_payloads(self):
+        # dicts are unorderable; the sequence number must break the tie
+        queue = JobQueue()
+        queue.submit(make_job(payload={"a": 1}))
+        queue.submit(make_job(payload={"b": 2}))
+        assert queue.get().payload == {"a": 1}
+
+    def test_pending_lists_service_order(self):
+        queue = JobQueue()
+        queue.submit(make_job(PRIORITY_PERIODIC, "late"))
+        queue.submit(make_job(PRIORITY_INTERACTIVE, "soon"))
+        assert [job.payload for job in queue.pending()] == ["soon", "late"]
+        assert len(queue) == 2  # pending() does not dequeue
+
+
+class TestAdmissionControl:
+    def test_non_blocking_submit_refused_at_depth(self):
+        queue = JobQueue(max_depth=2)
+        queue.submit(make_job())
+        queue.submit(make_job())
+        with pytest.raises(QueueFull):
+            queue.submit(make_job())
+        assert len(queue) == 2
+
+    def test_blocking_submit_times_out(self):
+        queue = JobQueue(max_depth=1)
+        queue.submit(make_job())
+        with pytest.raises(QueueFull):
+            queue.submit(make_job(), block=True, timeout=0.05)
+
+    def test_blocking_submit_proceeds_when_capacity_frees(self):
+        queue = JobQueue(max_depth=1)
+        first = queue.submit(make_job(payload="first"))
+        admitted = []
+
+        def submit_blocked():
+            admitted.append(queue.submit(make_job(payload="second"), block=True))
+
+        thread = threading.Thread(target=submit_blocked)
+        thread.start()
+        assert queue.get() is first  # frees capacity
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert admitted and admitted[0].payload == "second"
+
+    def test_min_depth_validated(self):
+        with pytest.raises(ValueError):
+            JobQueue(max_depth=0)
+
+
+class TestCloseAndCancel:
+    def test_submit_after_close_raises(self):
+        queue = JobQueue()
+        queue.close()
+        with pytest.raises(QueueClosed):
+            queue.submit(make_job())
+
+    def test_close_keeps_pending_jobs(self):
+        queue = JobQueue()
+        job = queue.submit(make_job())
+        still_pending = queue.close()
+        assert still_pending == [job]
+        assert queue.get() is job  # closed queue still drains
+
+    def test_get_on_closed_empty_returns_none(self):
+        queue = JobQueue()
+        queue.close()
+        assert queue.get(timeout=1.0) is None
+
+    def test_cancel_pending_marks_jobs_cancelled(self):
+        queue = JobQueue()
+        jobs = [queue.submit(make_job(payload=i)) for i in range(3)]
+        cancelled = queue.cancel_pending()
+        assert sorted(job.payload for job in cancelled) == [0, 1, 2]
+        assert len(queue) == 0
+        for job in jobs:
+            assert job.state is JobState.CANCELLED
+            with pytest.raises(QueueClosed):
+                job.outcome(timeout=0.1)
+
+
+class TestInFlightTracking:
+    def test_join_waits_for_in_flight_work(self):
+        queue = JobQueue()
+        queue.submit(make_job())
+        queue.get()
+        assert queue.in_flight == 1
+        assert not queue.join(timeout=0.05)
+        queue.task_done()
+        assert queue.join(timeout=1.0)
+
+    def test_task_done_without_get_raises(self):
+        queue = JobQueue()
+        with pytest.raises(RuntimeError):
+            queue.task_done()
+
+    def test_get_timeout_returns_none(self):
+        assert JobQueue().get(timeout=0.05) is None
+
+
+class TestJobHandle:
+    def test_outcome_returns_result(self):
+        job = make_job()
+        job.mark_running(1.0)
+        job.mark_done([42], 2.0)
+        assert job.outcome(timeout=0.1) == [42]
+        assert job.finished
+        assert job.state is JobState.DONE
+
+    def test_outcome_reraises_error(self):
+        job = make_job()
+        job.mark_failed(ValueError("boom"), 2.0)
+        with pytest.raises(ValueError, match="boom"):
+            job.outcome(timeout=0.1)
+
+    def test_outcome_times_out_on_unfinished_job(self):
+        with pytest.raises(TimeoutError):
+            make_job().outcome(timeout=0.01)

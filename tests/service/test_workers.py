@@ -1,0 +1,172 @@
+"""Tests for the worker pool and the parallel batch helper."""
+
+import os
+import threading
+
+import pytest
+
+from repro.service.metrics import ServiceMetrics
+from repro.service.queue import Job, JobQueue
+from repro.service.workers import (
+    Worker,
+    WorkerPool,
+    available_cpus,
+    contiguous_chunks,
+    default_backend,
+    parallel_diagnose,
+)
+
+
+class TestChunking:
+    def test_concatenation_preserves_order(self):
+        items = list(range(17))
+        chunks = contiguous_chunks(items, 4)
+        assert [x for chunk in chunks for x in chunk] == items
+
+    def test_sizes_near_equal_and_non_empty(self):
+        chunks = contiguous_chunks(list(range(10)), 3)
+        sizes = [len(c) for c in chunks]
+        assert sizes == [4, 3, 3]
+
+    def test_more_workers_than_items(self):
+        chunks = contiguous_chunks([1, 2], 8)
+        assert chunks == [[1], [2]]
+
+    def test_backend_probe(self):
+        assert available_cpus() >= 1
+        assert default_backend() in ("thread", "fork")
+
+
+class TestParallelDiagnose:
+    def test_thread_backend_matches_serial(self, mini_app, seed_scene):
+        times = seed_scene(mini_app.store, n=9)
+        symptoms = mini_app.find_symptoms(times[0] - 50.0, times[-1] + 50.0)
+        assert len(symptoms) == 9
+        serial = mini_app.engine.diagnose_all(symptoms)
+        parallel = parallel_diagnose(
+            mini_app.engine, symptoms, jobs=4, backend="thread"
+        )
+        assert parallel == serial
+        causes = [d.primary_cause for d in parallel]
+        assert "a" in causes and "b" in causes
+
+    @pytest.mark.skipif(not hasattr(os, "fork"), reason="fork backend is POSIX-only")
+    def test_fork_backend_matches_serial(self, mini_app, seed_scene):
+        times = seed_scene(mini_app.store, n=4)
+        symptoms = mini_app.find_symptoms(times[0] - 50.0, times[-1] + 50.0)
+        serial = mini_app.engine.diagnose_all(symptoms)
+        forked = parallel_diagnose(mini_app.engine, symptoms, jobs=2, backend="fork")
+        assert forked == serial
+
+    def test_single_job_uses_serial_path(self, mini_app, seed_scene):
+        times = seed_scene(mini_app.store, n=3)
+        symptoms = mini_app.find_symptoms(times[0] - 50.0, times[-1] + 50.0)
+        assert parallel_diagnose(mini_app.engine, symptoms, jobs=1) == (
+            mini_app.engine.diagnose_all(symptoms)
+        )
+
+    def test_unknown_backend_rejected(self, mini_app, seed_scene):
+        times = seed_scene(mini_app.store, n=2)
+        symptoms = mini_app.find_symptoms(times[0] - 50.0, times[-1] + 50.0)
+        with pytest.raises(ValueError, match="backend"):
+            parallel_diagnose(mini_app.engine, symptoms, jobs=2, backend="bogus")
+
+    def test_worker_error_propagates(self, mini_app):
+        bad = [object(), object()]  # not EventInstances: diagnose raises
+        with pytest.raises(Exception):
+            parallel_diagnose(mini_app.engine, bad, jobs=2, backend="thread")
+
+
+class TestEngineIsolation:
+    def test_isolated_engine_shares_state_but_not_cache(self, mini_app, seed_scene):
+        times = seed_scene(mini_app.store, n=3)
+        engine = mini_app.engine
+        sibling = engine.isolated()
+        assert sibling is not engine
+        assert sibling.store is engine.store
+        assert sibling.graph is engine.graph
+        assert sibling.library is engine.library
+        symptoms = mini_app.find_symptoms(times[0] - 50.0, times[-1] + 50.0)
+        sibling.diagnose(symptoms[0])
+        assert sibling._retrieval_cache  # populated by the diagnosis
+        assert not engine._retrieval_cache  # prototype untouched
+
+    def test_invalidate_retrievals_drops_only_covering_windows(
+        self, mini_app, seed_scene
+    ):
+        times = seed_scene(mini_app.store, n=6)
+        engine = mini_app.engine
+        symptoms = mini_app.find_symptoms(times[0] - 50.0, times[-1] + 50.0)
+        engine.diagnose_all(symptoms)
+        cached_before = len(engine._retrieval_cache)
+        assert cached_before > 0
+        # a record far outside every cached window drops nothing
+        assert engine.invalidate_retrievals("ta", times[-1] + 10_000.0) == 0
+        assert len(engine._retrieval_cache) == cached_before
+        # a record inside the first symptom's evidence window drops the
+        # covering entries only
+        dropped = engine.invalidate_retrievals("ta", times[0])
+        assert dropped > 0
+        assert len(engine._retrieval_cache) == cached_before - dropped
+
+
+class TestWorkerPool:
+    def test_workers_validated(self):
+        with pytest.raises(ValueError):
+            WorkerPool(JobQueue(), lambda job, worker: None, workers=0)
+
+    def test_pool_executes_jobs_and_stops(self):
+        queue = JobQueue()
+        seen = []
+        lock = threading.Lock()
+
+        def execute(job, worker):
+            with lock:
+                seen.append(job.payload)
+            return job.payload * 2
+
+        pool = WorkerPool(queue, execute, workers=3)
+        pool.start()
+        pool.start()  # idempotent
+        assert pool.alive == 3
+        jobs = [queue.submit(Job(kind="x", app="app", payload=i)) for i in range(12)]
+        assert queue.join(timeout=10.0)
+        assert sorted(job.outcome(timeout=1.0) for job in jobs) == [
+            2 * i for i in range(12)
+        ]
+        assert sorted(seen) == list(range(12))
+        queue.close()
+        pool.stop(timeout=10.0)
+        assert pool.alive == 0
+
+    def test_job_failure_is_isolated(self):
+        queue = JobQueue()
+        metrics = ServiceMetrics()
+
+        def execute(job, worker):
+            if job.payload == "bad":
+                raise RuntimeError("exploding job")
+            return "ok"
+
+        pool = WorkerPool(queue, execute, workers=1, metrics=metrics)
+        pool.start()
+        bad = queue.submit(Job(kind="x", app="app", payload="bad"))
+        good = queue.submit(Job(kind="x", app="app", payload="good"))
+        with pytest.raises(RuntimeError, match="exploding"):
+            bad.outcome(timeout=10.0)
+        assert good.outcome(timeout=10.0) == "ok"
+        assert metrics.jobs_failed.value == 1
+        assert metrics.jobs_completed.value == 1
+        queue.close()
+        pool.stop(timeout=10.0)
+
+    def test_engine_for_builds_one_isolated_engine_per_app(self, mini_app):
+        worker = Worker(
+            name="w", queue=JobQueue(), executor=lambda j, w: None,
+            metrics=ServiceMetrics(), stop_event=threading.Event(),
+        )
+        first = worker.engine_for("mini", mini_app.engine)
+        second = worker.engine_for("mini", mini_app.engine)
+        assert first is second
+        assert first is not mini_app.engine
+        assert worker.engine_for("other", mini_app.engine) is not first

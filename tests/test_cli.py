@@ -82,6 +82,33 @@ class TestSimulate:
         assert "router=" in syslog
 
 
+class TestParallelJobs:
+    def test_jobs_flag_matches_serial_output(self, capsys):
+        serial_args = ["diagnose", "bgp-month", "--size", "30", "--seed", "3"]
+        assert main(serial_args) == 0
+        serial_out = capsys.readouterr().out
+        assert main(serial_args + ["--jobs", "3"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert parallel_out == serial_out  # byte-identical breakdown
+
+
+class TestServe:
+    def test_serve_runs_and_prints_metrics(self, capsys):
+        code = main(
+            ["serve", "bgp-month", "--size", "30", "--seed", "2",
+             "--workers", "2", "--rounds", "3", "--repeat"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "symptoms diagnosed by 2 workers over 3 scheduled rounds" in out
+        assert "Root Cause" in out
+        assert "explained:" in out
+        assert "repeat of the full window served from the result cache" in out
+        assert "service metrics:" in out
+        assert "cache:" in out
+        assert "worker utilization" in out
+
+
 class TestMine:
     def test_mine_runs(self, capsys):
         code = main(["mine", "--seed", "2", "--days", "10"])
