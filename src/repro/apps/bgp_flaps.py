@@ -202,15 +202,20 @@ class BgpFlapApp:
         )
         return self.events.get(names.EBGP_FLAP).retrieve(context)
 
-    def run(self, start: float, end: float, jobs: int = 1) -> ResultBrowser:
+    def run(
+        self, start: float, end: float, jobs: int = 1, traced: bool = False
+    ) -> ResultBrowser:
         """Diagnose every flap in the window; browse the results.
 
         ``jobs > 1`` diagnoses on the service worker pool (contiguous
         time chunks, one isolated engine each); results are identical
-        to the serial path.
+        to the serial path.  ``traced=True`` attaches one span
+        tree per diagnosis (see :mod:`repro.obs`).
         """
         symptoms = self.find_symptoms(start, end)
-        return ResultBrowser(parallel_diagnose(self.engine, symptoms, jobs=jobs))
+        return ResultBrowser(
+            parallel_diagnose(self.engine, symptoms, jobs=jobs, traced=traced)
+        )
 
     # ------------------------------------------------------------------
     # Section IV-C: Bayesian inference over virtual root causes (Fig. 8)

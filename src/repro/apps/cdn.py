@@ -206,11 +206,17 @@ class CdnApp:
         )
         return self.engine.diagnose(symptom)
 
-    def run(self, start: float, end: float, jobs: int = 1) -> ResultBrowser:
+    def run(
+        self, start: float, end: float, jobs: int = 1, traced: bool = False
+    ) -> ResultBrowser:
         """Diagnose every symptom in the window; browse the results.
 
         ``jobs > 1`` runs the batch on the service worker pool with
         per-worker isolated engines; results match the serial path.
+        ``traced=True`` attaches one span tree per diagnosis
+        (see :mod:`repro.obs`).
         """
         symptoms = self.find_symptoms(start, end)
-        return ResultBrowser(parallel_diagnose(self.engine, symptoms, jobs=jobs))
+        return ResultBrowser(
+            parallel_diagnose(self.engine, symptoms, jobs=jobs, traced=traced)
+        )

@@ -67,6 +67,12 @@ def _build_parser() -> argparse.ArgumentParser:
     diagnose.add_argument("--jobs", type=int, default=1, metavar="N",
                           help="diagnose with N parallel workers "
                                "(identical results to serial)")
+    diagnose.add_argument("--trace", nargs="?", const="trace.json",
+                          metavar="PATH",
+                          help="record a span tree of the whole run and "
+                               "write it as JSON to PATH (default "
+                               "trace.json); forces serial diagnosis so "
+                               "stage times nest under one root")
 
     mine = sub.add_parser("mine", help="run the Fig. 7 correlation study")
     mine.add_argument("--seed", type=int, default=1)
@@ -119,10 +125,39 @@ def _run_scenario(name: str, seed: int, size: int):
     return result, app_cls
 
 
+def _traced_run(app, result, scenario: str):
+    """Serial whole-run diagnosis under one ``run`` root span.
+
+    Returns ``(browser, root_span)``.  Used by ``diagnose --trace``:
+    every symptom's ``diagnose`` subtree nests under the one root, so
+    per-stage exclusive times sum to at most the root duration.
+    """
+    from .core.browser import ResultBrowser
+    from .obs import Tracer
+
+    tracer = Tracer()
+    with tracer.span("run", label=scenario, scenario=scenario) as root:
+        with tracer.span(
+            "detect", label=app.engine.graph.symptom_event
+        ) as span:
+            symptoms = app.find_symptoms(result.start, result.end)
+            span.annotate(retrieved=len(symptoms))
+        diagnoses = [app.engine.diagnose(s, tracer=tracer) for s in symptoms]
+        root.annotate(symptoms=len(symptoms))
+    return ResultBrowser(diagnoses), root
+
+
 def _cmd_diagnose(args) -> int:
     result, app_cls = _run_scenario(args.scenario, args.seed, args.size)
     app = app_cls.build(result.platform())
-    browser = app.run(result.start, result.end, jobs=max(1, args.jobs))
+    root = None
+    if args.trace is not None:
+        if args.jobs > 1:
+            print("note: --trace forces serial diagnosis; --jobs ignored",
+                  file=sys.stderr)
+        browser, root = _traced_run(app, result, args.scenario)
+    else:
+        browser = app.run(result.start, result.end, jobs=max(1, args.jobs))
     print(f"scenario {args.scenario}: {len(browser)} symptoms diagnosed "
           f"({result.collector.store.total_records()} records ingested)\n")
     print(browser.format_breakdown())
@@ -144,6 +179,20 @@ def _cmd_diagnose(args) -> int:
         with open(args.report, "w") as handle:
             handle.write(browser.report(f"G-RCA report: {args.scenario}"))
         print(f"report written to {args.report}")
+    if root is not None:
+        from .obs import (
+            format_stage_lines,
+            stage_breakdown,
+            summarize_stages,
+            write_trace,
+        )
+
+        write_trace(args.trace, root)
+        print(f"\ntrace written to {args.trace} "
+              f"(root span covers {root.duration * 1000:.1f} ms)")
+        summary = summarize_stages([stage_breakdown(root)])
+        for line in format_stage_lines(summary):
+            print(line)
     return 0
 
 

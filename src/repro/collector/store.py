@@ -194,6 +194,76 @@ class Table:
             return self._timestamps[0], self._timestamps[-1]
 
 
+class TracedTable:
+    """Read proxy over a :class:`Table` emitting one span per read.
+
+    Every ``query`` / ``scan`` / ``distinct`` is wrapped in a
+    ``store-query`` span on the supplied tracer (any object with the
+    :class:`repro.obs.Tracer` interface), carrying the table name, the
+    requested window and the number of rows returned.  Writes are not
+    proxied — tracing is a read-path concern; use the underlying table
+    to ingest.
+    """
+
+    def __init__(self, table: Table, tracer) -> None:
+        self._table = table
+        self._tracer = tracer
+
+    def query(
+        self,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        **equals: Any,
+    ) -> List[Record]:
+        """Delegate to :meth:`Table.query`, recording a span."""
+        with self._tracer.span("store-query", label=self._table.name) as span:
+            rows = self._table.query(start, end, **equals)
+            span.annotate(rows=len(rows), window=[start, end])
+            if equals:
+                span.annotate(filters=sorted(equals))
+        return rows
+
+    def scan(self) -> Iterator[Record]:
+        """Delegate to :meth:`Table.scan`, recording a span."""
+        with self._tracer.span("store-query", label=self._table.name) as span:
+            rows = list(self._table.scan())
+            span.annotate(rows=len(rows), window=[None, None])
+        return iter(rows)
+
+    def distinct(self, column: str) -> List[Any]:
+        """Delegate to :meth:`Table.distinct`, recording a span."""
+        with self._tracer.span("store-query", label=self._table.name) as span:
+            values = self._table.distinct(column)
+            span.annotate(rows=len(values), column=column)
+        return values
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._table, name)
+
+
+class TracedStore:
+    """Store proxy whose tables emit ``store-query`` spans.
+
+    Handed to retrieval processes while a diagnosis is being traced;
+    passes everything except :meth:`table` straight through, so the
+    proxy is transparent to retrieval code.
+    """
+
+    def __init__(self, store: "DataStore", tracer) -> None:
+        self._store = store
+        self._tracer = tracer
+
+    def table(self, name: str) -> TracedTable:
+        """The named table wrapped in a :class:`TracedTable`."""
+        return TracedTable(self._store.table(name), self._tracer)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._store, name)
+
+
 #: Default index columns per well-known table; location-bearing columns.
 DEFAULT_INDEXES: Dict[str, Tuple[str, ...]] = {
     "syslog": ("router", "interface", "code"),

@@ -17,7 +17,8 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 from typing import Set
 
 from ..collector.health import HealthRegistry, canonical_source
-from ..collector.store import DataStore
+from ..collector.store import DataStore, TracedStore
+from ..obs.trace import NULL_TRACER, Span, Tracer
 from .events import EventInstance, EventLibrary, RetrievalContext
 from .graph import DiagnosisGraph
 from .reasoning.rule_based import (
@@ -129,6 +130,10 @@ class Diagnosis:
     #: store windows read while correlating, per table (merged); the
     #: service result cache invalidates on late records landing inside
     footprint: Tuple[FootprintEntry, ...] = ()
+    #: span tree of this diagnosis when it was traced (``None`` when
+    #: tracing was off).  Excluded from equality: a traced and an
+    #: untraced run of the same symptom are the *same* diagnosis.
+    trace: Optional[Span] = field(default=None, compare=False, repr=False)
 
     @property
     def primary_cause(self) -> str:
@@ -236,21 +241,44 @@ class RcaEngine:
 
     # ------------------------------------------------------------------
 
-    def diagnose(self, symptom: EventInstance) -> Diagnosis:
-        """Correlate and reason about one symptom instance."""
+    def diagnose(
+        self, symptom: EventInstance, tracer: Optional[Tracer] = None
+    ) -> Diagnosis:
+        """Correlate and reason about one symptom instance.
+
+        ``tracer`` opts this diagnosis into span recording: the walk
+        gets one ``diagnose`` span with ``node``/``rule``/``retrieve``/
+        ``store-query``/``temporal-join``/``spatial-join``/``reason``
+        children, and the finished subtree is attached as
+        :attr:`Diagnosis.trace`.  With the default ``None`` the no-op
+        tracer is used and the hot path is unchanged.
+        """
         if symptom.name != self.graph.symptom_event:
             raise ValueError(
                 f"engine diagnoses {self.graph.symptom_event!r} symptoms, "
                 f"got {symptom.name!r}"
             )
-        self._active_reads = set()
-        try:
-            evidence, gaps = self._correlate(symptom)
-            footprint = merge_footprint(self._active_reads)
-        finally:
-            self._active_reads = None
-        result = reason(self.graph, evidence)
-        confidence, caveats = assess_confidence(gaps)
+        tracer = tracer if tracer is not None else NULL_TRACER
+        with tracer.span(
+            "diagnose", label=symptom.name, symptom=str(symptom),
+            graph=self.graph.name,
+        ) as root:
+            self._active_reads = set()
+            try:
+                evidence, gaps = self._correlate(symptom, tracer)
+                footprint = merge_footprint(self._active_reads)
+            finally:
+                self._active_reads = None
+            with tracer.span("reason", label=symptom.name) as span:
+                result = reason(self.graph, evidence)
+                confidence, caveats = assess_confidence(gaps)
+                span.annotate(
+                    evidence=len(evidence),
+                    root_causes=list(result.root_causes),
+                    priority=result.priority,
+                    gaps=len(gaps),
+                )
+            root.annotate(evidence=len(evidence), cause=result.primary)
         return Diagnosis(
             symptom=symptom,
             evidence=evidence,
@@ -259,16 +287,26 @@ class RcaEngine:
             confidence=confidence,
             caveats=caveats,
             footprint=footprint,
+            trace=root if tracer.enabled else None,
         )
 
-    def diagnose_all(self, symptoms: Iterable[EventInstance]) -> List[Diagnosis]:
-        """Diagnose a sequence of symptom instances in order."""
-        return [self.diagnose(symptom) for symptom in symptoms]
+    def diagnose_all(
+        self, symptoms: Iterable[EventInstance], traced: bool = False
+    ) -> List[Diagnosis]:
+        """Diagnose a sequence of symptom instances in order.
+
+        ``traced=True`` gives every symptom its own fresh
+        :class:`~repro.obs.Tracer`, so each returned diagnosis carries
+        an independent span tree.
+        """
+        if not traced:
+            return [self.diagnose(symptom) for symptom in symptoms]
+        return [self.diagnose(symptom, tracer=Tracer()) for symptom in symptoms]
 
     # ------------------------------------------------------------------
 
     def _correlate(
-        self, symptom: EventInstance
+        self, symptom: EventInstance, tracer=NULL_TRACER
     ) -> Tuple[List[MatchedEvidence], List[EvidenceGap]]:
         evidence: List[MatchedEvidence] = []
         gaps: List[EvidenceGap] = []
@@ -280,21 +318,29 @@ class RcaEngine:
         seen: set = set()
         while frontier:
             event_name, parent_instance, depth = frontier.pop()
-            for rule in self.graph.rules_from(event_name):
-                self._note_gaps(rule, parent_instance, gaps, gap_keys)
-                matches = self._match_rule(rule, parent_instance)
-                for instance in matches:
-                    key = (rule.child_event, instance)
-                    item = MatchedEvidence(
-                        rule=rule,
-                        parent_instance=parent_instance,
-                        instance=instance,
-                        depth=depth + 1,
-                    )
-                    evidence.append(item)
-                    if key not in seen:
-                        seen.add(key)
-                        frontier.append((rule.child_event, instance, depth + 1))
+            # one span per graph-node visit: the trace mirrors the walk
+            with tracer.span("node", label=event_name, depth=depth) as node_span:
+                matched_here = 0
+                for rule in self.graph.rules_from(event_name):
+                    gaps_before = len(gaps)
+                    self._note_gaps(rule, parent_instance, gaps, gap_keys)
+                    if len(gaps) > gaps_before:
+                        node_span.count("evidence_gaps", len(gaps) - gaps_before)
+                    matches = self._match_rule(rule, parent_instance, tracer)
+                    matched_here += len(matches)
+                    for instance in matches:
+                        key = (rule.child_event, instance)
+                        item = MatchedEvidence(
+                            rule=rule,
+                            parent_instance=parent_instance,
+                            instance=instance,
+                            depth=depth + 1,
+                        )
+                        evidence.append(item)
+                        if key not in seen:
+                            seen.add(key)
+                            frontier.append((rule.child_event, instance, depth + 1))
+                node_span.annotate(matched=matched_here)
         return evidence, gaps
 
     def _note_gaps(
@@ -335,53 +381,116 @@ class RcaEngine:
                 )
             )
 
-    def _match_rule(self, rule, parent_instance: EventInstance) -> List[EventInstance]:
+    def _match_rule(
+        self, rule, parent_instance: EventInstance, tracer=NULL_TRACER
+    ) -> List[EventInstance]:
         window = rule.temporal.search_window(parent_instance.interval)
-        candidates = self._retrieve(rule.child_event, window)
-        matched = []
-        for candidate in candidates:
-            if not rule.temporal.joined(parent_instance.interval, candidate.interval):
-                continue
-            if not rule.spatial.joined(
-                self.resolver,
-                parent_instance.location,
-                candidate.location,
-                parent_instance.start,
-            ):
-                continue
-            matched.append(candidate)
-            if len(matched) >= self.config.max_matches_per_rule:
-                break
+        if not tracer.enabled:
+            # hot path: no spans, no counters, the original tight loop
+            candidates = self._retrieve(rule.child_event, window)
+            matched = []
+            for candidate in candidates:
+                if not rule.temporal.joined(
+                    parent_instance.interval, candidate.interval
+                ):
+                    continue
+                if not rule.spatial.joined(
+                    self.resolver,
+                    parent_instance.location,
+                    candidate.location,
+                    parent_instance.start,
+                ):
+                    continue
+                matched.append(candidate)
+                if len(matched) >= self.config.max_matches_per_rule:
+                    break
+            return matched
+        return self._match_rule_traced(rule, parent_instance, tracer, window)
+
+    def _match_rule_traced(
+        self, rule, parent_instance: EventInstance, tracer, window
+    ) -> List[EventInstance]:
+        """Traced twin of :meth:`_match_rule`'s loop.
+
+        Splits the interleaved temporal-then-spatial filter into two
+        timed passes so each join kind gets its own span; the matched
+        set is identical (the temporal filter preserves candidate
+        order and the spatial pass applies the same cap).
+        """
+        label = f"{rule.parent_event} -> {rule.child_event}"
+        with tracer.span(
+            "rule",
+            label=label,
+            priority=rule.priority,
+            temporal=rule.temporal.describe(),
+            spatial=rule.spatial.describe(),
+            window=[window[0], window[1]],
+        ) as rule_span:
+            candidates = self._retrieve(rule.child_event, window, tracer)
+            with tracer.span("temporal-join", label=label) as span:
+                survivors = [
+                    candidate
+                    for candidate in candidates
+                    if rule.temporal.joined(
+                        parent_instance.interval, candidate.interval, trace=tracer
+                    )
+                ]
+                span.annotate(candidates=len(candidates), joined=len(survivors))
+            matched: List[EventInstance] = []
+            with tracer.span("spatial-join", label=label) as span:
+                for candidate in survivors:
+                    if not rule.spatial.joined(
+                        self.resolver,
+                        parent_instance.location,
+                        candidate.location,
+                        parent_instance.start,
+                        trace=tracer,
+                    ):
+                        continue
+                    matched.append(candidate)
+                    if len(matched) >= self.config.max_matches_per_rule:
+                        break
+                span.annotate(candidates=len(survivors), joined=len(matched))
+            rule_span.annotate(matched=len(matched))
         return matched
 
     def _retrieve(
-        self, event_name: str, window: Tuple[float, float]
+        self, event_name: str, window: Tuple[float, float], tracer=NULL_TRACER
     ) -> List[EventInstance]:
         # bucket windows to 60 s so nearby symptoms share cache entries
         bucket = 60.0
         lo = window[0] - (window[0] % bucket)
         hi = window[1] + (bucket - window[1] % bucket)
         key = (event_name, lo, hi)
-        if key not in self._retrieval_cache:
-            reads: set = set()
-            context = RetrievalContext(
-                store=_RecordingStore(self.store, reads.add),
-                start=lo,
-                end=hi,
-                params=self.config.params,
-                services=self.config.services,
-            )
-            self._retrieval_cache[key] = self.library.get(event_name).retrieve(context)
-            self._retrieval_reads[key] = frozenset(reads)
-        if self._active_reads is not None:
-            self._active_reads |= self._retrieval_reads.get(key, frozenset())
-        # the retrieval covers a superset window; exact temporal checks
-        # happen in _match_rule
-        return [
-            instance
-            for instance in self._retrieval_cache[key]
-            if instance.end >= window[0] and instance.start <= window[1]
-        ]
+        with tracer.span("retrieve", label=event_name) as span:
+            cached = key in self._retrieval_cache
+            if not cached:
+                reads: set = set()
+                store = (
+                    TracedStore(self.store, tracer) if tracer.enabled else self.store
+                )
+                context = RetrievalContext(
+                    store=_RecordingStore(store, reads.add),
+                    start=lo,
+                    end=hi,
+                    params=self.config.params,
+                    services=self.config.services,
+                )
+                self._retrieval_cache[key] = self.library.get(event_name).retrieve(
+                    context
+                )
+                self._retrieval_reads[key] = frozenset(reads)
+            if self._active_reads is not None:
+                self._active_reads |= self._retrieval_reads.get(key, frozenset())
+            # the retrieval covers a superset window; exact temporal
+            # checks happen in _match_rule
+            instances = [
+                instance
+                for instance in self._retrieval_cache[key]
+                if instance.end >= window[0] and instance.start <= window[1]
+            ]
+            span.annotate(cached=cached, records=len(instances))
+        return instances
 
     def clear_cache(self) -> None:
         """Drop all cached retrievals (e.g. after new data lands)."""

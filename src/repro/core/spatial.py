@@ -103,12 +103,24 @@ class LocationResolver:
         diagnostic_location: Location,
         level: JoinLevel,
         timestamp: float,
+        trace=None,
     ) -> bool:
-        """True when the two locations share a join-level identifier."""
+        """True when the two locations share a join-level identifier.
+
+        ``trace`` (a :class:`repro.obs.Tracer`, optional) receives a
+        ``location_expansions`` counter per expansion performed, so
+        traced diagnoses show how much location-conversion work each
+        spatial join cost (the short-circuit on an empty symptom set
+        is visible as one expansion instead of two).
+        """
         symptom_set = self.expand(symptom_location, level, timestamp)
+        if trace is not None:
+            trace.count("location_expansions")
         if not symptom_set:
             return False
         diagnostic_set = self.expand(diagnostic_location, level, timestamp)
+        if trace is not None:
+            trace.count("location_expansions")
         return not symptom_set.isdisjoint(diagnostic_set)
 
     # ------------------------------------------------------------------
@@ -423,14 +435,31 @@ class SpatialJoinRule:
     diagnostic_type: LocationType
     level: JoinLevel
 
+    def describe(self) -> str:
+        """Compact identity, e.g. ``router:neighbor-ip~interface@interface``.
+
+        The spatial half of a rule's identity in trace spans
+        (:mod:`repro.obs`).
+        """
+        return (
+            f"{self.symptom_type.value}~{self.diagnostic_type.value}"
+            f"@{self.level.value}"
+        )
+
     def joined(
         self,
         resolver: LocationResolver,
         symptom_location: Location,
         diagnostic_location: Location,
         timestamp: float,
+        trace=None,
     ) -> bool:
-        """True when the two locations share a join-level identifier."""
+        """True when the two locations share a join-level identifier.
+
+        ``trace`` (a :class:`repro.obs.Tracer`, optional) receives
+        ``spatial_evals`` / ``spatial_rejects`` counters on its current
+        span, plus the resolver's ``location_expansions``.
+        """
         if symptom_location.type is not self.symptom_type:
             raise ValueError(
                 f"symptom location is {symptom_location.type.value}, rule "
@@ -441,6 +470,12 @@ class SpatialJoinRule:
                 f"diagnostic location is {diagnostic_location.type.value}, "
                 f"rule expects {self.diagnostic_type.value}"
             )
-        return resolver.joined(
-            symptom_location, diagnostic_location, self.level, timestamp
+        verdict = resolver.joined(
+            symptom_location, diagnostic_location, self.level, timestamp,
+            trace=trace,
         )
+        if trace is not None:
+            trace.count("spatial_evals")
+            if not verdict:
+                trace.count("spatial_rejects")
+        return verdict

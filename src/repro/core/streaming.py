@@ -34,6 +34,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..collector.health import FeedState
+from ..obs.trace import NULL_TRACER
 from .engine import Diagnosis, RcaEngine, evidence_sources
 from .events import EventInstance, RetrievalContext, instance_key
 
@@ -91,63 +92,81 @@ class StreamingRca:
         """End of the last settled region that has been diagnosed."""
         return self._watermark
 
-    def advance(self, now: float) -> List[Diagnosis]:
+    def advance(self, now: float, tracer=None) -> List[Diagnosis]:
         """Diagnose symptoms that settled since the last call.
 
         ``now`` is the wall-clock frontier of ingested data.  Returns
         the new diagnoses (also delivered to ``on_diagnosis``).
+
+        ``tracer`` (a :class:`repro.obs.Tracer`, optional) records one
+        ``advance`` span covering the whole call, with a ``detect``
+        child for symptom retrieval and — on the inline path — one
+        ``diagnose`` subtree per settled symptom, each also attached to
+        its :attr:`Diagnosis.trace`.  Dispatcher-executed batches trace
+        on the service side instead (per-job tracers), not here.
         """
-        registry = self.engine.config.health
-        if registry is not None:
-            registry.tick(now)
-        settled_until = self._defer_for_lagging_feeds(
-            now - self.config.settle_seconds
-        )
-        if self._watermark is not None and settled_until <= self._watermark:
-            # nothing newly settled, but memory bounds still apply
-            self._gc_dedupe(max(settled_until, self._watermark))
-            return []
-        if self._watermark is not None:
-            window_start = self._watermark - self.config.reorder_slack
-        elif self._start is not None:
-            window_start = self._start
-        else:
-            window_start = settled_until - self.config.settle_seconds
-        self.engine.clear_cache()
-        context = RetrievalContext(
-            store=self.engine.store,
-            start=window_start,
-            end=settled_until,
-            params=self.engine.config.params,
-            services=self.engine.config.services,
-        )
-        definition = self.engine.library.get(self.engine.graph.symptom_event)
-        fresh: List[EventInstance] = []
-        for instance in definition.retrieve(context):
-            if instance.end > settled_until:
-                continue  # not settled yet; next advance will take it
-            key = instance_key(instance)
-            if key in self._seen:
-                continue
-            self._seen[key] = instance.end
-            fresh.append(instance)
-        self._watermark = settled_until
-        self._gc_dedupe(settled_until)
-        if self.dispatcher is not None:
-            diagnoses = self.dispatcher(fresh)
-            self.diagnosed_count += len(diagnoses)
-            if self.on_diagnosis is not None:
-                for diagnosis in diagnoses:
+        tracer = tracer if tracer is not None else NULL_TRACER
+        with tracer.span("advance", label=f"now={now:g}") as adv:
+            registry = self.engine.config.health
+            if registry is not None:
+                registry.tick(now)
+            settled_until = self._defer_for_lagging_feeds(
+                now - self.config.settle_seconds
+            )
+            adv.annotate(settled_until=settled_until)
+            if self._watermark is not None and settled_until <= self._watermark:
+                # nothing newly settled, but memory bounds still apply
+                self._gc_dedupe(max(settled_until, self._watermark))
+                adv.annotate(fresh=0)
+                return []
+            if self._watermark is not None:
+                window_start = self._watermark - self.config.reorder_slack
+            elif self._start is not None:
+                window_start = self._start
+            else:
+                window_start = settled_until - self.config.settle_seconds
+            self.engine.clear_cache()
+            definition = self.engine.library.get(self.engine.graph.symptom_event)
+            fresh: List[EventInstance] = []
+            with tracer.span("detect", label=definition.name) as det:
+                context = RetrievalContext(
+                    store=self.engine.store,
+                    start=window_start,
+                    end=settled_until,
+                    params=self.engine.config.params,
+                    services=self.engine.config.services,
+                )
+                retrieved = 0
+                for instance in definition.retrieve(context):
+                    retrieved += 1
+                    if instance.end > settled_until:
+                        continue  # not settled yet; next advance takes it
+                    key = instance_key(instance)
+                    if key in self._seen:
+                        continue
+                    self._seen[key] = instance.end
+                    fresh.append(instance)
+                det.annotate(retrieved=retrieved, fresh=len(fresh))
+            self._watermark = settled_until
+            self._gc_dedupe(settled_until)
+            adv.annotate(fresh=len(fresh))
+            if self.dispatcher is not None:
+                with tracer.span("dispatch", label=definition.name) as span:
+                    diagnoses = self.dispatcher(fresh)
+                    span.annotate(jobs=len(fresh), diagnoses=len(diagnoses))
+                self.diagnosed_count += len(diagnoses)
+                if self.on_diagnosis is not None:
+                    for diagnosis in diagnoses:
+                        self.on_diagnosis(diagnosis)
+                return diagnoses
+            diagnoses = []
+            for instance in fresh:
+                diagnosis = self.engine.diagnose(instance, tracer=tracer)
+                diagnoses.append(diagnosis)
+                self.diagnosed_count += 1
+                if self.on_diagnosis is not None:
                     self.on_diagnosis(diagnosis)
             return diagnoses
-        diagnoses = []
-        for instance in fresh:
-            diagnosis = self.engine.diagnose(instance)
-            diagnoses.append(diagnosis)
-            self.diagnosed_count += 1
-            if self.on_diagnosis is not None:
-                self.on_diagnosis(diagnosis)
-        return diagnoses
 
     def _defer_for_lagging_feeds(self, settled_until: float) -> float:
         """Hold settling back to the slowest LAGGING evidence feed.

@@ -51,6 +51,16 @@ class TemporalExpansion:
     left: float  # X, seconds
     right: float  # Y, seconds
 
+    def describe(self) -> str:
+        """Compact identity string, e.g. ``Start/Start X=180 Y=5``.
+
+        Used as the temporal half of a rule's identity in trace spans
+        (:mod:`repro.obs`): two rules with the same six parameters
+        describe identically, so golden traces pin rule identity
+        without repr noise.
+        """
+        return f"{self.option.value} X={self.left:g} Y={self.right:g}"
+
     def expand(self, start: float, end: float) -> Tuple[float, float]:
         """Expanded window for an event instance's [start, end]."""
         if end < start:
@@ -78,13 +88,35 @@ class TemporalJoinRule:
     symptom: TemporalExpansion
     diagnostic: TemporalExpansion
 
+    def describe(self) -> str:
+        """Full six-parameter identity (both expansions) for tracing."""
+        return (
+            f"symptom[{self.symptom.describe()}] "
+            f"diagnostic[{self.diagnostic.describe()}]"
+        )
+
     def joined(
-        self, symptom_interval: Tuple[float, float], diagnostic_interval: Tuple[float, float]
+        self,
+        symptom_interval: Tuple[float, float],
+        diagnostic_interval: Tuple[float, float],
+        trace=None,
     ) -> bool:
-        """True when the two expanded (closed) windows overlap."""
+        """True when the two expanded (closed) windows overlap.
+
+        ``trace`` (a :class:`repro.obs.Tracer`, optional) receives
+        ``temporal_evals`` / ``temporal_rejects`` counters on its
+        current span — the engine passes its tracer here so traced
+        diagnoses record exactly how many Fig. 3 evaluations each rule
+        cost.  Untraced callers pay nothing.
+        """
         s_lo, s_hi = self.symptom.expand(*symptom_interval)
         d_lo, d_hi = self.diagnostic.expand(*diagnostic_interval)
-        return s_lo <= d_hi and d_lo <= s_hi
+        verdict = s_lo <= d_hi and d_lo <= s_hi
+        if trace is not None:
+            trace.count("temporal_evals")
+            if not verdict:
+                trace.count("temporal_rejects")
+        return verdict
 
     def search_window(self, symptom_interval: Tuple[float, float]) -> Tuple[float, float]:
         """Raw-time range a diagnostic event must intersect to possibly join.
@@ -94,11 +126,14 @@ class TemporalJoinRule:
         outside this range cannot join regardless of its expansion.
         """
         s_lo, s_hi = self.symptom.expand(*symptom_interval)
-        # invert the diagnostic expansion conservatively: a diagnostic
-        # window reaches left by max(left, 0) from its earliest anchor
-        # and right by max(right, 0); anchors lie within [start, end].
-        reach_left = max(self.diagnostic.left, 0.0)
-        reach_right = max(self.diagnostic.right, 0.0)
+        # invert the diagnostic expansion conservatively.  A regular
+        # window reaches left by max(X, 0) of its earliest anchor and
+        # right by max(Y, 0); anchors lie within [start, end].  An
+        # *inverted* window (X + Y < 0) collapses to its midpoint,
+        # which sits up to -X right of an anchor and up to -Y left of
+        # one — so each side's reach is the max over both cases.
+        reach_left = max(self.diagnostic.left, -self.diagnostic.right, 0.0)
+        reach_right = max(self.diagnostic.right, -self.diagnostic.left, 0.0)
         return (s_lo - reach_right, s_hi + reach_left)
 
 

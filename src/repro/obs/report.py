@@ -1,0 +1,112 @@
+"""Trace aggregation and export: stage breakdowns and stable JSON.
+
+Companions to :mod:`repro.obs.trace`: turn finished span trees into
+the artifacts operators and benchmarks consume — a per-stage latency
+breakdown (by span kind, using *exclusive* time so stages add up to at
+most the root duration), percentile summaries across many diagnoses,
+and a stable JSON document (:data:`~repro.obs.trace.TRACE_SCHEMA`)
+for ``diagnose --trace`` and CI artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Sequence
+
+from .trace import TRACE_SCHEMA, Span
+
+
+def stage_breakdown(root: Span) -> Dict[str, float]:
+    """Exclusive seconds spent in each span kind under ``root``.
+
+    Uses :attr:`~repro.obs.trace.Span.self_seconds`, so nested kinds
+    (a ``store-query`` inside a ``retrieve`` inside a ``rule``) never
+    double-count and the values sum to at most ``root.duration``.
+    """
+    totals: Dict[str, float] = {}
+    for span in root.walk():
+        totals[span.kind] = totals.get(span.kind, 0.0) + span.self_seconds
+    return totals
+
+
+def stage_counts(root: Span) -> Dict[str, int]:
+    """Number of spans of each kind under ``root``."""
+    counts: Dict[str, int] = {}
+    for span in root.walk():
+        counts[span.kind] = counts.get(span.kind, 0) + 1
+    return counts
+
+
+def _percentile(ordered: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not ordered:
+        return 0.0
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def summarize_stages(
+    breakdowns: Iterable[Dict[str, float]]
+) -> Dict[str, Dict[str, float]]:
+    """Per-stage count / mean / p50 / p95 / max across many breakdowns.
+
+    Each input dictionary is one diagnosis's :func:`stage_breakdown`;
+    the output is what ``BENCH_trace_stages.json`` records per stage.
+    """
+    samples: Dict[str, List[float]] = {}
+    for breakdown in breakdowns:
+        for stage, seconds in breakdown.items():
+            samples.setdefault(stage, []).append(seconds)
+    summary: Dict[str, Dict[str, float]] = {}
+    for stage in sorted(samples):
+        ordered = sorted(samples[stage])
+        summary[stage] = {
+            "count": len(ordered),
+            "mean": sum(ordered) / len(ordered),
+            "p50": _percentile(ordered, 0.50),
+            "p95": _percentile(ordered, 0.95),
+            "max": ordered[-1],
+        }
+    return summary
+
+
+def trace_document(root: Span) -> Dict[str, object]:
+    """The export envelope: schema tag plus the span tree."""
+    return {"schema": TRACE_SCHEMA, "trace": root.to_dict()}
+
+
+def trace_to_json(root: Span) -> str:
+    """Stable (sorted-key, indented) JSON for one span tree."""
+    return json.dumps(trace_document(root), indent=2, sort_keys=True) + "\n"
+
+
+def write_trace(path: str, root: Span) -> None:
+    """Write one span tree to ``path`` as stable JSON."""
+    with open(path, "w") as handle:
+        handle.write(trace_to_json(root))
+
+
+def load_trace(path: str) -> Span:
+    """Read a span tree exported by :func:`write_trace`."""
+    with open(path) as handle:
+        document = json.load(handle)
+    if document.get("schema") != TRACE_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported trace schema {document.get('schema')!r}"
+        )
+    return Span.from_dict(document["trace"])
+
+
+def format_stage_lines(
+    summary: Dict[str, Dict[str, float]], title: str = "stage breakdown"
+) -> List[str]:
+    """Human-readable per-stage latency lines for CLI output."""
+    lines = [f"{title} (exclusive time per diagnosis):"]
+    width = max((len(stage) for stage in summary), default=5)
+    for stage, stats in summary.items():
+        lines.append(
+            f"  {stage:<{width}}  p50 {1000 * stats['p50']:.3f} ms  "
+            f"p95 {1000 * stats['p95']:.3f} ms  "
+            f"({stats['count']:.0f} samples)"
+        )
+    return lines

@@ -37,6 +37,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Set
 from ..collector.health import IMPAIRED_STATES, HealthRegistry
 from ..core.engine import Diagnosis, RcaEngine, evidence_sources
 from ..core.events import EventInstance
+from ..obs.report import stage_breakdown
+from ..obs.trace import NULL_TRACER, Tracer
 from .cache import ResultCache, cache_key
 from .metrics import ServiceMetrics
 from .queue import (
@@ -180,8 +182,17 @@ class RcaService:
         priority: Optional[int] = None,
         block: bool = False,
         timeout: Optional[float] = None,
+        traced: bool = False,
     ) -> Job:
-        """Queue a symptom batch for diagnosis; returns the job handle."""
+        """Queue a symptom batch for diagnosis; returns the job handle.
+
+        ``traced=True`` gives the job its own :class:`repro.obs.Tracer`
+        on the worker: the finished ``job`` span tree lands on
+        :attr:`~repro.service.queue.Job.trace` and each diagnosis
+        carries its own subtree.  Traced jobs bypass the result cache
+        (both lookup and store), so the trace reflects real work and
+        cached diagnoses never carry another job's spans.
+        """
         handle = self._handle(app)
         base = PRIORITY_INTERACTIVE if priority is None else priority
         job = Job(
@@ -190,6 +201,7 @@ class RcaService:
             payload=list(symptoms),
             priority=self.effective_priority(handle, base),
             submitted_at=self.clock(),
+            traced=traced,
         )
         return self._submit(job, block=block, timeout=timeout)
 
@@ -201,8 +213,13 @@ class RcaService:
         priority: Optional[int] = None,
         block: bool = False,
         timeout: Optional[float] = None,
+        traced: bool = False,
     ) -> Job:
-        """Queue a whole-window application run (find symptoms + diagnose)."""
+        """Queue a whole-window application run (find symptoms + diagnose).
+
+        ``traced`` behaves as in :meth:`submit_diagnosis`; a traced run
+        additionally records a ``detect`` span for symptom retrieval.
+        """
         handle = self._handle(app)
         base = PRIORITY_PERIODIC if priority is None else priority
         job = Job(
@@ -211,6 +228,7 @@ class RcaService:
             payload=(start, end),
             priority=self.effective_priority(handle, base),
             submitted_at=self.clock(),
+            traced=traced,
         )
         return self._submit(job, block=block, timeout=timeout)
 
@@ -315,29 +333,45 @@ class RcaService:
     # execution (runs on worker threads)
 
     def _execute(self, job: Job, worker: Worker) -> List[Diagnosis]:
-        handle = self._handle(job.app)
-        if job.kind == "run":
-            start, end = job.payload
-            symptoms = handle.app.find_symptoms(start, end)
-        elif job.kind == "diagnose":
-            symptoms = job.payload
-        else:
-            raise ValueError(f"unknown job kind {job.kind!r}")
-        engine = worker.engine_for(handle.name, handle.engine)
-        diagnoses: List[Diagnosis] = []
-        for symptom in symptoms:
-            key = cache_key(handle.name, symptom, handle.fingerprint)
-            cached = self.cache.lookup(key)
-            if cached is not None:
-                diagnoses.append(cached)
-                continue
-            revision = self._sync_engine(engine)
-            started = self.clock()
-            diagnosis = engine.diagnose(symptom)
-            self.metrics.diagnosis_latency.observe(self.clock() - started)
-            self.metrics.symptoms_diagnosed.increment()
-            self.cache.store(key, diagnosis, revision)
-            diagnoses.append(diagnosis)
+        # one fresh tracer per traced job, created on the worker thread
+        # and never shared: spans cannot leak between concurrent jobs
+        tracer = Tracer() if job.traced else NULL_TRACER
+        with tracer.span(
+            "job", label=f"job-{job.job_id}", job_kind=job.kind, app=job.app
+        ) as root:
+            handle = self._handle(job.app)
+            if job.kind == "run":
+                start, end = job.payload
+                with tracer.span(
+                    "detect", label=handle.engine.graph.symptom_event
+                ) as span:
+                    symptoms = handle.app.find_symptoms(start, end)
+                    span.annotate(retrieved=len(symptoms), window=[start, end])
+            elif job.kind == "diagnose":
+                symptoms = job.payload
+            else:
+                raise ValueError(f"unknown job kind {job.kind!r}")
+            engine = worker.engine_for(handle.name, handle.engine)
+            diagnoses: List[Diagnosis] = []
+            for symptom in symptoms:
+                if not job.traced:
+                    key = cache_key(handle.name, symptom, handle.fingerprint)
+                    cached = self.cache.lookup(key)
+                    if cached is not None:
+                        diagnoses.append(cached)
+                        continue
+                revision = self._sync_engine(engine)
+                started = self.clock()
+                diagnosis = engine.diagnose(symptom, tracer=tracer)
+                self.metrics.diagnosis_latency.observe(self.clock() - started)
+                self.metrics.symptoms_diagnosed.increment()
+                if not job.traced:
+                    self.cache.store(key, diagnosis, revision)
+                diagnoses.append(diagnosis)
+            root.annotate(symptoms=len(symptoms))
+        if job.traced:
+            job.trace = root
+            self.metrics.observe_stages(stage_breakdown(root))
         return diagnoses
 
     def _sync_engine(self, engine: RcaEngine) -> int:

@@ -162,8 +162,37 @@ class ServiceMetrics:
         self.diagnosis_latency = Histogram(
             "diagnosis_latency_seconds", "per-symptom engine latency"
         )
+        #: per-stage exclusive-time histograms fed by traced jobs, keyed
+        #: by span kind ("retrieve", "temporal-join", ...); created
+        #: lazily on first observation of each stage
+        self.stage_latency: Dict[str, Histogram] = {}
+        self._stage_lock = threading.Lock()
         self._busy_lock = threading.Lock()
         self._busy_seconds = 0.0
+
+    def observe_stages(self, breakdown: Dict[str, float]) -> None:
+        """Record one traced job's per-stage exclusive times.
+
+        ``breakdown`` maps span kind to summed self-seconds (the shape
+        :func:`repro.obs.stage_breakdown` produces); each stage lands in
+        its own histogram under :attr:`stage_latency`.
+        """
+        for stage, seconds in breakdown.items():
+            with self._stage_lock:
+                histogram = self.stage_latency.get(stage)
+                if histogram is None:
+                    histogram = Histogram(
+                        f"stage_{stage}_seconds",
+                        f"exclusive time in {stage} spans per traced job",
+                    )
+                    self.stage_latency[stage] = histogram
+            histogram.observe(seconds)
+
+    def stage_summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-stage count/mean/p50/p95/max over traced jobs so far."""
+        with self._stage_lock:
+            stages = dict(self.stage_latency)
+        return {stage: stages[stage].summary() for stage in sorted(stages)}
 
     def add_busy_seconds(self, seconds: float) -> None:
         with self._busy_lock:
@@ -209,6 +238,7 @@ class ServiceMetrics:
             "queue_wait": self.queue_wait.summary(),
             "job_latency": self.job_latency.summary(),
             "diagnosis_latency": self.diagnosis_latency.summary(),
+            "stages": self.stage_summary(),
         }
         if workers and elapsed_seconds:
             snap["worker_utilization"] = self.utilization(workers, elapsed_seconds)
@@ -250,4 +280,13 @@ class ServiceMetrics:
                 f"  worker utilization: {100 * snap['worker_utilization']:.1f}% "
                 f"({workers} workers)"
             )
+        stages = snap["stages"]
+        if stages:
+            lines.append("  traced stages (exclusive time per job):")
+            for stage, summary in stages.items():
+                lines.append(
+                    f"    {stage}: p50 {1000 * summary['p50']:.2f} ms, "
+                    f"p95 {1000 * summary['p95']:.2f} ms "
+                    f"({summary['count']} jobs)"
+                )
         return lines

@@ -66,6 +66,10 @@ class Job:
     error: Optional[BaseException] = None
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
+    #: record a span tree for this job (one fresh tracer per execution)
+    traced: bool = False
+    #: the finished ``job`` span once a traced job completes
+    trace: Any = None
     _done: threading.Event = field(default_factory=threading.Event, repr=False)
 
     def wait(self, timeout: Optional[float] = None) -> bool:

@@ -36,12 +36,14 @@ from typing import Callable, List, Optional, Sequence
 
 from ..core.engine import Diagnosis, RcaEngine
 from ..core.events import EventInstance
+from ..obs.trace import Tracer
 from .metrics import ServiceMetrics
 from .queue import Job, JobQueue, JobState
 
 #: Module-level slot a forked child inherits its engine through.
 _FORK_ENGINE: Optional[RcaEngine] = None
 _FORK_SYMPTOMS: Optional[Sequence[EventInstance]] = None
+_FORK_TRACED: bool = False
 
 
 def available_cpus() -> int:
@@ -72,12 +74,21 @@ def contiguous_chunks(items: Sequence, n: int) -> List[Sequence]:
 
 
 def _fork_worker(span) -> bytes:
-    """Runs in the forked child: diagnose one index range, pickle back."""
+    """Runs in the forked child: diagnose one index range, pickle back.
+
+    When the parent requested tracing, each diagnosis gets its own
+    fresh tracer *in the child*; the finished span tree rides back to
+    the parent attached to the pickled :class:`Diagnosis` — spans never
+    share state across processes, so jobs cannot leak into each other.
+    """
     import pickle
 
     lo, hi = span
     engine = _FORK_ENGINE
-    diagnoses = [engine.diagnose(s) for s in _FORK_SYMPTOMS[lo:hi]]
+    diagnoses = [
+        engine.diagnose(s, tracer=Tracer() if _FORK_TRACED else None)
+        for s in _FORK_SYMPTOMS[lo:hi]
+    ]
     return pickle.dumps(diagnoses, protocol=pickle.HIGHEST_PROTOCOL)
 
 
@@ -86,26 +97,37 @@ def parallel_diagnose(
     symptoms: Sequence[EventInstance],
     jobs: int = 1,
     backend: str = "auto",
+    traced: bool = False,
 ) -> List[Diagnosis]:
     """Diagnose a batch with ``jobs`` parallel workers.
 
     Output order and content match ``engine.diagnose_all(symptoms)``
     exactly.  ``jobs <= 1`` (or a single-item batch) falls back to the
     serial path with zero overhead.
+
+    ``traced=True`` records one span tree per symptom (a fresh
+    :class:`repro.obs.Tracer` each), attached as
+    :attr:`~repro.core.engine.Diagnosis.trace`.  Traces survive both
+    backends — thread workers build them in-thread, fork workers build
+    them in the child and pickle them back — and never mix between
+    symptoms.
     """
     if jobs <= 1 or len(symptoms) <= 1:
-        return engine.diagnose_all(symptoms)
+        return engine.diagnose_all(symptoms, traced=traced)
     if backend == "auto":
         backend = default_backend()
     if backend == "thread":
-        return _thread_diagnose(engine, symptoms, jobs)
+        return _thread_diagnose(engine, symptoms, jobs, traced)
     if backend == "fork":
-        return _fork_diagnose(engine, symptoms, jobs)
+        return _fork_diagnose(engine, symptoms, jobs, traced)
     raise ValueError(f"unknown backend {backend!r}; use 'auto', 'thread' or 'fork'")
 
 
 def _thread_diagnose(
-    engine: RcaEngine, symptoms: Sequence[EventInstance], jobs: int
+    engine: RcaEngine,
+    symptoms: Sequence[EventInstance],
+    jobs: int,
+    traced: bool = False,
 ) -> List[Diagnosis]:
     chunks = contiguous_chunks(symptoms, jobs)
     results: List[Optional[List[Diagnosis]]] = [None] * len(chunks)
@@ -114,7 +136,10 @@ def _thread_diagnose(
     def run(index: int, chunk: Sequence[EventInstance]) -> None:
         worker_engine = engine.isolated()
         try:
-            results[index] = [worker_engine.diagnose(s) for s in chunk]
+            results[index] = [
+                worker_engine.diagnose(s, tracer=Tracer() if traced else None)
+                for s in chunk
+            ]
         except BaseException as exc:  # noqa: BLE001 - reported to caller
             errors.append(exc)
 
@@ -132,12 +157,15 @@ def _thread_diagnose(
 
 
 def _fork_diagnose(
-    engine: RcaEngine, symptoms: Sequence[EventInstance], jobs: int
+    engine: RcaEngine,
+    symptoms: Sequence[EventInstance],
+    jobs: int,
+    traced: bool = False,
 ) -> List[Diagnosis]:
     import multiprocessing as mp
     import pickle
 
-    global _FORK_ENGINE, _FORK_SYMPTOMS
+    global _FORK_ENGINE, _FORK_SYMPTOMS, _FORK_TRACED
     chunks = contiguous_chunks(symptoms, jobs)
     spans, start = [], 0
     for chunk in chunks:
@@ -149,12 +177,14 @@ def _fork_diagnose(
     # the serial path would have left it
     _FORK_ENGINE = engine.isolated()
     _FORK_SYMPTOMS = symptoms
+    _FORK_TRACED = traced
     try:
         with context.Pool(processes=len(spans)) as pool:
             blobs = pool.map(_fork_worker, spans)
     finally:
         _FORK_ENGINE = None
         _FORK_SYMPTOMS = None
+        _FORK_TRACED = False
     ordered: List[Diagnosis] = []
     for blob in blobs:
         ordered.extend(pickle.loads(blob))

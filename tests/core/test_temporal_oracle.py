@@ -1,0 +1,189 @@
+"""Property-based tests: the six-parameter join vs a brute-force oracle.
+
+:meth:`TemporalJoinRule.joined` decides overlap of two expanded windows
+with one comparison.  These tests pit it against an *instant-scan*
+oracle that knows nothing about interval arithmetic: it walks candidate
+time instants at a granularity finer than any window endpoint and asks
+"is this instant inside both windows?".  With integer-valued intervals
+and margins, every window endpoint (including the midpoint a collapsed
+inverted window degenerates to) is a multiple of 0.5, so a 0.5-step
+scan anchored on a multiple of 0.5 cannot miss a non-empty overlap.
+
+Also pinned here, across all nine Start-End/Start-Start/End-End option
+combinations and positive *and* negative margins:
+
+* side symmetry — mirroring the rule (swapping the symptom and
+  diagnostic expansions along with their intervals) never changes the
+  verdict;
+* containment monotonicity — growing non-negative margins never loses
+  a join (not true for negative margins, where a collapsed window's
+  midpoint *moves* as margins change — see the inverted-window test);
+* search-window soundness — the engine prefilters store records by
+  :meth:`TemporalJoinRule.search_window`; a joinable diagnostic
+  instance must never fall outside it, else the engine silently drops
+  evidence.  This property caught a real bug: the reach of an inverted
+  window's midpoint is bounded by the *opposite* margin.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.temporal import (
+    ExpandOption,
+    TemporalExpansion,
+    TemporalJoinRule,
+)
+
+# -- strategies: integer-valued rules and intervals --------------------
+
+OPTIONS = st.sampled_from(list(ExpandOption))
+MARGINS = st.integers(min_value=-60, max_value=60).map(float)
+NONNEG_MARGINS = st.integers(min_value=0, max_value=60).map(float)
+GROWTH = st.integers(min_value=0, max_value=40).map(float)
+
+INTERVALS = st.tuples(
+    st.integers(min_value=-100, max_value=100),
+    st.integers(min_value=0, max_value=50),
+).map(lambda p: (float(p[0]), float(p[0] + p[1])))
+
+EXPANSIONS = st.builds(TemporalExpansion, OPTIONS, MARGINS, MARGINS)
+NONNEG_EXPANSIONS = st.builds(
+    TemporalExpansion, OPTIONS, NONNEG_MARGINS, NONNEG_MARGINS
+)
+RULES = st.builds(TemporalJoinRule, EXPANSIONS, EXPANSIONS)
+
+
+# -- the oracle --------------------------------------------------------
+
+def oracle_window(expansion, interval):
+    """Fig. 3 window, derived independently of ``expand()``'s algebra."""
+    start, end = interval
+    anchors = {
+        ExpandOption.START_END: (start, end),
+        ExpandOption.START_START: (start, start),
+        ExpandOption.END_END: (end, end),
+    }[expansion.option]
+    lo = anchors[0] - expansion.left
+    hi = anchors[1] + expansion.right
+    if hi < lo:  # inverted: the paper's window is empty; the
+        mid = (lo + hi) / 2.0  # implementation keeps a point at the middle
+        return (mid, mid)
+    return (lo, hi)
+
+
+def oracle_joined(rule, symptom_interval, diagnostic_interval):
+    """Instant-scan overlap: does any instant lie inside both windows?
+
+    All endpoints are multiples of 0.5 (integer inputs), so stepping
+    candidate instants by 0.5 from the smallest endpoint is exhaustive.
+    """
+    s_lo, s_hi = oracle_window(rule.symptom, symptom_interval)
+    d_lo, d_hi = oracle_window(rule.diagnostic, diagnostic_interval)
+    t = min(s_lo, d_lo)
+    stop = max(s_hi, d_hi)
+    while t <= stop:
+        if s_lo <= t <= s_hi and d_lo <= t <= d_hi:
+            return True
+        t += 0.5
+    return False
+
+
+# -- properties --------------------------------------------------------
+
+class TestJoinedVsOracle:
+    @settings(max_examples=400)
+    @given(rule=RULES, symptom=INTERVALS, diagnostic=INTERVALS)
+    def test_joined_matches_instant_scan(self, rule, symptom, diagnostic):
+        assert rule.joined(symptom, diagnostic) == oracle_joined(
+            rule, symptom, diagnostic
+        )
+
+    @settings(max_examples=300)
+    @given(rule=RULES, symptom=INTERVALS, diagnostic=INTERVALS)
+    def test_side_swap_symmetry(self, rule, symptom, diagnostic):
+        mirrored = TemporalJoinRule(
+            symptom=rule.diagnostic, diagnostic=rule.symptom
+        )
+        assert rule.joined(symptom, diagnostic) == mirrored.joined(
+            diagnostic, symptom
+        )
+
+    @settings(max_examples=300)
+    @given(
+        symptom_exp=NONNEG_EXPANSIONS,
+        diagnostic_exp=NONNEG_EXPANSIONS,
+        symptom=INTERVALS,
+        diagnostic=INTERVALS,
+        grow_left=GROWTH,
+        grow_right=GROWTH,
+    )
+    def test_growing_nonnegative_margins_preserves_joins(
+        self, symptom_exp, diagnostic_exp, symptom, diagnostic,
+        grow_left, grow_right,
+    ):
+        rule = TemporalJoinRule(symptom_exp, diagnostic_exp)
+        if not rule.joined(symptom, diagnostic):
+            return
+        wider = TemporalJoinRule(
+            symptom=TemporalExpansion(
+                symptom_exp.option,
+                symptom_exp.left + grow_left,
+                symptom_exp.right + grow_right,
+            ),
+            diagnostic=diagnostic_exp,
+        )
+        assert wider.joined(symptom, diagnostic)
+
+    @settings(max_examples=400)
+    @given(rule=RULES, symptom=INTERVALS, diagnostic=INTERVALS)
+    def test_search_window_never_drops_joined_candidates(
+        self, rule, symptom, diagnostic
+    ):
+        # the engine keeps a candidate iff its raw interval intersects
+        # the search window (closed on both sides) — a joined pair must
+        # always survive that prefilter
+        if not rule.joined(symptom, diagnostic):
+            return
+        lo, hi = rule.search_window(symptom)
+        assert diagnostic[1] >= lo and diagnostic[0] <= hi
+
+
+class TestInvertedWindows:
+    @settings(max_examples=200)
+    @given(
+        option=OPTIONS,
+        interval=INTERVALS,
+        left=MARGINS,
+        right=MARGINS,
+    )
+    def test_inverted_window_collapses_to_midpoint(
+        self, option, interval, left, right
+    ):
+        expansion = TemporalExpansion(option, left, right)
+        lo, hi = expansion.expand(*interval)
+        assert lo <= hi  # expand never returns an inverted window
+        anchors = {
+            ExpandOption.START_END: (interval[0], interval[1]),
+            ExpandOption.START_START: (interval[0], interval[0]),
+            ExpandOption.END_END: (interval[1], interval[1]),
+        }[option]
+        raw_lo = anchors[0] - left
+        raw_hi = anchors[1] + right
+        if raw_hi < raw_lo:
+            assert lo == hi == (raw_lo + raw_hi) / 2.0
+        else:
+            assert (lo, hi) == (raw_lo, raw_hi)
+
+    def test_midpoint_drift_is_why_search_window_uses_both_margins(self):
+        # regression pin for the bug the oracle caught: a diagnostic
+        # expansion of X=-57, Y=3 inverts for short events, and its
+        # collapsed midpoint lands ~27 s right of the event — far
+        # outside the old max(X, 0)/max(Y, 0) reach
+        rule = TemporalJoinRule(
+            symptom=TemporalExpansion(ExpandOption.START_START, -5, 27),
+            diagnostic=TemporalExpansion(ExpandOption.START_START, -57, 3),
+        )
+        symptom = (-17.0, 29.0)
+        diagnostic = (-36.0, -31.0)
+        assert rule.joined(symptom, diagnostic)
+        lo, hi = rule.search_window(symptom)
+        assert diagnostic[1] >= lo and diagnostic[0] <= hi

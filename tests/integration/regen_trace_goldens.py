@@ -1,0 +1,44 @@
+"""Regenerate the golden trace-shape fixtures.
+
+Run from the repository root after an *intentional* change to the
+diagnosis walk or the trace schema::
+
+    PYTHONPATH=src python tests/integration/regen_trace_goldens.py
+
+Each fixture freezes the timing-free *shape* of traced diagnoses for
+one small, seeded scenario: span kinds, labels, rule identities and
+record counts, in walk order.  ``test_trace_golden.py`` fails when the
+current engine produces a different shape — a reviewable diff of what
+the walk now does differently.
+"""
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", ".."))
+
+from tests.integration.test_trace_golden import (  # noqa: E402
+    GOLDEN_DIR,
+    SCENARIOS,
+    scenario_shape_document,
+)
+
+
+def main() -> int:
+    os.makedirs(GOLDEN_DIR, exist_ok=True)
+    for name in sorted(SCENARIOS):
+        document = scenario_shape_document(name)
+        path = os.path.join(GOLDEN_DIR, f"trace_shape_{name}.json")
+        with open(path, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(
+            f"wrote {path} ({document['symptoms']} symptoms, "
+            f"{sum(document['kind_counts'].values())} spans)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

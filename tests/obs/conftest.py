@@ -1,0 +1,12 @@
+"""Fixtures for the observability tests.
+
+Reuses the service suite's tiny deterministic app (``mini_app`` /
+``seed_scene``) so overhead and no-op-path tests exercise the same
+engine surface the service tests do.
+"""
+
+from tests.service.conftest import (  # noqa: F401
+    health_registry,
+    mini_app,
+    seed_scene,
+)

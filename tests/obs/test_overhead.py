@@ -1,0 +1,101 @@
+"""Tracing-off must cost (almost) nothing: the no-op path guards.
+
+The engine's hot path is shared by every untraced diagnosis; the
+tracing subsystem promises that the default :data:`NULL_TRACER` adds
+no spans, no allocations that grow, and no meaningful wall-clock.  The
+structural guarantees are asserted exactly; the wall-clock ratio gate
+is generous (2x) and skipped on starved runners (fewer than 2 CPUs),
+where scheduling noise swamps the thing being measured.
+"""
+
+import time
+
+import pytest
+
+from repro.obs import NULL_TRACER, Tracer
+from repro.service.workers import available_cpus
+
+
+@pytest.fixture
+def seeded_mini(mini_app, seed_scene):
+    times = seed_scene(mini_app.store, n=12)
+    symptoms = mini_app.find_symptoms(times[0] - 50.0, times[-1] + 50.0)
+    return mini_app, symptoms
+
+
+class TestNoOpPath:
+    def test_untraced_diagnosis_attaches_no_trace(self, seeded_mini):
+        mini_app, symptoms = seeded_mini
+        for diagnosis in mini_app.engine.diagnose_all(symptoms):
+            assert diagnosis.trace is None
+
+    def test_null_tracer_records_nothing_through_a_full_run(self, seeded_mini):
+        mini_app, symptoms = seeded_mini
+        for symptom in symptoms:
+            mini_app.engine.diagnose(symptom, tracer=NULL_TRACER)
+        assert NULL_TRACER.roots == []
+        assert NULL_TRACER.root is None
+        assert NULL_TRACER.current() is None
+
+    def test_traced_and_untraced_results_identical(self, seeded_mini):
+        mini_app, symptoms = seeded_mini
+        untraced = mini_app.engine.isolated().diagnose_all(symptoms)
+        traced = mini_app.engine.isolated().diagnose_all(symptoms, traced=True)
+        assert traced == untraced  # Diagnosis equality ignores .trace
+        assert all(d.trace is not None for d in traced)
+
+    def test_null_span_singletons_stay_empty(self, seeded_mini):
+        # the shared null span's meta/children must never accumulate
+        # state, no matter how much traffic flows through the engine
+        mini_app, symptoms = seeded_mini
+        with NULL_TRACER.span("probe") as span:
+            pass
+        mini_app.engine.diagnose_all(symptoms)
+        assert span.meta == {} and span.children == []
+
+
+class TestOverheadRatio:
+    @pytest.mark.skipif(
+        available_cpus() < 2,
+        reason="wall-clock overhead gate needs >= 2 CPUs to be meaningful",
+    )
+    def test_null_tracer_overhead_within_ratio(self, seeded_mini):
+        mini_app, symptoms = seeded_mini
+        # warm both engines' retrieval caches so only per-call tracer
+        # plumbing differs between the timed passes
+        baseline_engine = mini_app.engine.isolated()
+        null_engine = mini_app.engine.isolated()
+        baseline_engine.diagnose_all(symptoms)
+        null_engine.diagnose_all(symptoms)
+
+        rounds = 20
+        started = time.perf_counter()
+        for _ in range(rounds):
+            baseline_engine.diagnose_all(symptoms)
+        baseline = time.perf_counter() - started
+
+        started = time.perf_counter()
+        for _ in range(rounds):
+            for symptom in symptoms:
+                null_engine.diagnose(symptom, tracer=NULL_TRACER)
+        with_null = time.perf_counter() - started
+
+        # generous 2x gate: the no-op path is a handful of attribute
+        # lookups per call site; anything near the gate is a regression
+        assert with_null <= baseline * 2.0 + 0.01, (
+            f"null-tracer path took {with_null:.4f}s vs baseline "
+            f"{baseline:.4f}s"
+        )
+
+    def test_enabled_tracer_records_but_stays_bounded(self, seeded_mini):
+        # not a timing gate — a sanity bound on tree size so tracing
+        # cannot quietly explode memory on big batches
+        mini_app, symptoms = seeded_mini
+        engine = mini_app.engine.isolated()
+        for symptom in symptoms:
+            tracer = Tracer()
+            engine.diagnose(symptom, tracer=tracer)
+            spans = sum(1 for _ in tracer.root.walk())
+            # mini graph: 1 diagnose + 1 reason + <=3 nodes, each with
+            # <=2 rules of <=4 spans plus store queries — far below 100
+            assert spans < 100

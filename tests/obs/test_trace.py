@@ -1,0 +1,181 @@
+"""Unit tests for the tracer, span trees and trace reports."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    TRACE_SCHEMA,
+    NullTracer,
+    Span,
+    SteppingClock,
+    Tracer,
+    format_stage_lines,
+    load_trace,
+    stage_breakdown,
+    stage_counts,
+    summarize_stages,
+    trace_document,
+    trace_to_json,
+    write_trace,
+)
+
+
+def build_sample_tree():
+    """outer(0..5) containing inner(1..3): 1 s of exclusive inner work."""
+    tracer = Tracer(clock=SteppingClock())
+    with tracer.span("outer", label="o") as outer:
+        with tracer.span("inner", label="i") as inner:
+            inner.count("rows", 3)
+        outer.annotate(matched=1)
+    return tracer
+
+
+class TestTracer:
+    def test_nesting_builds_a_tree(self):
+        tracer = build_sample_tree()
+        root = tracer.root
+        assert root.kind == "outer"
+        assert [c.kind for c in root.children] == ["inner"]
+        assert tracer.current() is None  # everything closed
+
+    def test_stepping_clock_gives_deterministic_timings(self):
+        tracer = build_sample_tree()
+        root = tracer.root
+        # readings: outer start=0, inner start=1, inner end=2, outer end=3
+        assert (root.start, root.end) == (0.0, 3.0)
+        assert (root.children[0].start, root.children[0].end) == (1.0, 2.0)
+
+    def test_self_seconds_excludes_children(self):
+        root = build_sample_tree().root
+        assert root.duration == 3.0
+        assert root.self_seconds == 2.0  # 3 minus the child's 1
+        assert root.children[0].self_seconds == 1.0
+
+    def test_counters_and_annotations_land_in_meta(self):
+        root = build_sample_tree().root
+        assert root.meta == {"matched": 1}
+        assert root.children[0].meta == {"rows": 3}
+
+    def test_count_on_tracer_targets_innermost_open_span(self):
+        tracer = Tracer(clock=SteppingClock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.count("evals")
+                tracer.count("evals")
+            tracer.annotate(note="outer-level")
+        assert tracer.root.children[0].meta == {"evals": 2}
+        assert tracer.root.meta == {"note": "outer-level"}
+
+    def test_mismatched_finish_raises(self):
+        tracer = Tracer()
+        outer = tracer.begin("outer")
+        tracer.begin("inner")
+        with pytest.raises(RuntimeError, match="nesting violated"):
+            tracer.finish(outer)
+
+    def test_finish_without_open_span_raises(self):
+        with pytest.raises(RuntimeError, match="no span is open"):
+            Tracer().finish()
+
+    def test_exception_inside_span_still_closes_it(self):
+        tracer = Tracer(clock=SteppingClock())
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                raise ValueError("boom")
+        assert tracer.current() is None
+        assert tracer.root.end > tracer.root.start
+
+    def test_walk_is_preorder(self):
+        tracer = Tracer(clock=SteppingClock())
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                with tracer.span("d"):
+                    pass
+        assert [s.kind for s in tracer.root.walk()] == ["a", "b", "c", "d"]
+        assert [s.kind for s in tracer.root.find("d")] == ["d"]
+
+
+class TestNullTracer:
+    def test_is_disabled_and_recordless(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.root is None
+        assert NULL_TRACER.roots == []
+        assert NULL_TRACER.current() is None
+
+    def test_span_returns_one_shared_context(self):
+        first = NULL_TRACER.span("a", label="x", rows=1)
+        second = NULL_TRACER.span("b")
+        assert first is second  # no allocation per call
+        with first as span:
+            span.count("rows")
+            span.annotate(ignored=True)
+        assert span.meta == {}
+
+    def test_fresh_instances_share_nothing_mutable(self):
+        # NullTracer() is stateless; meta/children singletons stay empty
+        tracer = NullTracer()
+        with tracer.span("a") as span:
+            span.count("x")
+        assert span.meta == {} and span.children == []
+
+
+class TestSerialization:
+    def test_round_trip_preserves_shape_and_timing(self):
+        root = build_sample_tree().root
+        clone = Span.from_dict(root.to_dict())
+        assert clone.shape() == root.shape()
+        assert clone.duration == root.duration
+        assert clone.children[0].meta == {"rows": 3}
+
+    def test_shape_drops_timings(self):
+        shape = build_sample_tree().root.shape()
+        assert set(shape) == {"kind", "label", "meta", "children"}
+        assert set(shape["children"][0]) == {"kind", "label", "meta", "children"}
+
+    def test_json_export_is_stable_and_schema_tagged(self):
+        root = build_sample_tree().root
+        text = trace_to_json(root)
+        assert text == trace_to_json(root)  # byte-stable
+        document = json.loads(text)
+        assert document["schema"] == TRACE_SCHEMA
+        assert trace_document(root)["trace"]["kind"] == "outer"
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        root = build_sample_tree().root
+        path = tmp_path / "trace.json"
+        write_trace(str(path), root)
+        loaded = load_trace(str(path))
+        assert loaded.shape() == root.shape()
+
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "other/9", "trace": {"kind": "x"}}')
+        with pytest.raises(ValueError, match="unsupported trace schema"):
+            load_trace(str(path))
+
+
+class TestReports:
+    def test_stage_breakdown_sums_to_at_most_root(self):
+        root = build_sample_tree().root
+        breakdown = stage_breakdown(root)
+        assert breakdown == {"outer": 2.0, "inner": 1.0}
+        assert sum(breakdown.values()) <= root.duration + 1e-9
+        assert stage_counts(root) == {"outer": 1, "inner": 1}
+
+    def test_summarize_stages_percentiles(self):
+        breakdowns = [{"s": float(v)} for v in range(1, 101)]
+        summary = summarize_stages(breakdowns)["s"]
+        assert summary["count"] == 100
+        assert summary["p50"] == 51.0  # nearest-rank on a sorted 1..100
+        assert summary["p95"] == 96.0
+        assert summary["max"] == 100.0
+
+    def test_format_stage_lines_renders_every_stage(self):
+        summary = summarize_stages([{"alpha": 0.001, "beta": 0.002}])
+        lines = format_stage_lines(summary)
+        assert len(lines) == 3
+        assert "alpha" in lines[1] and "beta" in lines[2]

@@ -84,6 +84,16 @@ class TestDocsReferenceRealCode:
                      "EXPERIMENTS.md"):
             assert path.split("/")[-1] in text or path in text
         assert os.path.exists("docs/rulespec.md")
+        assert os.path.exists("docs/observability.md")
+        assert "docs/observability.md" in text
+
+    def test_observability_doc_names_real_surfaces(self):
+        with open("docs/observability.md") as handle:
+            text = handle.read()
+        for surface in ("Tracer", "NULL_TRACER", "stage_breakdown",
+                        "--trace", "grca-trace/1",
+                        "regen_trace_goldens.py"):
+            assert surface in text, surface
 
     def test_design_md_mentions_every_subpackage(self):
         with open("DESIGN.md") as handle:
