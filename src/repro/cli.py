@@ -53,8 +53,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_backend_args(command):
+        command.add_argument(
+            "--backend", choices=["memory", "sqlite"], default=None,
+            help="storage engine for the Data Collector tables "
+                 "(default: memory)")
+        command.add_argument(
+            "--store-path", metavar="DIR", default=None,
+            help="with --backend sqlite: directory for the per-table "
+                 "database files (default: a temporary directory)")
+
     diagnose = sub.add_parser("diagnose", help="simulate + diagnose a scenario")
     diagnose.add_argument("scenario", choices=sorted(_SCENARIOS))
+    add_backend_args(diagnose)
     diagnose.add_argument("--seed", type=int, default=1)
     diagnose.add_argument("--size", type=int, default=300,
                           help="number of symptom events to inject")
@@ -91,11 +102,13 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=1)
     simulate.add_argument("--size", type=int, default=100)
     simulate.add_argument("--out", required=True, help="output directory")
+    add_backend_args(simulate)
 
     serve = sub.add_parser(
         "serve", help="run a scenario through the concurrent RCA service"
     )
     serve.add_argument("scenario", choices=sorted(_SCENARIOS))
+    add_backend_args(serve)
     serve.add_argument("--seed", type=int, default=1)
     serve.add_argument("--size", type=int, default=300,
                        help="number of symptom events to inject")
@@ -109,6 +122,26 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="re-run the full window afterwards to "
                             "exercise the result cache")
     return parser
+
+
+def _apply_backend(args) -> None:
+    """Make ``--backend`` the process default before scenarios build.
+
+    Scenario simulators construct their own :class:`DataCollector`
+    internally, so the swap has to be config-only: set the default and
+    every store created afterwards uses the chosen engine.
+    """
+    backend = getattr(args, "backend", None)
+    if backend is None:
+        return
+    from .collector.backends import set_default_backend, sqlite_backend
+
+    if backend == "sqlite":
+        set_default_backend(
+            sqlite_backend(directory=getattr(args, "store_path", None))
+        )
+    else:
+        set_default_backend(backend)
 
 
 def _run_scenario(name: str, seed: int, size: int):
@@ -325,6 +358,7 @@ def _cmd_serve(args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    _apply_backend(args)
     if args.command == "diagnose":
         return _cmd_diagnose(args)
     if args.command == "mine":

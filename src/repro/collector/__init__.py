@@ -127,7 +127,9 @@ class DataCollector:
         return self.store.summary()
 
     def feed_stats_lines(self) -> List[str]:
-        """One formatted ``stats`` line per source that saw any input."""
+        """One formatted ``stats`` line per source that saw any input,
+        plus per-table storage lines (backend identity, tail-buffer and
+        merge counters) so operators can see which engine served."""
         lines = []
         for source, parser in sorted(self.parsers.items()):
             stats = parser.stats
@@ -148,6 +150,19 @@ class DataCollector:
                 f"stats dead-letters buffered={len(self.dead_letters)} "
                 f"dropped={self.dead_letters.dropped}"
             )
+        storage = self.store.storage_summary()
+        if storage:
+            lines.append(
+                f"stats storage backend={self.store.backend_name} "
+                f"tables={len(storage)} records={self.store.total_records()}"
+            )
+            for name, table_stats in sorted(storage.items()):
+                detail = " ".join(
+                    f"{key}={value}"
+                    for key, value in table_stats.items()
+                    if key not in ("backend", "path")
+                )
+                lines.append(f"stats storage {name:<8} {detail}")
         return lines
 
 

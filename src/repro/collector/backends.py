@@ -1,0 +1,579 @@
+"""Pluggable storage backends for the Data Collector's tables.
+
+The paper's Data Collector "stores them in database tables in real
+time" across ~600 feeds; industrial descendants (Groot, CloudRCA) treat
+storage as swappable infrastructure behind the correlation engine.
+This module is that seam: a :class:`StorageBackend` contract plus two
+implementations —
+
+* :class:`MemoryBackend` — sorted columnar timestamps with an unsorted
+  *tail buffer* for out-of-order arrivals, merged lazily.  An
+  out-of-order insert is an O(1) append plus an amortized share of the
+  next merge, instead of the seed store's per-insert O(n·k) wholesale
+  index rebuild.
+* :class:`SqliteBackend` — the platform's first persistent store: one
+  WAL-mode SQLite file per table, with ``(column, ts)`` SQL indexes for
+  every declared indexed column and pickled rows for byte-exact
+  round-trips.
+
+Backends are selected per :class:`~repro.collector.store.DataStore`
+(``DataStore(backend=...)``), per process
+(:func:`set_default_backend` / the ``GRCA_STORE_BACKEND`` environment
+variable, which is how the ``--backend`` CLI flag makes the swap
+config-only), or per table by passing a factory.
+
+Contract
+--------
+
+A backend is **not** thread-safe and never needs to be: the owning
+:class:`~repro.collector.store.Table` façade serializes every call
+under its lock.  Canonical result order is ``(timestamp, arrival
+sequence)`` — both backends return byte-identical record lists for the
+same inserts and queries (pinned by the property-based oracle tests in
+``tests/collector/test_backends.py``).  Windows are inclusive on both
+ends; ``None`` bounds are open.
+"""
+
+from __future__ import annotations
+
+import bisect
+import os
+import pickle
+import sqlite3
+import tempfile
+import threading
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+#: Builds a backend for one table: ``factory(table_name, indexed_columns)``.
+BackendFactory = Callable[[str, Tuple[str, ...]], "StorageBackend"]
+
+#: What ``DataStore(backend=...)`` accepts: a name, a factory, or None
+#: (meaning the process default, see :func:`set_default_backend`).
+BackendSpec = Any
+
+
+class StorageBackend:
+    """Interface every table storage engine implements.
+
+    Documented as a plain base class (not an ABC) so third-party
+    backends can duck-type; the methods below are the whole contract.
+    All calls arrive serialized by the owning table's lock.
+    """
+
+    #: short identity string surfaced in summaries ("memory", "sqlite")
+    name: str = "abstract"
+
+    def insert(self, record) -> None:
+        """Add one record (timestamps may arrive out of order)."""
+        raise NotImplementedError
+
+    def query(
+        self,
+        start: Optional[float],
+        end: Optional[float],
+        equals: Dict[str, Any],
+    ) -> List[Any]:
+        """Records with ``start <= ts <= end`` matching every filter,
+        in ``(timestamp, arrival)`` order."""
+        raise NotImplementedError
+
+    def scan(self) -> List[Any]:
+        """Every record, in ``(timestamp, arrival)`` order."""
+        raise NotImplementedError
+
+    def distinct(self, column: str) -> List[Any]:
+        """Distinct non-None values of a column, sorted by ``repr``."""
+        raise NotImplementedError
+
+    def time_span(self) -> Optional[Tuple[float, float]]:
+        """(oldest, newest) timestamp, or None when empty."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def stats(self) -> Dict[str, Any]:
+        """Operator-facing counters (backend identity, tail/merge state)."""
+        return {"backend": self.name, "records": len(self)}
+
+    def close(self) -> None:
+        """Release external resources (files, connections)."""
+
+    @property
+    def indexed_columns(self) -> Tuple[str, ...]:
+        """Columns this backend can serve equality filters on quickly."""
+        return ()
+
+
+class MemoryBackend(StorageBackend):
+    """Sorted columnar arrays plus a lazily merged out-of-order tail.
+
+    In-order inserts append to the sorted run and its per-column hash
+    indexes.  Out-of-order inserts land in an unsorted *tail buffer*;
+    queries consult both (the tail linearly — it is bounded), and once
+    the tail outgrows ``max(256, sorted_len // 16)`` it is merged into
+    the sorted run in one O(n + t) pass that also rebuilds the index
+    posting lists.  The merge cost is amortized over the inserts that
+    filled the tail, so ingest never pays the seed store's per-insert
+    wholesale rebuild.
+    """
+
+    name = "memory"
+
+    def __init__(
+        self,
+        indexed_columns: Iterable[str] = (),
+        tail_limit: Optional[int] = None,
+    ) -> None:
+        self._ts: List[float] = []
+        self._seq: List[int] = []
+        self._recs: List[Any] = []
+        #: out-of-order arrivals: (timestamp, arrival seq, record)
+        self._tail: List[Tuple[float, int, Any]] = []
+        self._indexes: Dict[str, Dict[Any, List[int]]] = {
+            column: {} for column in indexed_columns
+        }
+        self._next_seq = 0
+        self._tail_limit = tail_limit
+        self.inserts = 0
+        self.out_of_order = 0
+        self.merges = 0
+        self.max_tail = 0
+
+    @property
+    def indexed_columns(self) -> Tuple[str, ...]:
+        return tuple(self._indexes)
+
+    def _tail_threshold(self) -> int:
+        if self._tail_limit is not None:
+            return self._tail_limit
+        return max(256, len(self._ts) // 16)
+
+    def insert(self, record) -> None:
+        """Append in order, or buffer an out-of-order arrival in the tail."""
+        seq = self._next_seq
+        self._next_seq += 1
+        self.inserts += 1
+        if self._ts and record.timestamp < self._ts[-1]:
+            self._tail.append((record.timestamp, seq, record))
+            self.out_of_order += 1
+            if len(self._tail) > self.max_tail:
+                self.max_tail = len(self._tail)
+            if len(self._tail) > self._tail_threshold():
+                self._merge()
+            return
+        position = len(self._recs)
+        self._ts.append(record.timestamp)
+        self._seq.append(seq)
+        self._recs.append(record)
+        for column, index in self._indexes.items():
+            value = record.get(column)
+            if value is not None:
+                index.setdefault(value, []).append(position)
+
+    def _merge(self) -> None:
+        """Fold the tail into the sorted run; one pass, amortized."""
+        tail = sorted(self._tail)
+        ts, seqs, recs = self._ts, self._seq, self._recs
+        merged_ts: List[float] = []
+        merged_seq: List[int] = []
+        merged_recs: List[Any] = []
+        i = j = 0
+        n, t = len(ts), len(tail)
+        while i < n and j < t:
+            if (ts[i], seqs[i]) <= (tail[j][0], tail[j][1]):
+                merged_ts.append(ts[i])
+                merged_seq.append(seqs[i])
+                merged_recs.append(recs[i])
+                i += 1
+            else:
+                merged_ts.append(tail[j][0])
+                merged_seq.append(tail[j][1])
+                merged_recs.append(tail[j][2])
+                j += 1
+        while i < n:
+            merged_ts.append(ts[i])
+            merged_seq.append(seqs[i])
+            merged_recs.append(recs[i])
+            i += 1
+        while j < t:
+            merged_ts.append(tail[j][0])
+            merged_seq.append(tail[j][1])
+            merged_recs.append(tail[j][2])
+            j += 1
+        self._ts, self._seq, self._recs = merged_ts, merged_seq, merged_recs
+        self._tail = []
+        for column in self._indexes:
+            rebuilt: Dict[Any, List[int]] = {}
+            for position, record in enumerate(merged_recs):
+                value = record.get(column)
+                if value is not None:
+                    rebuilt.setdefault(value, []).append(position)
+            self._indexes[column] = rebuilt
+        self.merges += 1
+
+    def __len__(self) -> int:
+        return len(self._recs) + len(self._tail)
+
+    def query(
+        self,
+        start: Optional[float],
+        end: Optional[float],
+        equals: Dict[str, Any],
+    ) -> List[Any]:
+        """Bisect the sorted run, scan the bounded tail, merge by (ts, seq)."""
+        lo = 0 if start is None else bisect.bisect_left(self._ts, start)
+        hi = (
+            len(self._recs)
+            if end is None
+            else bisect.bisect_right(self._ts, end)
+        )
+        indexed = [
+            (column, value)
+            for column, value in equals.items()
+            if column in self._indexes
+        ]
+        if indexed:
+            # intersect the smallest index posting list with the time range
+            column, value = min(
+                indexed, key=lambda cv: len(self._indexes[cv[0]].get(cv[1], []))
+            )
+            positions = self._indexes[column].get(value, [])
+            p_lo = bisect.bisect_left(positions, lo)
+            p_hi = bisect.bisect_left(positions, hi)
+            candidates: Iterable[int] = positions[p_lo:p_hi]
+        else:
+            candidates = range(lo, hi)
+        result: List[Tuple[float, int, Any]] = []
+        for p in candidates:
+            record = self._recs[p]
+            if all(record.get(column) == value for column, value in equals.items()):
+                result.append((self._ts[p], self._seq[p], record))
+        if self._tail:
+            matched_tail = [
+                entry
+                for entry in self._tail
+                if (start is None or entry[0] >= start)
+                and (end is None or entry[0] <= end)
+                and all(
+                    entry[2].get(column) == value
+                    for column, value in equals.items()
+                )
+            ]
+            if matched_tail:
+                result.extend(matched_tail)
+                result.sort(key=lambda entry: (entry[0], entry[1]))
+        return [record for _ts, _seq, record in result]
+
+    def scan(self) -> List[Any]:
+        """Every record in (timestamp, arrival) order, tail included."""
+        if not self._tail:
+            return list(self._recs)
+        entries = [
+            (ts, seq, rec)
+            for ts, seq, rec in zip(self._ts, self._seq, self._recs)
+        ]
+        entries.extend(self._tail)
+        entries.sort(key=lambda entry: (entry[0], entry[1]))
+        return [record for _ts, _seq, record in entries]
+
+    def distinct(self, column: str) -> List[Any]:
+        """Distinct non-None column values, from the index when available."""
+        if column in self._indexes:
+            values = set(self._indexes[column])
+        else:
+            values = {record.get(column) for record in self._recs}
+        for _ts, _seq, record in self._tail:
+            values.add(record.get(column))
+        values.discard(None)
+        return sorted(values, key=repr)
+
+    def time_span(self) -> Optional[Tuple[float, float]]:
+        """(oldest, newest) timestamp across sorted run and tail."""
+        if not self._ts:
+            return None
+        oldest = self._ts[0]
+        if self._tail:
+            oldest = min(oldest, min(entry[0] for entry in self._tail))
+        # tail entries are always older than the sorted run's newest
+        return oldest, self._ts[-1]
+
+    def stats(self) -> Dict[str, Any]:
+        """Tail-buffer and merge counters alongside the backend identity."""
+        return {
+            "backend": self.name,
+            "records": len(self),
+            "inserts": self.inserts,
+            "out_of_order": self.out_of_order,
+            "tail": len(self._tail),
+            "max_tail": self.max_tail,
+            "merges": self.merges,
+        }
+
+
+class SqliteBackend(StorageBackend):
+    """One WAL-mode SQLite file per table; rows pickled for exact fidelity.
+
+    Indexed columns from the table's declaration become real ``TEXT``
+    columns with ``(column, ts)`` SQL indexes; string equality filters
+    are pushed down to SQL, everything else (and every filter, again)
+    is applied in Python on the decoded records, so results are
+    byte-identical to :class:`MemoryBackend` regardless of field types.
+    Only string values are mirrored into the SQL columns — a non-string
+    can never equal a pushed-down string, so the pushdown never loses a
+    row.
+
+    Connections are reopened transparently after a ``fork()`` (the
+    service's batch fork backend inherits engines copy-on-write), keyed
+    on the current PID.
+    """
+
+    name = "sqlite"
+
+    def __init__(
+        self,
+        table_name: str,
+        indexed_columns: Iterable[str] = (),
+        path: Optional[str] = None,
+        synchronous: str = "NORMAL",
+    ) -> None:
+        self.table_name = table_name
+        self._columns = tuple(indexed_columns)
+        if path is None:
+            directory = tempfile.mkdtemp(prefix="grca-store-")
+            path = os.path.join(directory, f"{table_name}.sqlite")
+        else:
+            parent = os.path.dirname(path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+        self.path = path
+        self._synchronous = synchronous
+        self._pid: Optional[int] = None
+        self._conn: Optional[sqlite3.Connection] = None
+        self._last_ts: Optional[float] = None
+        self.inserts = 0
+        self.out_of_order = 0
+        self._connect()
+
+    @property
+    def indexed_columns(self) -> Tuple[str, ...]:
+        return self._columns
+
+    def _column_sql(self, column: str) -> str:
+        return '"col_' + column.replace('"', '""') + '"'
+
+    def _connect(self) -> None:
+        self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        self._pid = os.getpid()
+        cur = self._conn
+        cur.execute("PRAGMA journal_mode=WAL")
+        cur.execute(f"PRAGMA synchronous={self._synchronous}")
+        columns = "".join(
+            f", {self._column_sql(c)} TEXT" for c in self._columns
+        )
+        cur.execute(
+            "CREATE TABLE IF NOT EXISTS records ("
+            "id INTEGER PRIMARY KEY AUTOINCREMENT, "
+            f"ts REAL NOT NULL{columns}, payload BLOB NOT NULL)"
+        )
+        cur.execute("CREATE INDEX IF NOT EXISTS idx_ts ON records (ts)")
+        for i, column in enumerate(self._columns):
+            cur.execute(
+                f"CREATE INDEX IF NOT EXISTS idx_col_{i} "
+                f"ON records ({self._column_sql(column)}, ts)"
+            )
+        cur.commit()
+
+    def _connection(self) -> sqlite3.Connection:
+        if self._conn is None or self._pid != os.getpid():
+            # forked child: the parent's connection must not be reused
+            self._conn = None
+            self._connect()
+        return self._conn
+
+    def insert(self, record) -> None:
+        """Insert one row: ts + mirrored string index columns + pickle."""
+        values: List[Any] = [record.timestamp]
+        for column in self._columns:
+            value = record.get(column)
+            values.append(value if isinstance(value, str) else None)
+        values.append(pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL))
+        placeholders = ", ".join("?" for _ in values)
+        columns = "".join(f", {self._column_sql(c)}" for c in self._columns)
+        conn = self._connection()
+        conn.execute(
+            f"INSERT INTO records (ts{columns}, payload) VALUES ({placeholders})",
+            values,
+        )
+        conn.commit()
+        self.inserts += 1
+        if self._last_ts is not None and record.timestamp < self._last_ts:
+            self.out_of_order += 1
+        elif self._last_ts is None or record.timestamp > self._last_ts:
+            self._last_ts = record.timestamp
+
+    def query(
+        self,
+        start: Optional[float],
+        end: Optional[float],
+        equals: Dict[str, Any],
+    ) -> List[Any]:
+        """SQL window + string-equality pushdown, re-filtered in Python."""
+        clauses: List[str] = []
+        params: List[Any] = []
+        if start is not None:
+            clauses.append("ts >= ?")
+            params.append(start)
+        if end is not None:
+            clauses.append("ts <= ?")
+            params.append(end)
+        for column, value in equals.items():
+            if column in self._columns and isinstance(value, str):
+                clauses.append(f"{self._column_sql(column)} = ?")
+                params.append(value)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        rows = self._connection().execute(
+            f"SELECT payload FROM records{where} ORDER BY ts, id", params
+        ).fetchall()
+        result = []
+        for (payload,) in rows:
+            record = pickle.loads(payload)
+            if all(record.get(column) == value for column, value in equals.items()):
+                result.append(record)
+        return result
+
+    def scan(self) -> List[Any]:
+        """Every record, decoded, in (ts, insertion id) order."""
+        rows = self._connection().execute(
+            "SELECT payload FROM records ORDER BY ts, id"
+        ).fetchall()
+        return [pickle.loads(payload) for (payload,) in rows]
+
+    def distinct(self, column: str) -> List[Any]:
+        """Distinct non-None column values over the decoded records."""
+        values = {record.get(column) for record in self.scan()}
+        values.discard(None)
+        return sorted(values, key=repr)
+
+    def time_span(self) -> Optional[Tuple[float, float]]:
+        """(oldest, newest) timestamp via MIN/MAX, or None when empty."""
+        row = self._connection().execute(
+            "SELECT MIN(ts), MAX(ts) FROM records"
+        ).fetchone()
+        if row is None or row[0] is None:
+            return None
+        return float(row[0]), float(row[1])
+
+    def __len__(self) -> int:
+        row = self._connection().execute(
+            "SELECT COUNT(*) FROM records"
+        ).fetchone()
+        return int(row[0])
+
+    def stats(self) -> Dict[str, Any]:
+        """Backend identity, counters and the database file path."""
+        return {
+            "backend": self.name,
+            "records": len(self),
+            "inserts": self.inserts,
+            "out_of_order": self.out_of_order,
+            "path": self.path,
+        }
+
+    def close(self) -> None:
+        """Close the connection owned by this process (fork-safe)."""
+        if self._conn is not None and self._pid == os.getpid():
+            self._conn.close()
+        self._conn = None
+
+
+# ----------------------------------------------------------------------
+# factories and process-default selection
+
+
+def memory_backend(tail_limit: Optional[int] = None) -> BackendFactory:
+    """Factory building a :class:`MemoryBackend` per table."""
+
+    def make(table_name: str, indexed_columns: Tuple[str, ...]) -> MemoryBackend:
+        return MemoryBackend(indexed_columns, tail_limit=tail_limit)
+
+    make.backend_name = "memory"  # type: ignore[attr-defined]
+    return make
+
+
+def sqlite_backend(
+    directory: Optional[str] = None, synchronous: str = "NORMAL"
+) -> BackendFactory:
+    """Factory building one :class:`SqliteBackend` file per table.
+
+    ``directory`` is where the per-table database files live (created if
+    missing); omitted, a fresh temporary directory is used — a cache
+    store with SQLite semantics.  Point it somewhere durable to make the
+    store persistent across runs.
+    """
+    if directory is None:
+        directory = tempfile.mkdtemp(prefix="grca-store-")
+    else:
+        os.makedirs(directory, exist_ok=True)
+
+    def make(table_name: str, indexed_columns: Tuple[str, ...]) -> SqliteBackend:
+        return SqliteBackend(
+            table_name,
+            indexed_columns,
+            path=os.path.join(directory, f"{table_name}.sqlite"),
+            synchronous=synchronous,
+        )
+
+    make.backend_name = "sqlite"  # type: ignore[attr-defined]
+    make.directory = directory  # type: ignore[attr-defined]
+    return make
+
+
+_default_lock = threading.Lock()
+_default_backend: Optional[BackendSpec] = None
+
+
+def set_default_backend(spec: Optional[BackendSpec]) -> None:
+    """Set the process-wide default backend (None restores built-in).
+
+    This is the config-only swap used by the ``--backend`` CLI flag:
+    every :class:`~repro.collector.store.DataStore` built afterwards
+    without an explicit ``backend=`` — including the ones scenario
+    simulators create internally — uses this spec.
+    """
+    global _default_backend
+    with _default_lock:
+        _default_backend = None if spec is None else resolve_backend(spec)
+
+
+def default_backend() -> BackendFactory:
+    """The process default: explicit setting, else ``GRCA_STORE_BACKEND``
+    (``memory`` or ``sqlite``), else memory."""
+    with _default_lock:
+        if _default_backend is not None:
+            return _default_backend
+    env = os.environ.get("GRCA_STORE_BACKEND")
+    if env:
+        return resolve_backend(env)
+    return memory_backend()
+
+
+def resolve_backend(spec: Optional[BackendSpec]) -> BackendFactory:
+    """Normalize a backend spec (name / factory / None) to a factory."""
+    if spec is None:
+        return default_backend()
+    if callable(spec):
+        return spec
+    if spec == "memory":
+        return memory_backend()
+    if spec == "sqlite":
+        return sqlite_backend()
+    raise ValueError(
+        f"unknown storage backend {spec!r}; use 'memory', 'sqlite' or a factory"
+    )
+
+
+def backend_name(spec: Optional[BackendSpec]) -> str:
+    """Human-readable identity of a backend spec or factory."""
+    factory = resolve_backend(spec)
+    return getattr(factory, "backend_name", getattr(factory, "name", "custom"))

@@ -2,22 +2,25 @@
 
 The deployed Data Collector "pulls all the data together, normalizes
 them so that they can be readily correlated, and stores them in database
-tables in real time".  This module is that database: one :class:`Table`
-per data source, each holding :class:`Record` rows sorted by timestamp,
-with optional hash indexes on equality-filter columns (router, interface,
-device) so that the retrieval processes of event definitions — which are
-time-range plus location scans — stay fast at scale.
+tables in real time".  This module is that database's front door: one
+:class:`Table` per data source, each a thin thread-safe façade over a
+pluggable :class:`~repro.collector.backends.StorageBackend` (in-memory
+columnar by default, SQLite for persistence — see
+:mod:`repro.collector.backends`), plus the :class:`ReadObserver` seam
+through which tracing, footprint capture and future metrics watch the
+read path without forking proxy class hierarchies.
 
 Thread-safety contract
 ----------------------
 
 The store serves a live service: ingest threads append records while
 worker threads run retrieval queries.  Every :class:`Table` guards its
-mutable state with a reentrant lock; :class:`DataStore` guards table
-creation with its own.  The guarantees are:
+backend with a reentrant lock (backends themselves are single-threaded
+by contract); :class:`DataStore` guards table creation with its own.
+The guarantees are:
 
 * ``insert`` / ``insert_row`` are atomic — a concurrent ``query`` sees
-  the table either before or after a whole insert, never mid-rebuild;
+  the table either before or after a whole insert, never mid-merge;
 * ``query``, ``scan``, ``distinct`` and ``time_span`` return snapshots
   taken under the lock — iterating a returned list/iterator is safe even
   while writers keep inserting;
@@ -36,10 +39,11 @@ footprint invalidation and the streaming reorder slack.
 
 from __future__ import annotations
 
-import bisect
 import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .backends import StorageBackend, resolve_backend
 
 #: Insert listener signature: (table name, record timestamp, store revision).
 InsertListener = Callable[[str, float, int], None]
@@ -47,38 +51,59 @@ InsertListener = Callable[[str, float, int], None]
 
 @dataclass(frozen=True)
 class Record:
-    """One normalized row: an epoch-UTC timestamp plus named fields."""
+    """One normalized row: an epoch-UTC timestamp plus named fields.
+
+    Identity, equality and hashing come from the frozen ``(timestamp,
+    fields)`` tuple pair; field lookup goes through a dict built once at
+    construction, so ``get``/``[]`` in the store's filter loops are O(1)
+    instead of a linear scan over the tuple.
+    """
 
     timestamp: float
     fields: Tuple[Tuple[str, Any], ...]
+
+    def __post_init__(self) -> None:
+        # cache is derived state: not a dataclass field, so it never
+        # participates in __eq__/__hash__/repr
+        object.__setattr__(self, "_by_name", dict(self.fields))
 
     @classmethod
     def make(cls, timestamp: float, **fields: Any) -> "Record":
         return cls(timestamp=timestamp, fields=tuple(sorted(fields.items())))
 
     def __getitem__(self, key: str) -> Any:
-        for name, value in self.fields:
-            if name == key:
-                return value
-        raise KeyError(key)
+        try:
+            return self._by_name[key]
+        except KeyError:
+            raise KeyError(key) from None
 
     def get(self, key: str, default: Any = None) -> Any:
         """Field value by name, with a default when absent."""
-        for name, value in self.fields:
-            if name == key:
-                return value
-        return default
+        return self._by_name.get(key, default)
 
     def as_dict(self) -> Dict[str, Any]:
         """The record's fields as a plain dictionary."""
         return dict(self.fields)
 
+    def __getstate__(self) -> Tuple[float, Tuple[Tuple[str, Any], ...]]:
+        # keep pickles (the SQLite payload format) free of the cache
+        return (self.timestamp, self.fields)
+
+    def __setstate__(self, state) -> None:
+        object.__setattr__(self, "timestamp", state[0])
+        object.__setattr__(self, "fields", state[1])
+        object.__setattr__(self, "_by_name", dict(state[1]))
+
 
 class Table:
-    """Time-sorted records with optional per-column hash indexes.
+    """Thread-safe façade over one storage backend.
 
     All mutating and reading methods are safe to call from multiple
-    threads; see the module docstring for the exact contract.
+    threads; the backend underneath is single-threaded by contract and
+    only ever touched under this table's lock.  ``backend`` accepts a
+    ready :class:`~repro.collector.backends.StorageBackend` instance, a
+    factory ``(name, indexed_columns) -> backend``, a backend name, or
+    ``None`` for the process default.
     """
 
     def __init__(
@@ -86,36 +111,34 @@ class Table:
         name: str,
         indexed_columns: Iterable[str] = (),
         on_insert: Optional[Callable[[str, float], None]] = None,
+        backend: Any = None,
     ) -> None:
         self.name = name
-        self._records: List[Record] = []
-        self._timestamps: List[float] = []
-        self._indexes: Dict[str, Dict[Any, List[int]]] = {
-            column: {} for column in indexed_columns
-        }
+        if not isinstance(backend, StorageBackend):
+            factory = resolve_backend(backend)
+            backend = factory(name, tuple(indexed_columns))
+        self._backend = backend
         self._lock = threading.RLock()
         self._on_insert = on_insert
 
+    @property
+    def backend_name(self) -> str:
+        """Identity of the storage engine serving this table."""
+        return self._backend.name
+
+    @property
+    def indexed_columns(self) -> Tuple[str, ...]:
+        """Columns the backend serves equality filters on quickly."""
+        return self._backend.indexed_columns
+
     def __len__(self) -> int:
         with self._lock:
-            return len(self._records)
+            return len(self._backend)
 
     def insert(self, record: Record) -> None:
         """Insert keeping timestamp order (append-fast for ordered feeds)."""
         with self._lock:
-            if self._timestamps and record.timestamp < self._timestamps[-1]:
-                position = bisect.bisect_right(self._timestamps, record.timestamp)
-                self._records.insert(position, record)
-                self._timestamps.insert(position, record.timestamp)
-                self._rebuild_indexes()
-            else:
-                position = len(self._records)
-                self._records.append(record)
-                self._timestamps.append(record.timestamp)
-                for column, index in self._indexes.items():
-                    value = record.get(column)
-                    if value is not None:
-                        index.setdefault(value, []).append(position)
+            self._backend.insert(record)
         # notify outside the table lock: listeners may take their own
         # locks (cache invalidation) and must never deadlock ingest
         if self._on_insert is not None:
@@ -125,15 +148,6 @@ class Table:
         """Insert a row built from keyword fields."""
         self.insert(Record.make(timestamp, **fields))
 
-    def _rebuild_indexes(self) -> None:
-        for column in self._indexes:
-            rebuilt: Dict[Any, List[int]] = {}
-            for position, record in enumerate(self._records):
-                value = record.get(column)
-                if value is not None:
-                    rebuilt.setdefault(value, []).append(position)
-            self._indexes[column] = rebuilt
-
     def query(
         self,
         start: Optional[float] = None,
@@ -142,72 +156,152 @@ class Table:
     ) -> List[Record]:
         """Records with ``start <= timestamp <= end`` matching all filters."""
         with self._lock:
-            lo = 0 if start is None else bisect.bisect_left(self._timestamps, start)
-            hi = (
-                len(self._records)
-                if end is None
-                else bisect.bisect_right(self._timestamps, end)
-            )
-            indexed = [
-                (column, value)
-                for column, value in equals.items()
-                if column in self._indexes
-            ]
-            if indexed:
-                # intersect the smallest index posting list with the time range
-                column, value = min(
-                    indexed, key=lambda cv: len(self._indexes[cv[0]].get(cv[1], []))
-                )
-                positions = self._indexes[column].get(value, [])
-                p_lo = bisect.bisect_left(positions, lo)
-                p_hi = bisect.bisect_left(positions, hi)
-                candidates: Iterable[Record] = (
-                    self._records[p] for p in positions[p_lo:p_hi]
-                )
-            else:
-                candidates = self._records[lo:hi]
-            result = []
-            for record in candidates:
-                if all(record.get(column) == value for column, value in equals.items()):
-                    result.append(record)
-            return result
+            return self._backend.query(start, end, equals)
 
     def scan(self) -> Iterator[Record]:
         """Iterate a snapshot of every record in timestamp order."""
         with self._lock:
-            return iter(list(self._records))
+            return iter(self._backend.scan())
 
     def distinct(self, column: str) -> List[Any]:
         """Distinct non-None values of a column."""
         with self._lock:
-            if column in self._indexes:
-                return sorted(self._indexes[column], key=repr)
-            values = {r.get(column) for r in self._records}
-            values.discard(None)
-            return sorted(values, key=repr)
+            return self._backend.distinct(column)
 
     @property
     def time_span(self) -> Optional[Tuple[float, float]]:
         with self._lock:
-            if not self._timestamps:
-                return None
-            return self._timestamps[0], self._timestamps[-1]
+            return self._backend.time_span()
+
+    def stats(self) -> Dict[str, Any]:
+        """Backend identity and storage counters for this table."""
+        with self._lock:
+            return self._backend.stats()
 
 
-class TracedTable:
-    """Read proxy over a :class:`Table` emitting one span per read.
+# ----------------------------------------------------------------------
+# the read-path observer seam
 
-    Every ``query`` / ``scan`` / ``distinct`` is wrapped in a
-    ``store-query`` span on the supplied tracer (any object with the
-    :class:`repro.obs.Tracer` interface), carrying the table name, the
-    requested window and the number of rows returned.  Writes are not
-    proxied — tracing is a read-path concern; use the underlying table
-    to ingest.
+
+@dataclass(frozen=True)
+class StoreRead:
+    """One read issued against a table, as observers see it.
+
+    ``kind`` is ``"query"``, ``"scan"`` or ``"distinct"``; ``filters``
+    holds the equality filters of a query as sorted ``(column, value)``
+    pairs; ``column`` is set for ``distinct`` reads.
     """
 
-    def __init__(self, table: Table, tracer) -> None:
-        self._table = table
+    table: str
+    kind: str
+    start: Optional[float] = None
+    end: Optional[float] = None
+    filters: Tuple[Tuple[str, Any], ...] = ()
+    column: Optional[str] = None
+
+    @property
+    def window(self) -> Tuple[float, float]:
+        """The read's time coverage with open bounds widened to ±inf.
+
+        Scans and distinct reads cover the whole table — the
+        conservative footprint the service cache invalidates on.
+        """
+        if self.kind != "query":
+            return float("-inf"), float("inf")
+        lo = float("-inf") if self.start is None else self.start
+        hi = float("inf") if self.end is None else self.end
+        return lo, hi
+
+
+class ReadObserver:
+    """Hook on the store read path; compose freely on one seam.
+
+    ``begin`` fires before the backend read (returning an opaque token),
+    ``end`` after it with the row count — or ``None`` when the read
+    raised.  Observers watching coverage (footprints) should record in
+    ``begin`` so exceptions never lose a read; observers reporting
+    results (tracing, metrics) act in ``end``.
+    """
+
+    def begin(self, read: StoreRead) -> Any:
+        """Called before the read executes; the return value is the
+        token handed back to :meth:`end`."""
+        return None
+
+    def end(self, read: StoreRead, token: Any, rows: Optional[int]) -> None:
+        """Called after the read (``rows=None`` if it raised)."""
+
+
+class TraceObserver(ReadObserver):
+    """Emits one ``store-query`` span per read on a tracer.
+
+    The span carries the table name, the requested window and the row
+    count — for queries also the sorted filter columns; for distinct
+    reads the column.  This is the observer form of the old
+    ``TracedTable`` proxy and emits byte-identical span shapes.
+    """
+
+    def __init__(self, tracer) -> None:
         self._tracer = tracer
+
+    def begin(self, read: StoreRead) -> Any:
+        return self._tracer.begin("store-query", label=read.table)
+
+    def end(self, read: StoreRead, span: Any, rows: Optional[int]) -> None:
+        if rows is not None:
+            if read.kind == "query":
+                span.annotate(rows=rows, window=[read.start, read.end])
+                if read.filters:
+                    span.annotate(filters=[column for column, _ in read.filters])
+            elif read.kind == "scan":
+                span.annotate(rows=rows, window=[None, None])
+            else:
+                span.annotate(rows=rows, column=read.column)
+        self._tracer.finish(span)
+
+
+class FootprintObserver(ReadObserver):
+    """Records each read's conservative time coverage.
+
+    ``note`` receives ``(table, lo, hi)`` with open bounds widened to
+    ±inf — the footprint entries the engine merges per diagnosis and
+    the service result cache invalidates on.  Recording happens in
+    ``begin`` so a retrieval that raises mid-read still leaves its
+    coverage behind.
+    """
+
+    def __init__(self, note: Callable[[Tuple[str, float, float]], Any]) -> None:
+        self._note = note
+
+    def begin(self, read: StoreRead) -> Any:
+        lo, hi = read.window
+        self._note((read.table, lo, hi))
+        return None
+
+
+class ObservedTable:
+    """Read proxy over a :class:`Table` applying a list of observers.
+
+    Observers ``begin`` in list order and ``end`` in reverse, around a
+    single backend read.  Writes are not proxied — observation is a
+    read-path concern; use the underlying table to ingest.
+    """
+
+    def __init__(self, table: Table, observers: Iterable[ReadObserver]) -> None:
+        self._table = table
+        self._observers = tuple(observers)
+
+    def _run(self, read: StoreRead, produce: Callable[[], Any]):
+        tokens = [observer.begin(read) for observer in self._observers]
+        rows: Optional[int] = None
+        try:
+            result, rows = produce()
+            return result
+        finally:
+            for observer, token in zip(
+                reversed(self._observers), reversed(tokens)
+            ):
+                observer.end(read, token, rows)
 
     def query(
         self,
@@ -215,27 +309,40 @@ class TracedTable:
         end: Optional[float] = None,
         **equals: Any,
     ) -> List[Record]:
-        """Delegate to :meth:`Table.query`, recording a span."""
-        with self._tracer.span("store-query", label=self._table.name) as span:
-            rows = self._table.query(start, end, **equals)
-            span.annotate(rows=len(rows), window=[start, end])
-            if equals:
-                span.annotate(filters=sorted(equals))
-        return rows
+        """Delegate to :meth:`Table.query` through the observers."""
+        read = StoreRead(
+            table=self._table.name,
+            kind="query",
+            start=start,
+            end=end,
+            filters=tuple(sorted(equals.items())),
+        )
+
+        def produce():
+            result = self._table.query(start, end, **equals)
+            return result, len(result)
+
+        return self._run(read, produce)
 
     def scan(self) -> Iterator[Record]:
-        """Delegate to :meth:`Table.scan`, recording a span."""
-        with self._tracer.span("store-query", label=self._table.name) as span:
-            rows = list(self._table.scan())
-            span.annotate(rows=len(rows), window=[None, None])
-        return iter(rows)
+        """Delegate to :meth:`Table.scan` through the observers."""
+        read = StoreRead(table=self._table.name, kind="scan")
+
+        def produce():
+            result = list(self._table.scan())
+            return iter(result), len(result)
+
+        return self._run(read, produce)
 
     def distinct(self, column: str) -> List[Any]:
-        """Delegate to :meth:`Table.distinct`, recording a span."""
-        with self._tracer.span("store-query", label=self._table.name) as span:
-            values = self._table.distinct(column)
-            span.annotate(rows=len(values), column=column)
-        return values
+        """Delegate to :meth:`Table.distinct` through the observers."""
+        read = StoreRead(table=self._table.name, kind="distinct", column=column)
+
+        def produce():
+            result = self._table.distinct(column)
+            return result, len(result)
+
+        return self._run(read, produce)
 
     def __len__(self) -> int:
         return len(self._table)
@@ -244,21 +351,21 @@ class TracedTable:
         return getattr(self._table, name)
 
 
-class TracedStore:
-    """Store proxy whose tables emit ``store-query`` spans.
+class ObservedStore:
+    """Store proxy whose tables route reads through observers.
 
-    Handed to retrieval processes while a diagnosis is being traced;
-    passes everything except :meth:`table` straight through, so the
-    proxy is transparent to retrieval code.
+    Handed to retrieval processes while a diagnosis is traced and/or
+    its footprint recorded; passes everything except :meth:`table`
+    straight through, so the proxy is transparent to retrieval code.
     """
 
-    def __init__(self, store: "DataStore", tracer) -> None:
+    def __init__(self, store: "DataStore", observers: Iterable[ReadObserver]) -> None:
         self._store = store
-        self._tracer = tracer
+        self._observers = tuple(observers)
 
-    def table(self, name: str) -> TracedTable:
-        """The named table wrapped in a :class:`TracedTable`."""
-        return TracedTable(self._store.table(name), self._tracer)
+    def table(self, name: str) -> ObservedTable:
+        """The named table wrapped in an :class:`ObservedTable`."""
+        return ObservedTable(self._store.table(name), self._observers)
 
     def __getattr__(self, name: str) -> Any:
         return getattr(self._store, name)
@@ -289,20 +396,35 @@ class DataStore:
     invoked after each insert with ``(table, timestamp, revision)`` —
     the hook the service result cache uses to invalidate entries whose
     retrieval windows a late record lands in.
+
+    ``backend`` picks the storage engine for tables this store creates:
+    ``"memory"`` (default), ``"sqlite"``, or a factory from
+    :mod:`repro.collector.backends`.  ``None`` uses the process default
+    (:func:`repro.collector.backends.set_default_backend` or the
+    ``GRCA_STORE_BACKEND`` environment variable) — which is how the
+    ``--backend`` CLI flag swaps engines without code changes.
     """
 
     tables: Dict[str, Table] = field(default_factory=dict)
     #: total inserts observed through this store's tables (monotonic)
     revision: int = 0
+    #: backend spec for tables created by this store (resolved once)
+    backend: Any = None
     _listeners: List[InsertListener] = field(default_factory=list, repr=False)
     _lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
+
+    def __post_init__(self) -> None:
+        self._factory = resolve_backend(self.backend)
 
     def table(self, name: str) -> Table:
         """Get (creating on first use) the table for a data source."""
         with self._lock:
             if name not in self.tables:
                 self.tables[name] = Table(
-                    name, DEFAULT_INDEXES.get(name, ()), on_insert=self._note_insert
+                    name,
+                    DEFAULT_INDEXES.get(name, ()),
+                    on_insert=self._note_insert,
+                    backend=self._factory,
                 )
             return self.tables[name]
 
@@ -334,6 +456,14 @@ class DataStore:
             tables = list(self.tables.values())
         return sum(len(t) for t in tables)
 
+    @property
+    def backend_name(self) -> str:
+        """Identity of the storage engine this store creates tables on."""
+        with self._lock:
+            for table in self.tables.values():
+                return table.backend_name
+        return getattr(self._factory, "backend_name", "custom")
+
     def watermarks(self) -> Dict[str, float]:
         """Newest record timestamp per non-empty table.
 
@@ -350,8 +480,20 @@ class DataStore:
                 marks[name] = span[1]
         return marks
 
-    def summary(self) -> Dict[str, int]:
-        """Record counts per table — the Data Collector's dashboard view."""
+    def summary(self, storage: bool = False) -> Dict[str, Any]:
+        """Record counts per table — the Data Collector's dashboard view.
+
+        With ``storage=True`` each table maps to its full backend stats
+        (identity, tail-buffer/merge counters, out-of-order inserts)
+        instead of a bare count — what ``--feed-stats`` prints so
+        operators can see which engine served a diagnosis.
+        """
         with self._lock:
             items = sorted(self.tables.items())
+        if storage:
+            return {name: table.stats() for name, table in items}
         return {name: len(table) for name, table in items}
+
+    def storage_summary(self) -> Dict[str, Dict[str, Any]]:
+        """Per-table backend stats (shorthand for ``summary(storage=True)``)."""
+        return self.summary(storage=True)

@@ -156,7 +156,7 @@ class ResultBrowser:
         result: Dict[str, List[Record]] = {}
         for name in table_names:
             table = store.table(name)
-            if router is not None and "router" in table._indexes:
+            if router is not None and "router" in table.indexed_columns:
                 records = table.query(start, end, router=router)
             else:
                 records = table.query(start, end)

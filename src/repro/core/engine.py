@@ -1,12 +1,21 @@
 """The Generic RCA Engine (Fig. 1).
 
 For each symptom event instance the engine walks the application's
-diagnosis graph breadth-first: for every rule out of a matched node it
-retrieves candidate diagnostic instances from the store (bounded by the
-temporal rule's search window), keeps those that join temporally *and*
-spatially with the matched parent instance, and recurses.  The collected
-evidence then goes to the reasoning module (rule-based by default) to
-pick the root cause(s).
+diagnosis graph breadth-first (genuinely level-order): for every rule
+out of a matched node it retrieves candidate diagnostic instances from
+the store (bounded by the temporal rule's search window), keeps those
+that join temporally *and* spatially with the matched parent instance,
+and recurses.  Before each frontier level is evaluated, a batched
+retrieval planner (:meth:`RcaEngine._plan_level`) coalesces the
+overlapping windows sibling rules are about to request per event, so
+one store round-trip serves the whole level instead of one per (rule,
+parent).  The collected evidence then goes to the reasoning module
+(rule-based by default) to pick the root cause(s).
+
+Read observation (``store-query`` tracing spans and the footprint
+records the service cache invalidates on) rides the single
+:class:`~repro.collector.store.ReadObserver` seam rather than dedicated
+proxy classes.
 """
 
 from __future__ import annotations
@@ -17,7 +26,13 @@ from typing import Any, Dict, Iterable, List, Optional, Tuple
 from typing import Set
 
 from ..collector.health import HealthRegistry, canonical_source
-from ..collector.store import DataStore, TracedStore
+from ..collector.store import (
+    DataStore,
+    FootprintObserver,
+    ObservedStore,
+    ReadObserver,
+    TraceObserver,
+)
 from ..obs.trace import NULL_TRACER, Span, Tracer
 from .events import EventInstance, EventLibrary, RetrievalContext
 from .graph import DiagnosisGraph
@@ -72,46 +87,42 @@ def evidence_sources(graph: DiagnosisGraph, library: EventLibrary) -> Set[str]:
     return sources
 
 
-class _RecordingTable:
-    """Table proxy that records the time windows actually read."""
-
-    def __init__(self, table, note) -> None:
-        self._table = table
-        self._note = note
-
-    def query(self, start=None, end=None, **equals):
-        lo = float("-inf") if start is None else start
-        hi = float("inf") if end is None else end
-        self._note((self._table.name, lo, hi))
-        return self._table.query(start, end, **equals)
-
-    def scan(self):
-        self._note((self._table.name, float("-inf"), float("inf")))
-        return self._table.scan()
-
-    def distinct(self, column):
-        self._note((self._table.name, float("-inf"), float("inf")))
-        return self._table.distinct(column)
-
-    def __len__(self) -> int:
-        return len(self._table)
-
-    def __getattr__(self, name):
-        return getattr(self._table, name)
+#: Retrieval windows are rounded to this bucket so nearby symptoms and
+#: sibling rules share retrieval-cache entries.
+RETRIEVAL_BUCKET = 60.0
 
 
-class _RecordingStore:
-    """Store proxy handed to retrievals while a footprint is recorded."""
+def bucket_window(
+    window: Tuple[float, float], bucket: float = RETRIEVAL_BUCKET
+) -> Tuple[float, float]:
+    """Round a window outward to bucket boundaries.
 
-    def __init__(self, store: DataStore, note) -> None:
-        self._store = store
-        self._note = note
+    The low edge floors, the high edge ceils; a bound already on a
+    boundary stays put (no phantom extra bucket), and Python's floor
+    modulo keeps the rounding direction correct for negative
+    timestamps: ``(-10, -10) -> (-60, 0)`` is a superset, never a
+    shifted window.
+    """
+    lo = window[0] - (window[0] % bucket)
+    hi = window[1] + ((-window[1]) % bucket)
+    return lo, hi
 
-    def table(self, name: str) -> _RecordingTable:
-        return _RecordingTable(self._store.table(name), self._note)
 
-    def __getattr__(self, name):
-        return getattr(self._store, name)
+def coalesce_windows(
+    windows: Iterable[Tuple[float, float]]
+) -> List[Tuple[float, float]]:
+    """Merge overlapping or touching windows into disjoint covers."""
+    ordered = sorted(windows)
+    if not ordered:
+        return []
+    merged = [ordered[0]]
+    for lo, hi in ordered[1:]:
+        last_lo, last_hi = merged[-1]
+        if lo <= last_hi:
+            merged[-1] = (last_lo, max(last_hi, hi))
+        else:
+            merged.append((lo, hi))
+    return merged
 
 
 @dataclass
@@ -226,12 +237,14 @@ class RcaEngine:
             raise KeyError(
                 f"diagnosis graph references undefined events: {self._missing}"
             )
-        # retrieval cache: (event name, window) -> instances
+        # retrieval cache: (event name, cover window) -> instances
         self._retrieval_cache: Dict[Tuple[str, float, float], List[EventInstance]] = {}
         # per cache entry: the store reads that produced it
         self._retrieval_reads: Dict[
             Tuple[str, float, float], frozenset
         ] = {}
+        # per event: the cached cover windows, for containment lookups
+        self._covers: Dict[str, List[Tuple[float, float]]] = {}
         # accumulator active while one diagnose() call is correlating
         self._active_reads: Optional[set] = None
         #: last store revision this engine's retrieval cache was synced
@@ -311,37 +324,87 @@ class RcaEngine:
         evidence: List[MatchedEvidence] = []
         gaps: List[EvidenceGap] = []
         gap_keys: set = set()
-        # frontier entries: (event name, matched instance, depth)
-        frontier: List[Tuple[str, EventInstance, int]] = [
+        # level entries: (event name, matched instance, depth); the walk
+        # is genuinely level-order so the planner can see every window a
+        # whole frontier level is about to request before any is issued
+        level: List[Tuple[str, EventInstance, int]] = [
             (self.graph.symptom_event, symptom, 0)
         ]
         seen: set = set()
-        while frontier:
-            event_name, parent_instance, depth = frontier.pop()
-            # one span per graph-node visit: the trace mirrors the walk
-            with tracer.span("node", label=event_name, depth=depth) as node_span:
-                matched_here = 0
-                for rule in self.graph.rules_from(event_name):
-                    gaps_before = len(gaps)
-                    self._note_gaps(rule, parent_instance, gaps, gap_keys)
-                    if len(gaps) > gaps_before:
-                        node_span.count("evidence_gaps", len(gaps) - gaps_before)
-                    matches = self._match_rule(rule, parent_instance, tracer)
-                    matched_here += len(matches)
-                    for instance in matches:
-                        key = (rule.child_event, instance)
-                        item = MatchedEvidence(
-                            rule=rule,
-                            parent_instance=parent_instance,
-                            instance=instance,
-                            depth=depth + 1,
+        while level:
+            plan = self._plan_level(level)
+            next_level: List[Tuple[str, EventInstance, int]] = []
+            for event_name, parent_instance, depth in level:
+                # one span per graph-node visit: the trace mirrors the walk
+                with tracer.span("node", label=event_name, depth=depth) as node_span:
+                    matched_here = 0
+                    for rule in self.graph.rules_from(event_name):
+                        gaps_before = len(gaps)
+                        self._note_gaps(rule, parent_instance, gaps, gap_keys)
+                        if len(gaps) > gaps_before:
+                            node_span.count("evidence_gaps", len(gaps) - gaps_before)
+                        matches = self._match_rule(
+                            rule, parent_instance, tracer, plan
                         )
-                        evidence.append(item)
-                        if key not in seen:
-                            seen.add(key)
-                            frontier.append((rule.child_event, instance, depth + 1))
-                node_span.annotate(matched=matched_here)
+                        matched_here += len(matches)
+                        for instance in matches:
+                            key = (rule.child_event, instance)
+                            item = MatchedEvidence(
+                                rule=rule,
+                                parent_instance=parent_instance,
+                                instance=instance,
+                                depth=depth + 1,
+                            )
+                            evidence.append(item)
+                            if key not in seen:
+                                seen.add(key)
+                                next_level.append(
+                                    (rule.child_event, instance, depth + 1)
+                                )
+                    node_span.annotate(matched=matched_here)
+            level = next_level
         return evidence, gaps
+
+    def _plan_level(
+        self, level: List[Tuple[str, EventInstance, int]]
+    ) -> Dict[str, List[Tuple[float, float]]]:
+        """Coalesce the retrieval windows one frontier level will want.
+
+        Sibling rules (and sibling parents) frequently request
+        overlapping windows of the same diagnostic event; issuing them
+        one-by-one means near-duplicate store round-trips.  This pass
+        collects every (child event, bucketed search window) the level's
+        rules are about to ask for, drops the ones an existing cache
+        cover already satisfies, and merges the rest into per-event
+        disjoint cover windows.  The first retrieval of an event at this
+        level then fetches its whole cover; the siblings hit the cache.
+
+        Only the *prefetch* window widens — temporal/spatial joins still
+        filter against each rule's exact window, so matches are
+        unchanged except where a wider fetch makes boundary-straddling
+        retrievals (e.g. flap pairing) more complete.
+        """
+        wants: Dict[str, List[Tuple[float, float]]] = {}
+        for event_name, parent_instance, _depth in level:
+            for rule in self.graph.rules_from(event_name):
+                window = bucket_window(
+                    rule.temporal.search_window(parent_instance.interval)
+                )
+                if self._find_cover(rule.child_event, window) is None:
+                    wants.setdefault(rule.child_event, []).append(window)
+        return {
+            event_name: coalesce_windows(windows)
+            for event_name, windows in wants.items()
+        }
+
+    def _find_cover(
+        self, event_name: str, window: Tuple[float, float]
+    ) -> Optional[Tuple[float, float]]:
+        """A cached cover window containing ``window``, if any."""
+        for lo, hi in self._covers.get(event_name, ()):
+            if lo <= window[0] and window[1] <= hi:
+                return lo, hi
+        return None
 
     def _note_gaps(
         self,
@@ -382,12 +445,12 @@ class RcaEngine:
             )
 
     def _match_rule(
-        self, rule, parent_instance: EventInstance, tracer=NULL_TRACER
+        self, rule, parent_instance: EventInstance, tracer=NULL_TRACER, plan=None
     ) -> List[EventInstance]:
         window = rule.temporal.search_window(parent_instance.interval)
         if not tracer.enabled:
             # hot path: no spans, no counters, the original tight loop
-            candidates = self._retrieve(rule.child_event, window)
+            candidates = self._retrieve(rule.child_event, window, plan=plan)
             matched = []
             for candidate in candidates:
                 if not rule.temporal.joined(
@@ -405,10 +468,10 @@ class RcaEngine:
                 if len(matched) >= self.config.max_matches_per_rule:
                     break
             return matched
-        return self._match_rule_traced(rule, parent_instance, tracer, window)
+        return self._match_rule_traced(rule, parent_instance, tracer, window, plan)
 
     def _match_rule_traced(
-        self, rule, parent_instance: EventInstance, tracer, window
+        self, rule, parent_instance: EventInstance, tracer, window, plan=None
     ) -> List[EventInstance]:
         """Traced twin of :meth:`_match_rule`'s loop.
 
@@ -426,7 +489,7 @@ class RcaEngine:
             spatial=rule.spatial.describe(),
             window=[window[0], window[1]],
         ) as rule_span:
-            candidates = self._retrieve(rule.child_event, window, tracer)
+            candidates = self._retrieve(rule.child_event, window, tracer, plan)
             with tracer.span("temporal-join", label=label) as span:
                 survivors = [
                     candidate
@@ -455,24 +518,36 @@ class RcaEngine:
         return matched
 
     def _retrieve(
-        self, event_name: str, window: Tuple[float, float], tracer=NULL_TRACER
+        self,
+        event_name: str,
+        window: Tuple[float, float],
+        tracer=NULL_TRACER,
+        plan: Optional[Dict[str, List[Tuple[float, float]]]] = None,
     ) -> List[EventInstance]:
         # bucket windows to 60 s so nearby symptoms share cache entries
-        bucket = 60.0
-        lo = window[0] - (window[0] % bucket)
-        hi = window[1] + (bucket - window[1] % bucket)
-        key = (event_name, lo, hi)
+        bucketed = bucket_window(window)
+        # prefer an already-cached cover; else the level plan's
+        # coalesced cover for this event; else the bucketed window
+        cover = self._find_cover(event_name, bucketed)
+        if cover is None and plan:
+            for planned in plan.get(event_name, ()):
+                if planned[0] <= bucketed[0] and bucketed[1] <= planned[1]:
+                    cover = planned
+                    break
+        if cover is None:
+            cover = bucketed
+        key = (event_name, cover[0], cover[1])
         with tracer.span("retrieve", label=event_name) as span:
             cached = key in self._retrieval_cache
             if not cached:
                 reads: set = set()
-                store = (
-                    TracedStore(self.store, tracer) if tracer.enabled else self.store
-                )
+                observers: List[ReadObserver] = [FootprintObserver(reads.add)]
+                if tracer.enabled:
+                    observers.insert(0, TraceObserver(tracer))
                 context = RetrievalContext(
-                    store=_RecordingStore(store, reads.add),
-                    start=lo,
-                    end=hi,
+                    store=ObservedStore(self.store, observers),
+                    start=cover[0],
+                    end=cover[1],
                     params=self.config.params,
                     services=self.config.services,
                 )
@@ -480,6 +555,7 @@ class RcaEngine:
                     context
                 )
                 self._retrieval_reads[key] = frozenset(reads)
+                self._covers.setdefault(event_name, []).append(cover)
             if self._active_reads is not None:
                 self._active_reads |= self._retrieval_reads.get(key, frozenset())
             # the retrieval covers a superset window; exact temporal
@@ -496,6 +572,7 @@ class RcaEngine:
         """Drop all cached retrievals (e.g. after new data lands)."""
         self._retrieval_cache.clear()
         self._retrieval_reads.clear()
+        self._covers.clear()
 
     def invalidate_retrievals(self, table: str, timestamp: float) -> int:
         """Drop cached retrievals whose store reads cover one new record.
@@ -516,6 +593,11 @@ class RcaEngine:
         for key in stale:
             self._retrieval_cache.pop(key, None)
             self._retrieval_reads.pop(key, None)
+        if stale:
+            covers: Dict[str, List[Tuple[float, float]]] = {}
+            for event_name, lo, hi in self._retrieval_cache:
+                covers.setdefault(event_name, []).append((lo, hi))
+            self._covers = covers
         return len(stale)
 
     def isolated(self) -> "RcaEngine":

@@ -97,7 +97,7 @@ def co_occurring_signatures(
             if column is None:
                 continue
             table = store.table(table_name)
-            if same_router and router is not None and "router" in table._indexes:
+            if same_router and router is not None and "router" in table.indexed_columns:
                 records = table.query(start, end, router=router)
             else:
                 records = table.query(start, end)

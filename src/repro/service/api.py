@@ -169,8 +169,14 @@ class RcaService:
         return 0.0 if self._started_at is None else self.clock() - self._started_at
 
     def metrics_lines(self) -> List[str]:
-        """Rendered metrics including worker utilization."""
-        return self.metrics.format_lines(len(self.pool), self.elapsed_seconds)
+        """Rendered metrics including worker utilization and storage."""
+        lines = self.metrics.format_lines(len(self.pool), self.elapsed_seconds)
+        lines.append(
+            f"  storage: backend={self.store.backend_name} "
+            f"tables={len(self.store.tables)} "
+            f"records={self.store.total_records()}"
+        )
+        return lines
 
     # ------------------------------------------------------------------
     # submission

@@ -1,0 +1,371 @@
+"""Storage backends: oracle equivalence, tail-merge behavior, observers.
+
+The backend contract promises byte-identical results from
+:class:`MemoryBackend` and :class:`SqliteBackend` — same records, same
+``(timestamp, arrival)`` order — for any insert order, filter set and
+open/closed window.  The property tests here hold both engines against
+a brute-force reference simultaneously, mirroring PR 3's temporal-join
+oracle.
+"""
+
+import os
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collector.backends import (
+    MemoryBackend,
+    SqliteBackend,
+    backend_name,
+    memory_backend,
+    resolve_backend,
+    set_default_backend,
+    sqlite_backend,
+)
+from repro.collector.store import (
+    DataStore,
+    FootprintObserver,
+    ObservedStore,
+    ObservedTable,
+    Record,
+    StoreRead,
+    Table,
+    TraceObserver,
+)
+from repro.obs import Tracer
+
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        st.sampled_from(["r1", "r2", "r3"]),
+        st.sampled_from(["cpu", "mem", "util"]),
+        st.integers(min_value=0, max_value=100),
+    ),
+    max_size=50,
+)
+
+window_strategy = st.tuples(
+    st.one_of(
+        st.none(), st.floats(min_value=-1e5, max_value=1.1e6, allow_nan=False)
+    ),
+    st.one_of(
+        st.none(), st.floats(min_value=-1e5, max_value=1.1e6, allow_nan=False)
+    ),
+)
+
+filter_strategy = st.tuples(
+    st.one_of(st.none(), st.sampled_from(["r1", "r2", "r3", "ghost"])),
+    st.one_of(st.none(), st.sampled_from(["cpu", "mem", "util", "ghost"])),
+)
+
+
+def _fill(backend, rows):
+    for t, r, m, v in rows:
+        backend.insert(Record.make(t, router=r, metric=m, value=v))
+
+
+def _reference(rows, start, end, router, metric):
+    """Brute force: stable-sort by timestamp keeps arrival order inside
+    equal timestamps — the canonical (timestamp, arrival) order."""
+    matched = [
+        (t, i, Record.make(t, router=r, metric=m, value=v))
+        for i, (t, r, m, v) in enumerate(rows)
+        if (start is None or t >= start)
+        and (end is None or t <= end)
+        and (router is None or r == router)
+        and (metric is None or m == metric)
+    ]
+    matched.sort(key=lambda entry: (entry[0], entry[1]))
+    return [record for _t, _i, record in matched]
+
+
+def _both_backends(tmp_path=None):
+    # SqliteBackend with no path gets its own fresh temporary directory,
+    # so every hypothesis example starts from an empty database
+    path = None if tmp_path is None else str(tmp_path / "oracle.sqlite")
+    return [
+        MemoryBackend(("router", "metric")),
+        SqliteBackend("t", ("router", "metric"), path=path),
+    ]
+
+
+class TestBackendOracle:
+    @settings(max_examples=60, deadline=None)
+    @given(rows_strategy, window_strategy, filter_strategy)
+    def test_query_matches_reference_on_both_backends(
+        self, rows, window, filters
+    ):
+        start, end = window
+        router, metric = filters
+        expected = _reference(rows, start, end, router, metric)
+        equals = {}
+        if router is not None:
+            equals["router"] = router
+        if metric is not None:
+            equals["metric"] = metric
+        for backend in _both_backends():
+            _fill(backend, rows)
+            got = backend.query(start, end, equals)
+            assert got == expected, backend.name
+            backend.close()
+
+    @settings(max_examples=40, deadline=None)
+    @given(rows_strategy)
+    def test_scan_and_span_match_reference_on_both_backends(self, rows):
+        expected = _reference(rows, None, None, None, None)
+        timestamps = [t for t, _r, _m, _v in rows]
+        for backend in _both_backends():
+            _fill(backend, rows)
+            assert backend.scan() == expected, backend.name
+            assert len(backend) == len(rows)
+            if rows:
+                assert backend.time_span() == (min(timestamps), max(timestamps))
+            else:
+                assert backend.time_span() is None
+            assert backend.distinct("router") == sorted(
+                {r for _t, r, _m, _v in rows}
+            )
+            backend.close()
+
+    def test_unindexed_filter_and_non_string_values(self, tmp_path):
+        # equality on a non-indexed column, and non-string values on an
+        # indexed column (stored NULL in SQL, matched in Python)
+        for backend in _both_backends(tmp_path):
+            backend.insert(Record.make(1.0, router=7, metric="cpu", value=1))
+            backend.insert(Record.make(2.0, router="7", metric="cpu", value=2))
+            backend.insert(Record.make(3.0, router="r1", metric="cpu", value=3))
+            assert [r.get("value") for r in backend.query(None, None, {"router": 7})] == [1]
+            assert [r.get("value") for r in backend.query(None, None, {"router": "7"})] == [2]
+            assert [r.get("value") for r in backend.query(None, None, {"value": 3})] == [3]
+            backend.close()
+
+
+class TestMemoryTailBuffer:
+    def test_out_of_order_lands_in_tail_then_merges(self):
+        backend = MemoryBackend(("router",), tail_limit=4)
+        for t in [10.0, 20.0, 30.0, 40.0, 50.0]:
+            backend.insert(Record.make(t, router="r1"))
+        for t in [5.0, 15.0, 25.0, 35.0]:
+            backend.insert(Record.make(t, router="r1"))
+        stats = backend.stats()
+        assert stats["out_of_order"] == 4
+        assert stats["tail"] == 4
+        assert stats["merges"] == 0
+        # queries see tail records before any merge happened
+        assert [r.timestamp for r in backend.query(0.0, 16.0, {})] == [
+            5.0,
+            10.0,
+            15.0,
+        ]
+        # one more late insert crosses the threshold and triggers a merge
+        backend.insert(Record.make(45.0, router="r1"))
+        stats = backend.stats()
+        assert stats["merges"] == 1
+        assert stats["tail"] == 0
+        assert [r.timestamp for r in backend.scan()] == sorted(
+            [10.0, 20.0, 30.0, 40.0, 50.0, 5.0, 15.0, 25.0, 35.0, 45.0]
+        )
+        # indexes are consistent after the merge
+        assert len(backend.query(None, None, {"router": "r1"})) == 10
+
+    def test_equal_timestamps_preserve_arrival_order(self):
+        backend = MemoryBackend((), tail_limit=100)
+        backend.insert(Record.make(10.0, seq="a"))
+        backend.insert(Record.make(20.0, seq="b"))
+        backend.insert(Record.make(10.0, seq="c"))  # late, ties with "a"
+        assert [r.get("seq") for r in backend.scan()] == ["a", "c", "b"]
+
+    def test_adaptive_threshold_floor(self):
+        backend = MemoryBackend(())
+        assert backend._tail_threshold() == 256
+
+
+class TestSqliteBackend:
+    def test_persistence_across_instances(self, tmp_path):
+        path = str(tmp_path / "persist.sqlite")
+        first = SqliteBackend("syslog", ("router",), path=path)
+        first.insert(Record.make(10.0, router="r1", code="X"))
+        first.insert(Record.make(20.0, router="r2", code="Y"))
+        first.close()
+        second = SqliteBackend("syslog", ("router",), path=path)
+        assert len(second) == 2
+        assert [r.get("code") for r in second.scan()] == ["X", "Y"]
+        second.close()
+
+    def test_records_round_trip_exactly(self, tmp_path):
+        backend = SqliteBackend(
+            "t", ("router",), path=str(tmp_path / "rt.sqlite")
+        )
+        original = Record.make(10.0, router="r1", value=1.5, flag=None, n=3)
+        backend.insert(original)
+        (got,) = backend.scan()
+        assert got == original
+        assert got.get("value") == 1.5
+        backend.close()
+
+    def test_stats_identify_backend_and_path(self, tmp_path):
+        path = str(tmp_path / "stats.sqlite")
+        backend = SqliteBackend("t", (), path=path)
+        backend.insert(Record.make(10.0, a=1))
+        backend.insert(Record.make(5.0, a=2))
+        stats = backend.stats()
+        assert stats["backend"] == "sqlite"
+        assert stats["records"] == 2
+        assert stats["out_of_order"] == 1
+        assert stats["path"] == path
+        backend.close()
+
+
+class TestBackendSelection:
+    def teardown_method(self):
+        set_default_backend(None)
+        os.environ.pop("GRCA_STORE_BACKEND", None)
+
+    def test_resolve_names_and_factories(self):
+        assert backend_name("memory") == "memory"
+        assert backend_name("sqlite") == "sqlite"
+        factory = memory_backend()
+        assert resolve_backend(factory) is factory
+        with pytest.raises(ValueError):
+            resolve_backend("papyrus")
+
+    def test_datastore_backend_is_config_only(self, tmp_path):
+        store = DataStore(backend=sqlite_backend(directory=str(tmp_path)))
+        store.insert("syslog", 10.0, router="r1", code="X")
+        assert store.backend_name == "sqlite"
+        assert store.table("syslog").stats()["backend"] == "sqlite"
+        assert os.path.exists(os.path.join(str(tmp_path), "syslog.sqlite"))
+        # default remains memory
+        assert DataStore().backend_name == "memory"
+
+    def test_set_default_backend_applies_to_new_stores(self, tmp_path):
+        set_default_backend(sqlite_backend(directory=str(tmp_path)))
+        try:
+            store = DataStore()
+            store.insert("snmp", 1.0, router="r1", metric="cpu", value=0.5)
+            assert store.backend_name == "sqlite"
+        finally:
+            set_default_backend(None)
+        assert DataStore().backend_name == "memory"
+
+    def test_env_variable_selects_backend(self):
+        os.environ["GRCA_STORE_BACKEND"] = "memory"
+        try:
+            assert DataStore().backend_name == "memory"
+        finally:
+            os.environ.pop("GRCA_STORE_BACKEND", None)
+
+    def test_table_accepts_backend_instance(self):
+        backend = MemoryBackend(("router",))
+        table = Table("t", ("ignored",), backend=backend)
+        table.insert_row(1.0, router="r1")
+        assert table.indexed_columns == ("router",)
+        assert len(backend) == 1
+
+
+class TestRecordFieldCache:
+    def test_lookup_and_identity_semantics(self):
+        record = Record.make(10.0, router="r1", value=3)
+        assert record["router"] == "r1"
+        assert record.get("missing", "d") == "d"
+        with pytest.raises(KeyError):
+            record["missing"]
+        twin = Record.make(10.0, value=3, router="r1")
+        assert record == twin and hash(record) == hash(twin)
+
+    def test_pickle_round_trip_rebuilds_cache(self):
+        record = Record.make(10.0, router="r1", value=3)
+        clone = pickle.loads(pickle.dumps(record))
+        assert clone == record
+        assert clone["router"] == "r1"
+        assert clone.get("value") == 3
+        # the cache never leaks into the pickle payload
+        assert b"_by_name" not in pickle.dumps(record)
+
+
+class TestReadObservers:
+    def _store(self):
+        store = DataStore()
+        store.insert("syslog", 10.0, router="r1", code="X")
+        store.insert("syslog", 20.0, router="r2", code="Y")
+        return store
+
+    def test_trace_observer_matches_legacy_span_shapes(self):
+        store = self._store()
+        tracer = Tracer()
+        observed = ObservedStore(store, [TraceObserver(tracer)])
+        with tracer.span("retrieve", label="t"):
+            table = observed.table("syslog")
+            table.query(5.0, 15.0, router="r1")
+            list(table.scan())
+            table.distinct("router")
+        query_span, scan_span, distinct_span = tracer.root.children
+        assert query_span.kind == "store-query"
+        assert query_span.meta == {
+            "rows": 1,
+            "window": [5.0, 15.0],
+            "filters": ["router"],
+        }
+        assert scan_span.meta == {"rows": 2, "window": [None, None]}
+        assert distinct_span.meta == {"rows": 2, "column": "router"}
+
+    def test_footprint_observer_widens_open_bounds(self):
+        store = self._store()
+        reads = set()
+        observed = ObservedStore(store, [FootprintObserver(reads.add)])
+        table = observed.table("syslog")
+        table.query(5.0, 15.0)
+        table.query(None, 15.0)
+        list(table.scan())
+        table.distinct("router")
+        assert reads == {
+            ("syslog", 5.0, 15.0),
+            ("syslog", float("-inf"), 15.0),
+            ("syslog", float("-inf"), float("inf")),
+        }
+
+    def test_observers_compose_on_one_read(self):
+        store = self._store()
+        tracer = Tracer()
+        reads = set()
+        observed = ObservedStore(
+            store, [TraceObserver(tracer), FootprintObserver(reads.add)]
+        )
+        with tracer.span("retrieve", label="t"):
+            rows = observed.table("syslog").query(0.0, 30.0)
+        assert len(rows) == 2
+        assert reads == {("syslog", 0.0, 30.0)}
+        assert tracer.root.children[0].meta["rows"] == 2
+
+    def test_footprint_recorded_even_when_read_raises(self):
+        class BoomTable:
+            name = "syslog"
+
+            def query(self, start=None, end=None, **equals):
+                raise RuntimeError("backend exploded mid-read")
+
+        reads = set()
+        observed = ObservedTable(BoomTable(), [FootprintObserver(reads.add)])
+        with pytest.raises(RuntimeError):
+            observed.query(0.0, 30.0)
+        assert reads == {("syslog", 0.0, 30.0)}
+
+    def test_observed_store_is_transparent(self):
+        store = self._store()
+        observed = ObservedStore(store, [])
+        assert observed.revision == store.revision
+        assert len(observed.table("syslog")) == 2
+        assert observed.table("syslog").name == "syslog"
+
+    def test_store_read_window_property(self):
+        assert StoreRead("t", "query", 1.0, 2.0).window == (1.0, 2.0)
+        assert StoreRead("t", "query").window == (
+            float("-inf"),
+            float("inf"),
+        )
+        assert StoreRead("t", "scan", 1.0, 2.0).window == (
+            float("-inf"),
+            float("inf"),
+        )

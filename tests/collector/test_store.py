@@ -85,7 +85,7 @@ class TestDataStore:
     def test_table_autocreation_with_default_indexes(self):
         store = DataStore()
         store.insert("syslog", 10.0, router="r1", code="X")
-        assert "router" in store.table("syslog")._indexes
+        assert "router" in store.table("syslog").indexed_columns
 
     def test_summary_counts(self):
         store = DataStore()

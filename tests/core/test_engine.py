@@ -155,3 +155,169 @@ class TestDiagnose:
         assert len(engine._retrieval_cache) == cache_size
         engine.clear_cache()
         assert not engine._retrieval_cache
+
+
+class TestBucketWindow:
+    def test_interior_window_rounds_outward(self):
+        from repro.core.engine import bucket_window
+
+        assert bucket_window((10.0, 119.0)) == (0.0, 120.0)
+
+    def test_aligned_bounds_stay_put(self):
+        # a window ending exactly on a bucket boundary must not pad a
+        # whole phantom bucket (the seed rounded (0, 120) to (0, 180))
+        from repro.core.engine import bucket_window
+
+        assert bucket_window((0.0, 120.0)) == (0.0, 120.0)
+        assert bucket_window((60.0, 60.0)) == (60.0, 60.0)
+
+    def test_negative_timestamps_round_toward_minus_infinity(self):
+        # floor semantics: the bucketed window is a superset for
+        # pre-epoch timestamps too, never a shifted window
+        from repro.core.engine import bucket_window
+
+        assert bucket_window((-130.0, -70.0)) == (-180.0, -60.0)
+        assert bucket_window((-10.0, -5.0)) == (-60.0, 0.0)
+        assert bucket_window((-60.0, 0.0)) == (-60.0, 0.0)
+
+    def test_cache_key_pinned_for_negative_timestamps(self, setup):
+        # symptom interval [-1000, -990], both join expansions add ±30:
+        # search window [-1060, -930] buckets to (-1080, -900) — a
+        # floor/ceil superset, never a shifted window
+        _store, engine = setup
+        engine.diagnose(symptom_at(-1000.0))
+        assert ("a", -1080.0, -900.0) in engine._retrieval_cache
+
+
+class TestCoalesceWindows:
+    def test_empty_and_single(self):
+        from repro.core.engine import coalesce_windows
+
+        assert coalesce_windows([]) == []
+        assert coalesce_windows([(1.0, 2.0)]) == [(1.0, 2.0)]
+
+    def test_overlapping_and_touching_merge(self):
+        from repro.core.engine import coalesce_windows
+
+        assert coalesce_windows([(0.0, 60.0), (30.0, 90.0)]) == [(0.0, 90.0)]
+        assert coalesce_windows([(0.0, 60.0), (60.0, 120.0)]) == [(0.0, 120.0)]
+
+    def test_disjoint_stay_separate_and_sorted(self):
+        from repro.core.engine import coalesce_windows
+
+        assert coalesce_windows([(200.0, 260.0), (0.0, 60.0)]) == [
+            (0.0, 60.0),
+            (200.0, 260.0),
+        ]
+
+
+class TestRetrievalPlanner:
+    @pytest.fixture
+    def counting_setup(self, resolver):
+        """Graph s -> a -> b where both retrievals count their calls."""
+        store = DataStore()
+        library = EventLibrary()
+        calls = {"a": 0, "b": 0}
+
+        def counting_event(name, table):
+            def retrieve(context):
+                calls[name] += 1
+                for record in context.store.table(table).query(
+                    context.start, context.end
+                ):
+                    yield EventInstance.make(
+                        name, record.timestamp, record.timestamp,
+                        Location.router(record["router"]),
+                    )
+
+            return EventDefinition(name, LocationType.ROUTER, retrieve)
+
+        library.register(symptom_event("s"))
+        library.register(counting_event("a", "ta"))
+        library.register(counting_event("b", "tb"))
+        graph = DiagnosisGraph(symptom_event="s")
+        graph.add_rule(
+            DiagnosisRule("s", "a", temporal(), ROUTER_JOIN, priority=10)
+        )
+        graph.add_rule(
+            DiagnosisRule("a", "b", temporal(), ROUTER_JOIN, priority=20)
+        )
+        engine = RcaEngine(graph, library, resolver, store)
+        return store, engine, calls
+
+    def test_sibling_windows_coalesce_to_one_retrieval(self, counting_setup):
+        store, engine, calls = counting_setup
+        # two matched 'a' parents whose bucketed 'b' windows overlap:
+        # [900, 1080] and [1020, 1200] coalesce into one cover window
+        store.insert("ta", 1005.0, router="nyc-per1")
+        store.insert("ta", 1100.0, router="nyc-per1")
+        store.insert("tb", 1008.0, router="nyc-per1")
+        symptom = EventInstance.make(
+            "s", 1000.0, 1101.0, Location.router("nyc-per1")
+        )
+        diagnosis = engine.diagnose(symptom)
+        assert {e.rule.child_event for e in diagnosis.evidence} == {"a", "b"}
+        assert calls["b"] == 1
+        # the single cached entry covers both siblings' windows
+        b_keys = [k for k in engine._retrieval_cache if k[0] == "b"]
+        assert b_keys == [("b", 900.0, 1200.0)]
+
+    def test_cover_reused_across_diagnoses(self, counting_setup):
+        store, engine, calls = counting_setup
+        store.insert("ta", 1005.0, router="nyc-per1")
+        engine.diagnose(symptom_at(1000.0))
+        retrievals_after_first = dict(calls)
+        # second symptom in the same bucket range: every window is
+        # contained in an existing cover, so no new retrievals run
+        engine.diagnose(symptom_at(1001.0))
+        assert calls == retrievals_after_first
+
+    def test_clear_cache_drops_covers(self, counting_setup):
+        store, engine, calls = counting_setup
+        store.insert("ta", 1005.0, router="nyc-per1")
+        engine.diagnose(symptom_at(1000.0))
+        engine.clear_cache()
+        assert engine._covers == {}
+        engine.diagnose(symptom_at(1000.0))
+        assert calls["a"] == 2
+
+    def test_invalidation_rebuilds_covers(self, counting_setup):
+        store, engine, calls = counting_setup
+        store.insert("ta", 1005.0, router="nyc-per1")
+        engine.diagnose(symptom_at(1000.0))
+        assert engine._covers
+        # a late record inside the read windows drops those entries and
+        # their covers, so the next diagnosis re-retrieves
+        dropped = engine.invalidate_retrievals("ta", 1006.0)
+        assert dropped >= 1
+        remaining = {
+            (name, lo, hi) for name, windows in engine._covers.items()
+            for lo, hi in windows
+        }
+        assert remaining == set(engine._retrieval_cache)
+        calls_before = dict(calls)
+        engine.diagnose(symptom_at(1000.0))
+        assert calls["a"] == calls_before["a"] + 1
+
+    def test_planner_preserves_results_vs_unplanned(self, counting_setup):
+        store, engine, calls = counting_setup
+        for i in range(6):
+            store.insert("ta", 1000.0 + 7 * i, router="nyc-per1")
+            store.insert("tb", 1002.0 + 7 * i, router="nyc-per1")
+        symptom = EventInstance.make(
+            "s", 1000.0, 1050.0, Location.router("nyc-per1")
+        )
+        planned = engine.diagnose(symptom)
+        engine.clear_cache()
+        # force one-retrieval-per-rule by bypassing the level plan
+        unplanned_matches = {}
+        for item in planned.evidence:
+            key = (item.rule.child_event, item.instance)
+            unplanned_matches[key] = unplanned_matches.get(key, 0) + 1
+        rerun = engine.diagnose(symptom)
+        rerun_matches = {}
+        for item in rerun.evidence:
+            key = (item.rule.child_event, item.instance)
+            rerun_matches[key] = rerun_matches.get(key, 0) + 1
+        assert rerun_matches == unplanned_matches
+        assert rerun.result == planned.result

@@ -25,6 +25,31 @@ class TestDiagnose:
         with pytest.raises(SystemExit):
             main(["diagnose", "no-such-scenario"])
 
+    def test_backend_swap_is_config_only(self, tmp_path, capsys):
+        from repro.collector.backends import set_default_backend
+
+        base = ["diagnose", "bgp-month", "--size", "20", "--seed", "2"]
+        try:
+            assert main(base + ["--feed-stats"]) == 0
+            memory_out = capsys.readouterr().out
+            assert "stats storage backend=memory" in memory_out
+            assert main(
+                base
+                + ["--feed-stats", "--backend", "sqlite",
+                   "--store-path", str(tmp_path / "db")]
+            ) == 0
+            sqlite_out = capsys.readouterr().out
+            assert "stats storage backend=sqlite" in sqlite_out
+        finally:
+            set_default_backend(None)
+        # identical diagnoses either way: the swap changes storage only
+        strip = lambda text: [
+            line for line in text.splitlines()
+            if not line.startswith("stats storage")
+        ]
+        assert strip(sqlite_out) == strip(memory_out)
+        assert (tmp_path / "db" / "syslog.sqlite").exists()
+
 
 class TestCatalog:
     def test_events(self, capsys):
