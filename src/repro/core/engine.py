@@ -449,20 +449,20 @@ class RcaEngine:
     ) -> List[EventInstance]:
         window = rule.temporal.search_window(parent_instance.interval)
         if not tracer.enabled:
-            # hot path: no spans, no counters, the original tight loop
+            # hot path: no spans, no counters, the original tight loop.
+            # One batch join per (rule, parent): the symptom location is
+            # expanded at most once, lazily, instead of per candidate.
             candidates = self._retrieve(rule.child_event, window, plan=plan)
+            batch = rule.spatial.batch(
+                self.resolver, parent_instance.location, parent_instance.start
+            )
             matched = []
             for candidate in candidates:
                 if not rule.temporal.joined(
                     parent_instance.interval, candidate.interval
                 ):
                     continue
-                if not rule.spatial.joined(
-                    self.resolver,
-                    parent_instance.location,
-                    candidate.location,
-                    parent_instance.start,
-                ):
+                if not batch.joined(candidate.location):
                     continue
                 matched.append(candidate)
                 if len(matched) >= self.config.max_matches_per_rule:
@@ -501,14 +501,14 @@ class RcaEngine:
                 span.annotate(candidates=len(candidates), joined=len(survivors))
             matched: List[EventInstance] = []
             with tracer.span("spatial-join", label=label) as span:
+                batch = rule.spatial.batch(
+                    self.resolver,
+                    parent_instance.location,
+                    parent_instance.start,
+                    trace=tracer,
+                )
                 for candidate in survivors:
-                    if not rule.spatial.joined(
-                        self.resolver,
-                        parent_instance.location,
-                        candidate.location,
-                        parent_instance.start,
-                        trace=tracer,
-                    ):
+                    if not batch.joined(candidate.location):
                         continue
                     matched.append(candidate)
                     if len(matched) >= self.config.max_matches_per_rule:

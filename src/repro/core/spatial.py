@@ -11,14 +11,28 @@ inventory, OSPF path simulation with ECMP and BGP egress emulation.
 Because routing state is time-varying, every expansion takes the
 timestamp of the symptom event and reconstructs the network condition
 *at that time*.
+
+That reconstruction is the engine's hottest path — for pair locations
+it re-runs OSPF/ECMP path simulation and BGP best-path emulation — yet
+routing state only changes at discrete instants.  The resolver therefore
+memoizes expansions under a bounded LRU keyed on ``(location, join
+level, routing epoch)``, where the epoch is a
+:class:`~repro.routing.epoch.RoutingEpoch` version token covering
+exactly the state that expansion reads: a cached entry is served for any
+timestamp in the same epoch and retired the moment the underlying
+OSPF/BGP/config/ingress-map state actually changes.  See
+``docs/spatial.md`` for the fingerprinting and invalidation rules.
 """
 
 from __future__ import annotations
 
 import enum
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import FrozenSet, Optional, Set
+from typing import Dict, FrozenSet, Optional, Set, Tuple
 
+from ..routing.epoch import RoutingEpoch
 from ..routing.paths import PathService
 from .locations import Location, LocationType
 
@@ -54,6 +68,31 @@ _LEVEL_CANONICAL = {
 
 _EMPTY: FrozenSet[str] = frozenset()
 
+#: location types whose expansions read only the static topology model
+_STATIC_TYPES = frozenset(
+    {
+        LocationType.ROUTER,
+        LocationType.INTERFACE,
+        LocationType.LINE_CARD,
+        LocationType.LOGICAL_LINK,
+        LocationType.PHYSICAL_LINK,
+        LocationType.LAYER1_DEVICE,
+        LocationType.SERVER,
+        # these pair types collapse to a single router's containment
+        # expansion (ingress == egress), so no routing state is read
+        LocationType.SOURCE_INGRESS,
+        LocationType.EGRESS_DESTINATION,
+    }
+)
+
+#: pair types whose egress must be resolved via BGP emulation first
+_DESTINATION_PAIR_TYPES = frozenset(
+    {LocationType.INGRESS_DESTINATION, LocationType.SOURCE_DESTINATION}
+)
+
+#: default bound on memoized expansions (entries, not bytes)
+DEFAULT_CACHE_SIZE = 4096
+
 
 class LocationResolver:
     """Expands any :class:`Location` to a set of join-level identifiers.
@@ -64,17 +103,90 @@ class LocationResolver:
     the symptom instant and ``path_lookback`` seconds earlier.  Routing
     may already have healed around the cause by the time the symptom is
     measured; without the lookback those joins would be missed.
+
+    ``cache_size`` bounds the routing-epoch resolution cache (LRU over
+    ``(location, level, epoch)``); ``0`` disables memoization entirely
+    — every expansion recomputes, which is the oracle the cached path
+    is property-tested against.  The cache (and its counters) is
+    thread-safe: one resolver is shared by every worker engine.
     """
 
-    def __init__(self, paths: PathService, path_lookback: float = 60.0) -> None:
+    def __init__(
+        self,
+        paths: PathService,
+        path_lookback: float = 60.0,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        epoch: Optional[RoutingEpoch] = None,
+    ) -> None:
         self.paths = paths
         self.network = paths.network
         self.path_lookback = path_lookback
+        self.epoch = epoch if epoch is not None else RoutingEpoch(paths)
+        self._cache_size = cache_size
+        self._cache: "OrderedDict[Tuple, FrozenSet[str]]" = OrderedDict()
+        # (location, level) -> epoch token of the entry currently cached
+        self._last_epoch: Dict[Tuple[Location, JoinLevel], Tuple] = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._invalidations = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    # the routing-epoch resolution cache
+
+    def _epoch_key(self, location: Location, timestamp: float) -> Tuple:
+        """The narrowest epoch token covering what this expansion reads.
+
+        Narrow tokens mean exact invalidation: a BGP announce retires
+        cached destination-pair and same-prefix expansions but leaves
+        OSPF-only path expansions and containment expansions alone.
+        """
+        ltype = location.type
+        generation = self.epoch.topology_generation
+        if ltype in _STATIC_TYPES:
+            return (generation,)
+        instants = (timestamp - self.path_lookback, timestamp)
+        if ltype is LocationType.PREFIX:
+            return (generation,) + self.epoch.prefix_token(location.value, *instants)
+        if ltype is LocationType.ROUTER_NEIGHBOR:
+            return (generation,) + self.epoch.config_token(
+                location.parts[0], timestamp
+            )
+        # remaining pair types run OSPF path simulation at both instants
+        token = (generation,) + self.epoch.ospf_token(*instants)
+        if ltype in _DESTINATION_PAIR_TYPES:
+            token += self.epoch.bgp_token(*instants)
+            if ltype is LocationType.SOURCE_DESTINATION:
+                token += self.epoch.ingress_token()
+        return token
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Monotonic hit/miss/invalidation/eviction counters plus size."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "invalidations": self._invalidations,
+                "evictions": self._evictions,
+                "size": len(self._cache),
+                "capacity": self._cache_size,
+            }
+
+    def clear_cache(self) -> None:
+        """Drop every memoized expansion (counters are kept)."""
+        with self._lock:
+            self._cache.clear()
+            self._last_epoch.clear()
 
     # ------------------------------------------------------------------
 
     def expand(
-        self, location: Location, level: JoinLevel, timestamp: float
+        self,
+        location: Location,
+        level: JoinLevel,
+        timestamp: float,
+        trace=None,
     ) -> FrozenSet[str]:
         """Join-level identifiers related to ``location`` at ``timestamp``.
 
@@ -82,6 +194,10 @@ class LocationResolver:
         IP absent from configs) expand to the empty set: they simply
         cannot join, which is how "outside of our network" outcomes
         arise (Table VI).
+
+        ``trace`` (a :class:`repro.obs.Tracer`, optional) receives
+        ``spatial_cache_hits`` / ``spatial_cache_misses`` counters on
+        its current span when the resolution cache is enabled.
         """
         level = _LEVEL_CANONICAL.get(level, level)
         if level is JoinLevel.NETWORK:
@@ -91,6 +207,44 @@ class LocationResolver:
         handler = _HANDLERS.get(location.type)
         if handler is None:  # pragma: no cover - all types handled
             return _EMPTY
+        if self._cache_size <= 0:
+            return self._compute(handler, location, level, timestamp)
+        epoch = self._epoch_key(location, timestamp)
+        key = (location, level, epoch)
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self._hits += 1
+                if trace is not None:
+                    trace.count("spatial_cache_hits")
+                return cached
+        result = self._compute(handler, location, level, timestamp)
+        with self._lock:
+            self._misses += 1
+            if trace is not None:
+                trace.count("spatial_cache_misses")
+            identity = (location, level)
+            previous = self._last_epoch.get(identity)
+            if previous is not None and previous != epoch:
+                # the routing state this (location, level) was cached
+                # under has changed: retire the stale entry now
+                if self._cache.pop((location, level, previous), None) is not None:
+                    self._invalidations += 1
+            self._last_epoch[identity] = epoch
+            self._cache[key] = result
+            self._cache.move_to_end(key)
+            while len(self._cache) > self._cache_size:
+                old_key, _ = self._cache.popitem(last=False)
+                self._evictions += 1
+                old_identity = (old_key[0], old_key[1])
+                if self._last_epoch.get(old_identity) == old_key[2]:
+                    del self._last_epoch[old_identity]
+        return result
+
+    def _compute(
+        self, handler, location: Location, level: JoinLevel, timestamp: float
+    ) -> FrozenSet[str]:
         try:
             return handler(self, location, level, timestamp)
         except KeyError:
@@ -113,12 +267,14 @@ class LocationResolver:
         spatial join cost (the short-circuit on an empty symptom set
         is visible as one expansion instead of two).
         """
-        symptom_set = self.expand(symptom_location, level, timestamp)
+        symptom_set = self.expand(symptom_location, level, timestamp, trace=trace)
         if trace is not None:
             trace.count("location_expansions")
         if not symptom_set:
             return False
-        diagnostic_set = self.expand(diagnostic_location, level, timestamp)
+        diagnostic_set = self.expand(
+            diagnostic_location, level, timestamp, trace=trace
+        )
         if trace is not None:
             trace.count("location_expansions")
         return not symptom_set.isdisjoint(diagnostic_set)
@@ -326,9 +482,8 @@ class LocationResolver:
         if self.paths.bgp is None:
             return _EMPTY
         prefix = location.value
-        lookback = 60.0
         egresses: Set[str] = set()
-        for instant in (timestamp - lookback, timestamp):
+        for instant in (timestamp - self.path_lookback, timestamp):
             for route in self.paths.bgp.log.routes_at(prefix, instant):
                 egresses.add(route.egress_router)
         if level is JoinLevel.ROUTER:
@@ -427,6 +582,82 @@ _HANDLERS = {
 }
 
 
+class BatchSpatialJoin:
+    """One rule evaluation's symptom side, expanded once and reused.
+
+    The engine evaluates one spatial rule against *many* candidate
+    diagnostic events for the same (symptom, timestamp); re-expanding
+    the symptom location per candidate — which for pair locations means
+    re-running OSPF/ECMP simulation and BGP emulation — is pure waste.
+    A batch join expands the symptom exactly once (lazily, so a rule
+    whose candidates all fail the temporal join never pays for it) and
+    intersects each candidate's expansion against that one set.
+    """
+
+    __slots__ = ("rule", "resolver", "timestamp", "trace", "_symptom", "_symptom_set")
+
+    def __init__(
+        self,
+        rule: "SpatialJoinRule",
+        resolver: LocationResolver,
+        symptom_location: Location,
+        timestamp: float,
+        trace=None,
+    ) -> None:
+        if symptom_location.type is not rule.symptom_type:
+            raise ValueError(
+                f"symptom location is {symptom_location.type.value}, rule "
+                f"expects {rule.symptom_type.value}"
+            )
+        self.rule = rule
+        self.resolver = resolver
+        self.timestamp = timestamp
+        self.trace = trace
+        self._symptom = symptom_location
+        self._symptom_set: Optional[FrozenSet[str]] = None
+
+    @property
+    def symptom_set(self) -> FrozenSet[str]:
+        """The symptom expansion, computed on first use."""
+        if self._symptom_set is None:
+            self._symptom_set = self.resolver.expand(
+                self._symptom, self.rule.level, self.timestamp, trace=self.trace
+            )
+            if self.trace is not None:
+                self.trace.count("location_expansions")
+        return self._symptom_set
+
+    def joined(self, diagnostic_location: Location) -> bool:
+        """True when a candidate shares a join-level identifier.
+
+        Counter semantics mirror :meth:`SpatialJoinRule.joined` —
+        ``spatial_evals`` / ``spatial_rejects`` per candidate and one
+        ``location_expansions`` per expansion actually performed — so
+        traced diagnoses show the batched symptom expansion as a single
+        conversion instead of one per candidate.
+        """
+        if diagnostic_location.type is not self.rule.diagnostic_type:
+            raise ValueError(
+                f"diagnostic location is {diagnostic_location.type.value}, "
+                f"rule expects {self.rule.diagnostic_type.value}"
+            )
+        symptom_set = self.symptom_set
+        verdict = False
+        if symptom_set:
+            diagnostic_set = self.resolver.expand(
+                diagnostic_location, self.rule.level, self.timestamp,
+                trace=self.trace,
+            )
+            if self.trace is not None:
+                self.trace.count("location_expansions")
+            verdict = not symptom_set.isdisjoint(diagnostic_set)
+        if self.trace is not None:
+            self.trace.count("spatial_evals")
+            if not verdict:
+                self.trace.count("spatial_rejects")
+        return verdict
+
+
 @dataclass(frozen=True)
 class SpatialJoinRule:
     """(symptom location type, diagnostic location type, join level)."""
@@ -446,6 +677,16 @@ class SpatialJoinRule:
             f"@{self.level.value}"
         )
 
+    def batch(
+        self,
+        resolver: LocationResolver,
+        symptom_location: Location,
+        timestamp: float,
+        trace=None,
+    ) -> BatchSpatialJoin:
+        """A reusable join with the symptom side expanded only once."""
+        return BatchSpatialJoin(self, resolver, symptom_location, timestamp, trace)
+
     def joined(
         self,
         resolver: LocationResolver,
@@ -458,24 +699,9 @@ class SpatialJoinRule:
 
         ``trace`` (a :class:`repro.obs.Tracer`, optional) receives
         ``spatial_evals`` / ``spatial_rejects`` counters on its current
-        span, plus the resolver's ``location_expansions``.
+        span, plus the resolver's ``location_expansions`` and cache
+        hit/miss counters.  One-shot form of :meth:`batch`.
         """
-        if symptom_location.type is not self.symptom_type:
-            raise ValueError(
-                f"symptom location is {symptom_location.type.value}, rule "
-                f"expects {self.symptom_type.value}"
-            )
-        if diagnostic_location.type is not self.diagnostic_type:
-            raise ValueError(
-                f"diagnostic location is {diagnostic_location.type.value}, "
-                f"rule expects {self.diagnostic_type.value}"
-            )
-        verdict = resolver.joined(
-            symptom_location, diagnostic_location, self.level, timestamp,
-            trace=trace,
+        return self.batch(resolver, symptom_location, timestamp, trace).joined(
+            diagnostic_location
         )
-        if trace is not None:
-            trace.count("spatial_evals")
-            if not verdict:
-                trace.count("spatial_rejects")
-        return verdict

@@ -2,6 +2,7 @@
 and the combined path service used by the spatial model."""
 
 from .bgp import BgpDecision, BgpEmulator, BgpRoute, BgpUpdate, BgpUpdateLog
+from .epoch import RoutingEpoch
 from .ospf import (
     COST_OUT_WEIGHT,
     DEFAULT_WEIGHT,
@@ -26,6 +27,7 @@ __all__ = [
     "OspfSimulator",
     "PathElements",
     "PathService",
+    "RoutingEpoch",
     "WeightChange",
     "WeightHistory",
     "reconvergence_windows",

@@ -1,0 +1,142 @@
+"""Routing epochs: fingerprinting the state spatial resolutions depend on.
+
+Location expansion (Fig. 2) reconstructs the network condition *at a
+timestamp*: OSPF path simulation, BGP best-path emulation, config and
+NetFlow lookups.  All of that state changes only at discrete instants —
+a weight flood, a BGP announce/withdraw, a config snapshot, a learned
+ingress mapping — so two timestamps between the same pair of changes
+resolve identically.  :class:`RoutingEpoch` names those equivalence
+classes: it maps an instant (or several, for lookback unions) to a small
+hashable *version token* that changes exactly when the underlying
+routing state does.
+
+The spatial resolution cache (:class:`repro.core.spatial.LocationResolver`)
+keys memoized expansions on ``(location, join level, token)``: a cached
+entry is served for any timestamp in the same epoch and is skipped —
+invalidated — the moment any state it depends on actually changes.
+
+Version sources, each paired with a *stale generation* that guards
+against renumbering (an out-of-order record shifts version counts at
+already-issued instants, so the generation bump retires every token
+minted under the old numbering):
+
+* OSPF — :attr:`WeightHistory.stale_generation` +
+  :meth:`WeightHistory.version_at`, plus
+  :attr:`OspfSimulator.generation` (bumped when the whole history is
+  swapped by a streaming refresh);
+* BGP — :attr:`BgpUpdateLog.stale_generation` + the global
+  :meth:`BgpUpdateLog.version_at` or the per-prefix
+  :meth:`BgpUpdateLog.prefix_version_at`;
+* configs — :attr:`ConfigArchive.generation` (snapshot count);
+* NetFlow ingress map — :attr:`IngressMap.version`;
+* topology — :attr:`RoutingEpoch.topology_generation`, bumped by
+  whoever rebuilds the :class:`~repro.topology.network.Network`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .paths import PathService
+
+
+class RoutingEpoch:
+    """Version tokens over one :class:`PathService`'s routing state.
+
+    The resolver asks for the narrowest token covering what one
+    expansion actually reads — e.g. a pure containment expansion only
+    carries the topology generation, while an Ingress:Destination path
+    expansion carries OSPF *and* BGP versions at both lookback instants.
+    Narrow tokens mean fewer invalidations: a BGP announce does not
+    evict cached OSPF-only path expansions.
+    """
+
+    def __init__(self, paths: PathService) -> None:
+        self.paths = paths
+        self._topology_generation = 0
+
+    # ------------------------------------------------------------------
+    # topology
+
+    @property
+    def topology_generation(self) -> int:
+        """Generation of the (otherwise static) topology model."""
+        return self._topology_generation
+
+    def bump_topology(self) -> None:
+        """Retire every token: the network model itself was rebuilt."""
+        self._topology_generation += 1
+
+    # ------------------------------------------------------------------
+    # per-subsystem version tokens
+
+    def ospf_token(self, *instants: float) -> Tuple[int, ...]:
+        """OSPF weight versions at each instant (plus staleness guards)."""
+        ospf = self.paths.ospf
+        history = ospf.history
+        return (
+            ospf.generation,
+            history.stale_generation,
+        ) + tuple(history.version_at(t) for t in instants)
+
+    def bgp_token(self, *instants: float) -> Tuple[int, ...]:
+        """Global BGP feed versions at each instant.
+
+        Used for destination-pair expansions, where the longest-prefix
+        match means any prefix's update could change the resolved
+        egress.  ``(0,)`` when no BGP emulator is wired.
+        """
+        bgp = self.paths.bgp
+        if bgp is None:
+            return (0,)
+        log = bgp.log
+        return (log.stale_generation,) + tuple(log.version_at(t) for t in instants)
+
+    def prefix_token(self, prefix: str, *instants: float) -> Tuple[int, ...]:
+        """Per-prefix BGP update versions at each instant.
+
+        Exact for prefix locations: updates to *other* prefixes leave
+        the token — and every cached expansion of this prefix — intact.
+        """
+        bgp = self.paths.bgp
+        if bgp is None:
+            return (0,)
+        log = bgp.log
+        return (log.stale_generation,) + tuple(
+            log.prefix_version_at(prefix, t) for t in instants
+        )
+
+    def config_token(
+        self, router: Optional[str] = None, *instants: float
+    ) -> Tuple[int, ...]:
+        """Config archive versions: the global generation, plus — when a
+        router is named — the per-router snapshot count at each instant
+        (so crossing a snapshot boundary in time changes the token)."""
+        configs = self.paths.configs
+        if configs is None:
+            return (0,)
+        token: Tuple[int, ...] = (configs.generation,)
+        if router is not None:
+            token += tuple(configs.version_at(router, t) for t in instants)
+        return token
+
+    def ingress_token(self) -> Tuple[int, ...]:
+        """NetFlow ingress map version."""
+        return (self.paths.ingress_map.version,)
+
+    # ------------------------------------------------------------------
+
+    def fingerprint(self, timestamp: float) -> Tuple[int, ...]:
+        """The full routing-state fingerprint at one instant.
+
+        The union of every subsystem token — the coarsest (most eagerly
+        invalidated) epoch.  Handy for logging and for callers that do
+        not know which state a computation reads.
+        """
+        return (
+            (self._topology_generation,)
+            + self.ospf_token(timestamp)
+            + self.bgp_token(timestamp)
+            + self.config_token()
+            + self.ingress_token()
+        )

@@ -78,11 +78,22 @@ class WeightHistory:
         self._changes: List[WeightChange] = []
         self._timestamps: List[float] = []
         self._sorted = True
+        #: bumped whenever a change lands *before* the feed's frontier:
+        #: version numbering shifts at already-issued instants, so any
+        #: version-keyed cache must treat the whole history as new.  An
+        #: in-order append leaves historical versions intact and the
+        #: generation untouched.
+        self.stale_generation = 0
+        self._max_timestamp = float("-inf")
 
     def record(self, change: WeightChange) -> None:
         """Append one observed weight update."""
         self._changes.append(change)
         self._sorted = False
+        if change.timestamp < self._max_timestamp:
+            self.stale_generation += 1
+        else:
+            self._max_timestamp = change.timestamp
 
     def record_many(self, changes: Iterable[WeightChange]) -> None:
         """Append several observed updates."""
@@ -135,8 +146,13 @@ class OspfSimulator:
             merged.update(history._initial)
             history._initial = merged
         self.history = history
-        # (version, source) -> {destination: EcmpPaths}
-        self._spf_cache: Dict[Tuple[int, str], Dict[str, EcmpPaths]] = {}
+        #: bumped when the whole history is swapped out: version numbers
+        #: from different histories are not comparable, so version-keyed
+        #: caches outside this class (BGP decisions, spatial resolution)
+        #: include the generation in their keys
+        self.generation = 0
+        # (stale generation, version, source) -> {destination: EcmpPaths}
+        self._spf_cache: Dict[Tuple[int, int, str], Dict[str, EcmpPaths]] = {}
 
     def replace_history(self, history: WeightHistory) -> None:
         """Swap in a rebuilt weight history (streaming refresh).
@@ -148,6 +164,7 @@ class OspfSimulator:
         merged.update(history._initial)
         history._initial = merged
         self.history = history
+        self.generation += 1
         self._spf_cache.clear()
 
     # ------------------------------------------------------------------
@@ -156,11 +173,18 @@ class OspfSimulator:
         """All equal-cost shortest paths between two routers at a time."""
         if source == destination:
             return EcmpPaths(source, destination, 0, ((source,),), frozenset())
-        version = self.history.version_at(timestamp)
-        table = self._spf_cache.get((version, source))
+        # the stale generation guards against aliasing: an out-of-order
+        # weight record renumbers versions at already-queried instants,
+        # which would otherwise let a stale table answer for a new state
+        key = (
+            self.history.stale_generation,
+            self.history.version_at(timestamp),
+            source,
+        )
+        table = self._spf_cache.get(key)
         if table is None:
             table = self._run_spf(source, timestamp)
-            self._spf_cache[(version, source)] = table
+            self._spf_cache[key] = table
         result = table.get(destination)
         if result is None:
             return EcmpPaths(source, destination, 0, (), frozenset())

@@ -36,10 +36,14 @@ class IngressMap:
 
     def __init__(self) -> None:
         self._by_source: Dict[str, str] = {}
+        #: bumped on every mutation; spatial resolution caches key on it
+        self.version = 0
 
     def learn(self, source: str, ingress_router: str) -> None:
         """Record that a source enters the network at an ingress router."""
-        self._by_source[source] = ingress_router
+        if self._by_source.get(source) != ingress_router:
+            self._by_source[source] = ingress_router
+            self.version += 1
 
     def ingress_for(self, source: str) -> Optional[str]:
         """The learned ingress router for a source, or None."""

@@ -108,6 +108,10 @@ class RcaService:
         self._lock = threading.Lock()
         self._started_at: Optional[float] = None
         self._shut_down = False
+        # last-synced spatial-cache counters per resolver (workers share
+        # one resolver per app, so deltas must be taken atomically)
+        self._spatial_seen: Dict[int, Dict[str, int]] = {}
+        self._spatial_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # registration and lifecycle
@@ -375,10 +379,33 @@ class RcaService:
                     self.cache.store(key, diagnosis, revision)
                 diagnoses.append(diagnosis)
             root.annotate(symptoms=len(symptoms))
+            self._sync_spatial_metrics(engine.resolver)
         if job.traced:
             job.trace = root
             self.metrics.observe_stages(stage_breakdown(root))
         return diagnoses
+
+    def _sync_spatial_metrics(self, resolver) -> None:
+        """Fold the resolver's epoch-cache counters into service metrics.
+
+        The resolver's counters are cumulative and shared by every
+        worker engine of an app; each sync publishes only the delta
+        since the last sync of that resolver, so concurrent jobs never
+        double-count.
+        """
+        stats = resolver.cache_stats()
+        with self._spatial_lock:
+            seen = self._spatial_seen.setdefault(
+                id(resolver), {"hits": 0, "misses": 0, "invalidations": 0}
+            )
+            deltas = {key: stats[key] - seen[key] for key in seen}
+            seen.update({key: stats[key] for key in seen})
+        if deltas["hits"]:
+            self.metrics.spatial_cache_hits.increment(deltas["hits"])
+        if deltas["misses"]:
+            self.metrics.spatial_cache_misses.increment(deltas["misses"])
+        if deltas["invalidations"]:
+            self.metrics.spatial_cache_invalidations.increment(deltas["invalidations"])
 
     def _sync_engine(self, engine: RcaEngine) -> int:
         """Bring a worker engine's retrieval cache up to the store head.

@@ -272,12 +272,16 @@ class ConfigArchive:
 
     def __init__(self) -> None:
         self._snapshots: Dict[str, List[Tuple[float, ParsedConfig]]] = {}
+        #: bumped on every archived snapshot; config-dependent spatial
+        #: resolutions (Router:NeighborIP lookups) cache against it
+        self.generation = 0
 
     def add_snapshot(self, router: str, timestamp: float, text: str) -> ParsedConfig:
         """Parse and archive one config snapshot for a router."""
         parsed = parse_config(text)
         self._snapshots.setdefault(router, []).append((timestamp, parsed))
         self._snapshots[router].sort(key=lambda item: item[0])
+        self.generation += 1
         return parsed
 
     def config_at(self, router: str, timestamp: float) -> Optional[ParsedConfig]:
@@ -289,6 +293,19 @@ class ConfigArchive:
             else:
                 break
         return best
+
+    def version_at(self, router: str, timestamp: float) -> int:
+        """Number of snapshots for ``router`` at or before ``timestamp``.
+
+        Two instants with the same version resolve to the same parsed
+        config, so config-dependent caches can key on it.
+        """
+        count = 0
+        for snap_time, _ in self._snapshots.get(router, []):
+            if snap_time > timestamp:
+                break
+            count += 1
+        return count
 
     def routers(self) -> List[str]:
         """Routers with at least one archived snapshot."""

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.locations import Location, LocationType
-from repro.core.spatial import JoinLevel, SpatialJoinRule
+from repro.core.spatial import JoinLevel, LocationResolver, SpatialJoinRule
 from repro.routing.ospf import COST_OUT_WEIGHT, WeightChange
 
 T = 1000.0
@@ -170,6 +170,20 @@ class TestPathExpansion:
         bgp_log.announce(980.0, "198.51.100.0/24", "dfw-per1")
         routers = resolver.expand(Location.prefix("198.51.100.0/24"), JoinLevel.ROUTER, T)
         assert routers == {"chi-per1", "dfw-per1"}
+
+    def test_prefix_expansion_honours_configured_lookback(
+        self, path_service, bgp_log
+    ):
+        """Regression: ``_expand_prefix`` hardcoded a 60 s lookback and
+        silently ignored ``path_lookback``."""
+        bgp_log.announce(0.0, "198.51.100.0/24", "chi-per1")
+        bgp_log.withdraw(900.0, "198.51.100.0/24", "chi-per1")
+        bgp_log.announce(900.0, "198.51.100.0/24", "dfw-per1")
+        loc = Location.prefix("198.51.100.0/24")
+        narrow = LocationResolver(path_service, path_lookback=30.0)
+        assert narrow.expand(loc, JoinLevel.ROUTER, T) == {"dfw-per1"}
+        wide = LocationResolver(path_service, path_lookback=200.0)
+        assert wide.expand(loc, JoinLevel.ROUTER, T) == {"chi-per1", "dfw-per1"}
 
     def test_router_path_alias_behaves_like_router(self, resolver):
         loc = Location.pair(LocationType.INGRESS_EGRESS, "nyc-per1", "chi-per1")

@@ -52,6 +52,63 @@ class TestUpdateLog:
         assert [u.timestamp for u in updates] == [10.0, 30.0]
 
 
+class TestLogIndexes:
+    def test_prefix_version_counts_updates_up_to_instant(self, log):
+        log.announce(10.0, "198.51.100.0/24", "b")
+        log.announce(20.0, "198.51.100.0/24", "c")
+        log.withdraw(30.0, "198.51.100.0/24", "b")
+        assert log.prefix_version_at("198.51.100.0/24", 5.0) == 0
+        assert log.prefix_version_at("198.51.100.0/24", 10.0) == 1
+        assert log.prefix_version_at("198.51.100.0/24", 25.0) == 2
+        assert log.prefix_version_at("198.51.100.0/24", 99.0) == 3
+
+    def test_prefix_version_untouched_by_other_prefixes(self, log):
+        log.announce(10.0, "198.51.100.0/24", "b")
+        before = log.prefix_version_at("198.51.100.0/24", 50.0)
+        log.announce(20.0, "203.0.113.0/24", "c")
+        assert log.prefix_version_at("198.51.100.0/24", 50.0) == before
+
+    def test_global_version_spans_prefixes(self, log):
+        log.announce(10.0, "198.51.100.0/24", "b")
+        log.announce(20.0, "203.0.113.0/24", "c")
+        assert log.version_at(5.0) == 0
+        assert log.version_at(15.0) == 1
+        assert log.version_at(25.0) == 2
+
+    def test_in_order_records_keep_generation(self, log):
+        log.announce(10.0, "198.51.100.0/24", "b")
+        log.announce(20.0, "203.0.113.0/24", "c")
+        assert log.stale_generation == 0
+
+    def test_out_of_order_record_bumps_generation(self, log):
+        log.announce(20.0, "198.51.100.0/24", "b")
+        log.announce(10.0, "203.0.113.0/24", "c")
+        assert log.stale_generation == 1
+        # versions at old instants shifted: 10.0 now covers one update
+        assert log.version_at(10.0) == 1
+
+    def test_match_prefix_prefers_longest_live(self, log):
+        log.announce(0.0, "198.51.0.0/16", "d")
+        log.announce(0.0, "198.51.100.0/24", "b")
+        assert log.match_prefix("198.51.100.9", 10.0) == "198.51.100.0/24"
+        assert log.match_prefix("198.51.7.9", 10.0) == "198.51.0.0/16"
+
+    def test_match_prefix_falls_back_after_withdraw(self, log):
+        log.announce(0.0, "198.51.0.0/16", "d")
+        log.announce(0.0, "198.51.100.0/24", "b")
+        log.withdraw(50.0, "198.51.100.0/24", "b")
+        assert log.match_prefix("198.51.100.9", 60.0) == "198.51.0.0/16"
+        # historical query still sees the more-specific prefix
+        assert log.match_prefix("198.51.100.9", 10.0) == "198.51.100.0/24"
+
+    def test_unparseable_prefix_never_matches(self, log):
+        log.announce(0.0, "not-a-prefix", "d")
+        log.announce(0.0, "198.51.100.0/24", "b")
+        assert log.match_prefix("198.51.100.9", 10.0) == "198.51.100.0/24"
+        # but its updates remain queryable by exact prefix string
+        assert len(log.routes_at("not-a-prefix", 10.0)) == 1
+
+
 class TestBestPath:
     def test_local_pref_wins(self, ospf, log):
         log.announce(0.0, "198.51.100.0/24", "d", local_pref=100)
@@ -126,3 +183,51 @@ class TestEgressTimeline:
         assert emulator.best_egress("a", "198.51.100.5", 10.0).egress_router == "b"
         log.withdraw(50.0, "198.51.100.0/24", "b")
         assert emulator.best_egress("a", "198.51.100.5", 60.0).egress_router is None
+
+    def test_no_route_at_start_reports_none(self, ospf, log):
+        log.announce(50.0, "198.51.100.0/24", "b")
+        emulator = BgpEmulator(log, ospf)
+        timeline = emulator.egress_timeline("a", "198.51.100.5", 10.0, 100.0)
+        assert timeline == [(10.0, None), (50.0, "b")]
+
+
+class TestDecisionCacheStaleness:
+    """A cached decision must be retired by *any* later-recorded update
+    for its prefix — including a better route the old "is the cached
+    route still announced" check could never notice."""
+
+    def test_late_higher_local_pref_flips_cached_egress(self, ospf, log):
+        log.announce(0.0, "198.51.100.0/24", "d", local_pref=100)
+        emulator = BgpEmulator(log, ospf)
+        assert emulator.best_egress("a", "198.51.100.5", 100.0).egress_router == "d"
+        # a strictly better route arrives, announced before the query
+        # instant; the old route "d" is still live, so a liveness-based
+        # cache check would wrongly keep serving it
+        log.announce(50.0, "198.51.100.0/24", "b", local_pref=200)
+        assert emulator.best_egress("a", "198.51.100.5", 100.0).egress_router == "b"
+
+    def test_late_shorter_as_path_flips_cached_egress(self, ospf, log):
+        log.announce(0.0, "198.51.100.0/24", "d", as_path_len=2)
+        emulator = BgpEmulator(log, ospf)
+        assert emulator.best_egress("a", "198.51.100.5", 100.0).egress_router == "d"
+        log.announce(50.0, "198.51.100.0/24", "c", as_path_len=1)
+        assert emulator.best_egress("a", "198.51.100.5", 100.0).egress_router == "c"
+
+    def test_cached_decision_survives_unrelated_prefix_updates(self, ospf, log):
+        log.announce(0.0, "198.51.100.0/24", "b")
+        emulator = BgpEmulator(log, ospf)
+        first = emulator.best_egress("a", "198.51.100.5", 100.0)
+        log.announce(50.0, "203.0.113.0/24", "c")
+        assert emulator.best_egress("a", "198.51.100.5", 100.0) is first
+
+    def test_ospf_weight_change_recomputes_hot_potato(self, ospf, log):
+        # b (dist 10) beats d (dist 20) hot-potato at first
+        log.announce(0.0, "198.51.100.0/24", "d")
+        log.announce(0.0, "198.51.100.0/24", "b")
+        emulator = BgpEmulator(log, ospf)
+        assert emulator.best_egress("a", "198.51.100.5", 10.0).egress_router == "b"
+        # costing out a--b makes d the closer egress at later instants
+        ospf.history.record(WeightChange(50.0, "a--b", 65535))
+        assert emulator.best_egress("a", "198.51.100.5", 60.0).egress_router == "d"
+        # the historical decision is untouched
+        assert emulator.best_egress("a", "198.51.100.5", 10.0).egress_router == "b"

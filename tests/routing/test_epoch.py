@@ -1,0 +1,80 @@
+"""Tests for routing-epoch version tokens (the spatial cache's keys)."""
+
+from repro.routing.epoch import RoutingEpoch
+from repro.routing.ospf import WeightChange
+
+
+def make_epoch(path_service):
+    return RoutingEpoch(path_service)
+
+
+class TestOspfToken:
+    def test_stable_between_changes(self, path_service):
+        epoch = make_epoch(path_service)
+        assert epoch.ospf_token(100.0) == epoch.ospf_token(100.0)
+        # different instants in the same (empty) history share a token
+        assert epoch.ospf_token(100.0) == epoch.ospf_token(500.0)
+
+    def test_changes_when_weight_change_lands_before_instant(self, path_service):
+        epoch = make_epoch(path_service)
+        link = sorted(path_service.network.logical_links)[0]
+        before = epoch.ospf_token(500.0)
+        path_service.ospf.history.record(WeightChange(200.0, link, 99))
+        assert epoch.ospf_token(500.0) != before
+        # instants before the change keep their token
+        assert epoch.ospf_token(100.0) == epoch.ospf_token(150.0)
+
+    def test_out_of_order_record_retires_old_tokens(self, path_service):
+        epoch = make_epoch(path_service)
+        link = sorted(path_service.network.logical_links)[0]
+        path_service.ospf.history.record(WeightChange(300.0, link, 99))
+        old = epoch.ospf_token(100.0)
+        # a record arriving behind the frontier renumbers versions
+        path_service.ospf.history.record(WeightChange(50.0, link, 77))
+        assert epoch.ospf_token(100.0) != old
+
+
+class TestBgpTokens:
+    def test_prefix_token_is_per_prefix(self, path_service, bgp_log):
+        epoch = make_epoch(path_service)
+        bgp_log.announce(100.0, "198.51.100.0/24", "chi-per1")
+        token = epoch.prefix_token("198.51.100.0/24", 500.0)
+        bgp_log.announce(200.0, "203.0.113.0/24", "dfw-per1")
+        assert epoch.prefix_token("198.51.100.0/24", 500.0) == token
+        bgp_log.withdraw(300.0, "198.51.100.0/24", "chi-per1")
+        assert epoch.prefix_token("198.51.100.0/24", 500.0) != token
+
+    def test_global_token_sees_every_prefix(self, path_service, bgp_log):
+        epoch = make_epoch(path_service)
+        before = epoch.bgp_token(500.0)
+        bgp_log.announce(100.0, "203.0.113.0/24", "dfw-per1")
+        assert epoch.bgp_token(500.0) != before
+
+
+class TestOtherTokens:
+    def test_ingress_token_bumps_only_on_real_change(self, path_service):
+        epoch = make_epoch(path_service)
+        before = epoch.ingress_token()
+        source = next(iter(path_service.network.cdn_servers))
+        ingress = path_service.ingress_map.ingress_for(source)
+        # re-learning the same mapping is a no-op
+        path_service.ingress_map.learn(source, ingress)
+        assert epoch.ingress_token() == before
+        path_service.ingress_map.learn("new-agent", "chi-per1")
+        assert epoch.ingress_token() != before
+
+    def test_config_token_tracks_snapshot_boundaries(self, path_service):
+        epoch = make_epoch(path_service)
+        router = sorted(path_service.network.routers)[0]
+        # fixture archive snapshots everything at t=0
+        assert epoch.config_token(router, 100.0) != epoch.config_token(router, -1.0)
+
+    def test_topology_bump_changes_fingerprint(self, path_service):
+        epoch = make_epoch(path_service)
+        before = epoch.fingerprint(100.0)
+        epoch.bump_topology()
+        assert epoch.fingerprint(100.0) != before
+
+    def test_fingerprint_stable_when_nothing_changes(self, path_service):
+        epoch = make_epoch(path_service)
+        assert epoch.fingerprint(100.0) == epoch.fingerprint(100.0)

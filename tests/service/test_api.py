@@ -294,4 +294,25 @@ class TestDrainAndShutdown:
         text = "\n".join(service.metrics_lines())
         assert "service metrics:" in text
         assert "worker utilization" in text
+        assert "spatial cache" in text
         assert service.elapsed_seconds > 0.0
+
+    def test_spatial_cache_counters_synced_per_job(
+        self, service, mini_app, seed_scene
+    ):
+        times = seed_scene(mini_app.store, n=6)
+        symptoms = mini_app.find_symptoms(*window(times))
+        service.start()
+        service.submit_diagnosis("mini", symptoms).outcome(timeout=30.0)
+        snap = service.metrics.snapshot()["spatial_cache"]
+        resolver_stats = mini_app.engine.resolver.cache_stats()
+        # deltas synced exactly once: service totals match the resolver
+        assert snap["misses"] == resolver_stats["misses"]
+        assert snap["hits"] == resolver_stats["hits"]
+        assert snap["misses"] > 0
+        # re-diagnosing the same symptoms (traced jobs bypass the result
+        # cache) hits the warm resolver cache
+        service.submit_diagnosis("mini", symptoms, traced=True).outcome(timeout=30.0)
+        after = service.metrics.snapshot()["spatial_cache"]
+        assert after["hits"] > snap["hits"]
+        assert after["hit_rate"] > 0.0
