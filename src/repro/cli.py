@@ -121,6 +121,15 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--repeat", action="store_true",
                        help="re-run the full window afterwards to "
                             "exercise the result cache")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="per-job deadline in seconds (jobs past it "
+                            "finish TIMED_OUT; default unbounded)")
+    serve.add_argument("--no-supervise", action="store_true",
+                       help="disable the worker supervisor (crash "
+                            "recovery, hang detachment, brownout)")
+    serve.add_argument("--retries", type=int, default=3,
+                       help="attempts per job for transient failures "
+                            "(1 disables retries)")
     return parser
 
 
@@ -318,10 +327,15 @@ def _cmd_serve(args) -> int:
     result, app_cls = _run_scenario(args.scenario, args.seed, args.size)
     platform = result.platform()
     app = app_cls.build(platform)
+    from .service.policy import RetryPolicy
+
     service = platform.serve(
         {args.scenario: app},
         workers=max(1, args.workers),
         queue_depth=args.queue_depth,
+        default_deadline=args.deadline,
+        supervise=not args.no_supervise,
+        retry=RetryPolicy(max_attempts=max(1, args.retries)),
     )
     rounds = max(1, args.rounds)
     interval = (result.end - result.start) / rounds
@@ -334,9 +348,16 @@ def _cmd_serve(args) -> int:
     for k in range(rounds):
         jobs.extend(service.tick(result.start + (k + 1) * interval))
     service.drain(timeout=600.0)
+    from .service.policy import OperationCancelled
+
     diagnoses = []
     for job in jobs:
-        diagnoses.extend(job.outcome(timeout=60.0))
+        try:
+            diagnoses.extend(job.outcome(timeout=60.0))
+        except OperationCancelled as exc:
+            # deadline-bounded runs: a timed-out round is reported, the
+            # remaining rounds still land
+            print(f"job {job.job_id} {job.state.value}: {exc}")
     browser = ResultBrowser(diagnoses)
     print(f"scenario {args.scenario}: {len(browser)} symptoms diagnosed by "
           f"{args.workers} workers over {rounds} scheduled rounds\n")

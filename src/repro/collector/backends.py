@@ -42,6 +42,7 @@ import pickle
 import sqlite3
 import tempfile
 import threading
+import time
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 #: Builds a backend for one table: ``factory(table_name, indexed_columns)``.
@@ -485,6 +486,149 @@ class SqliteBackend(StorageBackend):
         if self._conn is not None and self._pid == os.getpid():
             self._conn.close()
         self._conn = None
+
+
+class StorageUnavailable(ConnectionError):
+    """A storage read failed or was refused behind an open breaker.
+
+    Subclasses :class:`ConnectionError` so the service's error
+    classifier (:func:`repro.service.policy.is_transient`) treats it as
+    transient without the collector importing the service layer: a read
+    that hit a broken disk or an open circuit is worth retrying later,
+    not a rule bug.
+    """
+
+
+class BreakerBackend(StorageBackend):
+    """Circuit breaker around another backend's *read* path.
+
+    The same state machine :class:`~repro.collector.health.FeedReader`
+    runs for feed transports, applied one layer down: after
+    ``failure_threshold`` consecutive read failures the circuit opens
+    and reads **fail fast** with :class:`StorageUnavailable` — a wedged
+    database stalls diagnoses for ``reset_timeout`` at most once, not
+    once per retrieval — until a half-open probe succeeds.  Failing
+    reads are re-raised wrapped in :class:`StorageUnavailable` (original
+    attached as ``__cause__``) so the job-level retry policy classifies
+    them uniformly.
+
+    Writes pass through unguarded: ingest and diagnosis have different
+    failure domains, and a read-side brownout must not drop feed data.
+    Like every backend, instances are serialized by the owning table's
+    lock; the breaker itself is thread-safe anyway, so sharing one
+    breaker across tables (``breaker=``) also works.
+    """
+
+    def __init__(
+        self,
+        inner: StorageBackend,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+        breaker: Optional[Any] = None,
+    ) -> None:
+        self.inner = inner
+        if breaker is None:
+            # lazy import: collector must stay importable without the
+            # service layer loaded (policy only lazily imports back)
+            from ..service.policy import CircuitBreaker
+
+            breaker = CircuitBreaker(
+                failure_threshold=failure_threshold,
+                reset_timeout=reset_timeout,
+                clock=clock,
+            )
+        self.breaker = breaker
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"{self.inner.name}+breaker"
+
+    @property
+    def indexed_columns(self) -> Tuple[str, ...]:
+        return self.inner.indexed_columns
+
+    def insert(self, record) -> None:
+        """Pass the write straight through (writes are unguarded)."""
+        self.inner.insert(record)
+
+    def _read(self, op: Callable, label: str, *args) -> Any:
+        if not self.breaker.allow():
+            raise StorageUnavailable(
+                f"{self.name}: circuit open, {label} refused (fail-fast)"
+            )
+        try:
+            result = op(*args)
+        except Exception as exc:
+            self.breaker.record_failure()
+            raise StorageUnavailable(
+                f"{self.name}: {label} failed ({type(exc).__name__}: {exc})"
+            ) from exc
+        self.breaker.record_success()
+        return result
+
+    def query(
+        self,
+        start: Optional[float],
+        end: Optional[float],
+        equals: Dict[str, Any],
+    ) -> List[Any]:
+        """Breaker-guarded window query against the inner backend."""
+        return self._read(self.inner.query, "query", start, end, equals)
+
+    def scan(self) -> List[Any]:
+        """Breaker-guarded full scan of the inner backend."""
+        return self._read(self.inner.scan, "scan")
+
+    def distinct(self, column: str) -> List[Any]:
+        """Breaker-guarded distinct-values read."""
+        return self._read(self.inner.distinct, "distinct", column)
+
+    def time_span(self) -> Optional[Tuple[float, float]]:
+        """Breaker-guarded (oldest, newest) timestamp read."""
+        return self._read(self.inner.time_span, "time_span")
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def stats(self) -> Dict[str, Any]:
+        """Inner backend stats plus the breaker's state and open count."""
+        stats = dict(self.inner.stats())
+        stats["backend"] = self.name
+        stats["breaker"] = self.breaker.state()
+        stats["breaker_opened"] = self.breaker.times_opened
+        return stats
+
+    def close(self) -> None:
+        """Close the inner backend."""
+        self.inner.close()
+
+
+def breaker_backend(
+    inner: Optional[BackendSpec] = None,
+    failure_threshold: int = 5,
+    reset_timeout: float = 30.0,
+    clock: Callable[[], float] = time.monotonic,
+) -> BackendFactory:
+    """Factory wrapping another backend spec's tables in read breakers.
+
+    Each table gets its own breaker (one wedged table must not open the
+    circuit for healthy ones).
+    """
+    inner_factory = resolve_backend(inner)
+
+    def make(table_name: str, indexed_columns: Tuple[str, ...]) -> BreakerBackend:
+        return BreakerBackend(
+            inner_factory(table_name, indexed_columns),
+            failure_threshold=failure_threshold,
+            reset_timeout=reset_timeout,
+            clock=clock,
+        )
+
+    make.backend_name = (  # type: ignore[attr-defined]
+        f"{backend_name(inner_factory)}+breaker"
+    )
+    return make
 
 
 # ----------------------------------------------------------------------

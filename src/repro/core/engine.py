@@ -255,7 +255,11 @@ class RcaEngine:
     # ------------------------------------------------------------------
 
     def diagnose(
-        self, symptom: EventInstance, tracer: Optional[Tracer] = None
+        self,
+        symptom: EventInstance,
+        tracer: Optional[Tracer] = None,
+        cancel: Optional[Any] = None,
+        max_depth: Optional[int] = None,
     ) -> Diagnosis:
         """Correlate and reason about one symptom instance.
 
@@ -265,6 +269,16 @@ class RcaEngine:
         children, and the finished subtree is attached as
         :attr:`Diagnosis.trace`.  With the default ``None`` the no-op
         tracer is used and the hot path is unchanged.
+
+        ``cancel`` is a cooperative cancellation token (anything with a
+        ``check()`` that raises to stop — see
+        :class:`repro.service.policy.CancellationToken`).  It is checked
+        at stage boundaries: each frontier level, each node visit, and
+        before every store fetch, so a timed-out diagnosis stops within
+        one retrieval instead of running to completion.  ``max_depth``
+        caps the exploration depth (evidence *at* the cap is still
+        collected; nodes there are not expanded) — the service uses it
+        to trim work during brownout.
         """
         if symptom.name != self.graph.symptom_event:
             raise ValueError(
@@ -278,7 +292,9 @@ class RcaEngine:
         ) as root:
             self._active_reads = set()
             try:
-                evidence, gaps = self._correlate(symptom, tracer)
+                evidence, gaps = self._correlate(
+                    symptom, tracer, cancel=cancel, max_depth=max_depth
+                )
                 footprint = merge_footprint(self._active_reads)
             finally:
                 self._active_reads = None
@@ -319,7 +335,11 @@ class RcaEngine:
     # ------------------------------------------------------------------
 
     def _correlate(
-        self, symptom: EventInstance, tracer=NULL_TRACER
+        self,
+        symptom: EventInstance,
+        tracer=NULL_TRACER,
+        cancel: Optional[Any] = None,
+        max_depth: Optional[int] = None,
     ) -> Tuple[List[MatchedEvidence], List[EvidenceGap]]:
         evidence: List[MatchedEvidence] = []
         gaps: List[EvidenceGap] = []
@@ -332,9 +352,13 @@ class RcaEngine:
         ]
         seen: set = set()
         while level:
+            if cancel is not None:
+                cancel.check()
             plan = self._plan_level(level)
             next_level: List[Tuple[str, EventInstance, int]] = []
             for event_name, parent_instance, depth in level:
+                if cancel is not None:
+                    cancel.check()
                 # one span per graph-node visit: the trace mirrors the walk
                 with tracer.span("node", label=event_name, depth=depth) as node_span:
                     matched_here = 0
@@ -344,7 +368,7 @@ class RcaEngine:
                         if len(gaps) > gaps_before:
                             node_span.count("evidence_gaps", len(gaps) - gaps_before)
                         matches = self._match_rule(
-                            rule, parent_instance, tracer, plan
+                            rule, parent_instance, tracer, plan, cancel
                         )
                         matched_here += len(matches)
                         for instance in matches:
@@ -358,9 +382,10 @@ class RcaEngine:
                             evidence.append(item)
                             if key not in seen:
                                 seen.add(key)
-                                next_level.append(
-                                    (rule.child_event, instance, depth + 1)
-                                )
+                                if max_depth is None or depth + 1 < max_depth:
+                                    next_level.append(
+                                        (rule.child_event, instance, depth + 1)
+                                    )
                     node_span.annotate(matched=matched_here)
             level = next_level
         return evidence, gaps
@@ -445,14 +470,21 @@ class RcaEngine:
             )
 
     def _match_rule(
-        self, rule, parent_instance: EventInstance, tracer=NULL_TRACER, plan=None
+        self,
+        rule,
+        parent_instance: EventInstance,
+        tracer=NULL_TRACER,
+        plan=None,
+        cancel=None,
     ) -> List[EventInstance]:
         window = rule.temporal.search_window(parent_instance.interval)
         if not tracer.enabled:
             # hot path: no spans, no counters, the original tight loop.
             # One batch join per (rule, parent): the symptom location is
             # expanded at most once, lazily, instead of per candidate.
-            candidates = self._retrieve(rule.child_event, window, plan=plan)
+            candidates = self._retrieve(
+                rule.child_event, window, plan=plan, cancel=cancel
+            )
             batch = rule.spatial.batch(
                 self.resolver, parent_instance.location, parent_instance.start
             )
@@ -468,10 +500,13 @@ class RcaEngine:
                 if len(matched) >= self.config.max_matches_per_rule:
                     break
             return matched
-        return self._match_rule_traced(rule, parent_instance, tracer, window, plan)
+        return self._match_rule_traced(
+            rule, parent_instance, tracer, window, plan, cancel
+        )
 
     def _match_rule_traced(
-        self, rule, parent_instance: EventInstance, tracer, window, plan=None
+        self, rule, parent_instance: EventInstance, tracer, window, plan=None,
+        cancel=None,
     ) -> List[EventInstance]:
         """Traced twin of :meth:`_match_rule`'s loop.
 
@@ -489,7 +524,9 @@ class RcaEngine:
             spatial=rule.spatial.describe(),
             window=[window[0], window[1]],
         ) as rule_span:
-            candidates = self._retrieve(rule.child_event, window, tracer, plan)
+            candidates = self._retrieve(
+                rule.child_event, window, tracer, plan, cancel
+            )
             with tracer.span("temporal-join", label=label) as span:
                 survivors = [
                     candidate
@@ -523,6 +560,7 @@ class RcaEngine:
         window: Tuple[float, float],
         tracer=NULL_TRACER,
         plan: Optional[Dict[str, List[Tuple[float, float]]]] = None,
+        cancel=None,
     ) -> List[EventInstance]:
         # bucket windows to 60 s so nearby symptoms share cache entries
         bucketed = bucket_window(window)
@@ -540,6 +578,10 @@ class RcaEngine:
         with tracer.span("retrieve", label=event_name) as span:
             cached = key in self._retrieval_cache
             if not cached:
+                # the store round-trip is the expensive stage; a job past
+                # its deadline stops here instead of fetching more data
+                if cancel is not None:
+                    cancel.check()
                 reads: set = set()
                 observers: List[ReadObserver] = [FootprintObserver(reads.add)]
                 if tracer.enabled:

@@ -9,29 +9,63 @@ service (the platform the paper operates, Section I/VI):
   per worker) plus :func:`parallel_diagnose` for batch runs;
 * :mod:`~repro.service.cache` — watermark-keyed result cache with
   footprint invalidation on late-arriving records;
+* :mod:`~repro.service.policy` — fault-containment policy: per-job
+  deadlines and cancellation tokens, transient/permanent error
+  classification, bounded retries, circuit breakers, and the brownout
+  degradation state machine;
+* :mod:`~repro.service.supervisor` — the self-healing loop: dead-worker
+  reconciliation, in-flight failover, poison-job quarantine, hung-worker
+  detachment and brownout evaluation;
+* :mod:`~repro.service.faults` — deterministic chaos harness (crash /
+  hang / stall / error / latency injection) used to prove all of the
+  above actually recovers;
 * :mod:`~repro.service.api` — the :class:`RcaService` facade
-  (submit / poll / drain / graceful shutdown / periodic runs);
+  (submit / poll / cancel / drain / graceful shutdown / periodic runs);
 * :mod:`~repro.service.metrics` — counters, gauges and latency
   histograms surfaced through the CLI.
 
-See ``docs/service.md`` for architecture and tuning.
+See ``docs/service.md`` and ``docs/robustness.md`` for architecture,
+tuning and the chaos-recipe catalogue.
 """
 
 from .api import AppHandle, PeriodicSchedule, RcaService
 from .cache import CacheEntry, CacheKey, ResultCache, cache_key
+from .faults import FlakyBackend, ServiceFaultInjector
 from .metrics import Counter, Gauge, Histogram, ServiceMetrics
+from .policy import (
+    BrownoutConfig,
+    BrownoutController,
+    CancellationToken,
+    CircuitBreaker,
+    DeadlineExceeded,
+    OperationCancelled,
+    PermanentError,
+    RetryPolicy,
+    ServiceHealth,
+    TransientError,
+    is_transient,
+)
 from .queue import (
     PRIORITY_IMPAIRED_PENALTY,
     PRIORITY_INTERACTIVE,
     PRIORITY_PERIODIC,
+    TERMINAL_STATES,
     Job,
     JobQueue,
     JobState,
     QueueClosed,
     QueueFull,
 )
+from .supervisor import (
+    PoisonJob,
+    QuarantineBuffer,
+    QuarantineEntry,
+    SupervisorConfig,
+    WorkerSupervisor,
+)
 from .workers import (
     Worker,
+    WorkerCrash,
     WorkerPool,
     available_cpus,
     contiguous_chunks,
@@ -41,28 +75,48 @@ from .workers import (
 
 __all__ = [
     "AppHandle",
+    "BrownoutConfig",
+    "BrownoutController",
     "CacheEntry",
     "CacheKey",
+    "CancellationToken",
+    "CircuitBreaker",
     "Counter",
+    "DeadlineExceeded",
+    "FlakyBackend",
     "Gauge",
     "Histogram",
     "Job",
     "JobQueue",
     "JobState",
+    "OperationCancelled",
     "PeriodicSchedule",
+    "PermanentError",
+    "PoisonJob",
     "PRIORITY_IMPAIRED_PENALTY",
     "PRIORITY_INTERACTIVE",
     "PRIORITY_PERIODIC",
+    "QuarantineBuffer",
+    "QuarantineEntry",
     "QueueClosed",
     "QueueFull",
     "RcaService",
     "ResultCache",
+    "RetryPolicy",
+    "ServiceFaultInjector",
+    "ServiceHealth",
     "ServiceMetrics",
+    "SupervisorConfig",
+    "TERMINAL_STATES",
+    "TransientError",
     "Worker",
+    "WorkerCrash",
     "WorkerPool",
+    "WorkerSupervisor",
     "available_cpus",
     "cache_key",
     "contiguous_chunks",
     "default_backend",
+    "is_transient",
     "parallel_diagnose",
 ]

@@ -41,6 +41,13 @@ from ..obs.report import stage_breakdown
 from ..obs.trace import NULL_TRACER, Tracer
 from .cache import ResultCache, cache_key
 from .metrics import ServiceMetrics
+from .policy import (
+    BrownoutConfig,
+    BrownoutController,
+    CancellationToken,
+    RetryPolicy,
+    ServiceHealth,
+)
 from .queue import (
     PRIORITY_IMPAIRED_PENALTY,
     PRIORITY_INTERACTIVE,
@@ -48,7 +55,9 @@ from .queue import (
     Job,
     JobQueue,
     JobState,
+    QueueFull,
 )
+from .supervisor import SupervisorConfig, WorkerSupervisor
 from .workers import Worker, WorkerPool
 
 
@@ -88,18 +97,41 @@ class RcaService:
         metrics: Optional[ServiceMetrics] = None,
         clock: Callable[[], float] = time.monotonic,
         job_history: int = 1024,
+        default_deadline: Optional[float] = None,
+        retry: Optional[RetryPolicy] = None,
+        supervise: bool = True,
+        supervisor_config: Optional[SupervisorConfig] = None,
+        brownout_config: Optional[BrownoutConfig] = None,
+        executor: Optional[Callable[[Job, Worker], object]] = None,
     ) -> None:
         self.store = store
         self.health = health
         self.metrics = metrics or ServiceMetrics()
         self.clock = clock
+        #: relative per-job deadline (seconds) applied when a submit
+        #: does not pass its own; ``None`` = unbounded jobs
+        self.default_deadline = default_deadline
         self.queue = JobQueue(max_depth=queue_depth)
         self.cache = ResultCache(capacity=cache_capacity, metrics=self.metrics)
         self.cache.attach(store)
         self.pool = WorkerPool(
-            self.queue, self._execute, workers=workers,
+            # the executor seam lets the chaos harness interpose faults
+            # between the pool and the real _execute
+            self.queue, executor or self._execute, workers=workers,
             metrics=self.metrics, clock=clock,
+            retry=retry if retry is not None else RetryPolicy(),
         )
+        self.brownout = BrownoutController(brownout_config)
+        self.supervisor: Optional[WorkerSupervisor] = None
+        if supervise:
+            self.supervisor = WorkerSupervisor(
+                self.pool,
+                self.queue,
+                metrics=self.metrics,
+                config=supervisor_config,
+                brownout=self.brownout,
+                clock=clock,
+            )
         self._apps: Dict[str, AppHandle] = {}
         self._schedules: List[PeriodicSchedule] = []
         self._jobs: "OrderedDict[int, Job]" = OrderedDict()
@@ -138,10 +170,12 @@ class RcaService:
             return sorted(self._apps)
 
     def start(self) -> None:
-        """Start the worker pool (idempotent)."""
+        """Start the worker pool and the supervisor (idempotent)."""
         if self._started_at is None:
             self._started_at = self.clock()
         self.pool.start()
+        if self.supervisor is not None:
+            self.supervisor.start()
 
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Wait until the queue is empty and no job is in flight."""
@@ -159,8 +193,15 @@ class RcaService:
             if self._shut_down:
                 return
             self._shut_down = True
+        # stop supervising first: shutdown owns thread lifecycles now,
+        # and a sweep must not respawn workers the pool is joining
+        if self.supervisor is not None:
+            self.supervisor.stop(timeout=timeout)
         self.queue.close()
         if not graceful:
+            # pending jobs are dropped; jobs already running complete
+            # (the documented contract — operators who also want the
+            # running ones stopped call cancel_job on them first)
             cancelled = self.queue.cancel_pending()
             self.metrics.jobs_cancelled.increment(len(cancelled))
         else:
@@ -180,6 +221,13 @@ class RcaService:
             f"tables={len(self.store.tables)} "
             f"records={self.store.total_records()}"
         )
+        health_line = f"  health: {self.health_state().value}"
+        if self.supervisor is not None:
+            health_line += (
+                f" quarantine={len(self.supervisor.quarantine)}"
+                f" pool={self.pool.alive}/{self.pool.capacity}"
+            )
+        lines.append(health_line)
         return lines
 
     # ------------------------------------------------------------------
@@ -193,6 +241,7 @@ class RcaService:
         block: bool = False,
         timeout: Optional[float] = None,
         traced: bool = False,
+        deadline: Optional[float] = None,
     ) -> Job:
         """Queue a symptom batch for diagnosis; returns the job handle.
 
@@ -202,6 +251,12 @@ class RcaService:
         carries its own subtree.  Traced jobs bypass the result cache
         (both lookup and store), so the trace reflects real work and
         cached diagnoses never carry another job's spans.
+
+        ``deadline`` bounds the job's total wall time in seconds from
+        submission (default: the service's ``default_deadline``).  A job
+        past its deadline stops at the next engine checkpoint and
+        finishes ``TIMED_OUT``; a worker hung past the supervisor's
+        grace is detached and replaced.
         """
         handle = self._handle(app)
         base = PRIORITY_INTERACTIVE if priority is None else priority
@@ -213,7 +268,7 @@ class RcaService:
             submitted_at=self.clock(),
             traced=traced,
         )
-        return self._submit(job, block=block, timeout=timeout)
+        return self._submit(job, block=block, timeout=timeout, deadline=deadline)
 
     def submit_run(
         self,
@@ -224,11 +279,13 @@ class RcaService:
         block: bool = False,
         timeout: Optional[float] = None,
         traced: bool = False,
+        deadline: Optional[float] = None,
     ) -> Job:
         """Queue a whole-window application run (find symptoms + diagnose).
 
-        ``traced`` behaves as in :meth:`submit_diagnosis`; a traced run
-        additionally records a ``detect`` span for symptom retrieval.
+        ``traced`` and ``deadline`` behave as in
+        :meth:`submit_diagnosis`; a traced run additionally records a
+        ``detect`` span for symptom retrieval.
         """
         handle = self._handle(app)
         base = PRIORITY_PERIODIC if priority is None else priority
@@ -240,7 +297,7 @@ class RcaService:
             submitted_at=self.clock(),
             traced=traced,
         )
-        return self._submit(job, block=block, timeout=timeout)
+        return self._submit(job, block=block, timeout=timeout, deadline=deadline)
 
     def diagnose_now(
         self, app: str, symptoms: Sequence[EventInstance], timeout: Optional[float] = None
@@ -290,6 +347,31 @@ class RcaService:
         with self._lock:
             return self._jobs.get(job_id)
 
+    def cancel_job(self, job_id: int) -> bool:
+        """Request cooperative cancellation of a job by id.
+
+        A pending job is cancelled before it runs (the worker's
+        pre-execution check fires); a running job stops at its next
+        engine checkpoint.  Returns ``False`` when the job is unknown
+        or already finished — cancellation is a request, so ``True``
+        means *requested*, not yet terminal.
+        """
+        job = self.job(job_id)
+        if job is None or job.finished:
+            return False
+        job.request_cancel("cancelled by operator")
+        return True
+
+    def health_state(self) -> ServiceHealth:
+        """Current service health (``OK`` or brownout ``DEGRADED``)."""
+        return self.brownout.state
+
+    def quarantined(self) -> list:
+        """Quarantine-buffer entries (empty without a supervisor)."""
+        if self.supervisor is None:
+            return []
+        return self.supervisor.quarantine.entries()
+
     # ------------------------------------------------------------------
     # periodic scheduling
 
@@ -331,25 +413,38 @@ class RcaService:
         for schedule in schedules:
             while schedule.next_due <= data_now:
                 due = schedule.next_due
-                job = self.submit_run(
-                    schedule.app, due - schedule.window, due
-                )
-                schedule.runs_submitted += 1
+                # shed/full periodic runs are skipped, not fatal: the
+                # schedule advances and the next interval tries again
+                try:
+                    job = self.submit_run(
+                        schedule.app, due - schedule.window, due
+                    )
+                except QueueFull:
+                    job = None
                 schedule.next_due = due + schedule.interval
-                submitted.append(job)
+                if job is not None:
+                    schedule.runs_submitted += 1
+                    submitted.append(job)
         return submitted
 
     # ------------------------------------------------------------------
     # execution (runs on worker threads)
 
     def _execute(self, job: Job, worker: Worker) -> List[Diagnosis]:
+        # brownout trims per-execution work: tracing is dropped and the
+        # exploration depth capped for the duration of the degradation
+        degraded = self.brownout.degraded
+        traced = job.traced and not (degraded and self.brownout.config.trim_tracing)
+        max_depth = self.brownout.config.degraded_max_depth if degraded else None
         # one fresh tracer per traced job, created on the worker thread
         # and never shared: spans cannot leak between concurrent jobs
-        tracer = Tracer() if job.traced else NULL_TRACER
+        tracer = Tracer() if traced else NULL_TRACER
         with tracer.span(
             "job", label=f"job-{job.job_id}", job_kind=job.kind, app=job.app
         ) as root:
             handle = self._handle(job.app)
+            if job.cancel is not None:
+                job.cancel.check()
             if job.kind == "run":
                 start, end = job.payload
                 with tracer.span(
@@ -364,6 +459,8 @@ class RcaService:
             engine = worker.engine_for(handle.name, handle.engine)
             diagnoses: List[Diagnosis] = []
             for symptom in symptoms:
+                if job.cancel is not None:
+                    job.cancel.check()
                 if not job.traced:
                     key = cache_key(handle.name, symptom, handle.fingerprint)
                     cached = self.cache.lookup(key)
@@ -372,15 +469,20 @@ class RcaService:
                         continue
                 revision = self._sync_engine(engine)
                 started = self.clock()
-                diagnosis = engine.diagnose(symptom, tracer=tracer)
+                diagnosis = engine.diagnose(
+                    symptom, tracer=tracer, cancel=job.cancel,
+                    max_depth=max_depth,
+                )
                 self.metrics.diagnosis_latency.observe(self.clock() - started)
                 self.metrics.symptoms_diagnosed.increment()
-                if not job.traced:
+                if not job.traced and max_depth is None:
+                    # depth-capped diagnoses are never cached: a full
+                    # re-run after recovery must not see trimmed results
                     self.cache.store(key, diagnosis, revision)
                 diagnoses.append(diagnosis)
             root.annotate(symptoms=len(symptoms))
             self._sync_spatial_metrics(engine.resolver)
-        if job.traced:
+        if traced:
             job.trace = root
             self.metrics.observe_stages(stage_breakdown(root))
         return diagnoses
@@ -450,7 +552,28 @@ class RcaService:
                     f"available: {sorted(self._apps)}"
                 ) from None
 
-    def _submit(self, job: Job, block: bool, timeout: Optional[float]) -> Job:
+    def _submit(
+        self,
+        job: Job,
+        block: bool,
+        timeout: Optional[float],
+        deadline: Optional[float] = None,
+    ) -> Job:
+        relative = deadline if deadline is not None else self.default_deadline
+        if relative is not None:
+            job.deadline = self.clock() + relative
+        # every job carries a token (deadline or not) so cancel_job and
+        # shutdown can always stop it cooperatively
+        job.cancel = CancellationToken(deadline=job.deadline, clock=self.clock)
+        if (
+            self.brownout.degraded
+            and job.priority >= self.brownout.config.shed_priority
+        ):
+            self.metrics.jobs_shed.increment()
+            raise QueueFull(
+                f"job shed: service degraded and priority {job.priority} >= "
+                f"shed threshold {self.brownout.config.shed_priority}"
+            )
         with self._lock:
             self._job_counter += 1
             job.job_id = self._job_counter

@@ -149,6 +149,39 @@ class ServiceMetrics:
         self.jobs_completed = Counter("jobs_completed", "jobs finished successfully")
         self.jobs_failed = Counter("jobs_failed", "jobs that raised")
         self.jobs_cancelled = Counter("jobs_cancelled", "jobs cancelled before running")
+        self.jobs_timed_out = Counter(
+            "jobs_timed_out", "jobs that exceeded their deadline"
+        )
+        self.jobs_quarantined = Counter(
+            "jobs_quarantined", "poison jobs pulled from service"
+        )
+        self.jobs_retried = Counter(
+            "jobs_retried", "transient-failure retries executed"
+        )
+        self.jobs_failed_over = Counter(
+            "jobs_failed_over", "in-flight jobs requeued after a worker crash"
+        )
+        self.jobs_shed = Counter(
+            "jobs_shed", "low-priority jobs refused during brownout"
+        )
+        self.worker_crashes = Counter(
+            "worker_crashes", "worker threads that died abnormally"
+        )
+        self.workers_restarted = Counter(
+            "workers_restarted", "replacement workers spawned by supervision"
+        )
+        self.workers_detached = Counter(
+            "workers_detached", "hung workers abandoned past their grace"
+        )
+        self.supervisor_sweeps = Counter(
+            "supervisor_sweeps", "supervision passes executed"
+        )
+        self.brownout_transitions = Counter(
+            "brownout_transitions", "service health state changes"
+        )
+        self.brownout_active = Gauge(
+            "brownout_active", "1 while the service is shedding load"
+        )
         self.symptoms_diagnosed = Counter("symptoms_diagnosed", "engine diagnoses executed")
         self.cache_hits = Counter("cache_hits", "result-cache hits")
         self.cache_misses = Counter("cache_misses", "result-cache misses")
@@ -241,6 +274,19 @@ class ServiceMetrics:
                 "completed": self.jobs_completed.value,
                 "failed": self.jobs_failed.value,
                 "cancelled": self.jobs_cancelled.value,
+                "timed_out": self.jobs_timed_out.value,
+                "quarantined": self.jobs_quarantined.value,
+            },
+            "recovery": {
+                "worker_crashes": self.worker_crashes.value,
+                "workers_restarted": self.workers_restarted.value,
+                "workers_detached": self.workers_detached.value,
+                "jobs_retried": self.jobs_retried.value,
+                "jobs_failed_over": self.jobs_failed_over.value,
+                "jobs_shed": self.jobs_shed.value,
+                "supervisor_sweeps": self.supervisor_sweeps.value,
+                "brownout_transitions": self.brownout_transitions.value,
+                "brownout_active": self.brownout_active.value,
             },
             "symptoms_diagnosed": self.symptoms_diagnosed.value,
             "cache": {
@@ -279,7 +325,16 @@ class ServiceMetrics:
             (
                 f"  jobs: {jobs['submitted']} submitted, {jobs['completed']} completed, "
                 f"{jobs['failed']} failed, {jobs['rejected']} rejected, "
-                f"{jobs['cancelled']} cancelled"
+                f"{jobs['cancelled']} cancelled, {jobs['timed_out']} timed out, "
+                f"{jobs['quarantined']} quarantined"
+            ),
+            (
+                f"  recovery: {snap['recovery']['worker_crashes']} worker crashes, "
+                f"{snap['recovery']['workers_restarted']} restarts, "
+                f"{snap['recovery']['workers_detached']} detached, "
+                f"{snap['recovery']['jobs_failed_over']} failovers, "
+                f"{snap['recovery']['jobs_retried']} retries, "
+                f"{snap['recovery']['jobs_shed']} shed"
             ),
             f"  symptoms diagnosed: {snap['symptoms_diagnosed']}",
             (

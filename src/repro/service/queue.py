@@ -40,6 +40,23 @@ class JobState(Enum):
     DONE = "done"
     FAILED = "failed"
     CANCELLED = "cancelled"
+    #: ran past its deadline and was cancelled (cooperatively or by the
+    #: supervisor detaching a hung worker)
+    TIMED_OUT = "timed_out"
+    #: repeatedly crashed its workers and was pulled from service
+    QUARANTINED = "quarantined"
+
+
+#: States a job can never leave; reaching one sets the done event.
+TERMINAL_STATES = frozenset(
+    {
+        JobState.DONE,
+        JobState.FAILED,
+        JobState.CANCELLED,
+        JobState.TIMED_OUT,
+        JobState.QUARANTINED,
+    }
+)
 
 
 #: Priority bands used by the service; lower runs first.
@@ -70,7 +87,20 @@ class Job:
     traced: bool = False
     #: the finished ``job`` span once a traced job completes
     trace: Any = None
+    #: absolute deadline on the service clock (None = unbounded)
+    deadline: Optional[float] = None
+    #: cooperative cancellation token checked at engine stage boundaries
+    cancel: Any = None
+    #: execution attempts so far (retries increment; 0 = never started)
+    attempts: int = 0
+    #: times this job's worker died mid-execution (poison tracking)
+    crash_count: int = 0
+    #: name of the worker currently/last executing this job
+    worker_name: Optional[str] = None
     _done: threading.Event = field(default_factory=threading.Event, repr=False)
+    _state_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False
+    )
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until the job reaches a terminal state."""
@@ -90,27 +120,71 @@ class Job:
             raise self.error
         return self.result
 
+    def request_cancel(self, reason: str = "cancelled") -> None:
+        """Trip the job's cancellation token (no-op without one)."""
+        if self.cancel is not None:
+            self.cancel.cancel(reason)
+
     # -- called by the queue/workers -----------------------------------
+    #
+    # The first terminal transition wins: a worker finishing a detached
+    # job and the supervisor timing it out may race, and exactly one of
+    # them must set the state, error and done event.  Each mark_*
+    # returns whether it applied.
 
     def mark_running(self, now: float) -> None:
-        self.state = JobState.RUNNING
-        self.started_at = now
+        """Record execution start (no-op once terminal)."""
+        with self._state_lock:
+            if self.state in TERMINAL_STATES:
+                return
+            self.state = JobState.RUNNING
+            self.started_at = now
 
-    def mark_done(self, result: Any, now: float) -> None:
-        self.result = result
-        self.state = JobState.DONE
-        self.finished_at = now
-        self._done.set()
+    def mark_pending(self) -> bool:
+        """Reset for re-admission (retry/failover); False once terminal."""
+        with self._state_lock:
+            if self.state in TERMINAL_STATES:
+                return False
+            self.state = JobState.PENDING
+            self.started_at = None
+            return True
 
-    def mark_failed(self, error: BaseException, now: float) -> None:
-        self.error = error
-        self.state = JobState.FAILED
-        self.finished_at = now
+    def _finish(
+        self,
+        state: JobState,
+        now: Optional[float],
+        result: Any = None,
+        error: Optional[BaseException] = None,
+    ) -> bool:
+        with self._state_lock:
+            if self.state in TERMINAL_STATES:
+                return False
+            self.state = state
+            self.finished_at = now
+            self.result = result
+            self.error = error
         self._done.set()
+        return True
 
-    def mark_cancelled(self) -> None:
-        self.state = JobState.CANCELLED
-        self._done.set()
+    def mark_done(self, result: Any, now: float) -> bool:
+        """Finish DONE with ``result``; False if something won the race."""
+        return self._finish(JobState.DONE, now, result=result)
+
+    def mark_failed(self, error: BaseException, now: float) -> bool:
+        """Finish FAILED with ``error``; False if already terminal."""
+        return self._finish(JobState.FAILED, now, error=error)
+
+    def mark_cancelled(self) -> bool:
+        """Finish CANCELLED; False if already terminal."""
+        return self._finish(JobState.CANCELLED, None)
+
+    def mark_timed_out(self, error: BaseException, now: float) -> bool:
+        """Finish TIMED_OUT with ``error``; False if already terminal."""
+        return self._finish(JobState.TIMED_OUT, now, error=error)
+
+    def mark_quarantined(self, error: BaseException, now: float) -> bool:
+        """Finish QUARANTINED with ``error``; False if already terminal."""
+        return self._finish(JobState.QUARANTINED, now, error=error)
 
 
 class JobQueue:
@@ -189,6 +263,25 @@ class JobQueue:
             self._in_flight += 1
             self._not_full.notify()
             return job
+
+    def requeue(self, job: Job) -> bool:
+        """Re-admit an already-admitted job (retry / crash failover).
+
+        Bypasses admission control and works on a *closed* queue — the
+        job passed admission once; failing it over after close must not
+        silently drop it.  Returns ``False`` when the job has already
+        reached a terminal state (nothing left to re-run).
+
+        Callers reconciling a crashed worker must requeue *before*
+        calling :meth:`task_done`, so :meth:`join` can never observe an
+        empty-and-idle instant with the failover still in hand.
+        """
+        with self._lock:
+            if not job.mark_pending():
+                return False
+            heapq.heappush(self._heap, (job.priority, next(self._sequence), job))
+            self._not_empty.notify()
+            return True
 
     def task_done(self) -> None:
         """Workers call this after finishing a job obtained via get()."""

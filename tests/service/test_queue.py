@@ -150,3 +150,169 @@ class TestJobHandle:
     def test_outcome_times_out_on_unfinished_job(self):
         with pytest.raises(TimeoutError):
             make_job().outcome(timeout=0.01)
+
+
+class TestRequeue:
+    def test_requeue_bypasses_admission_and_close(self):
+        queue = JobQueue(max_depth=1)
+        job = queue.submit(make_job(payload="x"))
+        assert queue.get() is job
+        queue.close()
+        # closed AND at... the heap is empty, but a closed queue refuses
+        # submit; requeue must still re-admit failed-over work
+        assert queue.requeue(job) is True
+        assert queue.get() is job
+        queue.task_done()
+        queue.task_done()
+
+    def test_requeue_refuses_terminal_jobs(self):
+        queue = JobQueue()
+        job = queue.submit(make_job())
+        assert queue.get() is job
+        job.mark_done("result", now=1.0)
+        assert queue.requeue(job) is False
+        assert len(queue) == 0
+        queue.task_done()
+
+    def test_requeue_resets_state_to_pending(self):
+        queue = JobQueue()
+        job = queue.submit(make_job())
+        assert queue.get() is job
+        job.mark_running(1.0)
+        assert queue.requeue(job) is True
+        assert job.state is JobState.PENDING
+        assert job.started_at is None
+
+
+class TestConcurrencyEdges:
+    """Seeded multi-thread races over the queue's accounting edges."""
+
+    def test_submit_racing_close_loses_nothing(self):
+        # every submit either lands (job is served or pending) or raises
+        # QueueClosed — jobs must never vanish into a closing queue
+        for seed in range(5):
+            queue = JobQueue(max_depth=1024)
+            accepted, refused = [], []
+            lock = threading.Lock()
+            start = threading.Barrier(5)
+
+            def produce(worker_id):
+                start.wait()
+                for i in range(20):
+                    job = make_job(payload=(worker_id, i))
+                    try:
+                        queue.submit(job)
+                        with lock:
+                            accepted.append(job)
+                    except QueueClosed:
+                        with lock:
+                            refused.append(job)
+
+            threads = [
+                threading.Thread(target=produce, args=(w,)) for w in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            start.wait()
+            queue.close()
+            for thread in threads:
+                thread.join(5.0)
+            assert len(accepted) + len(refused) == 80
+            assert sorted(
+                job.payload for job in queue.pending()
+            ) == sorted(job.payload for job in accepted)
+
+    def test_cancel_pending_racing_get_serves_each_job_exactly_once(self):
+        queue = JobQueue(max_depth=1024)
+        jobs = [queue.submit(make_job(payload=i)) for i in range(100)]
+        served = []
+        lock = threading.Lock()
+        stop = threading.Event()
+
+        def consume():
+            while not stop.is_set() or len(queue):
+                job = queue.get(timeout=0.01)
+                if job is None:
+                    continue
+                with lock:
+                    served.append(job)
+                queue.task_done()
+
+        threads = [threading.Thread(target=consume) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        cancelled = queue.cancel_pending()
+        stop.set()
+        for thread in threads:
+            thread.join(5.0)
+        # partition: every job was served exactly once XOR cancelled
+        assert len(served) + len(cancelled) == 100
+        assert len({id(job) for job in served}
+                   | {id(job) for job in cancelled}) == 100
+        for job in cancelled:
+            assert job.state is JobState.CANCELLED
+        assert queue.in_flight == 0
+        assert queue.join(timeout=1.0)
+
+    def test_join_waits_for_in_flight_job_after_cancel_pending(self):
+        queue = JobQueue()
+        running = queue.submit(make_job(payload="running"))
+        queue.submit(make_job(payload="pending"))
+        assert queue.get() is running  # now in flight
+        cancelled = queue.cancel_pending()
+        assert [job.payload for job in cancelled] == ["pending"]
+        # the in-flight job is untouched by cancel_pending; join must
+        # keep waiting for its task_done
+        assert not queue.join(timeout=0.05)
+        queue.task_done()
+        assert queue.join(timeout=1.0)
+
+    def test_seeded_producer_consumer_stress_settles_idle(self):
+        import random
+
+        rng = random.Random(0)
+        queue = JobQueue(max_depth=32)
+        total = 120
+        served = []
+        lock = threading.Lock()
+        submitted = []
+
+        def produce():
+            for i in range(total):
+                job = make_job(
+                    priority=rng.choice(
+                        [PRIORITY_INTERACTIVE, PRIORITY_PERIODIC]
+                    ),
+                    payload=i,
+                )
+                queue.submit(job, block=True, timeout=10.0)
+                submitted.append(job)
+
+        def consume():
+            while True:
+                job = queue.get(timeout=0.05)
+                if job is None:
+                    if queue.closed and len(queue) == 0:
+                        return
+                    continue
+                job.mark_done(job.payload, now=0.0)
+                with lock:
+                    served.append(job)
+                queue.task_done()
+
+        producer = threading.Thread(target=produce)
+        consumers = [threading.Thread(target=consume) for _ in range(4)]
+        producer.start()
+        for thread in consumers:
+            thread.start()
+        producer.join(30.0)
+        assert not producer.is_alive()
+        queue.close()
+        for thread in consumers:
+            thread.join(30.0)
+            assert not thread.is_alive()
+        assert len(served) == total
+        assert len({id(job) for job in served}) == total  # nothing twice
+        assert queue.in_flight == 0
+        assert len(queue) == 0
+        assert queue.join(timeout=1.0)

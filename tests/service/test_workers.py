@@ -6,7 +6,7 @@ import threading
 import pytest
 
 from repro.service.metrics import ServiceMetrics
-from repro.service.queue import Job, JobQueue
+from repro.service.queue import Job, JobQueue, JobState
 from repro.service.workers import (
     Worker,
     WorkerPool,
@@ -170,3 +170,145 @@ class TestWorkerPool:
         assert first is second
         assert first is not mini_app.engine
         assert worker.engine_for("other", mini_app.engine) is not first
+
+
+class ExplodingLenQueue:
+    """Queue wrapper whose ``len()`` raises on demand.
+
+    ``len(queue)`` is the first thing a worker touches after dequeuing
+    a job (queue-depth gauge), so arming this reproduces an unexpected
+    error *outside* job execution — the path that historically killed
+    the worker thread silently.
+    """
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.explode = False
+
+    def get(self, timeout=None):
+        return self.inner.get(timeout)
+
+    def task_done(self):
+        self.inner.task_done()
+
+    def __len__(self):
+        if self.explode:
+            raise RuntimeError("queue accounting corrupted")
+        return len(self.inner)
+
+    @property
+    def closed(self):
+        return self.inner.closed
+
+
+class TestWorkerCrashAccounting:
+    def test_error_outside_execution_is_counted_and_fails_the_job(self):
+        # satellite: a failure in the dequeue loop itself (not the job's
+        # executor) must be logged, counted, and fail the in-flight job
+        # so its waiters unblock — never a silent dead thread
+        inner = JobQueue()
+        queue = ExplodingLenQueue(inner)
+        metrics = ServiceMetrics()
+        worker = Worker(
+            name="w-exploding", queue=queue,
+            executor=lambda job, w: "never reached",
+            metrics=metrics, stop_event=threading.Event(),
+            poll_seconds=0.01,
+        )
+        job = inner.submit(Job(kind="x", app="app", payload=None))
+        queue.explode = True
+        worker.start()
+        worker.join(timeout=5.0)
+
+        assert not worker.is_alive()
+        assert worker.crashed
+        assert isinstance(worker.crash_error, RuntimeError)
+        assert metrics.worker_crashes.value == 1
+        assert job.wait(timeout=1.0)
+        assert job.state is JobState.FAILED
+        assert metrics.jobs_failed.value == 1
+
+
+class TestPoolStop:
+    def test_stop_reports_and_counts_leaked_workers(self):
+        # satellite: stop() returns False and counts the threads that
+        # failed to join — shutdown loss is observable, never silent
+        queue = JobQueue()
+        metrics = ServiceMetrics()
+        release = threading.Event()
+
+        def execute(job, worker):
+            release.wait(30.0)
+            return "done"
+
+        pool = WorkerPool(queue, execute, workers=1, metrics=metrics,
+                          poll_seconds=0.01)
+        pool.start()
+        job = queue.submit(Job(kind="x", app="app", payload=None))
+        deadline = threading.Event()
+        assert not deadline.wait(0.05)  # let the worker pick the job up
+
+        assert pool.stop(timeout=0.2) is False
+        assert pool.leaked == 1
+
+        release.set()  # the blocked worker finishes and exits
+        assert pool.stop(timeout=5.0) is True
+        assert pool.leaked == 0
+        assert job.outcome(timeout=1.0) == "done"
+
+    def test_idle_worker_exits_promptly_despite_in_flight_peer(self):
+        # satellite (stop-path regression): an idle worker must exit as
+        # soon as stop is signalled and the heap is empty, even while a
+        # peer still holds an in-flight job
+        queue = JobQueue()
+        metrics = ServiceMetrics()
+        release = threading.Event()
+        picked = threading.Event()
+
+        def execute(job, worker):
+            picked.set()
+            release.wait(30.0)
+            return "done"
+
+        pool = WorkerPool(queue, execute, workers=2, metrics=metrics,
+                          poll_seconds=0.01)
+        pool.start()
+        queue.submit(Job(kind="x", app="app", payload=None))
+        assert picked.wait(timeout=5.0)
+        try:
+            # the blocked worker leaks within this short timeout, but
+            # the idle one must have exited: exactly one thread leaks
+            assert pool.stop(timeout=0.5) is False
+            assert pool.leaked == 1
+            assert pool.alive == 1
+        finally:
+            release.set()
+            pool.stop(timeout=5.0)
+        assert pool.alive == 0
+
+    def test_should_exit_requires_stop_signal_and_drained_heap(self):
+        queue = JobQueue()
+        stop = threading.Event()
+        worker = Worker(
+            name="w", queue=queue, executor=lambda j, w: None,
+            metrics=ServiceMetrics(), stop_event=stop,
+        )
+        assert not worker._should_exit()  # no signal
+        stop.set()
+        assert worker._should_exit()  # signalled and drained
+        queue.submit(Job(kind="x", app="app", payload=None))
+        assert not worker._should_exit()  # pending work trumps the signal
+        assert queue.get() is not None
+        # in-flight work elsewhere never keeps an idle worker alive
+        assert worker._should_exit()
+        queue.task_done()
+
+    def test_closed_queue_counts_as_stop_signal(self):
+        queue = JobQueue()
+        worker = Worker(
+            name="w", queue=queue, executor=lambda j, w: None,
+            metrics=ServiceMetrics(), stop_event=threading.Event(),
+        )
+        assert not worker._should_exit()
+        queue.close()
+        assert worker._should_exit()
