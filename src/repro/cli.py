@@ -16,7 +16,10 @@ Subcommands mirror the operator workflows of the paper:
   *service* layer: periodic scheduled runs on a parallel worker pool
   with result caching, then print the diagnosis breakdown and the
   service metrics (queue depth/wait, latency percentiles, cache hit
-  rate, worker utilization).
+  rate, worker utilization);
+* ``repro-grca api <scenario>`` — expose the scenario's RCA service
+  over the network: N independent service shards behind the stdlib
+  HTTP/JSON gateway (``POST /v1/jobs``, ``GET /v1/health``, ...).
 """
 
 from __future__ import annotations
@@ -130,6 +133,27 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--retries", type=int, default=3,
                        help="attempts per job for transient failures "
                             "(1 disables retries)")
+
+    api = sub.add_parser(
+        "api", help="expose a scenario's RCA service over the HTTP gateway"
+    )
+    api.add_argument("scenario", choices=sorted(_SCENARIOS))
+    add_backend_args(api)
+    api.add_argument("--seed", type=int, default=1)
+    api.add_argument("--size", type=int, default=300,
+                     help="number of symptom events to inject")
+    api.add_argument("--host", default="127.0.0.1",
+                     help="bind address (default 127.0.0.1)")
+    api.add_argument("--port", type=int, default=8080,
+                     help="bind port; 0 picks an ephemeral port")
+    api.add_argument("--shards", type=int, default=2,
+                     help="independent RCA service shards behind the gateway")
+    api.add_argument("--workers", type=int, default=2,
+                     help="worker threads per shard")
+    api.add_argument("--queue-depth", type=int, default=256,
+                     help="per-shard job queue admission-control limit")
+    api.add_argument("--deadline", type=float, default=None,
+                     help="per-job deadline in seconds (default unbounded)")
     return parser
 
 
@@ -376,6 +400,40 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_api(args) -> int:
+    import time
+
+    from .service.http import RcaGateway
+
+    result, app_cls = _run_scenario(args.scenario, args.seed, args.size)
+    platform = result.platform()
+    app = app_cls.build(platform)
+    router = platform.serve_sharded(
+        {args.scenario: app},
+        shards=max(1, args.shards),
+        workers=max(1, args.workers),
+        queue_depth=args.queue_depth,
+        default_deadline=args.deadline,
+    )
+    gateway = RcaGateway(router, host=args.host, port=args.port).start()
+    # the URL line is a contract: the CI smoke test (and any wrapper
+    # script) parses it to find the ephemeral port
+    print(f"RCA gateway listening on {gateway.url} "
+          f"({len(router)} shards x {max(1, args.workers)} workers, "
+          f"app {args.scenario!r}, window "
+          f"[{result.start:.0f}, {result.end:.0f}])",
+          flush=True)
+    print(f"  try: curl {gateway.url}/v1/health", flush=True)
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\nshutting down", flush=True)
+    finally:
+        gateway.stop()
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -392,6 +450,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_simulate(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "api":
+        return _cmd_api(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -180,6 +180,25 @@ class Diagnosis:
         """Matched evidence items for one diagnostic event."""
         return [e for e in self.evidence if e.rule.child_event == event_name]
 
+    def to_json(self) -> Dict[str, Any]:
+        """This diagnosis as a JSON-ready dict (``grca-diagnosis/1``).
+
+        One serialization shared by the HTTP gateway's job responses
+        and offline exports; :meth:`from_json` rebuilds an equal
+        diagnosis (the attached trace rides along when present but is
+        excluded from equality, as always).
+        """
+        from .serialize import diagnosis_to_dict
+
+        return diagnosis_to_dict(self)
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "Diagnosis":
+        """Rebuild a diagnosis from its :meth:`to_json` form."""
+        from .serialize import diagnosis_from_dict
+
+        return diagnosis_from_dict(data)
+
     def explain(self) -> str:
         """Human-readable trace for the Result Browser's detail pane."""
         lines = [f"symptom: {self.symptom}"]

@@ -1,0 +1,320 @@
+"""One JSON serialization for diagnoses (``grca-diagnosis/1``).
+
+The HTTP gateway (:mod:`repro.service.http`) answers ``GET /v1/jobs/{id}``
+with finished diagnoses, the trace export writes them next to span
+trees, and downstream tooling (RCA-Copilot-style consumers) wants both
+to agree on one stable shape.  This module is that shape: a pure-data
+round-trip for :class:`~repro.core.engine.Diagnosis` and everything it
+carries — symptom/evidence instances, the diagnosis rules they joined
+along, evidence gaps, confidence caveats and the store footprint.
+
+Design constraints:
+
+* **round-trip exact** — ``diagnosis_from_dict(diagnosis_to_dict(d)) == d``
+  under dataclass equality (the attached span tree is excluded from
+  equality, as in the engine, but is carried when present);
+* **strict JSON** — ``float("inf")`` footprint bounds (unbounded table
+  scans) are encoded as the strings ``"inf"``/``"-inf"`` so the output
+  survives strict parsers, not just Python's lenient ``json``;
+* **no engine required** — decoding rebuilds plain rule/instance
+  objects from their own fields; no graph, library or store is needed,
+  so API *clients* can reconstruct diagnoses without the platform.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from ..collector.health import FeedState
+from .events import EventInstance
+from .graph import DiagnosisRule
+from .locations import Location, LocationType
+from .reasoning.rule_based import (
+    EvidenceGap,
+    MatchedEvidence,
+    RuleBasedResult,
+)
+from .spatial import JoinLevel, SpatialJoinRule
+from .temporal import ExpandOption, TemporalExpansion, TemporalJoinRule
+
+#: Schema tag stamped on every serialized diagnosis.
+DIAGNOSIS_SCHEMA = "grca-diagnosis/1"
+
+
+# ---------------------------------------------------------------------------
+# scalar helpers
+
+
+def _encode_float(value: float) -> Any:
+    """A float as strict JSON: ``inf``/``-inf`` become strings."""
+    if value == float("inf"):
+        return "inf"
+    if value == float("-inf"):
+        return "-inf"
+    return value
+
+
+def _decode_float(value: Any) -> float:
+    if value == "inf":
+        return float("inf")
+    if value == "-inf":
+        return float("-inf")
+    return float(value)
+
+
+def _encode_value(value: Any) -> Any:
+    """Encode one ``info`` value, preserving tuples through JSON."""
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode_value(item) for item in value]}
+    if isinstance(value, list):
+        return [_encode_value(item) for item in value]
+    if isinstance(value, dict):
+        return {key: _encode_value(item) for key, item in value.items()}
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if set(value) == {"__tuple__"}:
+            return tuple(_decode_value(item) for item in value["__tuple__"])
+        return {key: _decode_value(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_decode_value(item) for item in value]
+    return value
+
+
+# ---------------------------------------------------------------------------
+# locations and event instances
+
+
+def location_to_dict(location: Location) -> Dict[str, Any]:
+    """A :class:`Location` as ``{"type", "parts"}``."""
+    return {"type": location.type.value, "parts": list(location.parts)}
+
+
+def location_from_dict(data: Dict[str, Any]) -> Location:
+    """Rebuild a :class:`Location` from :func:`location_to_dict` output."""
+    return Location(LocationType(data["type"]), tuple(data["parts"]))
+
+
+def instance_to_dict(instance: EventInstance) -> Dict[str, Any]:
+    """An :class:`EventInstance` as a JSON-ready dict (tuples preserved)."""
+    return {
+        "name": instance.name,
+        "start": instance.start,
+        "end": instance.end,
+        "location": location_to_dict(instance.location),
+        "info": [[key, _encode_value(value)] for key, value in instance.info],
+    }
+
+
+def instance_from_dict(data: Dict[str, Any]) -> EventInstance:
+    """Rebuild an :class:`EventInstance` from :func:`instance_to_dict` output."""
+    return EventInstance(
+        name=data["name"],
+        start=float(data["start"]),
+        end=float(data["end"]),
+        location=location_from_dict(data["location"]),
+        info=tuple(
+            (key, _decode_value(value)) for key, value in data.get("info", [])
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# diagnosis rules (graph edges carried by matched evidence)
+
+
+def rule_to_dict(rule: DiagnosisRule) -> Dict[str, Any]:
+    """A :class:`DiagnosisRule` (temporal + spatial clauses) as a dict."""
+    return {
+        "parent_event": rule.parent_event,
+        "child_event": rule.child_event,
+        "temporal": {
+            "symptom": _expansion_to_dict(rule.temporal.symptom),
+            "diagnostic": _expansion_to_dict(rule.temporal.diagnostic),
+        },
+        "spatial": {
+            "symptom_type": rule.spatial.symptom_type.value,
+            "diagnostic_type": rule.spatial.diagnostic_type.value,
+            "level": rule.spatial.level.value,
+        },
+        "priority": rule.priority,
+        "is_root_cause": rule.is_root_cause,
+        "note": rule.note,
+    }
+
+
+def rule_from_dict(data: Dict[str, Any]) -> DiagnosisRule:
+    """Rebuild a :class:`DiagnosisRule` from :func:`rule_to_dict` output."""
+    spatial = data["spatial"]
+    return DiagnosisRule(
+        parent_event=data["parent_event"],
+        child_event=data["child_event"],
+        temporal=TemporalJoinRule(
+            symptom=_expansion_from_dict(data["temporal"]["symptom"]),
+            diagnostic=_expansion_from_dict(data["temporal"]["diagnostic"]),
+        ),
+        spatial=SpatialJoinRule(
+            symptom_type=LocationType(spatial["symptom_type"]),
+            diagnostic_type=LocationType(spatial["diagnostic_type"]),
+            level=JoinLevel(spatial["level"]),
+        ),
+        priority=data.get("priority", 0),
+        is_root_cause=data.get("is_root_cause", True),
+        note=data.get("note", ""),
+    )
+
+
+def _expansion_to_dict(expansion: TemporalExpansion) -> Dict[str, Any]:
+    return {
+        "option": expansion.option.value,
+        "left": expansion.left,
+        "right": expansion.right,
+    }
+
+
+def _expansion_from_dict(data: Dict[str, Any]) -> TemporalExpansion:
+    return TemporalExpansion(
+        option=ExpandOption(data["option"]),
+        left=float(data["left"]),
+        right=float(data["right"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# evidence, gaps, results
+
+
+def evidence_to_dict(item: MatchedEvidence) -> Dict[str, Any]:
+    """A :class:`MatchedEvidence` edge (rule + both instances) as a dict."""
+    return {
+        "rule": rule_to_dict(item.rule),
+        "parent_instance": instance_to_dict(item.parent_instance),
+        "instance": instance_to_dict(item.instance),
+        "depth": item.depth,
+    }
+
+
+def evidence_from_dict(data: Dict[str, Any]) -> MatchedEvidence:
+    """Rebuild a :class:`MatchedEvidence` from :func:`evidence_to_dict` output."""
+    return MatchedEvidence(
+        rule=rule_from_dict(data["rule"]),
+        parent_instance=instance_from_dict(data["parent_instance"]),
+        instance=instance_from_dict(data["instance"]),
+        depth=data["depth"],
+    )
+
+
+def gap_to_dict(gap: EvidenceGap) -> Dict[str, Any]:
+    """An :class:`EvidenceGap` as a dict (infinite bounds as strings)."""
+    return {
+        "source": gap.source,
+        "state": gap.state.value,
+        "start": _encode_float(gap.start),
+        "end": _encode_float(gap.end),
+        "event": gap.event,
+        "parent_event": gap.parent_event,
+    }
+
+
+def gap_from_dict(data: Dict[str, Any]) -> EvidenceGap:
+    """Rebuild an :class:`EvidenceGap` from :func:`gap_to_dict` output."""
+    return EvidenceGap(
+        source=data["source"],
+        state=FeedState(data["state"]),
+        start=_decode_float(data["start"]),
+        end=_decode_float(data["end"]),
+        event=data["event"],
+        parent_event=data["parent_event"],
+    )
+
+
+def _supporting_indices(
+    evidence: Sequence[MatchedEvidence], supporting: Sequence[MatchedEvidence]
+) -> List[int]:
+    """Supporting items as indices into the evidence list (no duplication).
+
+    Reasoning builds ``supporting`` from the very objects in
+    ``evidence``, so identity lookup covers the normal path; equality
+    is the fallback for hand-built results.
+    """
+    by_identity = {id(item): index for index, item in enumerate(evidence)}
+    indices = []
+    for item in supporting:
+        index = by_identity.get(id(item))
+        if index is None:
+            index = list(evidence).index(item)
+        indices.append(index)
+    return indices
+
+
+# ---------------------------------------------------------------------------
+# the diagnosis envelope
+
+
+def diagnosis_to_dict(diagnosis) -> Dict[str, Any]:
+    """One :class:`~repro.core.engine.Diagnosis` as a JSON-ready dict."""
+    evidence = diagnosis.evidence
+    document = {
+        "schema": DIAGNOSIS_SCHEMA,
+        "symptom": instance_to_dict(diagnosis.symptom),
+        "evidence": [evidence_to_dict(item) for item in evidence],
+        "result": {
+            "root_causes": list(diagnosis.result.root_causes),
+            "priority": diagnosis.result.priority,
+            "supporting": _supporting_indices(
+                evidence, diagnosis.result.supporting
+            ),
+        },
+        "gaps": [gap_to_dict(gap) for gap in diagnosis.gaps],
+        "confidence": diagnosis.confidence,
+        "caveats": list(diagnosis.caveats),
+        "footprint": [
+            [table, _encode_float(lo), _encode_float(hi)]
+            for table, lo, hi in diagnosis.footprint
+        ],
+        # derived labels repeated flat so API consumers need no logic
+        "annotated_cause": diagnosis.annotated_cause,
+        "is_explained": diagnosis.is_explained,
+    }
+    if diagnosis.trace is not None:
+        document["trace"] = diagnosis.trace.to_dict()
+    return document
+
+
+def diagnosis_from_dict(data: Dict[str, Any]):
+    """Rebuild a :class:`~repro.core.engine.Diagnosis` from its dict form."""
+    from .engine import Diagnosis  # local import: engine imports this module
+
+    schema = data.get("schema")
+    if schema != DIAGNOSIS_SCHEMA:
+        raise ValueError(
+            f"unsupported diagnosis schema {schema!r}; "
+            f"expected {DIAGNOSIS_SCHEMA!r}"
+        )
+    evidence = [evidence_from_dict(item) for item in data.get("evidence", [])]
+    result_data = data["result"]
+    result = RuleBasedResult(
+        root_causes=list(result_data.get("root_causes", [])),
+        priority=result_data.get("priority", 0),
+        supporting=[evidence[index] for index in result_data.get("supporting", [])],
+    )
+    trace = None
+    if data.get("trace") is not None:
+        from ..obs.trace import Span
+
+        trace = Span.from_dict(data["trace"])
+    return Diagnosis(
+        symptom=instance_from_dict(data["symptom"]),
+        evidence=evidence,
+        result=result,
+        gaps=[gap_from_dict(gap) for gap in data.get("gaps", [])],
+        confidence=data.get("confidence", 1.0),
+        caveats=list(data.get("caveats", [])),
+        footprint=tuple(
+            (table, _decode_float(lo), _decode_float(hi))
+            for table, lo, hi in data.get("footprint", [])
+        ),
+        trace=trace,
+    )

@@ -71,6 +71,39 @@ class GrcaPlatform:
             service.start()
         return service
 
+    def serve_sharded(
+        self,
+        apps: Dict[str, Any],
+        shards: int = 2,
+        workers: int = 2,
+        start: bool = True,
+        **service_options: Any,
+    ):
+        """Wrap this platform in a :class:`~repro.service.http.ShardRouter`.
+
+        Builds ``shards`` independent :class:`~repro.service.RcaService`
+        instances (each with its own ``workers``-thread pool) over this
+        platform's shared store and health registry, registers every app
+        on all of them, and returns the router.  Hand it to
+        :class:`~repro.service.http.RcaGateway` for the HTTP front end.
+        """
+        from .service.http import ShardRouter, build_shards
+
+        router = ShardRouter(
+            build_shards(
+                self.store,
+                health=self.health,
+                shards=shards,
+                workers=workers,
+                **service_options,
+            )
+        )
+        for name, app in apps.items():
+            router.register_app(name, app)
+        if start:
+            router.start()
+        return router
+
     def refresh_routing(self) -> None:
         """Rebuild routing state from the (grown) store.
 

@@ -52,6 +52,7 @@ from .queue import (
     TERMINAL_STATES,
     Job,
     JobQueue,
+    JobShed,
     JobState,
     QueueClosed,
     QueueFull,
@@ -88,6 +89,7 @@ __all__ = [
     "Histogram",
     "Job",
     "JobQueue",
+    "JobShed",
     "JobState",
     "OperationCancelled",
     "PeriodicSchedule",

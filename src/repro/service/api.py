@@ -54,6 +54,7 @@ from .queue import (
     PRIORITY_PERIODIC,
     Job,
     JobQueue,
+    JobShed,
     JobState,
     QueueFull,
 )
@@ -213,6 +214,30 @@ class RcaService:
     def elapsed_seconds(self) -> float:
         return 0.0 if self._started_at is None else self.clock() - self._started_at
 
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """The full service state as one structured, JSON-ready dict.
+
+        Extends :meth:`ServiceMetrics.snapshot` with the storage and
+        health context only the service knows (backend, record counts,
+        brownout state, quarantine, pool liveness).  This is what
+        ``GET /v1/metrics`` serves per shard; :meth:`metrics_lines` is
+        a thin text rendering over the same numbers.
+        """
+        snap = self.metrics.snapshot(len(self.pool), self.elapsed_seconds)
+        snap["storage"] = {
+            "backend": self.store.backend_name,
+            "tables": len(self.store.tables),
+            "records": self.store.total_records(),
+        }
+        health: Dict[str, object] = {"state": self.health_state().value}
+        if self.supervisor is not None:
+            health["quarantined"] = len(self.supervisor.quarantine)
+            health["workers_alive"] = self.pool.alive
+            health["workers"] = self.pool.capacity
+        snap["health"] = health
+        snap["apps"] = self.apps()
+        return snap
+
     def metrics_lines(self) -> List[str]:
         """Rendered metrics including worker utilization and storage."""
         lines = self.metrics.format_lines(len(self.pool), self.elapsed_seconds)
@@ -336,14 +361,36 @@ class RcaService:
     # ------------------------------------------------------------------
     # job tracking
 
-    def poll(self, job_id: int) -> Optional[JobState]:
-        """The state of a job by id, or None when unknown/expired."""
-        with self._lock:
-            job = self._jobs.get(job_id)
-        return job.state if job is not None else None
+    def poll(self, job_id: int) -> JobState:
+        """The state of a job by id.
 
-    def job(self, job_id: int) -> Optional[Job]:
-        """The job handle by id, or None when unknown/expired."""
+        Raises :class:`KeyError` when the id was never issued by this
+        service or its job has been expired from the bounded history.
+        Every id :meth:`_submit` returned is immediately pollable —
+        jobs are registered *before* queue admission, so a concurrent
+        poller can never observe an issued id as unknown.
+        """
+        return self.job(job_id).state
+
+    def job(self, job_id: int) -> Job:
+        """The job handle by id; raises :class:`KeyError` when unknown.
+
+        ``KeyError`` means *this id does not name a live or remembered
+        job* — it was never issued, was refused at admission, or fell
+        off the bounded finished-job history.  Callers that want the
+        soft form use :meth:`find_job`.
+        """
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise KeyError(
+                    f"unknown job id {job_id!r}: never issued, refused at "
+                    f"admission, or expired from the job history"
+                ) from None
+
+    def find_job(self, job_id: int) -> Optional[Job]:
+        """The job handle by id, or ``None`` when unknown/expired."""
         with self._lock:
             return self._jobs.get(job_id)
 
@@ -352,12 +399,13 @@ class RcaService:
 
         A pending job is cancelled before it runs (the worker's
         pre-execution check fires); a running job stops at its next
-        engine checkpoint.  Returns ``False`` when the job is unknown
-        or already finished — cancellation is a request, so ``True``
-        means *requested*, not yet terminal.
+        engine checkpoint.  Raises :class:`KeyError` for an unknown id;
+        returns ``False`` when the job is already terminal (nothing to
+        cancel) — cancellation is a request, so ``True`` means
+        *requested*, not yet terminal.
         """
         job = self.job(job_id)
-        if job is None or job.finished:
+        if job.finished:
             return False
         job.request_cancel("cancelled by operator")
         return True
@@ -365,6 +413,20 @@ class RcaService:
     def health_state(self) -> ServiceHealth:
         """Current service health (``OK`` or brownout ``DEGRADED``)."""
         return self.brownout.state
+
+    @property
+    def available(self) -> bool:
+        """True while this service can accept and execute work.
+
+        False before :meth:`start`, after :meth:`shutdown`, and while
+        the worker pool has no live thread (a wedged shard: everything
+        it would accept could only queue forever).  The shard router
+        uses this to fail one keyspace fast instead of hanging it.
+        """
+        with self._lock:
+            if self._shut_down:
+                return False
+        return self._started_at is not None and self.pool.alive > 0
 
     def quarantined(self) -> list:
         """Quarantine-buffer entries (empty without a supervisor)."""
@@ -570,22 +632,29 @@ class RcaService:
             and job.priority >= self.brownout.config.shed_priority
         ):
             self.metrics.jobs_shed.increment()
-            raise QueueFull(
+            raise JobShed(
                 f"job shed: service degraded and priority {job.priority} >= "
                 f"shed threshold {self.brownout.config.shed_priority}"
             )
+        # issue the id and register the job BEFORE queue admission: a
+        # concurrent poller holding an id this method returned must
+        # never see KeyError, and admission can block (backpressure)
         with self._lock:
             self._job_counter += 1
             job.job_id = self._job_counter
+            self._jobs[job.job_id] = job
         try:
             self.queue.submit(job, block=block, timeout=timeout)
         except Exception:
+            # the id was never returned to the caller; retract it so a
+            # refused submission leaves no pollable ghost job behind
+            with self._lock:
+                self._jobs.pop(job.job_id, None)
             self.metrics.jobs_rejected.increment()
             raise
         self.metrics.jobs_submitted.increment()
         self.metrics.queue_depth.set(len(self.queue))
         with self._lock:
-            self._jobs[job.job_id] = job
             while len(self._jobs) > self._job_history:
                 oldest_id, oldest = next(iter(self._jobs.items()))
                 if not oldest.finished:

@@ -1,0 +1,35 @@
+"""Network-facing RCA gateway: sharded serving behind a JSON HTTP API.
+
+* :mod:`~repro.service.http.router` — :class:`ShardRouter`: partitions
+  submissions across N independent :class:`~repro.service.api.RcaService`
+  shards by a stable hash of the routing key, with shard-qualified job
+  ids (``"<shard>.<seq>"``), per-shard failure isolation and aggregated
+  health/metrics fan-out;
+* :mod:`~repro.service.http.gateway` — :class:`RcaGateway`: the
+  stdlib-only ``ThreadingHTTPServer`` front end exposing the versioned
+  ``/v1`` API with real overload semantics (429 on admission rejection,
+  503 on brownout shed or a wedged shard).
+
+See ``docs/service.md`` ("HTTP gateway") for the endpoint table, status
+codes and curl examples.
+"""
+
+from .gateway import (
+    MAX_WAIT_SECONDS,
+    RETRY_AFTER_SECONDS,
+    ApiError,
+    RcaGateway,
+    job_document,
+)
+from .router import ShardRouter, ShardUnavailable, build_shards
+
+__all__ = [
+    "ApiError",
+    "MAX_WAIT_SECONDS",
+    "RETRY_AFTER_SECONDS",
+    "RcaGateway",
+    "ShardRouter",
+    "ShardUnavailable",
+    "build_shards",
+    "job_document",
+]

@@ -1,0 +1,384 @@
+"""The network-facing RCA gateway: a stdlib HTTP/JSON front end.
+
+Everything below is standard library only (``http.server`` +
+``json``) — the gateway must run wherever the repro runs, with zero
+new dependencies.  :class:`RcaGateway` wraps a :class:`ShardRouter`
+behind a small versioned JSON API:
+
+============================  =====================================================
+``POST   /v1/jobs``           submit a diagnosis batch or window run → ``202`` + id
+``GET    /v1/jobs/{id}``      job status; ``?wait=SECONDS`` long-polls completion
+``DELETE /v1/jobs/{id}``      request cooperative cancellation
+``GET    /v1/apps``           registered application names
+``GET    /v1/health``         aggregated shard health (``200`` ok / ``503`` degraded)
+``GET    /v1/metrics``        per-shard metric snapshots + summed aggregate
+============================  =====================================================
+
+Overload is expressed in HTTP, not by blocking the socket:
+
+* admission rejection (queue full)      → ``429`` + ``Retry-After``
+* brownout shed (degraded, low prio)    → ``503`` + ``Retry-After``
+* wedged shard / queue closed           → ``503``
+* unknown app or job id                 → ``404``
+* malformed request                     → ``400``
+
+Each connection is served by its own thread
+(:class:`~http.server.ThreadingHTTPServer`), so a long-poll on one
+job never blocks another client's submit.  Handler threads are
+daemons: a hung client cannot prevent shutdown.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from ...core.serialize import instance_from_dict
+from ..queue import Job, JobShed, JobState, QueueClosed, QueueFull
+from .router import ShardRouter, ShardUnavailable
+
+#: Longest honoured ``?wait=`` long-poll (seconds).  A bound, not a
+#: default: clients wanting longer simply poll again — unbounded waits
+#: would pin one handler thread per slow job forever.
+MAX_WAIT_SECONDS = 30.0
+
+#: Suggested client back-off on 429/503 responses (seconds).
+RETRY_AFTER_SECONDS = 1
+
+
+class ApiError(Exception):
+    """An error with a definite HTTP mapping."""
+
+    def __init__(
+        self, status: int, message: str, retry_after: Optional[int] = None
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+
+
+def job_document(job_id: str, job: Job) -> Dict[str, Any]:
+    """The JSON representation of one job's current state.
+
+    Terminal jobs embed their outcome: diagnoses (as portable
+    ``Diagnosis.to_json`` documents) on ``DONE``, the error string
+    otherwise.  Non-terminal jobs carry only identity and state, so
+    polling is cheap.
+    """
+    doc: Dict[str, Any] = {
+        "job_id": job_id,
+        "kind": job.kind,
+        "app": job.app,
+        "state": job.state.value,
+        "priority": job.priority,
+        "attempts": job.attempts,
+        "finished": job.finished,
+    }
+    if not job.finished:
+        return doc
+    if job.state is JobState.DONE:
+        doc["diagnoses"] = [d.to_json() for d in (job.result or [])]
+    elif job.error is not None:
+        doc["error"] = {
+            "type": type(job.error).__name__,
+            "message": str(job.error),
+        }
+    return doc
+
+
+class _GatewayHandler(BaseHTTPRequestHandler):
+    """Routes one HTTP connection's requests onto the shard router.
+
+    Stateless: everything lives on ``self.server`` (the gateway's
+    ``ThreadingHTTPServer`` subclass carries the router).
+    """
+
+    protocol_version = "HTTP/1.1"  # keep-alive: load generators reuse sockets
+    server_version = "grca-gateway/1"
+    # without TCP_NODELAY, Nagle + delayed ACK adds ~40 ms to every
+    # keep-alive request/response turn — fatal for a polling API
+    disable_nagle_algorithm = True
+
+    # -- plumbing ------------------------------------------------------
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # per-request stderr lines would swamp benchmarks; the gateway's
+        # observability lives in /v1/metrics instead
+        pass
+
+    @property
+    def router(self) -> ShardRouter:
+        return self.server.router  # type: ignore[attr-defined]
+
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        retry_after: Optional[int] = None,
+    ) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(retry_after))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, exc: ApiError) -> None:
+        self._send_json(
+            exc.status, {"error": str(exc)}, retry_after=exc.retry_after
+        )
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ApiError(400, "request body required")
+        try:
+            body = json.loads(raw)
+        except ValueError:
+            raise ApiError(400, "request body is not valid JSON")
+        if not isinstance(body, dict):
+            raise ApiError(400, "request body must be a JSON object")
+        return body
+
+    def _dispatch(self, method: str) -> None:
+        split = urlsplit(self.path)
+        segments = [part for part in split.path.split("/") if part]
+        query = parse_qs(split.query)
+        try:
+            self._route(method, segments, query)
+        except ApiError as exc:
+            self._send_error(exc)
+        except Exception as exc:  # a handler bug must not kill keep-alive
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE")
+
+    def do_PUT(self) -> None:  # noqa: N802
+        self._reject_verb()
+
+    def do_PATCH(self) -> None:  # noqa: N802
+        self._reject_verb()
+
+    def _reject_verb(self) -> None:
+        """JSON 405 for verbs no route accepts (the stdlib default is a
+        bare 501).  The request body, if any, is left undrained, so the
+        connection must close rather than carry further requests."""
+        self.close_connection = True
+        self._send_error(ApiError(405, f"unsupported: {self.command} {self.path}"))
+
+    # -- routing -------------------------------------------------------
+
+    def _route(self, method: str, segments: list, query: dict) -> None:
+        if len(segments) < 2 or segments[0] != "v1":
+            raise ApiError(404, f"no such resource: {self.path}")
+        resource = segments[1]
+        if resource == "jobs":
+            if len(segments) == 2 and method == "POST":
+                return self._submit()
+            if len(segments) == 3:
+                if method == "GET":
+                    return self._job_status(segments[2], query)
+                if method == "DELETE":
+                    return self._cancel(segments[2])
+            raise ApiError(
+                405 if len(segments) in (2, 3) else 404,
+                f"unsupported: {method} {self.path}",
+            )
+        if method != "GET":
+            raise ApiError(405, f"unsupported: {method} {self.path}")
+        if resource == "apps" and len(segments) == 2:
+            return self._send_json(200, {"apps": self.router.apps()})
+        if resource == "health" and len(segments) == 2:
+            health = self.router.health()
+            status = 200 if health["status"] == "ok" else 503
+            return self._send_json(status, health)
+        if resource == "metrics" and len(segments) == 2:
+            return self._send_json(200, self.router.metrics())
+        raise ApiError(404, f"no such resource: {self.path}")
+
+    # -- endpoints -----------------------------------------------------
+
+    def _submit(self) -> None:
+        body = self._read_body()
+        kind = body.get("kind", "diagnose")
+        app = body.get("app")
+        if not isinstance(app, str) or not app:
+            raise ApiError(400, "field 'app' (string) is required")
+        options: Dict[str, Any] = {}
+        if "priority" in body:
+            options["priority"] = _expect_int(body, "priority")
+        if "deadline" in body:
+            options["deadline"] = _expect_number(body, "deadline")
+        routing_key = body.get("key")
+        if routing_key is not None and not isinstance(routing_key, str):
+            raise ApiError(400, "field 'key' must be a string when present")
+        try:
+            if kind == "diagnose":
+                symptoms = body.get("symptoms")
+                if not isinstance(symptoms, list) or not symptoms:
+                    raise ApiError(
+                        400, "field 'symptoms' (non-empty list) is required"
+                    )
+                try:
+                    instances = [instance_from_dict(s) for s in symptoms]
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise ApiError(400, f"malformed symptom: {exc}")
+                job_id, job = self.router.submit_diagnosis(
+                    app, instances, key=routing_key, **options
+                )
+            elif kind == "run":
+                start = _expect_number(body, "start")
+                end = _expect_number(body, "end")
+                job_id, job = self.router.submit_run(
+                    app, start, end, key=routing_key, **options
+                )
+            else:
+                raise ApiError(400, f"unknown job kind {kind!r}")
+        except KeyError as exc:
+            # unknown application: the router's shards raise KeyError
+            raise ApiError(404, str(exc.args[0] if exc.args else exc))
+        except JobShed as exc:
+            raise ApiError(503, str(exc), retry_after=RETRY_AFTER_SECONDS)
+        except QueueFull as exc:
+            raise ApiError(429, str(exc), retry_after=RETRY_AFTER_SECONDS)
+        except QueueClosed as exc:
+            raise ApiError(503, str(exc))
+        except ShardUnavailable as exc:
+            raise ApiError(503, str(exc), retry_after=RETRY_AFTER_SECONDS)
+        self._send_json(
+            202,
+            {
+                "job_id": job_id,
+                "state": job.state.value,
+                "shard": self.router.resolve(job_id)[0],
+            },
+        )
+
+    def _job_status(self, job_id: str, query: dict) -> None:
+        job = self._find(job_id)
+        wait = query.get("wait")
+        if wait:
+            try:
+                seconds = float(wait[0])
+            except ValueError:
+                raise ApiError(400, f"invalid wait value {wait[0]!r}")
+            # bounded long-poll; returns the current state either way —
+            # a 200 after `wait` does NOT imply terminal
+            job.wait(timeout=max(0.0, min(seconds, MAX_WAIT_SECONDS)))
+        self._send_json(200, job_document(job_id, job))
+
+    def _cancel(self, job_id: str) -> None:
+        self._find(job_id)  # 404 before touching cancel semantics
+        try:
+            requested = self.router.cancel(job_id)
+        except KeyError as exc:
+            raise ApiError(404, str(exc.args[0] if exc.args else exc))
+        job = self._find(job_id)
+        doc = job_document(job_id, job)
+        doc["cancel_requested"] = requested
+        # 202: cancellation is a request (cooperative); 409 would be
+        # wrong for already-terminal jobs — the document says why
+        self._send_json(202, doc)
+
+    def _find(self, job_id: str) -> Job:
+        try:
+            return self.router.job(job_id)
+        except KeyError as exc:
+            raise ApiError(404, str(exc.args[0] if exc.args else exc))
+
+
+def _expect_int(body: Dict[str, Any], field: str) -> int:
+    value = body[field]
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ApiError(400, f"field {field!r} must be an integer")
+    return value
+
+
+def _expect_number(body: Dict[str, Any], field: str) -> float:
+    if field not in body:
+        raise ApiError(400, f"field {field!r} (number) is required")
+    value = body[field]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ApiError(400, f"field {field!r} must be a number")
+    return float(value)
+
+
+class _GatewayServer(ThreadingHTTPServer):
+    daemon_threads = True  # a hung client never blocks process exit
+    allow_reuse_address = True
+    # http.server's default accept backlog is 5; a submit burst beyond
+    # that would surface as kernel TCP resets instead of clean 429s.
+    # Overload belongs in the HTTP status, not the SYN queue.
+    request_queue_size = 128
+
+    def __init__(self, address: Tuple[str, int], router: ShardRouter) -> None:
+        super().__init__(address, _GatewayHandler)
+        self.router = router
+
+
+class RcaGateway:
+    """The HTTP server lifecycle around one :class:`ShardRouter`.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    :attr:`port` after :meth:`start`) — what tests and the CI smoke
+    job use to avoid collisions.
+    """
+
+    def __init__(
+        self, router: ShardRouter, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.router = router
+        self._server = _GatewayServer((host, port), router)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "RcaGateway":
+        """Serve on a daemon thread; returns self for chaining."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                name="rca-gateway",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, shutdown_shards: bool = True, timeout: float = 30.0) -> None:
+        """Stop accepting connections; optionally shut the shards down."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if shutdown_shards:
+            self.router.shutdown(timeout=timeout)
+
+    def __enter__(self) -> "RcaGateway":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

@@ -303,6 +303,8 @@ class ServiceMetrics:
             },
             "queue_depth": self.queue_depth.value,
             "queue_depth_peak": self.queue_depth.peak,
+            "workers_busy": self.workers_busy.value,
+            "worker_busy_seconds": self.worker_busy_seconds,
             "queue_wait": self.queue_wait.summary(),
             "job_latency": self.job_latency.summary(),
             "diagnosis_latency": self.diagnosis_latency.summary(),

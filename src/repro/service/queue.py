@@ -28,6 +28,16 @@ class QueueFull(RuntimeError):
     """Admission control refused the job (queue at max depth)."""
 
 
+class JobShed(QueueFull):
+    """Brownout refused the job (service degraded, priority too low).
+
+    A subclass of :class:`QueueFull` so existing callers that treat
+    every admission refusal alike keep working, while layers that must
+    distinguish *retry later, we are full* (HTTP 429) from *degraded,
+    low-priority work is being shed* (HTTP 503) can.
+    """
+
+
 class QueueClosed(RuntimeError):
     """The queue no longer accepts submissions (service draining)."""
 

@@ -1,0 +1,204 @@
+"""Gateway under chaos: worker death behind the HTTP front.
+
+Two guarantees from the issue:
+
+* a supervised shard losing a worker mid-job *recovers* — the HTTP
+  client never notices beyond latency (failover is invisible at the
+  API);
+* a shard wedged beyond recovery takes down only *its* keyspace: its
+  submissions turn 503, ``/v1/health`` turns degraded, and the other
+  shard keeps answering 202/done the whole time.
+"""
+
+import threading
+import time
+
+from repro.core.serialize import instance_to_dict
+from repro.service import RcaService, RetryPolicy
+from repro.service.faults import ServiceFaultInjector
+from repro.service.http import RcaGateway, ShardRouter
+from repro.service.supervisor import SupervisorConfig
+
+from .conftest import SHARD0_ROUTER, SHARD1_ROUTER, JsonClient
+
+
+def chaos_shard(mini_app, **kwargs):
+    """A shard whose executor runs through a fault injector."""
+    kwargs.setdefault("workers", 1)
+    kwargs.setdefault(
+        "supervisor_config", SupervisorConfig(interval=0.02, hang_grace=0.2)
+    )
+    kwargs.setdefault("retry", RetryPolicy(max_attempts=1))
+    holder = {}
+    injector = ServiceFaultInjector(
+        lambda job, worker: holder["shard"]._execute(job, worker)
+    )
+    shard = RcaService(mini_app.store, executor=injector, **kwargs)
+    holder["shard"] = shard
+    shard.register_app("mini", mini_app)
+    return shard, injector
+
+
+def plain_shard(mini_app, **kwargs):
+    kwargs.setdefault("workers", 2)
+    shard = RcaService(mini_app.store, **kwargs)
+    shard.register_app("mini", mini_app)
+    return shard
+
+
+def submit_diagnose(client, symptoms):
+    return client.post(
+        "/v1/jobs",
+        {
+            "kind": "diagnose",
+            "app": "mini",
+            "symptoms": [instance_to_dict(s) for s in symptoms],
+        },
+    )
+
+
+def wait_for(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+def symptoms_by_router(mini_app, seed_scene):
+    out = {}
+    for start, router_name in ((1000.0, SHARD1_ROUTER), (50_000.0, SHARD0_ROUTER)):
+        times = seed_scene(mini_app.store, n=3, router=router_name, start=start)
+        lo, hi = times[0] - 50.0, times[-1] + 50.0
+        out[router_name] = [
+            s for s in mini_app.find_symptoms(lo, hi)
+            if s.location.parts == (router_name,)
+        ]
+    return out
+
+
+class TestSupervisedRecoveryThroughHttp:
+    def test_worker_crash_is_invisible_to_the_client(
+        self, mini_app, seed_scene
+    ):
+        """Kill shard 0's only worker mid-job: the supervisor fails the
+        job over to a replacement and the HTTP client just sees DONE."""
+        symptoms = symptoms_by_router(mini_app, seed_scene)
+        shard0, injector = chaos_shard(mini_app)
+        shard1 = plain_shard(mini_app)
+        router = ShardRouter([shard0, shard1])
+        router.start()
+        gw = RcaGateway(router).start()
+        client = JsonClient(gw)
+        try:
+            injector.crash_when(times=1)
+            status, _, doc = submit_diagnose(client, symptoms[SHARD0_ROUTER])
+            assert status == 202
+            done = client.wait_done(doc["job_id"], seconds=30)
+            assert done["state"] == "done"
+            assert len(done["diagnoses"]) == 3
+            assert injector.fired("crash") == 1
+            assert shard0.metrics.worker_crashes.value == 1
+            # the pool healed; health is back to fully ok
+            assert wait_for(
+                lambda: shard0.pool.alive == shard0.pool.capacity
+            )
+            status, _, health = client.get("/v1/health")
+            assert status == 200 and health["status"] == "ok"
+        finally:
+            gw.stop()
+
+
+class TestWedgedShardIsolation:
+    def test_dead_shard_fails_only_its_keyspace(self, mini_app, seed_scene):
+        """Wedge shard 0 (all workers gone, no supervisor to heal it):
+        its keyspace turns 503, health degrades, shard 1 keeps serving,
+        and the HTTP front itself never goes down."""
+        symptoms = symptoms_by_router(mini_app, seed_scene)
+        shard0 = plain_shard(mini_app, workers=1, supervise=False)
+        shard1 = plain_shard(mini_app)
+        router = ShardRouter([shard0, shard1])
+        router.start()
+        gw = RcaGateway(router).start()
+        client = JsonClient(gw)
+        try:
+            # healthy baseline across both keyspaces
+            for name in (SHARD0_ROUTER, SHARD1_ROUTER):
+                status, _, doc = submit_diagnose(client, symptoms[name])
+                assert status == 202
+                client.wait_done(doc["job_id"])
+
+            shard0.pool.stop(timeout=5.0)  # the wedge: worker gone for good
+            assert wait_for(lambda: not shard0.available)
+
+            # the HTTP front still answers everything
+            assert client.get("/v1/apps")[0] == 200
+            assert client.get("/v1/metrics")[0] == 200
+
+            # health: degraded platform, shard 0 pinpointed
+            status, _, health = client.get("/v1/health")
+            assert status == 503
+            assert health["status"] == "degraded"
+            rows = {row["shard"]: row for row in health["shards"]}
+            assert rows[0]["available"] is False
+            assert rows[1]["available"] is True
+
+            # shard 0's keyspace: fast 503 with Retry-After, not a hang
+            status, headers, doc = submit_diagnose(
+                client, symptoms[SHARD0_ROUTER]
+            )
+            assert status == 503
+            assert headers.get("Retry-After") == "1"
+            assert "shard 0" in doc["error"]
+
+            # shard 1's keyspace: business as usual
+            status, _, doc = submit_diagnose(client, symptoms[SHARD1_ROUTER])
+            assert status == 202
+            assert client.wait_done(doc["job_id"])["state"] == "done"
+
+            # results submitted before the wedge are still retrievable
+            # from the dead shard's history
+            dead_probe = client.get("/v1/jobs/0.1")
+            assert dead_probe[0] == 200
+        finally:
+            gw.stop()
+
+    def test_concurrent_traffic_during_wedge_sees_no_mixed_failures(
+        self, mini_app, seed_scene
+    ):
+        """Clients hammering the healthy keyspace while the other shard
+        dies observe only 202s — isolation holds under concurrency."""
+        symptoms = symptoms_by_router(mini_app, seed_scene)
+        shard0 = plain_shard(mini_app, workers=1, supervise=False)
+        shard1 = plain_shard(mini_app)
+        router = ShardRouter([shard0, shard1])
+        router.start()
+        gw = RcaGateway(router).start()
+        try:
+            statuses = []
+            lock = threading.Lock()
+
+            def hammer():
+                client = JsonClient(gw)
+                for _ in range(5):
+                    status, _, doc = submit_diagnose(
+                        client, symptoms[SHARD1_ROUTER]
+                    )
+                    with lock:
+                        statuses.append(status)
+                    if status == 202:
+                        client.wait_done(doc["job_id"])
+
+            threads = [
+                threading.Thread(target=hammer, daemon=True) for _ in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            shard0.pool.stop(timeout=5.0)  # wedge mid-hammer
+            for thread in threads:
+                thread.join(timeout=60.0)
+                assert not thread.is_alive()
+            assert statuses and set(statuses) == {202}
+        finally:
+            gw.stop()

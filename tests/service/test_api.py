@@ -67,7 +67,9 @@ class TestSubmitAndPoll:
         assert job.outcome(timeout=30.0) == serial
         assert service.poll(job.job_id) is JobState.DONE
         assert service.job(job.job_id) is job
-        assert service.poll(999_999) is None
+        assert service.find_job(999_999) is None
+        with pytest.raises(KeyError):
+            service.poll(999_999)
 
     def test_run_job_finds_and_diagnoses(self, service, mini_app, seed_scene):
         times = seed_scene(mini_app.store, n=6)

@@ -96,3 +96,70 @@ class TestServiceMetrics:
         assert "cache:" in text
         assert "diagnosis latency" in text
         assert "worker utilization" in text
+
+
+class TestSnapshotParity:
+    """format_lines is a thin renderer over snapshot — the numbers the
+    CLI prints and the numbers /v1/metrics serves must be the same."""
+
+    @staticmethod
+    def populated_metrics():
+        metrics = ServiceMetrics()
+        metrics.jobs_submitted.increment(7)
+        metrics.jobs_completed.increment(5)
+        metrics.jobs_failed.increment(1)
+        metrics.jobs_rejected.increment(2)
+        metrics.jobs_shed.increment(3)
+        metrics.worker_crashes.increment(1)
+        metrics.workers_restarted.increment(1)
+        metrics.symptoms_diagnosed.increment(41)
+        metrics.cache_hits.increment(3)
+        metrics.cache_misses.increment(1)
+        metrics.cache_invalidations.increment(2)
+        metrics.spatial_cache_hits.increment(8)
+        metrics.spatial_cache_misses.increment(2)
+        metrics.queue_depth.set(4)
+        metrics.queue_depth.set(2)
+        metrics.workers_busy.set(1)
+        metrics.add_busy_seconds(3.5)
+        for value in (0.001, 0.002, 0.004):
+            metrics.queue_wait.observe(value)
+            metrics.diagnosis_latency.observe(value * 2)
+            metrics.job_latency.observe(value * 3)
+        metrics.observe_stages({"retrieve": 0.003, "temporal-join": 0.001})
+        return metrics
+
+    def test_snapshot_is_json_serializable(self):
+        import json
+
+        snap = self.populated_metrics().snapshot(2, 10.0)
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_every_rendered_number_comes_from_the_snapshot(self):
+        metrics = self.populated_metrics()
+        snap = metrics.snapshot(2, 10.0)
+        text = "\n".join(metrics.format_lines(2, 10.0))
+        jobs, cache, spatial = snap["jobs"], snap["cache"], snap["spatial_cache"]
+        assert f"{jobs['submitted']} submitted" in text
+        assert f"{jobs['completed']} completed" in text
+        assert f"{jobs['rejected']} rejected" in text
+        assert f"{snap['recovery']['worker_crashes']} worker crashes" in text
+        assert f"{snap['recovery']['jobs_shed']} shed" in text
+        assert f"symptoms diagnosed: {snap['symptoms_diagnosed']}" in text
+        assert f"{cache['hits']} hits / {cache['misses']} misses" in text
+        assert f"hit rate {100 * cache['hit_rate']:.1f}%" in text
+        assert f"hit rate {100 * spatial['hit_rate']:.1f}%" in text
+        assert f"depth {snap['queue_depth']:.0f}" in text
+        assert f"peak {snap['queue_depth_peak']:.0f}" in text
+        wait = snap["queue_wait"]
+        assert f"wait p50 {1000 * wait['p50']:.1f} ms" in text
+        latency = snap["diagnosis_latency"]
+        assert f"p50 {1000 * latency['p50']:.2f} ms" in text
+        assert f"{100 * snap['worker_utilization']:.1f}%" in text
+        for stage, summary in snap["stages"].items():
+            assert f"{stage}: p50 {1000 * summary['p50']:.2f} ms" in text
+
+    def test_snapshot_carries_busy_gauges(self):
+        snap = self.populated_metrics().snapshot()
+        assert snap["workers_busy"] == 1
+        assert snap["worker_busy_seconds"] == pytest.approx(3.5)
