@@ -52,6 +52,20 @@ class Console:
         self.emit("\n".join(lines))
 
 
+def pytest_collection_modifyitems(items):
+    """Mark every benchmark ``bench`` + ``slow`` (chaos suites also ``chaos``).
+
+    The benchmarks tree is excluded from tier-1 (``testpaths`` points at
+    ``tests/``) and only runs when named explicitly, but the markers keep
+    ``-m`` selections meaningful across the whole collection.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+        item.add_marker(pytest.mark.slow)
+        if "chaos" in item.nodeid:
+            item.add_marker(pytest.mark.chaos)
+
+
 @pytest.fixture
 def console(capsys):
     return Console(capsys)

@@ -19,7 +19,12 @@ Subcommands mirror the operator workflows of the paper:
   rate, worker utilization);
 * ``repro-grca api <scenario>`` — expose the scenario's RCA service
   over the network: N independent service shards behind the stdlib
-  HTTP/JSON gateway (``POST /v1/jobs``, ``GET /v1/health``, ...).
+  HTTP/JSON gateway (``POST /v1/jobs``, ``GET /v1/health``, ...);
+* ``repro-grca eval`` — run the scored evaluation scenarios
+  (:mod:`repro.eval`): seeded failure-injected replays graded on
+  accuracy / coverage / localization / honesty, with a matrix artifact
+  (``BENCH_scenarios.json``), CI gating (``--gate``) and artifact
+  diffing (``--diff``).
 """
 
 from __future__ import annotations
@@ -154,6 +159,35 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="per-shard job queue admission-control limit")
     api.add_argument("--deadline", type=float, default=None,
                      help="per-job deadline in seconds (default unbounded)")
+
+    evaluate = sub.add_parser(
+        "eval",
+        help="run scored evaluation scenarios (accuracy/coverage/"
+             "localization/honesty vs injected ground truth)",
+    )
+    evaluate.add_argument("names", nargs="*", metavar="SCENARIO",
+                          help="registered scenario names to run "
+                               "(see --list)")
+    evaluate.add_argument("--list", action="store_true", dest="list_scenarios",
+                          help="list the registered scenarios and exit")
+    evaluate.add_argument("--matrix", action="store_true",
+                          help="run the full registry (or --only subset) "
+                               "and write the matrix artifact")
+    evaluate.add_argument("--only", action="append", metavar="NAME",
+                          help="with --matrix: restrict to NAME "
+                               "(repeatable)")
+    evaluate.add_argument("--gate", action="store_true",
+                          help="exit 1 if any gated scenario misses its "
+                               "thresholds")
+    evaluate.add_argument("--out", metavar="FILE", default=None,
+                          help="matrix artifact path (default "
+                               "BENCH_scenarios.json with --matrix)")
+    evaluate.add_argument("--no-timing", action="store_true",
+                          help="omit wall-clock timing from the artifact "
+                               "(byte-stable output)")
+    evaluate.add_argument("--diff", nargs=2, metavar=("OLD", "NEW"),
+                          help="compare two matrix artifact files and "
+                               "exit 1 on regressions")
     return parser
 
 
@@ -434,6 +468,85 @@ def _cmd_api(args) -> int:
     return 0
 
 
+def _cmd_eval(args) -> int:
+    from .eval import (
+        MatrixGateFailure,
+        diff_matrices,
+        ensure_gate,
+        format_diff_lines,
+        get_scenario,
+        load_matrix,
+        run_matrix,
+        scenario_names,
+        write_matrix,
+    )
+
+    if args.diff:
+        try:
+            old, new = (load_matrix(path) for path in args.diff)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        rows = diff_matrices(old, new)
+        for line in format_diff_lines(rows):
+            print(line)
+        regressed = [row for row in rows if row["status"] == "regressed"]
+        if regressed:
+            print(f"\n{len(regressed)} scenario(s) regressed")
+            return 1
+        return 0
+
+    if args.list_scenarios:
+        for name in scenario_names():
+            print(get_scenario(name).describe())
+        return 0
+
+    if args.matrix:
+        names = args.only or None
+    elif args.names:
+        names = args.names
+    else:
+        print("error: name at least one scenario, or use --matrix / --list",
+              file=sys.stderr)
+        return 2
+    try:
+        if names:
+            for name in names:
+                get_scenario(name)  # fail fast with the known-name list
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    results = run_matrix(
+        names=names, progress=lambda line: print(line, flush=True)
+    )
+    for result in results:
+        print()
+        for line in result.format_lines():
+            print(line)
+
+    if args.matrix or args.out:
+        out = args.out or "BENCH_scenarios.json"
+        document = write_matrix(out, results,
+                                include_timing=not args.no_timing)
+        summary = document["summary"]
+        print(f"\nmatrix artifact written to {out} "
+              f"({summary['count']} scenarios, composite mean "
+              f"{summary['composite_mean']:.2f})")
+
+    if args.gate:
+        try:
+            ensure_gate(results)
+        except MatrixGateFailure as exc:
+            print("\nGATE FAILED:", file=sys.stderr)
+            for failure in exc.failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        gated = [r for r in results if r.gate]
+        print(f"\ngate passed ({len(gated)} gated scenarios)")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -452,6 +565,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "api":
         return _cmd_api(args)
+    if args.command == "eval":
+        return _cmd_eval(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -284,37 +284,63 @@ def diagnosis_to_dict(diagnosis) -> Dict[str, Any]:
 
 
 def diagnosis_from_dict(data: Dict[str, Any]):
-    """Rebuild a :class:`~repro.core.engine.Diagnosis` from its dict form."""
+    """Rebuild a :class:`~repro.core.engine.Diagnosis` from its dict form.
+
+    Raises :class:`ValueError` on any malformed payload — wrong or
+    missing schema tag, truncated documents, missing evidence fields,
+    dangling supporting indices — so API clients see one exception type
+    instead of raw ``KeyError``/``IndexError`` from deep inside the
+    decoder.
+    """
     from .engine import Diagnosis  # local import: engine imports this module
 
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"diagnosis payload must be a JSON object, got {type(data).__name__}"
+        )
     schema = data.get("schema")
     if schema != DIAGNOSIS_SCHEMA:
         raise ValueError(
             f"unsupported diagnosis schema {schema!r}; "
             f"expected {DIAGNOSIS_SCHEMA!r}"
         )
-    evidence = [evidence_from_dict(item) for item in data.get("evidence", [])]
-    result_data = data["result"]
-    result = RuleBasedResult(
-        root_causes=list(result_data.get("root_causes", [])),
-        priority=result_data.get("priority", 0),
-        supporting=[evidence[index] for index in result_data.get("supporting", [])],
-    )
-    trace = None
-    if data.get("trace") is not None:
-        from ..obs.trace import Span
+    try:
+        evidence = [evidence_from_dict(item) for item in data.get("evidence", [])]
+        result_data = data["result"]
+        supporting_indices = result_data.get("supporting", [])
+        bad = [i for i in supporting_indices if not 0 <= i < len(evidence)]
+        if bad:
+            raise ValueError(
+                f"supporting indices {bad} out of range for "
+                f"{len(evidence)} evidence items"
+            )
+        result = RuleBasedResult(
+            root_causes=list(result_data.get("root_causes", [])),
+            priority=result_data.get("priority", 0),
+            supporting=[evidence[index] for index in supporting_indices],
+        )
+        trace = None
+        if data.get("trace") is not None:
+            from ..obs.trace import Span
 
-        trace = Span.from_dict(data["trace"])
-    return Diagnosis(
-        symptom=instance_from_dict(data["symptom"]),
-        evidence=evidence,
-        result=result,
-        gaps=[gap_from_dict(gap) for gap in data.get("gaps", [])],
-        confidence=data.get("confidence", 1.0),
-        caveats=list(data.get("caveats", [])),
-        footprint=tuple(
-            (table, _decode_float(lo), _decode_float(hi))
-            for table, lo, hi in data.get("footprint", [])
-        ),
-        trace=trace,
-    )
+            trace = Span.from_dict(data["trace"])
+        return Diagnosis(
+            symptom=instance_from_dict(data["symptom"]),
+            evidence=evidence,
+            result=result,
+            gaps=[gap_from_dict(gap) for gap in data.get("gaps", [])],
+            confidence=data.get("confidence", 1.0),
+            caveats=list(data.get("caveats", [])),
+            footprint=tuple(
+                (table, _decode_float(lo), _decode_float(hi))
+                for table, lo, hi in data.get("footprint", [])
+            ),
+            trace=trace,
+        )
+    except ValueError:
+        raise
+    except (KeyError, IndexError, TypeError) as exc:
+        raise ValueError(
+            f"malformed {DIAGNOSIS_SCHEMA} payload: "
+            f"{type(exc).__name__}: {exc}"
+        ) from exc

@@ -1,0 +1,62 @@
+"""Scenario evaluation harness: seeded, scored, failure-injected runs.
+
+The paper validates G-RCA by replaying known fault episodes through the
+three applications and counting how often the true root cause comes
+back.  This package is that loop made first-class: a **Scenario** is a
+named, fully seeded recipe (topology, workload size, a script of
+:class:`FailureInjection`\\ s) whose simulation produces a ground-truth
+label set; a :class:`ScenarioRunner` replays it through the real engine
+(or end-to-end through the RCA service / HTTP gateway); a
+:class:`Scorer` turns the diagnoses into dimension scores — accuracy,
+coverage, localization, evidence-gap honesty — rolled into one
+composite; and the matrix module runs every registered scenario and
+writes the ``BENCH_scenarios.json`` CI artifact with gating regression
+thresholds on the paper apps.
+
+Same seed ⇒ byte-identical scores: everything that feeds a score is
+driven by the scenario's seeds, never by wall-clock time.  Latency
+(p50/p99) is measured and reported in a separate ``timing`` section
+that is excluded from score comparisons.
+"""
+
+from .matrix import (
+    MATRIX_SCHEMA,
+    MatrixGateFailure,
+    diff_matrices,
+    ensure_gate,
+    format_diff_lines,
+    gate_failures,
+    load_matrix,
+    matrix_document,
+    run_matrix,
+    write_matrix,
+)
+from .registry import all_scenarios, gating_scenarios, get_scenario, scenario_names
+from .runner import RunOutcome, ScenarioRunner
+from .scenario import FailureInjection, Scenario, ScenarioThresholds
+from .scoring import DimensionScore, EvaluationResult, Scorer
+
+__all__ = [
+    "DimensionScore",
+    "EvaluationResult",
+    "FailureInjection",
+    "MATRIX_SCHEMA",
+    "MatrixGateFailure",
+    "RunOutcome",
+    "Scenario",
+    "ScenarioRunner",
+    "ScenarioThresholds",
+    "Scorer",
+    "all_scenarios",
+    "diff_matrices",
+    "ensure_gate",
+    "format_diff_lines",
+    "gate_failures",
+    "gating_scenarios",
+    "get_scenario",
+    "load_matrix",
+    "matrix_document",
+    "run_matrix",
+    "scenario_names",
+    "write_matrix",
+]

@@ -1,0 +1,192 @@
+"""The scenario matrix: run everything, write the artifact, gate, diff.
+
+``BENCH_scenarios.json`` (schema ``grca-scenario-matrix/1``) is the CI
+artifact: one entry per scenario with its deterministic scores and a
+separate ``timing`` section.  Two runs of the same matrix at the same
+seeds produce byte-identical ``scores`` sections; only ``timing``
+varies with the hardware.
+
+The gate (:func:`gate_failures`) enforces each gated scenario's
+accuracy/coverage/composite thresholds — the CI job that runs the
+paper-app scenarios fails the build on any miss.  :func:`diff_matrices`
+compares two artifact files (e.g. a PR run against main's) and flags
+per-dimension regressions.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from .registry import all_scenarios, get_scenario
+from .runner import ScenarioRunner
+from .scenario import Scenario
+from .scoring import EvaluationResult, Scorer
+
+#: schema tag stamped on every matrix artifact
+MATRIX_SCHEMA = "grca-scenario-matrix/1"
+
+#: composite-score drop (absolute points) that counts as a regression
+#: when diffing two matrix files
+DIFF_REGRESSION_POINTS = 1.0
+
+
+class MatrixGateFailure(Exception):
+    """Raised by :func:`ensure_gate` when a gated threshold is missed."""
+
+    def __init__(self, failures: List[str]) -> None:
+        super().__init__("; ".join(failures))
+        self.failures = failures
+
+
+def run_matrix(
+    names: Optional[Sequence[str]] = None,
+    runner: Optional[ScenarioRunner] = None,
+    scorer: Optional[Scorer] = None,
+    scenarios: Optional[Sequence[Scenario]] = None,
+    progress=None,
+) -> List[EvaluationResult]:
+    """Run and score a set of scenarios (default: the full registry).
+
+    ``names`` restricts to a subset of registered names; ``scenarios``
+    bypasses the registry entirely (tests inject tiny scenarios this
+    way).  ``progress``, when given, receives one line per scenario.
+    """
+    if scenarios is None:
+        if names:
+            scenarios = [get_scenario(name) for name in names]
+        else:
+            scenarios = all_scenarios()
+    runner = runner or ScenarioRunner()
+    scorer = scorer or Scorer()
+    results = []
+    for scenario in scenarios:
+        if progress is not None:
+            progress(f"running {scenario.describe()}")
+        results.append(scorer.score(runner.run(scenario)))
+    return results
+
+
+def matrix_document(
+    results: Sequence[EvaluationResult], include_timing: bool = True
+) -> Dict[str, Any]:
+    """The artifact document for a set of scored results."""
+    return {
+        "schema": MATRIX_SCHEMA,
+        "scenarios": [r.to_dict(include_timing=include_timing) for r in results],
+        "summary": {
+            "count": len(results),
+            "composite_mean": round(
+                sum(r.composite for r in results) / len(results), 2
+            ) if results else 0.0,
+            "gated": sorted(r.scenario for r in results if r.gate),
+            "gate_failures": gate_failures(results),
+        },
+    }
+
+
+def write_matrix(
+    path: str,
+    results: Sequence[EvaluationResult],
+    include_timing: bool = True,
+) -> Dict[str, Any]:
+    """Write the matrix artifact as stable JSON; returns the document."""
+    document = matrix_document(results, include_timing=include_timing)
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+def load_matrix(path: str) -> Dict[str, Any]:
+    """Load a matrix artifact, checking the schema tag."""
+    with open(path) as handle:
+        document = json.load(handle)
+    if document.get("schema") != MATRIX_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported matrix schema "
+            f"{document.get('schema')!r}; expected {MATRIX_SCHEMA!r}"
+        )
+    return document
+
+
+def gate_failures(results: Iterable[EvaluationResult]) -> List[str]:
+    """Threshold misses among the *gated* scenarios only."""
+    failures: List[str] = []
+    for result in results:
+        if result.gate:
+            failures.extend(result.threshold_failures())
+    return failures
+
+
+def ensure_gate(results: Iterable[EvaluationResult]) -> None:
+    """Raise :class:`MatrixGateFailure` if any gated threshold is missed."""
+    failures = gate_failures(results)
+    if failures:
+        raise MatrixGateFailure(failures)
+
+
+def diff_matrices(
+    old: Dict[str, Any], new: Dict[str, Any]
+) -> List[Dict[str, Any]]:
+    """Per-scenario comparison of two matrix documents.
+
+    Returns one entry per scenario present in either document:
+    composite delta, per-dimension deltas, and flags for added /
+    removed scenarios and composite regressions beyond
+    :data:`DIFF_REGRESSION_POINTS`.
+    """
+    def by_name(document):
+        return {entry["scenario"]: entry for entry in document["scenarios"]}
+
+    old_entries, new_entries = by_name(old), by_name(new)
+    rows: List[Dict[str, Any]] = []
+    for name in sorted(set(old_entries) | set(new_entries)):
+        before, after = old_entries.get(name), new_entries.get(name)
+        if before is None or after is None:
+            rows.append({
+                "scenario": name,
+                "status": "added" if before is None else "removed",
+            })
+            continue
+        def dims(entry):
+            return {d["name"]: d["score"] for d in entry["dimensions"]}
+
+        delta = round(after["composite"] - before["composite"], 2)
+        dimension_deltas = {
+            key: round(dims(after).get(key, 0.0) - value, 2)
+            for key, value in dims(before).items()
+        }
+        regressed = delta < -DIFF_REGRESSION_POINTS
+        rows.append({
+            "scenario": name,
+            "status": "regressed" if regressed else (
+                "improved" if delta > DIFF_REGRESSION_POINTS else "unchanged"
+            ),
+            "composite_before": before["composite"],
+            "composite_after": after["composite"],
+            "composite_delta": delta,
+            "dimension_deltas": dimension_deltas,
+        })
+    return rows
+
+
+def format_diff_lines(rows: Sequence[Dict[str, Any]]) -> List[str]:
+    """Terminal rendering of :func:`diff_matrices` output."""
+    lines = []
+    for row in rows:
+        if row["status"] in ("added", "removed"):
+            lines.append(f"{row['scenario']}: {row['status']}")
+            continue
+        moved = ", ".join(
+            f"{name} {delta:+.2f}"
+            for name, delta in sorted(row["dimension_deltas"].items())
+            if abs(delta) > 0.005
+        )
+        suffix = f" ({moved})" if moved else ""
+        lines.append(
+            f"{row['scenario']}: {row['status']} "
+            f"{row['composite_before']:.2f} -> {row['composite_after']:.2f} "
+            f"[{row['composite_delta']:+.2f}]{suffix}"
+        )
+    return lines

@@ -1,0 +1,229 @@
+"""The named scenario registry: the workloads every PR is scored on.
+
+Ten scenarios in four families:
+
+* **paper apps** (gated): ``bgp_month_core`` / ``cdn_month_core`` /
+  ``pim_fortnight_core`` replay scaled-down versions of the paper's
+  Table IV / VI / VIII episodes; their accuracy thresholds are enforced
+  by the CI gate (a regression here means the reproduction broke);
+* **coverage**: ``backbone_probe_core`` exercises the introduction's
+  probe-loss workload;
+* **degraded feeds**: outage / lag / corruption scripted on diagnostic
+  feeds, scoring the evidence-gap honesty dimension for real;
+* **serving layer**: the same bgp workload pushed through the worker
+  pool (``service``), through the pool with chaos (worker crashes +
+  transient failures), and end-to-end over the HTTP gateway.
+
+Sizes are deliberately small (seconds per scenario) so the full matrix
+runs in CI on every PR; the benchmarks keep the paper-scale versions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .scenario import FailureInjection, Scenario, ScenarioThresholds
+
+DAY = 86400.0
+
+#: a compact bgp topology shared by the non-core bgp scenarios
+_BGP_SMALL_TOPOLOGY: Tuple[Tuple[str, object], ...] = (
+    ("n_pops", 4),
+    ("pers_per_pop", 2),
+    ("customers_per_per", 4),
+)
+
+
+def _build_registry() -> Dict[str, Scenario]:
+    """Construct the scenario table (order = matrix run order)."""
+    scenarios: List[Scenario] = [
+        # -- paper apps (gated) ----------------------------------------
+        Scenario(
+            name="bgp_month_core",
+            description="Table IV: a month of customer eBGP flaps, "
+                        "Table IV cause mixture, clean feeds.",
+            app="bgp_flaps",
+            seed=9101,
+            size=150,
+            topology=_BGP_SMALL_TOPOLOGY,
+            thresholds=ScenarioThresholds(
+                accuracy=0.90, coverage=0.85, composite=85.0
+            ),
+            gate=True,
+            tags=("paper", "bgp"),
+        ),
+        Scenario(
+            name="cdn_month_core",
+            description="Table VI: a month of CDN RTT degradations, "
+                        "Table VI cause mixture, clean feeds.",
+            app="cdn",
+            seed=9103,
+            size=120,
+            thresholds=ScenarioThresholds(
+                accuracy=0.80, coverage=0.80, composite=80.0
+            ),
+            gate=True,
+            tags=("paper", "cdn"),
+        ),
+        Scenario(
+            name="pim_fortnight_core",
+            description="Table VIII: two weeks of MVPN PIM adjacency "
+                        "changes, Table VIII cause mixture.",
+            app="pim",
+            seed=9102,
+            size=120,
+            thresholds=ScenarioThresholds(
+                accuracy=0.80, coverage=0.75, composite=78.0
+            ),
+            gate=True,
+            tags=("paper", "pim"),
+        ),
+        # -- additional coverage ---------------------------------------
+        Scenario(
+            name="backbone_probe_core",
+            description="Introduction workload: inter-PoP probe loss "
+                        "episodes (congestion-dominated mixture).",
+            app="backbone",
+            seed=9106,
+            size=60,
+            thresholds=ScenarioThresholds(accuracy=0.60, coverage=0.60),
+            tags=("backbone",),
+        ),
+        # -- degraded measurement infrastructure -----------------------
+        Scenario(
+            name="bgp_snmp_outage",
+            description="bgp workload with the SNMP CPU feed dark for "
+                        "days 8-16: CPU-caused flaps lose their "
+                        "evidence; honesty demands caveats, not "
+                        "confident wrong answers.",
+            app="bgp_flaps",
+            seed=9104,
+            size=150,
+            topology=_BGP_SMALL_TOPOLOGY,
+            injections=(
+                FailureInjection.make(
+                    "feed_outage", "snmp", at_s=8 * DAY, duration_s=8 * DAY
+                ),
+            ),
+            thresholds=ScenarioThresholds(accuracy=0.80),
+            tags=("bgp", "degraded"),
+        ),
+        Scenario(
+            name="bgp_syslog_lag",
+            description="bgp workload with the syslog feed delivering "
+                        "30 minutes late for a week: records correct "
+                        "but late (batch replay ingests them all, the "
+                        "health registry records the impairment).",
+            app="bgp_flaps",
+            seed=9105,
+            size=150,
+            topology=_BGP_SMALL_TOPOLOGY,
+            injections=(
+                FailureInjection.make(
+                    "feed_lag", "syslog", at_s=10 * DAY, duration_s=7 * DAY,
+                    delay=1800.0,
+                ),
+            ),
+            thresholds=ScenarioThresholds(accuracy=0.80),
+            tags=("bgp", "degraded"),
+        ),
+        Scenario(
+            name="cdn_bgpmon_corruption",
+            description="CDN workload with half the BGP-monitor feed "
+                        "garbled for ten days: egress-change evidence "
+                        "thins out, the parser rejects the garbage.",
+            app="cdn",
+            seed=9107,
+            size=100,
+            injections=(
+                FailureInjection.make(
+                    "feed_corruption", "bgpmon",
+                    at_s=8 * DAY, duration_s=10 * DAY, probability=0.5,
+                ),
+            ),
+            thresholds=ScenarioThresholds(accuracy=0.70),
+            tags=("cdn", "degraded"),
+        ),
+        # -- serving layer ---------------------------------------------
+        Scenario(
+            name="bgp_service_pool",
+            description="bgp workload diagnosed through the supervised "
+                        "RcaService worker pool (results must match "
+                        "the inline engine).",
+            app="bgp_flaps",
+            seed=9101,
+            size=150,
+            mode="service",
+            workers=2,
+            topology=_BGP_SMALL_TOPOLOGY,
+            thresholds=ScenarioThresholds(accuracy=0.90, coverage=0.85),
+            tags=("bgp", "service"),
+        ),
+        Scenario(
+            name="bgp_service_chaos",
+            description="The service-pool scenario under chaos: one "
+                        "worker crash plus transient execution "
+                        "failures; retries and failover must deliver "
+                        "every diagnosis anyway.",
+            app="bgp_flaps",
+            seed=9101,
+            size=150,
+            mode="service",
+            workers=2,
+            topology=_BGP_SMALL_TOPOLOGY,
+            injections=(
+                FailureInjection.make("worker_crash", "*", times=1),
+                FailureInjection.make("worker_fail", "*", times=2),
+            ),
+            thresholds=ScenarioThresholds(accuracy=0.90, coverage=0.85),
+            tags=("bgp", "service", "chaos"),
+        ),
+        Scenario(
+            name="bgp_http_e2e",
+            description="End to end: the bgp workload submitted to the "
+                        "sharded HTTP gateway, diagnoses decoded back "
+                        "from grca-diagnosis/1 JSON.",
+            app="bgp_flaps",
+            seed=9101,
+            size=100,
+            mode="http",
+            workers=2,
+            shards=2,
+            topology=_BGP_SMALL_TOPOLOGY,
+            thresholds=ScenarioThresholds(accuracy=0.90),
+            tags=("bgp", "http"),
+        ),
+    ]
+    registry = {}
+    for scenario in scenarios:
+        if scenario.name in registry:
+            raise ValueError(f"duplicate scenario name {scenario.name!r}")
+        registry[scenario.name] = scenario
+    return registry
+
+
+_REGISTRY = _build_registry()
+
+
+def scenario_names() -> List[str]:
+    """Every registered scenario name, in matrix run order."""
+    return list(_REGISTRY)
+
+
+def all_scenarios() -> List[Scenario]:
+    """Every registered scenario, in matrix run order."""
+    return list(_REGISTRY.values())
+
+
+def gating_scenarios() -> List[Scenario]:
+    """The paper-app scenarios whose thresholds gate CI."""
+    return [s for s in _REGISTRY.values() if s.gate]
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look a scenario up by name (KeyError lists what exists)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown scenario {name!r}; registered: {known}")

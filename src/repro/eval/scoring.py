@@ -1,0 +1,382 @@
+"""Scoring: diagnoses + ground truth -> dimension scores -> composite.
+
+Four deterministic dimensions (each 0..100) make up the composite:
+
+* **accuracy** — top-1 root-cause match: the fraction of diagnoses
+  whose primary cause equals the injected cause behind the nearest
+  ground-truth entry at the same location (the paper's Table IV/VI/VIII
+  agreement measure);
+* **coverage** — the fraction of injected ground-truth faults surfaced
+  by at least one diagnosis at the right location and time;
+* **localization** — precision: the fraction of diagnoses that land on
+  a real injected fault (location match within the time tolerance);
+* **honesty** — evidence-gap honesty: inside injected feed-degradation
+  windows, a diagnosis must either still be right or *say* it is
+  impaired (caveats, evidence gaps, confidence < 1).  A degraded feed
+  yielding a confident wrong answer is the failure this dimension
+  punishes.
+
+Latency (p50/p99 per diagnosis/job, total wall seconds) is measured and
+reported under ``timing`` but deliberately excluded from the composite:
+scores must be byte-identical across runs of the same seed, and
+wall-clock time never is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.engine import Diagnosis
+from ..core.knowledge import names
+from ..simulation import FeedFault, GroundTruth
+from .runner import RunOutcome
+from .scenario import Scenario
+
+#: composite weights per dimension (sum to 1.0)
+DIMENSION_WEIGHTS = {
+    "accuracy": 0.40,
+    "coverage": 0.25,
+    "localization": 0.20,
+    "honesty": 0.15,
+}
+
+#: per-app map from diagnosed cause names (the knowledge base's Table I
+#: vocabulary) to the injected ground-truth labels (the paper tables'
+#: row headings) — the same correspondence the Table IV/VI/VIII
+#: benchmarks encode in their ``CAUSE_MAP``\ s.
+CAUSE_ALIASES: Dict[str, Dict[str, str]] = {
+    "bgp_flaps": {
+        names.EBGP_HTE: "eBGP HTE (due to unknown reasons)",
+    },
+    "cdn": {
+        names.BGP_EGRESS_CHANGE: "Egress Change due to Inter-domain routing change",
+        names.LINK_CONGESTION: "Link Congestions",
+        names.LINK_LOSS: "Link Loss",
+        names.OSPF_RECONVERGENCE: "OSPF re-convergence",
+        "Unknown": "Outside of our network (Unknown)",
+    },
+    "pim": {
+        names.PIM_CONFIG_CHANGE:
+            "PIM Configuration Change (to add and remove customers)",
+        names.OSPF_RECONVERGENCE: "OSPF re-convergence",
+        names.UPLINK_PIM_ADJACENCY_CHANGE: "Uplink PIM adjacency loss",
+    },
+    "backbone": {
+        names.LINK_CONGESTION: "Link Congestions",
+        names.OSPF_RECONVERGENCE: "OSPF re-convergence",
+    },
+}
+
+
+@dataclass
+class DimensionScore:
+    """Score for one evaluation dimension (0..100) plus its raw metrics."""
+
+    name: str
+    score: float
+    weight: float
+    metrics: Dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The dimension as a JSON-ready dict (values rounded)."""
+        return {
+            "name": self.name,
+            "score": round(self.score, 2),
+            "weight": self.weight,
+            "metrics": {
+                key: (round(value, 4) if isinstance(value, float) else value)
+                for key, value in sorted(self.metrics.items())
+            },
+            "notes": self.notes,
+        }
+
+
+@dataclass
+class EvaluationResult:
+    """One scenario's full scored outcome."""
+
+    scenario: str
+    app: str
+    mode: str
+    seed: int
+    composite: float
+    dimensions: List[DimensionScore]
+    counts: Dict[str, int]
+    thresholds: Dict[str, float]
+    gate: bool
+    #: non-deterministic wall-clock measurements, outside the scores
+    timing: Dict[str, float] = field(default_factory=dict)
+
+    def dimension(self, name: str) -> DimensionScore:
+        """Look one dimension up by name."""
+        for dimension in self.dimensions:
+            if dimension.name == name:
+                return dimension
+        raise KeyError(name)
+
+    def ratio(self, name: str) -> float:
+        """A dimension's score on the 0..1 scale."""
+        return self.dimension(name).score / 100.0
+
+    def scores_dict(self) -> Dict[str, Any]:
+        """The deterministic part: same seed ⇒ byte-identical JSON."""
+        return {
+            "scenario": self.scenario,
+            "app": self.app,
+            "mode": self.mode,
+            "seed": self.seed,
+            "composite": round(self.composite, 2),
+            "dimensions": [d.to_dict() for d in self.dimensions],
+            "counts": dict(sorted(self.counts.items())),
+            "thresholds": dict(sorted(self.thresholds.items())),
+            "gate": self.gate,
+        }
+
+    def to_dict(self, include_timing: bool = True) -> Dict[str, Any]:
+        """The full result; ``include_timing=False`` for byte-stable output."""
+        document = self.scores_dict()
+        if include_timing:
+            document["timing"] = {
+                key: round(value, 3) for key, value in sorted(self.timing.items())
+            }
+        return document
+
+    def threshold_failures(self) -> List[str]:
+        """Human-readable list of thresholds this result misses."""
+        failures = []
+        for metric in ("accuracy", "coverage"):
+            floor = self.thresholds.get(metric, 0.0)
+            if floor > 0.0 and self.ratio(metric) < floor:
+                failures.append(
+                    f"{self.scenario}: {metric} {self.ratio(metric):.3f} "
+                    f"< threshold {floor:.3f}"
+                )
+        floor = self.thresholds.get("composite", 0.0)
+        if floor > 0.0 and self.composite < floor:
+            failures.append(
+                f"{self.scenario}: composite {self.composite:.2f} "
+                f"< threshold {floor:.2f}"
+            )
+        return failures
+
+    def format_lines(self) -> List[str]:
+        """A terminal report: composite, dimensions, counts, timing."""
+        lines = [
+            f"scenario {self.scenario} ({self.app}/{self.mode}, seed {self.seed}): "
+            f"composite {self.composite:.2f}"
+        ]
+        for dimension in self.dimensions:
+            note = f"  [{dimension.notes}]" if dimension.notes else ""
+            lines.append(
+                f"  {dimension.name:<13} {dimension.score:6.2f} "
+                f"(weight {dimension.weight:.2f}){note}"
+            )
+        counts = ", ".join(f"{k}={v}" for k, v in sorted(self.counts.items()))
+        lines.append(f"  counts: {counts}")
+        if self.timing:
+            timing = ", ".join(
+                f"{k}={v:.3f}" for k, v in sorted(self.timing.items())
+            )
+            lines.append(f"  timing (not scored): {timing}")
+        failures = self.threshold_failures()
+        for failure in failures:
+            lines.append(f"  THRESHOLD MISS: {failure}")
+        if self.gate and not failures:
+            lines.append("  gate: pass")
+        return lines
+
+
+class Scorer:
+    """Turns a :class:`RunOutcome` into an :class:`EvaluationResult`.
+
+    ``match_tolerance_s`` bounds how far apart (in data time) a
+    diagnosis and a ground-truth entry at the same location may be and
+    still count as the same episode, for the coverage and localization
+    dimensions.  Accuracy follows the benchmarks' convention: each
+    diagnosis is judged against the *nearest* truth at its location.
+    """
+
+    def __init__(self, match_tolerance_s: float = 3600.0) -> None:
+        self.match_tolerance_s = match_tolerance_s
+
+    def score(self, outcome: RunOutcome) -> EvaluationResult:
+        """Score one replay's diagnoses against its ground truth."""
+        scenario = outcome.scenario
+        diagnoses = outcome.diagnoses
+        truths = outcome.ground_truth
+        aliases = CAUSE_ALIASES.get(scenario.app, {})
+        by_location: Dict[str, List[GroundTruth]] = {}
+        for truth in truths:
+            by_location.setdefault(truth.location, []).append(truth)
+
+        hits = 0
+        localized = 0
+        claimed: set = set()
+        for diagnosis in diagnoses:
+            key = "~".join(diagnosis.symptom.location.parts)
+            candidates = by_location.get(key, [])
+            nearest = min(
+                candidates,
+                key=lambda t: abs(t.time - diagnosis.symptom.start),
+                default=None,
+            )
+            if nearest is not None and self._cause_match(
+                diagnosis.primary_cause, nearest.cause, aliases
+            ):
+                hits += 1
+            if nearest is not None and (
+                abs(nearest.time - diagnosis.symptom.start) <= self.match_tolerance_s
+            ):
+                localized += 1
+            for index, truth in enumerate(candidates):
+                if abs(truth.time - diagnosis.symptom.start) <= self.match_tolerance_s:
+                    claimed.add((key, index))
+
+        n = len(diagnoses)
+        accuracy = hits / n if n else 0.0
+        coverage = len(claimed) / len(truths) if truths else 0.0
+        localization = localized / n if n else 0.0
+        honesty, honesty_metrics, honesty_note = self._honesty(
+            diagnoses, by_location, outcome.feed_faults, aliases
+        )
+
+        dimensions = [
+            DimensionScore(
+                "accuracy", 100.0 * accuracy, DIMENSION_WEIGHTS["accuracy"],
+                {"hits": float(hits), "diagnoses": float(n), "ratio": accuracy},
+                "top-1 root-cause match vs injected ground truth",
+            ),
+            DimensionScore(
+                "coverage", 100.0 * coverage, DIMENSION_WEIGHTS["coverage"],
+                {
+                    "claimed": float(len(claimed)),
+                    "injected": float(len(truths)),
+                    "ratio": coverage,
+                },
+                "injected faults surfaced by at least one diagnosis",
+            ),
+            DimensionScore(
+                "localization", 100.0 * localization,
+                DIMENSION_WEIGHTS["localization"],
+                {"localized": float(localized), "diagnoses": float(n),
+                 "ratio": localization},
+                "diagnoses that land on a real injected fault",
+            ),
+            DimensionScore(
+                "honesty", 100.0 * honesty, DIMENSION_WEIGHTS["honesty"],
+                honesty_metrics, honesty_note,
+            ),
+        ]
+        composite = sum(d.score * d.weight for d in dimensions) / sum(
+            d.weight for d in dimensions
+        )
+        counts = {
+            "diagnoses": n,
+            "symptoms": outcome.n_symptoms,
+            "ground_truth": len(truths),
+            "feed_faults": len(outcome.feed_faults),
+            "explained": sum(1 for d in diagnoses if d.is_explained),
+            "degraded": sum(
+                1 for d in diagnoses if d.caveats or d.gaps or d.confidence < 1.0
+            ),
+        }
+        for rule, fired in sorted(outcome.chaos_fired.items()):
+            counts[f"chaos_{rule}"] = fired
+        timing = self._timing(outcome)
+        return EvaluationResult(
+            scenario=scenario.name,
+            app=scenario.app,
+            mode=scenario.mode,
+            seed=scenario.seed,
+            composite=composite,
+            dimensions=dimensions,
+            counts=counts,
+            thresholds=scenario.thresholds.as_dict(),
+            gate=scenario.gate,
+            timing=timing,
+        )
+
+    # ------------------------------------------------------------------
+    # dimension internals
+
+    @staticmethod
+    def _cause_match(
+        diagnosed: str, truth: str, aliases: Dict[str, str]
+    ) -> bool:
+        """Whether a diagnosed cause names the injected ground-truth cause.
+
+        The knowledge base speaks Table I vocabulary while the injected
+        labels use the paper tables' row headings; ``aliases`` bridges
+        the two (see :data:`CAUSE_ALIASES`).
+        """
+        return diagnosed == truth or aliases.get(diagnosed) == truth
+
+    def _honesty(
+        self,
+        diagnoses: Sequence[Diagnosis],
+        by_location: Dict[str, List[GroundTruth]],
+        feed_faults: Sequence[FeedFault],
+        aliases: Dict[str, str],
+    ) -> Tuple[float, Dict[str, float], str]:
+        """Inside degraded-feed windows: right, or honest about gaps."""
+        if not feed_faults:
+            return (
+                1.0,
+                {"in_window": 0.0, "honest": 0.0, "confident_wrong": 0.0},
+                "no injected feed degradation in this scenario",
+            )
+        in_window = 0
+        honest = 0
+        confident_wrong = 0
+        for diagnosis in diagnoses:
+            t = diagnosis.symptom.start
+            if not any(fault.start <= t <= fault.end for fault in feed_faults):
+                continue
+            in_window += 1
+            key = "~".join(diagnosis.symptom.location.parts)
+            nearest = min(
+                by_location.get(key, []),
+                key=lambda truth: abs(truth.time - t),
+                default=None,
+            )
+            correct = nearest is not None and self._cause_match(
+                diagnosis.primary_cause, nearest.cause, aliases
+            )
+            flagged = bool(
+                diagnosis.caveats or diagnosis.gaps or diagnosis.confidence < 1.0
+            )
+            if correct or flagged:
+                honest += 1
+            else:
+                confident_wrong += 1
+        ratio = honest / in_window if in_window else 1.0
+        return (
+            ratio,
+            {
+                "in_window": float(in_window),
+                "honest": float(honest),
+                "confident_wrong": float(confident_wrong),
+            },
+            "degraded windows answered correctly or with explicit caveats",
+        )
+
+    @staticmethod
+    def _timing(outcome: RunOutcome) -> Dict[str, float]:
+        """Wall-clock latency summary (milliseconds), outside the scores."""
+        timing = {"wall_s": outcome.wall_seconds}
+        latencies = sorted(outcome.latencies)
+        if latencies:
+            timing["p50_ms"] = 1000.0 * _percentile(latencies, 0.50)
+            timing["p99_ms"] = 1000.0 * _percentile(latencies, 0.99)
+            timing["samples"] = float(len(latencies))
+        return timing
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """Nearest-rank percentile over an already sorted list."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, max(0, int(q * len(sorted_values))))
+    return sorted_values[index]

@@ -48,6 +48,7 @@ class TestCpuCorrelationStudy:
         unf = study.unfiltered_result("provisioning.port_turnup")
         assert pre.score > unf.score
 
+    @pytest.mark.slow
     def test_per_router_universe_is_larger(self, outcome):
         result, app, diagnoses = outcome
         aggregated = cpu_correlation_study(

@@ -1,5 +1,7 @@
 """Shared fixtures: a small tier-1 topology with routing and resolver."""
 
+import random
+
 import pytest
 
 from repro.collector.store import DataStore
@@ -64,3 +66,29 @@ def resolver(path_service):
 @pytest.fixture
 def store():
     return DataStore()
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite golden files from current output instead of comparing",
+    )
+
+
+@pytest.fixture
+def regen_goldens(request):
+    """Whether golden-file tests should rewrite their expectations."""
+    return request.config.getoption("--regen-goldens")
+
+
+@pytest.fixture
+def rng():
+    """The one sanctioned source of test randomness: a fixed-seed RNG.
+
+    Tests needing random draws take this fixture instead of touching the
+    module-level ``random`` state, so a run's outcome never depends on
+    test order or on other tests' consumption of the global stream.
+    """
+    return random.Random(0xC0FFEE)

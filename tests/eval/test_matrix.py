@@ -1,0 +1,134 @@
+"""Tests for the matrix artifact: document shape, gate, diff, persistence."""
+
+import json
+
+import pytest
+
+from repro.eval import (
+    MATRIX_SCHEMA,
+    MatrixGateFailure,
+    Scenario,
+    ScenarioThresholds,
+    Scorer,
+    diff_matrices,
+    ensure_gate,
+    format_diff_lines,
+    gate_failures,
+    load_matrix,
+    matrix_document,
+    write_matrix,
+)
+from repro.eval.runner import RunOutcome
+from repro.simulation import GroundTruth
+
+from .test_scoring import _diagnosis
+
+
+def _result(name="s1", cause="Interface flap", diagnosed="Interface flap",
+            gate=False, accuracy_floor=0.0):
+    scenario = Scenario(
+        name=name, description="matrix fixture", app="bgp_flaps",
+        seed=3, size=1, gate=gate,
+        thresholds=ScenarioThresholds(accuracy=accuracy_floor),
+    )
+    outcome = RunOutcome(
+        scenario=scenario,
+        diagnoses=[_diagnosis("a~b", 10.0, diagnosed)],
+        ground_truth=[GroundTruth(symptom="s", cause=cause, time=10.0,
+                                  location="a~b")],
+        n_symptoms=1,
+        start=0.0,
+        end=100.0,
+        latencies=[0.01],
+        wall_seconds=0.1,
+    )
+    return Scorer().score(outcome)
+
+
+class TestDocument:
+    def test_document_shape(self):
+        document = matrix_document([_result()])
+        assert document["schema"] == MATRIX_SCHEMA
+        assert document["summary"]["count"] == 1
+        assert document["summary"]["gate_failures"] == []
+        assert document["scenarios"][0]["scenario"] == "s1"
+
+    def test_empty_document(self):
+        document = matrix_document([])
+        assert document["summary"]["count"] == 0
+        assert document["summary"]["composite_mean"] == 0.0
+
+    def test_write_and_load_roundtrip(self, tmp_path):
+        path = tmp_path / "BENCH_scenarios.json"
+        written = write_matrix(str(path), [_result()])
+        assert load_matrix(str(path)) == written
+
+    def test_written_json_is_stable(self, tmp_path):
+        results = [_result()]
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_matrix(str(a), results, include_timing=False)
+        write_matrix(str(b), results, include_timing=False)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "something-else/9"}))
+        with pytest.raises(ValueError, match="unsupported matrix schema"):
+            load_matrix(str(path))
+
+
+class TestGate:
+    def test_gated_miss_is_reported(self):
+        results = [
+            _result(name="pass", gate=True, accuracy_floor=0.5),
+            _result(name="fail", diagnosed="Router reboot", gate=True,
+                    accuracy_floor=0.5),
+        ]
+        failures = gate_failures(results)
+        assert len(failures) == 1
+        assert "fail: accuracy" in failures[0]
+
+    def test_ungated_miss_is_ignored(self):
+        results = [_result(name="fail", diagnosed="Router reboot",
+                           gate=False, accuracy_floor=0.5)]
+        assert gate_failures(results) == []
+        ensure_gate(results)  # does not raise
+
+    def test_ensure_gate_raises(self):
+        results = [_result(name="fail", diagnosed="Router reboot",
+                           gate=True, accuracy_floor=0.5)]
+        with pytest.raises(MatrixGateFailure) as excinfo:
+            ensure_gate(results)
+        assert excinfo.value.failures
+        assert "accuracy" in str(excinfo.value)
+
+
+class TestDiff:
+    def test_unchanged_added_removed(self):
+        old = matrix_document([_result(name="kept"), _result(name="gone")])
+        new = matrix_document([_result(name="kept"), _result(name="fresh")])
+        rows = {row["scenario"]: row for row in diff_matrices(old, new)}
+        assert rows["kept"]["status"] == "unchanged"
+        assert rows["gone"]["status"] == "removed"
+        assert rows["fresh"]["status"] == "added"
+
+    def test_regression_is_flagged(self):
+        old = matrix_document([_result(name="s1")])
+        new = matrix_document([_result(name="s1", diagnosed="Router reboot")])
+        (row,) = diff_matrices(old, new)
+        assert row["status"] == "regressed"
+        assert row["composite_delta"] < 0
+        assert row["dimension_deltas"]["accuracy"] == -100.0
+
+    def test_improvement_is_flagged(self):
+        old = matrix_document([_result(name="s1", diagnosed="Router reboot")])
+        new = matrix_document([_result(name="s1")])
+        (row,) = diff_matrices(old, new)
+        assert row["status"] == "improved"
+
+    def test_format_lines_cover_every_row(self):
+        old = matrix_document([_result(name="kept"), _result(name="gone")])
+        new = matrix_document([_result(name="kept")])
+        lines = format_diff_lines(diff_matrices(old, new))
+        assert len(lines) == 2
+        assert any("gone: removed" in line for line in lines)

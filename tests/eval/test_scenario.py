@@ -1,0 +1,94 @@
+"""Tests for the declarative scenario / failure-injection specs."""
+
+import pytest
+
+from repro.eval import FailureInjection, Scenario, ScenarioThresholds
+from repro.eval.scenario import FEED_FAULT_KINDS, SERVICE_FAULT_KINDS
+
+
+def _scenario(**overrides):
+    base = dict(
+        name="t", description="test scenario", app="bgp_flaps",
+        seed=1, size=10,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+class TestFailureInjection:
+    def test_make_sorts_params(self):
+        injection = FailureInjection.make(
+            "feed_lag", "syslog", at_s=10.0, duration_s=20.0,
+            delay=5.0, attempts=2.0,
+        )
+        assert injection.params == (("attempts", 2.0), ("delay", 5.0))
+
+    def test_make_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown failure-injection kind"):
+            FailureInjection.make("power_cut", "snmp")
+
+    def test_param_lookup_and_default(self):
+        injection = FailureInjection.make("feed_corruption", "snmp",
+                                          probability=0.25)
+        assert injection.param("probability", 1.0) == 0.25
+        assert injection.param("missing", 7.0) == 7.0
+
+    def test_injections_are_hashable(self):
+        a = FailureInjection.make("feed_outage", "snmp", at_s=1.0)
+        b = FailureInjection.make("feed_outage", "snmp", at_s=1.0)
+        assert len({a, b}) == 1
+
+
+class TestScenario:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown scenario mode"):
+            _scenario(mode="batch")
+
+    def test_engine_mode_rejects_service_faults(self):
+        crash = FailureInjection.make("worker_crash", "*", times=1)
+        with pytest.raises(ValueError, match="need mode 'service' or 'http'"):
+            _scenario(injections=(crash,))
+
+    def test_service_mode_accepts_service_faults(self):
+        crash = FailureInjection.make("worker_crash", "*", times=1)
+        scenario = _scenario(mode="service", injections=(crash,))
+        assert scenario.service_injections() == (crash,)
+        assert scenario.feed_injections() == ()
+
+    def test_injection_plane_split(self):
+        feed = FailureInjection.make("feed_outage", "snmp")
+        svc = FailureInjection.make("worker_fail", "*", times=2)
+        scenario = _scenario(mode="http", injections=(feed, svc))
+        assert scenario.feed_injections() == (feed,)
+        assert scenario.service_injections() == (svc,)
+
+    def test_kind_tables_are_disjoint(self):
+        assert not set(FEED_FAULT_KINDS) & set(SERVICE_FAULT_KINDS)
+
+    def test_topology_overrides_dict(self):
+        scenario = _scenario(topology=(("n_pops", 4), ("pers_per_pop", 2)))
+        assert scenario.topology_overrides() == {
+            "n_pops": 4, "pers_per_pop": 2,
+        }
+
+    def test_describe_mentions_gate_and_injections(self):
+        feed = FailureInjection.make("feed_outage", "snmp")
+        text = _scenario(gate=True, injections=(feed,)).describe()
+        assert "gated" in text
+        assert "1 injected failures" in text
+        assert "bgp_flaps/engine" in text
+
+
+class TestThresholds:
+    def test_defaults_are_permissive(self):
+        thresholds = ScenarioThresholds()
+        assert thresholds.as_dict() == {
+            "accuracy": 0.0, "coverage": 0.0, "composite": 0.0,
+        }
+
+    def test_as_dict_roundtrip(self):
+        thresholds = ScenarioThresholds(accuracy=0.9, coverage=0.8,
+                                        composite=85.0)
+        assert thresholds.as_dict() == {
+            "accuracy": 0.9, "coverage": 0.8, "composite": 85.0,
+        }

@@ -1,0 +1,191 @@
+"""Unit tests for the scorer: dimension math on synthetic outcomes."""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.eval import Scenario, Scorer
+from repro.eval.runner import RunOutcome
+from repro.eval.scoring import CAUSE_ALIASES, DIMENSION_WEIGHTS, _percentile
+from repro.simulation import FeedFault, GroundTruth
+
+
+def _diagnosis(location, start, cause, caveats=(), gaps=(), confidence=1.0,
+               explained=True):
+    """A duck-typed Diagnosis stub carrying only what the scorer reads."""
+    return SimpleNamespace(
+        symptom=SimpleNamespace(
+            location=SimpleNamespace(parts=tuple(location.split("~"))),
+            start=start,
+        ),
+        primary_cause=cause,
+        caveats=tuple(caveats),
+        gaps=tuple(gaps),
+        confidence=confidence,
+        is_explained=explained,
+    )
+
+
+def _truth(location, time, cause):
+    return GroundTruth(symptom="s", cause=cause, time=time, location=location)
+
+
+def _outcome(diagnoses, truths, app="bgp_flaps", feed_faults=()):
+    scenario = Scenario(name="synthetic", description="unit fixture",
+                        app=app, seed=7, size=len(truths))
+    return RunOutcome(
+        scenario=scenario,
+        diagnoses=list(diagnoses),
+        ground_truth=list(truths),
+        n_symptoms=len(diagnoses),
+        start=0.0,
+        end=1000.0,
+        feed_faults=list(feed_faults),
+        latencies=[0.01] * len(diagnoses),
+        wall_seconds=0.5,
+    )
+
+
+class TestAccuracy:
+    def test_perfect_match(self):
+        truths = [_truth("a~b", 10.0, "Interface flap")]
+        diagnoses = [_diagnosis("a~b", 12.0, "Interface flap")]
+        result = Scorer().score(_outcome(diagnoses, truths))
+        assert result.dimension("accuracy").score == 100.0
+        assert result.composite == 100.0
+
+    def test_wrong_cause_misses(self):
+        truths = [_truth("a~b", 10.0, "Interface flap")]
+        diagnoses = [_diagnosis("a~b", 12.0, "Router reboot")]
+        result = Scorer().score(_outcome(diagnoses, truths))
+        assert result.dimension("accuracy").score == 0.0
+
+    def test_nearest_truth_wins(self):
+        truths = [
+            _truth("a~b", 10.0, "Interface flap"),
+            _truth("a~b", 500.0, "Router reboot"),
+        ]
+        diagnoses = [_diagnosis("a~b", 490.0, "Router reboot")]
+        result = Scorer().score(_outcome(diagnoses, truths))
+        assert result.dimension("accuracy").score == 100.0
+
+    def test_cause_alias_bridges_vocabularies(self):
+        truths = [_truth("dc~client", 10.0, "Link Congestions")]
+        diagnoses = [_diagnosis("dc~client", 10.0, "Link congestion alarm")]
+        result = Scorer().score(_outcome(diagnoses, truths, app="cdn"))
+        assert result.dimension("accuracy").score == 100.0
+
+    def test_alias_table_is_per_app(self):
+        truths = [_truth("a~b", 10.0, "Link Congestions")]
+        diagnoses = [_diagnosis("a~b", 10.0, "Link congestion alarm")]
+        result = Scorer().score(_outcome(diagnoses, truths, app="bgp_flaps"))
+        assert result.dimension("accuracy").score == 0.0
+
+    def test_alias_apps_cover_registry_apps(self):
+        assert set(CAUSE_ALIASES) == {"bgp_flaps", "cdn", "pim", "backbone"}
+
+
+class TestCoverageAndLocalization:
+    def test_unclaimed_truth_lowers_coverage(self):
+        truths = [
+            _truth("a~b", 10.0, "Interface flap"),
+            _truth("c~d", 10.0, "Interface flap"),
+        ]
+        diagnoses = [_diagnosis("a~b", 10.0, "Interface flap")]
+        result = Scorer().score(_outcome(diagnoses, truths))
+        assert result.dimension("coverage").score == 50.0
+
+    def test_far_diagnosis_not_localized(self):
+        truths = [_truth("a~b", 10.0, "Interface flap")]
+        diagnoses = [_diagnosis("a~b", 10.0 + 7200.0, "Interface flap")]
+        result = Scorer(match_tolerance_s=3600.0).score(
+            _outcome(diagnoses, truths)
+        )
+        assert result.dimension("localization").score == 0.0
+        assert result.dimension("coverage").score == 0.0
+
+    def test_empty_outcome_scores_zero(self):
+        result = Scorer().score(_outcome([], [_truth("a~b", 1.0, "x")]))
+        assert result.dimension("accuracy").score == 0.0
+        assert result.dimension("coverage").score == 0.0
+
+
+class TestHonesty:
+    def test_no_feed_faults_is_vacuously_honest(self):
+        truths = [_truth("a~b", 10.0, "Interface flap")]
+        diagnoses = [_diagnosis("a~b", 10.0, "Router reboot")]
+        result = Scorer().score(_outcome(diagnoses, truths))
+        assert result.dimension("honesty").score == 100.0
+        assert "no injected feed degradation" in result.dimension("honesty").notes
+
+    def test_confident_wrong_in_window_is_punished(self):
+        faults = [FeedFault(source="snmp", kind="outage", start=0.0, end=100.0)]
+        truths = [_truth("a~b", 10.0, "Interface flap")]
+        diagnoses = [_diagnosis("a~b", 10.0, "Router reboot")]
+        result = Scorer().score(_outcome(diagnoses, truths, feed_faults=faults))
+        assert result.dimension("honesty").score == 0.0
+        assert result.dimension("honesty").metrics["confident_wrong"] == 1.0
+
+    def test_caveated_wrong_in_window_is_honest(self):
+        faults = [FeedFault(source="snmp", kind="outage", start=0.0, end=100.0)]
+        truths = [_truth("a~b", 10.0, "Interface flap")]
+        diagnoses = [
+            _diagnosis("a~b", 10.0, "Router reboot",
+                       caveats=("snmp feed degraded",), confidence=0.4),
+        ]
+        result = Scorer().score(_outcome(diagnoses, truths, feed_faults=faults))
+        assert result.dimension("honesty").score == 100.0
+
+    def test_outside_window_not_counted(self):
+        faults = [FeedFault(source="snmp", kind="outage", start=500.0, end=600.0)]
+        truths = [_truth("a~b", 10.0, "Interface flap")]
+        diagnoses = [_diagnosis("a~b", 10.0, "Router reboot")]
+        result = Scorer().score(_outcome(diagnoses, truths, feed_faults=faults))
+        assert result.dimension("honesty").metrics["in_window"] == 0.0
+        assert result.dimension("honesty").score == 100.0
+
+
+class TestResultShape:
+    def test_weights_sum_to_one(self):
+        assert abs(sum(DIMENSION_WEIGHTS.values()) - 1.0) < 1e-9
+
+    def test_scores_dict_excludes_timing(self):
+        truths = [_truth("a~b", 10.0, "Interface flap")]
+        diagnoses = [_diagnosis("a~b", 10.0, "Interface flap")]
+        result = Scorer().score(_outcome(diagnoses, truths))
+        assert "timing" not in result.scores_dict()
+        assert "timing" in result.to_dict(include_timing=True)
+        assert "timing" not in result.to_dict(include_timing=False)
+
+    def test_threshold_failures_report_misses(self):
+        truths = [_truth("a~b", 10.0, "Interface flap")]
+        diagnoses = [_diagnosis("a~b", 10.0, "Router reboot")]
+        result = Scorer().score(_outcome(diagnoses, truths))
+        result.thresholds = {"accuracy": 0.9, "coverage": 0.0,
+                             "composite": 90.0}
+        failures = result.threshold_failures()
+        assert any("accuracy" in f for f in failures)
+        assert any("composite" in f for f in failures)
+
+    def test_format_lines_mention_every_dimension(self):
+        truths = [_truth("a~b", 10.0, "Interface flap")]
+        diagnoses = [_diagnosis("a~b", 10.0, "Interface flap")]
+        lines = "\n".join(Scorer().score(_outcome(diagnoses, truths)).format_lines())
+        for name in DIMENSION_WEIGHTS:
+            assert name in lines
+
+    def test_dimension_lookup_raises_on_unknown(self):
+        truths = [_truth("a~b", 10.0, "Interface flap")]
+        result = Scorer().score(_outcome([], truths))
+        with pytest.raises(KeyError):
+            result.dimension("vibes")
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [float(i) for i in range(1, 101)]
+        assert _percentile(values, 0.50) == 51.0
+        assert _percentile(values, 0.99) == 100.0
+
+    def test_empty_is_zero(self):
+        assert _percentile([], 0.5) == 0.0

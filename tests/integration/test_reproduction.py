@@ -157,6 +157,7 @@ class TestTable6Cdn:
         assert accuracy(diagnoses, result.ground_truth, self.CAUSE_MAP) >= 0.9
 
 
+@pytest.mark.slow
 class TestFig7CorrelationStudy:
     def test_prefiltering_flips_significance(self):
         result = cpu_bgp_study(

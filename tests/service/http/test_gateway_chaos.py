@@ -13,6 +13,8 @@ Two guarantees from the issue:
 import threading
 import time
 
+import pytest
+
 from repro.core.serialize import instance_to_dict
 from repro.service import RcaService, RetryPolicy
 from repro.service.faults import ServiceFaultInjector
@@ -20,6 +22,8 @@ from repro.service.http import RcaGateway, ShardRouter
 from repro.service.supervisor import SupervisorConfig
 
 from .conftest import SHARD0_ROUTER, SHARD1_ROUTER, JsonClient
+
+pytestmark = pytest.mark.chaos
 
 
 def chaos_shard(mini_app, **kwargs):

@@ -26,6 +26,8 @@ from repro.service.policy import (
 from repro.service.queue import TERMINAL_STATES, JobState, QueueFull
 from repro.service.supervisor import PoisonJob, SupervisorConfig
 
+pytestmark = pytest.mark.chaos
+
 
 def chaos_service(mini_app, **kwargs):
     """A supervised service whose executor runs through a fault injector."""

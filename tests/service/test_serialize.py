@@ -229,3 +229,75 @@ class TestScenarioRegression:
             ),
         )
         self.roundtrip_all(result, PimApp, "pim")
+
+
+class TestMalformedPayloads:
+    """Every malformed payload fails with ValueError, never KeyError."""
+
+    def make_document(self):
+        symptom = make_instance("s")
+        cause = make_instance("a", start=990.0)
+        edge = MatchedEvidence(make_rule("s", "a"), symptom, cause, depth=1)
+        diagnosis = Diagnosis(
+            symptom=symptom,
+            evidence=[edge],
+            result=RuleBasedResult(
+                root_causes=["a"], priority=10, supporting=[edge]
+            ),
+            footprint=(("ta", 960.0, 1030.0),),
+        )
+        return strict_cycle(diagnosis_to_dict(diagnosis))
+
+    def test_wrong_format_tag(self):
+        document = self.make_document()
+        document["schema"] = "grca-diagnosis/999"
+        with pytest.raises(ValueError, match="unsupported diagnosis schema"):
+            diagnosis_from_dict(document)
+
+    def test_missing_format_tag(self):
+        document = self.make_document()
+        del document["schema"]
+        with pytest.raises(ValueError, match="unsupported diagnosis schema"):
+            diagnosis_from_dict(document)
+
+    def test_non_dict_payload(self):
+        with pytest.raises(ValueError, match="must be a JSON object"):
+            diagnosis_from_dict(["not", "a", "diagnosis"])
+
+    @pytest.mark.parametrize("dropped", ["symptom", "result"])
+    def test_truncated_payload(self, dropped):
+        document = self.make_document()
+        del document[dropped]
+        with pytest.raises(ValueError, match="malformed grca-diagnosis/1"):
+            diagnosis_from_dict(document)
+
+    @pytest.mark.parametrize(
+        "dropped", ["rule", "parent_instance", "instance", "depth"]
+    )
+    def test_missing_evidence_fields(self, dropped):
+        document = self.make_document()
+        del document["evidence"][0][dropped]
+        with pytest.raises(ValueError, match="malformed grca-diagnosis/1"):
+            diagnosis_from_dict(document)
+
+    def test_missing_instance_fields_inside_evidence(self):
+        document = self.make_document()
+        del document["evidence"][0]["instance"]["location"]
+        with pytest.raises(ValueError, match="malformed grca-diagnosis/1"):
+            diagnosis_from_dict(document)
+
+    def test_dangling_supporting_index(self):
+        document = self.make_document()
+        document["result"]["supporting"] = [5]
+        with pytest.raises(ValueError, match="supporting indices.*out of range"):
+            diagnosis_from_dict(document)
+
+    def test_from_json_raises_the_same_way(self):
+        document = self.make_document()
+        del document["result"]
+        with pytest.raises(ValueError, match="malformed grca-diagnosis/1"):
+            Diagnosis.from_json(document)
+
+    def test_valid_document_still_decodes(self):
+        rebuilt = diagnosis_from_dict(self.make_document())
+        assert rebuilt.primary_cause == "a"

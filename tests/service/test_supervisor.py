@@ -14,6 +14,8 @@ import pytest
 from repro.service.metrics import ServiceMetrics
 from repro.service.policy import CancellationToken, DeadlineExceeded
 from repro.service.queue import Job, JobQueue, JobState, PRIORITY_INTERACTIVE
+
+pytestmark = pytest.mark.chaos
 from repro.service.supervisor import (
     PoisonJob,
     QuarantineBuffer,

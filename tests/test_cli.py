@@ -25,6 +25,7 @@ class TestDiagnose:
         with pytest.raises(SystemExit):
             main(["diagnose", "no-such-scenario"])
 
+    @pytest.mark.slow
     def test_backend_swap_is_config_only(self, tmp_path, capsys):
         from repro.collector.backends import set_default_backend
 
@@ -135,9 +136,64 @@ class TestServe:
 
 
 class TestMine:
+    @pytest.mark.slow
     def test_mine_runs(self, capsys):
         code = main(["mine", "--seed", "2", "--days", "10"])
         assert code == 0
         out = capsys.readouterr().out
         assert "candidate series" in out
         assert "provisioning activity" in out
+
+
+class TestEval:
+    def test_list_names_every_registered_scenario(self, capsys):
+        from repro.eval import scenario_names
+
+        assert main(["eval", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+    def test_unknown_scenario_is_exit_2(self, capsys):
+        assert main(["eval", "no-such-scenario"]) == 2
+        assert "registered:" in capsys.readouterr().err
+
+    def test_no_arguments_is_exit_2(self, capsys):
+        assert main(["eval"]) == 2
+        assert "--matrix" in capsys.readouterr().err
+
+    def test_single_scenario_prints_scorecard(self, capsys):
+        assert main(["eval", "bgp_month_core"]) == 0
+        out = capsys.readouterr().out
+        assert "composite" in out
+        assert "accuracy" in out
+        assert "gate: pass" in out
+
+    def test_matrix_subset_writes_artifact_and_gates(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "BENCH_scenarios.json"
+        code = main([
+            "eval", "--matrix", "--only", "bgp_month_core",
+            "--gate", "--out", str(out_path), "--no-timing",
+        ])
+        assert code == 0
+        document = json.loads(out_path.read_text())
+        assert document["schema"] == "grca-scenario-matrix/1"
+        assert document["summary"]["count"] == 1
+        assert document["summary"]["gate_failures"] == []
+        assert "timing" not in document["scenarios"][0]
+        assert "gate passed" in capsys.readouterr().out
+
+    def test_diff_of_identical_artifacts_is_clean(self, tmp_path, capsys):
+        out_path = tmp_path / "m.json"
+        assert main(["eval", "--matrix", "--only", "bgp_month_core",
+                     "--out", str(out_path), "--no-timing"]) == 0
+        capsys.readouterr()
+        assert main(["eval", "--diff", str(out_path), str(out_path)]) == 0
+        assert "unchanged" in capsys.readouterr().out
+
+    def test_diff_missing_file_is_exit_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert main(["eval", "--diff", missing, missing]) == 2
+        assert "error:" in capsys.readouterr().err

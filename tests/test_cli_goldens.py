@@ -1,0 +1,45 @@
+"""Golden-file tests for the ``diagnose`` CLI text output.
+
+One canonical scenario per paper application, pinned seed and size.
+The full stdout — breakdown table, explained fraction, degraded-evidence
+summary — must match the checked-in golden byte for byte: the CLI's
+human-facing rendering is part of the reproduction's contract.
+
+When an intentional change shifts the output, regenerate with::
+
+    pytest tests/test_cli_goldens.py --regen-goldens
+
+and review the golden diff like any other code change.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+
+CASES = [
+    ("bgp-month", 40),
+    ("cdn-month", 30),
+    ("pim-fortnight", 30),
+]
+
+
+@pytest.mark.parametrize("scenario,size", CASES, ids=[c[0] for c in CASES])
+def test_diagnose_output_matches_golden(scenario, size, capsys, regen_goldens):
+    code = main(["diagnose", scenario, "--size", str(size), "--seed", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    golden = GOLDEN_DIR / f"diagnose_{scenario}.txt"
+    if regen_goldens:
+        golden.write_text(out)
+        pytest.skip(f"regenerated {golden.name}")
+    assert golden.exists(), (
+        f"{golden} missing; run with --regen-goldens to create it"
+    )
+    assert out == golden.read_text(), (
+        f"diagnose {scenario} output drifted from {golden.name}; "
+        f"if intentional, regenerate with --regen-goldens"
+    )
