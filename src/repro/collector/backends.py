@@ -53,6 +53,77 @@ BackendFactory = Callable[[str, Tuple[str, ...]], "StorageBackend"]
 BackendSpec = Any
 
 
+class ListView:
+    """A zero-copy ``[lo, hi)`` window over a list.
+
+    Supports just enough of the sequence protocol for columnar
+    consumers (len / index / slice / iterate).  The window keeps a
+    *reference* to the backing list: :class:`MemoryBackend` only ever
+    appends past a served window's upper bound or replaces the backing
+    lists wholesale on a tail merge, so a captured view stays a
+    consistent snapshot either way.
+    """
+
+    __slots__ = ("_data", "_lo", "_hi")
+
+    def __init__(self, data: List[Any], lo: int, hi: int) -> None:
+        self._data = data
+        self._lo = lo
+        self._hi = max(lo, hi)
+
+    def __len__(self) -> int:
+        return self._hi - self._lo
+
+    def __iter__(self):
+        data = self._data
+        for position in range(self._lo, self._hi):
+            yield data[position]
+
+    def __getitem__(self, key):
+        length = self._hi - self._lo
+        if isinstance(key, slice):
+            start, stop, step = key.indices(length)
+            if step == 1:
+                return ListView(self._data, self._lo + start, self._lo + stop)
+            return self._data[self._lo:self._hi][key]
+        if key < 0:
+            key += length
+        if not 0 <= key < length:
+            raise IndexError(key)
+        return self._data[self._lo + key]
+
+    def __repr__(self) -> str:
+        return f"ListView({list(self)!r})"
+
+
+class ColumnarSlice:
+    """One retrieval window as parallel ``(timestamps, records)`` arrays.
+
+    The columnar face of a backend query: ``timestamps`` is sorted
+    non-decreasing and aligned index-for-index with ``records`` (both in
+    the backend's canonical ``(timestamp, arrival)`` order, exactly the
+    rows :meth:`StorageBackend.query` would return).  ``zero_copy``
+    reports whether the arrays are views into the backend's own columnar
+    core (MemoryBackend's sorted run) or were materialized row-by-row
+    (SqliteBackend and any filtered query).
+    """
+
+    __slots__ = ("timestamps", "records", "zero_copy")
+
+    def __init__(
+        self,
+        timestamps: Any,
+        records: Any,
+        zero_copy: bool = False,
+    ) -> None:
+        self.timestamps = timestamps
+        self.records = records
+        self.zero_copy = zero_copy
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
 class StorageBackend:
     """Interface every table storage engine implements.
 
@@ -77,6 +148,24 @@ class StorageBackend:
         """Records with ``start <= ts <= end`` matching every filter,
         in ``(timestamp, arrival)`` order."""
         raise NotImplementedError
+
+    def query_columns(
+        self,
+        start: Optional[float],
+        end: Optional[float],
+        equals: Dict[str, Any],
+    ) -> ColumnarSlice:
+        """The same rows as :meth:`query`, as a :class:`ColumnarSlice`.
+
+        The default implementation materializes through :meth:`query`
+        (row order is already canonical, so the timestamp array is
+        sorted); backends with a columnar core override this to serve
+        genuine zero-copy views.
+        """
+        rows = self.query(start, end, equals)
+        return ColumnarSlice(
+            [record.timestamp for record in rows], rows, zero_copy=False
+        )
 
     def scan(self) -> List[Any]:
         """Every record, in ``(timestamp, arrival)`` order."""
@@ -229,6 +318,10 @@ class MemoryBackend(StorageBackend):
             if end is None
             else bisect.bisect_right(self._ts, end)
         )
+        if not equals and not self._tail:
+            # unfiltered window over the clean sorted run: one slice,
+            # no per-record filter loop
+            return self._recs[lo:hi]
         indexed = [
             (column, value)
             for column, value in equals.items()
@@ -265,6 +358,36 @@ class MemoryBackend(StorageBackend):
                 result.extend(matched_tail)
                 result.sort(key=lambda entry: (entry[0], entry[1]))
         return [record for _ts, _seq, record in result]
+
+    def query_columns(
+        self,
+        start: Optional[float],
+        end: Optional[float],
+        equals: Dict[str, Any],
+    ) -> ColumnarSlice:
+        """Zero-copy window views over the sorted columnar run.
+
+        An unfiltered query over a clean (tail-free) run is served as
+        :class:`ListView` windows directly into ``_ts``/``_recs`` — no
+        rows are touched at all.  The views stay consistent snapshots:
+        in-order inserts append past the window's upper bound, and a
+        tail merge replaces the backing lists wholesale (the view keeps
+        the pre-merge snapshot).  Filtered queries and runs with a
+        pending out-of-order tail fall back to row materialization.
+        """
+        if not equals and not self._tail:
+            lo = 0 if start is None else bisect.bisect_left(self._ts, start)
+            hi = (
+                len(self._recs)
+                if end is None
+                else bisect.bisect_right(self._ts, end)
+            )
+            return ColumnarSlice(
+                ListView(self._ts, lo, hi),
+                ListView(self._recs, lo, hi),
+                zero_copy=True,
+            )
+        return super().query_columns(start, end, equals)
 
     def scan(self) -> List[Any]:
         """Every record in (timestamp, arrival) order, tail included."""
@@ -575,6 +698,17 @@ class BreakerBackend(StorageBackend):
     ) -> List[Any]:
         """Breaker-guarded window query against the inner backend."""
         return self._read(self.inner.query, "query", start, end, equals)
+
+    def query_columns(
+        self,
+        start: Optional[float],
+        end: Optional[float],
+        equals: Dict[str, Any],
+    ) -> ColumnarSlice:
+        """Breaker-guarded columnar window query against the inner backend."""
+        return self._read(
+            self.inner.query_columns, "query_columns", start, end, equals
+        )
 
     def scan(self) -> List[Any]:
         """Breaker-guarded full scan of the inner backend."""

@@ -43,7 +43,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
-from .backends import StorageBackend, resolve_backend
+from .backends import ColumnarSlice, StorageBackend, resolve_backend
 
 #: Insert listener signature: (table name, record timestamp, store revision).
 InsertListener = Callable[[str, float, int], None]
@@ -157,6 +157,23 @@ class Table:
         """Records with ``start <= timestamp <= end`` matching all filters."""
         with self._lock:
             return self._backend.query(start, end, equals)
+
+    def query_columns(
+        self,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        **equals: Any,
+    ) -> ColumnarSlice:
+        """The same rows as :meth:`query`, as parallel columnar arrays.
+
+        Zero-copy on backends with a columnar core (see
+        :meth:`repro.collector.backends.MemoryBackend.query_columns`);
+        row-materializing everywhere else.  Either way
+        ``slice.timestamps`` is sorted and index-aligned with
+        ``slice.records``.
+        """
+        with self._lock:
+            return self._backend.query_columns(start, end, equals)
 
     def scan(self) -> Iterator[Record]:
         """Iterate a snapshot of every record in timestamp order."""
@@ -320,6 +337,32 @@ class ObservedTable:
 
         def produce():
             result = self._table.query(start, end, **equals)
+            return result, len(result)
+
+        return self._run(read, produce)
+
+    def query_columns(
+        self,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        **equals: Any,
+    ) -> ColumnarSlice:
+        """Delegate to :meth:`Table.query_columns` through the observers.
+
+        Observers see the identical :class:`StoreRead` a row query would
+        produce — columnar retrievals keep the same footprint coverage
+        and ``store-query`` trace spans as their row twins.
+        """
+        read = StoreRead(
+            table=self._table.name,
+            kind="query",
+            start=start,
+            end=end,
+            filters=tuple(sorted(equals.items())),
+        )
+
+        def produce():
+            result = self._table.query_columns(start, end, **equals)
             return result, len(result)
 
         return self._run(read, produce)

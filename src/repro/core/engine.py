@@ -20,8 +20,9 @@ proxy classes.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from typing import Set
 
@@ -36,6 +37,7 @@ from ..collector.store import (
 from ..obs.trace import NULL_TRACER, Span, Tracer
 from .events import EventInstance, EventLibrary, RetrievalContext
 from .graph import DiagnosisGraph
+from .locations import Location
 from .reasoning.rule_based import (
     UNKNOWN,
     UNKNOWN_DEGRADED,
@@ -47,6 +49,7 @@ from .reasoning.rule_based import (
     reason,
 )
 from .spatial import LocationResolver
+from .temporal import IntervalColumns
 
 #: One recorded store read: (table name, window start, window end).
 #: ``-inf``/``inf`` bounds mean an unbounded scan of that table.
@@ -125,6 +128,165 @@ def coalesce_windows(
     return merged
 
 
+class CandidateSet:
+    """One cached retrieval cover: instances plus lazy join columns.
+
+    The retrieval cache stores these instead of bare instance lists so
+    every rule/parent hitting the same cover shares one columnar
+    ``(starts, ends)`` build — and, through
+    :class:`~repro.core.temporal.IntervalColumns`, one end-sorted
+    permutation — for the batch temporal join.
+    """
+
+    __slots__ = (
+        "instances", "_columns", "_location_parts", "_location_index",
+        "_ambiguous_parts", "_expansions",
+    )
+
+    def __init__(self, instances: List[EventInstance]) -> None:
+        self.instances = instances
+        self._columns: Optional[IntervalColumns] = None
+        self._location_parts: Optional[List[Tuple[str, ...]]] = None
+        self._location_index: Optional[
+            Dict[Tuple[str, ...], Tuple[Location, List[int]]]
+        ] = None
+        self._ambiguous_parts = False
+        # (join level, topology generation) -> parts -> expansion, or
+        # None when the level/locations are epoch-dynamic
+        self._expansions: Dict[
+            Tuple[Any, int], Optional[Dict[Tuple[str, ...], FrozenSet[str]]]
+        ] = {}
+
+    def __len__(self) -> int:
+        return len(self.instances)
+
+    @property
+    def columns(self) -> IntervalColumns:
+        """Interval arrays of the instances (sorted by start); memoized."""
+        if self._columns is None:
+            instances = self.instances
+            self._columns = IntervalColumns(
+                [i.start for i in instances], [i.end for i in instances]
+            )
+        return self._columns
+
+    @property
+    def location_parts(self) -> List[Tuple[str, ...]]:
+        """Location identity column of the instances; memoized.
+
+        Storm covers repeat a handful of distinct locations (the same
+        links/routers over and over), so the spatial stage keys one
+        verdict per parts tuple instead of expanding per candidate.
+        """
+        if self._location_parts is None:
+            self._location_parts = [
+                i.location.parts for i in self.instances
+            ]
+        return self._location_parts
+
+    @property
+    def location_index(
+        self,
+    ) -> Dict[Tuple[str, ...], Tuple[Location, List[int]]]:
+        """parts -> (representative location, ascending indices); memoized.
+
+        The inverse of :attr:`location_parts`: which candidate rows
+        carry each distinct location.  Index lists are ascending, so a
+        contiguous survivor run can be intersected per location with
+        two bisects instead of walking every survivor.
+        """
+        if self._location_index is None:
+            index: Dict[Tuple[str, ...], Tuple[Location, List[int]]] = {}
+            for k, parts in enumerate(self.location_parts):
+                entry = index.get(parts)
+                if entry is None:
+                    index[parts] = (self.instances[k].location, [k])
+                else:
+                    entry[1].append(k)
+                    if entry[0].type is not self.instances[k].location.type:
+                        # same parts under two location types: parts
+                        # are not an identity here, fall back
+                        self._ambiguous_parts = True
+            self._location_index = index
+        return self._location_index
+
+    def static_expansions(
+        self, resolver, level, timestamp: float
+    ) -> Optional[Dict[Tuple[str, ...], FrozenSet[str]]]:
+        """Spatial expansions of the distinct locations, if epoch-static.
+
+        Storm workloads join the same cover against dozens of sibling
+        symptoms; for epoch-static location columns (links, routers,
+        interfaces...) the expansions cannot change within a topology
+        generation, so one map computed on first use serves every later
+        walk without touching the resolver.  Returns ``None`` — compute
+        per evaluation instead — for time-varying location types.
+        """
+        index = self.location_index
+        if self._ambiguous_parts:
+            return None
+        key = (level, resolver.epoch.topology_generation)
+        if key not in self._expansions:
+            self._expansions[key] = resolver.expand_static_map(
+                (location for location, _ in index.values()), level, timestamp
+            )
+        return self._expansions[key]
+
+
+class CoverIndex:
+    """Cached cover windows of one event, with O(log n) containment lookup.
+
+    Windows sorted by their low edge plus a running max (and argmax) of
+    the high edges: the rightmost cover starting at or before a query's
+    low edge bounds the candidates, and the first prefix position whose
+    running max reaches the query's high edge names a containing cover.
+    Replaces a linear scan that sat on the per-rule hot path and
+    degraded as covers accumulated within a job.
+    """
+
+    __slots__ = ("_los", "_his", "_max", "_arg")
+
+    def __init__(self) -> None:
+        self._los: List[float] = []
+        self._his: List[float] = []
+        self._max: List[float] = []
+        self._arg: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._los)
+
+    def __iter__(self):
+        return iter(zip(self._los, self._his))
+
+    def add(self, lo: float, hi: float) -> None:
+        """Insert one cover window; O(n - insertion point)."""
+        i = bisect.bisect_right(self._los, lo)
+        self._los.insert(i, lo)
+        self._his.insert(i, hi)
+        # rebuild the running max/argmax from the insertion point only:
+        # inserts happen once per new retrieval cover, lookups once per
+        # (rule, parent)
+        del self._max[i:]
+        del self._arg[i:]
+        best = self._max[-1] if self._max else float("-inf")
+        arg = self._arg[-1] if self._arg else -1
+        for p in range(i, len(self._his)):
+            if self._his[p] > best:
+                best = self._his[p]
+                arg = p
+            self._max.append(best)
+            self._arg.append(arg)
+
+    def find(self, lo: float, hi: float) -> Optional[Tuple[float, float]]:
+        """A stored cover containing ``[lo, hi]``, or None; O(log n)."""
+        i = bisect.bisect_right(self._los, lo) - 1
+        if i < 0 or self._max[i] < hi:
+            return None
+        p = bisect.bisect_left(self._max, hi, 0, i + 1)
+        k = self._arg[p]
+        return (self._los[k], self._his[k])
+
+
 @dataclass
 class Diagnosis:
     """Everything the engine concluded about one symptom instance."""
@@ -139,8 +301,13 @@ class Diagnosis:
     #: human-readable degraded-evidence notes (one per gap)
     caveats: List[str] = field(default_factory=list)
     #: store windows read while correlating, per table (merged); the
-    #: service result cache invalidates on late records landing inside
-    footprint: Tuple[FootprintEntry, ...] = ()
+    #: service result cache invalidates on late records landing inside,
+    #: and the streaming engine re-opens settled symptoms on the same
+    #: signal.  Excluded from equality: which cached covers served a
+    #: diagnosis is provenance, not a conclusion — two runs reaching the
+    #: same evidence and result are the *same* diagnosis even when one
+    #: read wider (shared) covers than the other.
+    footprint: Tuple[FootprintEntry, ...] = field(default=(), compare=False)
     #: span tree of this diagnosis when it was traced (``None`` when
     #: tracing was off).  Excluded from equality: a traced and an
     #: untraced run of the same symptom are the *same* diagnosis.
@@ -231,6 +398,10 @@ class EngineConfig:
     max_matches_per_rule: int = 50
     #: feed-health registry consulted for evidence gaps (None disables)
     health: Optional[HealthRegistry] = None
+    #: evaluate temporal joins as sorted-array batch operations; False
+    #: restores the per-candidate scalar loop (the verification oracle
+    #: and the legacy baseline the hot-path benchmark measures against)
+    batch_joins: bool = True
 
 
 class RcaEngine:
@@ -256,14 +427,14 @@ class RcaEngine:
             raise KeyError(
                 f"diagnosis graph references undefined events: {self._missing}"
             )
-        # retrieval cache: (event name, cover window) -> instances
-        self._retrieval_cache: Dict[Tuple[str, float, float], List[EventInstance]] = {}
+        # retrieval cache: (event name, cover window) -> candidate set
+        self._retrieval_cache: Dict[Tuple[str, float, float], CandidateSet] = {}
         # per cache entry: the store reads that produced it
         self._retrieval_reads: Dict[
             Tuple[str, float, float], frozenset
         ] = {}
-        # per event: the cached cover windows, for containment lookups
-        self._covers: Dict[str, List[Tuple[float, float]]] = {}
+        # per event: the cached cover windows, indexed for containment
+        self._covers: Dict[str, CoverIndex] = {}
         # accumulator active while one diagnose() call is correlating
         self._active_reads: Optional[set] = None
         #: last store revision this engine's retrieval cache was synced
@@ -445,10 +616,10 @@ class RcaEngine:
         self, event_name: str, window: Tuple[float, float]
     ) -> Optional[Tuple[float, float]]:
         """A cached cover window containing ``window``, if any."""
-        for lo, hi in self._covers.get(event_name, ()):
-            if lo <= window[0] and window[1] <= hi:
-                return lo, hi
-        return None
+        index = self._covers.get(event_name)
+        if index is None:
+            return None
+        return index.find(window[0], window[1])
 
     def _note_gaps(
         self,
@@ -496,82 +667,186 @@ class RcaEngine:
         plan=None,
         cancel=None,
     ) -> List[EventInstance]:
-        window = rule.temporal.search_window(parent_instance.interval)
-        if not tracer.enabled:
-            # hot path: no spans, no counters, the original tight loop.
-            # One batch join per (rule, parent): the symptom location is
-            # expanded at most once, lazily, instead of per candidate.
-            candidates = self._retrieve(
-                rule.child_event, window, plan=plan, cancel=cancel
-            )
-            batch = rule.spatial.batch(
-                self.resolver, parent_instance.location, parent_instance.start
-            )
-            matched = []
-            for candidate in candidates:
-                if not rule.temporal.joined(
-                    parent_instance.interval, candidate.interval
-                ):
-                    continue
-                if not batch.joined(candidate.location):
-                    continue
-                matched.append(candidate)
-                if len(matched) >= self.config.max_matches_per_rule:
-                    break
-            return matched
-        return self._match_rule_traced(
-            rule, parent_instance, tracer, window, plan, cancel
-        )
+        """Evaluate one rule against one matched parent instance.
 
-    def _match_rule_traced(
-        self, rule, parent_instance: EventInstance, tracer, window, plan=None,
-        cancel=None,
-    ) -> List[EventInstance]:
-        """Traced twin of :meth:`_match_rule`'s loop.
-
-        Splits the interleaved temporal-then-spatial filter into two
-        timed passes so each join kind gets its own span; the matched
-        set is identical (the temporal filter preserves candidate
-        order and the spatial pass applies the same cap).
+        One implementation serves traced and untraced evaluation: the
+        span contexts are no-ops on the null tracer, and span arguments
+        (labels, rule identity strings) are only built when tracing is
+        on.  The stages — retrieve the cover's candidate set once, batch
+        temporal mask over its sorted interval columns, then the batch
+        spatial join over temporal survivors only, materializing matched
+        instances last — are identical either way, with per-stage
+        counters (``candidates`` / ``temporal_survivors`` /
+        ``spatial_survivors``) annotated on the ``rule`` span.
         """
-        label = f"{rule.parent_event} -> {rule.child_event}"
-        with tracer.span(
-            "rule",
-            label=label,
-            priority=rule.priority,
-            temporal=rule.temporal.describe(),
-            spatial=rule.spatial.describe(),
-            window=[window[0], window[1]],
-        ) as rule_span:
+        window = rule.temporal.search_window(parent_instance.interval)
+        traced = tracer.enabled
+        trace = tracer if traced else None
+        if traced:
+            label = f"{rule.parent_event} -> {rule.child_event}"
+            rule_args = dict(
+                label=label,
+                priority=rule.priority,
+                temporal=rule.temporal.describe(),
+                spatial=rule.spatial.describe(),
+                window=[window[0], window[1]],
+            )
+            stage_args = dict(label=label)
+        else:
+            rule_args = {}
+            stage_args = {}
+        with tracer.span("rule", **rule_args) as rule_span:
             candidates = self._retrieve(
                 rule.child_event, window, tracer, plan, cancel
             )
-            with tracer.span("temporal-join", label=label) as span:
-                survivors = [
-                    candidate
-                    for candidate in candidates
-                    if rule.temporal.joined(
-                        parent_instance.interval, candidate.interval, trace=tracer
+            instances = candidates.instances
+            with tracer.span("temporal-join", **stage_args) as span:
+                if self.config.batch_joins:
+                    survivors = rule.temporal.joined_batch(
+                        parent_instance.interval, candidates.columns
                     )
-                ]
-                span.annotate(candidates=len(candidates), joined=len(survivors))
+                else:
+                    # scalar oracle: the original per-candidate loop,
+                    # prefiltered to the search window exactly as the
+                    # pre-columnar retrieval path did
+                    lo, hi = window
+                    survivors = [
+                        k
+                        for k, instance in enumerate(instances)
+                        if instance.end >= lo
+                        and instance.start <= hi
+                        and rule.temporal.joined(
+                            parent_instance.interval,
+                            instance.interval,
+                            trace=trace,
+                        )
+                    ]
+                span.annotate(candidates=len(instances), joined=len(survivors))
             matched: List[EventInstance] = []
-            with tracer.span("spatial-join", label=label) as span:
+            with tracer.span("spatial-join", **stage_args) as span:
                 batch = rule.spatial.batch(
                     self.resolver,
                     parent_instance.location,
                     parent_instance.start,
-                    trace=tracer,
+                    trace=trace,
                 )
-                for candidate in survivors:
-                    if not batch.joined(candidate.location):
-                        continue
-                    matched.append(candidate)
-                    if len(matched) >= self.config.max_matches_per_rule:
-                        break
+                cap = self.config.max_matches_per_rule
+                if traced or not self.config.batch_joins:
+                    # the original per-survivor verdicts: traced runs
+                    # need their per-candidate counters to fire, and
+                    # the scalar oracle keeps the pre-columnar cost
+                    # shape it is benchmarked (and property-tested)
+                    # against
+                    for k in survivors:
+                        instance = instances[k]
+                        if not batch.joined(instance.location):
+                            continue
+                        matched.append(instance)
+                        if len(matched) >= cap:
+                            break
+                else:
+                    self._spatial_stage(
+                        rule, parent_instance, candidates, survivors,
+                        batch, matched, cap,
+                    )
                 span.annotate(candidates=len(survivors), joined=len(matched))
-            rule_span.annotate(matched=len(matched))
+            rule_span.annotate(
+                matched=len(matched),
+                candidates=len(instances),
+                temporal_survivors=len(survivors),
+                spatial_survivors=len(matched),
+            )
         return matched
+
+    def _spatial_stage(
+        self,
+        rule,
+        parent_instance: EventInstance,
+        candidates: CandidateSet,
+        survivors: List[int],
+        batch,
+        matched: List[EventInstance],
+        cap: int,
+    ) -> None:
+        """Columnar spatial join over the temporal survivors (batch mode).
+
+        For epoch-static location columns the cover's expansion map
+        (:meth:`CandidateSet.static_expansions`) replaces per-candidate
+        resolver calls with one set intersection per distinct location;
+        a contiguous survivor run — what start-anchored batch joins
+        produce — is then intersected with each passing location's index
+        list by bisection instead of walking every survivor.  Appends to
+        ``matched`` exactly the instances the per-candidate loop would:
+        ascending candidate order, capped at ``cap``.
+        """
+        if not survivors:
+            return
+        instances = candidates.instances
+        expansions = candidates.static_expansions(
+            self.resolver, rule.spatial.level, parent_instance.start
+        )
+        if expansions is None:
+            # epoch-dynamic locations (routed paths, prefixes): one
+            # verdict per distinct location through the batch join
+            location_parts = candidates.location_parts
+            verdicts: Dict[Tuple[str, ...], bool] = {}
+            joined = batch.joined
+            for k in survivors:
+                parts = location_parts[k]
+                verdict = verdicts.get(parts)
+                if verdict is None:
+                    verdict = joined(instances[k].location)
+                    verdicts[parts] = verdict
+                if not verdict:
+                    continue
+                matched.append(instances[k])
+                if len(matched) >= cap:
+                    break
+            return
+        symptom_set = batch.symptom_set
+        diag_type = rule.spatial.diagnostic_type
+        lo_k, hi_k = survivors[0], survivors[-1]
+        if symptom_set and hi_k - lo_k + 1 == len(survivors):
+            picked: List[int] = []
+            for parts, (location, idxs) in candidates.location_index.items():
+                a = bisect.bisect_left(idxs, lo_k)
+                b = bisect.bisect_right(idxs, hi_k, a)
+                if a == b:
+                    continue
+                if location.type is not diag_type:
+                    raise ValueError(
+                        f"diagnostic location is {location.type.value}, "
+                        f"rule expects {diag_type.value}"
+                    )
+                if symptom_set.isdisjoint(expansions[parts]):
+                    continue
+                picked.extend(idxs[a:b])
+            picked.sort()
+            matched.extend(instances[k] for k in picked[:cap])
+            return
+        # non-contiguous survivors (end-anchored joins) or an empty
+        # symptom expansion: per-survivor loop over the expansion map
+        location_parts = candidates.location_parts
+        verdict_map: Dict[Tuple[str, ...], bool] = {}
+        for k in survivors:
+            parts = location_parts[k]
+            verdict = verdict_map.get(parts)
+            if verdict is None:
+                location = instances[k].location
+                if location.type is not diag_type:
+                    raise ValueError(
+                        f"diagnostic location is {location.type.value}, "
+                        f"rule expects {diag_type.value}"
+                    )
+                verdict = bool(symptom_set) and not symptom_set.isdisjoint(
+                    expansions[parts]
+                )
+                verdict_map[parts] = verdict
+            if not verdict:
+                continue
+            matched.append(instances[k])
+            if len(matched) >= cap:
+                break
 
     def _retrieve(
         self,
@@ -580,7 +855,7 @@ class RcaEngine:
         tracer=NULL_TRACER,
         plan: Optional[Dict[str, List[Tuple[float, float]]]] = None,
         cancel=None,
-    ) -> List[EventInstance]:
+    ) -> CandidateSet:
         # bucket windows to 60 s so nearby symptoms share cache entries
         bucketed = bucket_window(window)
         # prefer an already-cached cover; else the level plan's
@@ -612,22 +887,19 @@ class RcaEngine:
                     params=self.config.params,
                     services=self.config.services,
                 )
-                self._retrieval_cache[key] = self.library.get(event_name).retrieve(
-                    context
+                self._retrieval_cache[key] = CandidateSet(
+                    self.library.get(event_name).retrieve(context)
                 )
                 self._retrieval_reads[key] = frozenset(reads)
-                self._covers.setdefault(event_name, []).append(cover)
+                self._covers.setdefault(event_name, CoverIndex()).add(*cover)
             if self._active_reads is not None:
                 self._active_reads |= self._retrieval_reads.get(key, frozenset())
-            # the retrieval covers a superset window; exact temporal
-            # checks happen in _match_rule
-            instances = [
-                instance
-                for instance in self._retrieval_cache[key]
-                if instance.end >= window[0] and instance.start <= window[1]
-            ]
-            span.annotate(cached=cached, records=len(instances))
-        return instances
+            # the whole (superset) cover is returned; the batch temporal
+            # join in _match_rule is the exact filter, so no intermediate
+            # per-window candidate list is materialized
+            candidates = self._retrieval_cache[key]
+            span.annotate(cached=cached, records=len(candidates))
+        return candidates
 
     def clear_cache(self) -> None:
         """Drop all cached retrievals (e.g. after new data lands)."""
@@ -643,21 +915,62 @@ class RcaEngine:
         recorded reads include that point.  Must be called from the
         thread that owns this engine (the cache is not locked).
         """
+        return self.invalidate_deltas({table: [timestamp]})
+
+    def evict_retrievals_before(self, cutoff: float) -> int:
+        """Drop cached covers that end before ``cutoff``; return the count.
+
+        Pure cache eviction — never affects results, only reuse.  The
+        streaming engine calls this each advance with its re-open
+        horizon: a cover entirely behind every window any future (fresh
+        or re-opened) symptom can request is unreachable, and keeping it
+        would make :meth:`invalidate_deltas` scan an ever-growing entry
+        list on a month-scale replay.  Same threading contract as
+        :meth:`invalidate_retrievals`.
+        """
         stale = [
-            key
-            for key, reads in self._retrieval_reads.items()
-            if any(
-                read_table == table and lo <= timestamp <= hi
-                for read_table, lo, hi in reads
-            )
+            key for key in self._retrieval_cache if key[2] < cutoff
         ]
         for key in stale:
             self._retrieval_cache.pop(key, None)
             self._retrieval_reads.pop(key, None)
         if stale:
-            covers: Dict[str, List[Tuple[float, float]]] = {}
+            covers: Dict[str, CoverIndex] = {}
             for event_name, lo, hi in self._retrieval_cache:
-                covers.setdefault(event_name, []).append((lo, hi))
+                covers.setdefault(event_name, CoverIndex()).add(lo, hi)
+            self._covers = covers
+        return len(stale)
+
+    def invalidate_deltas(self, deltas: Dict[str, List[float]]) -> int:
+        """Drop cached retrievals a batch of new records may have changed.
+
+        ``deltas`` maps table name to *sorted* record timestamps — the
+        per-advance delta buffer the streaming engine drains from the
+        store's insert listeners.  A cache entry goes stale when any of
+        its recorded store reads contains any delta point of that table
+        (one bisect per (entry, read) pair); everything else survives
+        the advance.  Returns the number of entries dropped.  Same
+        threading contract as :meth:`invalidate_retrievals`.
+        """
+        if not deltas or not self._retrieval_reads:
+            return 0
+        stale = []
+        for key, reads in self._retrieval_reads.items():
+            for read_table, lo, hi in reads:
+                points = deltas.get(read_table)
+                if not points:
+                    continue
+                p = bisect.bisect_left(points, lo)
+                if p < len(points) and points[p] <= hi:
+                    stale.append(key)
+                    break
+        for key in stale:
+            self._retrieval_cache.pop(key, None)
+            self._retrieval_reads.pop(key, None)
+        if stale:
+            covers: Dict[str, CoverIndex] = {}
+            for event_name, lo, hi in self._retrieval_cache:
+                covers.setdefault(event_name, CoverIndex()).add(lo, hi)
             self._covers = covers
         return len(stale)
 

@@ -39,6 +39,18 @@ class EventInstance:
                 f"event {self.name!r} ends ({self.end}) before start ({self.start})"
             )
 
+    def __hash__(self) -> int:
+        # instances sit in dedupe sets and cache keys on the diagnosis
+        # hot path; the generated frozen-dataclass hash would re-hash
+        # the nested location/info tuple on every lookup
+        value = self.__dict__.get("_hash")
+        if value is None:
+            value = hash(
+                (self.name, self.start, self.end, self.location, self.info)
+            )
+            object.__setattr__(self, "_hash", value)
+        return value
+
     @classmethod
     def make(
         cls,

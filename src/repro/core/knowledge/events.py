@@ -196,8 +196,11 @@ def _retrieve_ospf_reconvergence(context: RetrievalContext) -> Iterable[EventIns
     """One instance per link per re-convergence episode."""
     settle = context.param("reconvergence_settle", 10.0)
     by_link: Dict[str, List[float]] = {}
-    for record in context.store.table("ospfmon").query(context.start, context.end):
-        by_link.setdefault(record["link"], []).append(record.timestamp)
+    # unfiltered window query: the columnar view is zero-copy on the
+    # memory backend, and the timestamp rides alongside each record
+    columns = context.store.table("ospfmon").query_columns(context.start, context.end)
+    for timestamp, record in zip(columns.timestamps, columns.records):
+        by_link.setdefault(record["link"], []).append(timestamp)
     for link, points in sorted(by_link.items()):
         for start, end in merge_intervals(points, settle):
             yield EventInstance.make(
@@ -222,15 +225,18 @@ def _classify_cost_change(
 def _cost_retrieval(name: str, wanted: str):
     def retrieve(context: RetrievalContext) -> Iterable[EventInstance]:
         history = context.service("weight_history")
-        for record in context.store.table("ospfmon").query(context.start, context.end):
+        columns = context.store.table("ospfmon").query_columns(
+            context.start, context.end
+        )
+        for timestamp, record in zip(columns.timestamps, columns.records):
             change = _classify_cost_change(
-                history, record["link"], record.timestamp, record["weight"]
+                history, record["link"], timestamp, record["weight"]
             )
             if change == wanted:
                 yield EventInstance.make(
                     name,
-                    record.timestamp,
-                    record.timestamp,
+                    timestamp,
+                    timestamp,
                     Location.logical_link(record["link"]),
                 )
 
@@ -243,9 +249,10 @@ def _retrieve_router_cost(context: RetrievalContext) -> Iterable[EventInstance]:
     network = context.service("network")
     group_window = context.param("router_cost_window", 15.0)
     by_router: Dict[Tuple[str, str], List[float]] = {}
-    for record in context.store.table("ospfmon").query(context.start, context.end):
+    columns = context.store.table("ospfmon").query_columns(context.start, context.end)
+    for timestamp, record in zip(columns.timestamps, columns.records):
         change = _classify_cost_change(
-            history, record["link"], record.timestamp, record["weight"]
+            history, record["link"], timestamp, record["weight"]
         )
         if change is None:
             continue
@@ -253,7 +260,7 @@ def _retrieve_router_cost(context: RetrievalContext) -> Iterable[EventInstance]:
         if link is None:
             continue
         for router in link.routers:
-            by_router.setdefault((router, change), []).append(record.timestamp)
+            by_router.setdefault((router, change), []).append(timestamp)
     for (router, change), points in sorted(by_router.items()):
         n_links = len(network.logical_links_of_router(router))
         for start, end in merge_intervals(points, group_window):
@@ -277,7 +284,10 @@ COST_OUT_COMMAND_MARKER = "cost 65535"
 
 def _cmd_retrieval(name: str, direction: str):
     def retrieve(context: RetrievalContext) -> Iterable[EventInstance]:
-        for record in context.store.table("tacacs").query(context.start, context.end):
+        columns = context.store.table("tacacs").query_columns(
+            context.start, context.end
+        )
+        for timestamp, record in zip(columns.timestamps, columns.records):
             command = record.get("command", "")
             interface = record.get("interface")
             if interface is None or "cost" not in command:
@@ -287,8 +297,8 @@ def _cmd_retrieval(name: str, direction: str):
                 continue
             yield EventInstance.make(
                 name,
-                record.timestamp,
-                record.timestamp,
+                timestamp,
+                timestamp,
                 Location.interface(f"{record['router']}:{interface}"),
                 user=record.get("user"),
             )

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Dict, Tuple
 
 
 class LocationType(enum.Enum):
@@ -84,27 +84,54 @@ class Location:
         if any(not part for part in self.parts):
             raise ValueError(f"empty location part in {self.parts!r}")
 
+    def __hash__(self) -> int:
+        # locations key resolver caches, verdict maps and dedupe sets;
+        # the generated frozen-dataclass hash would re-hash the parts
+        # tuple (and the enum) on every lookup
+        value = self.__dict__.get("_hash")
+        if value is None:
+            value = hash((self.type, self.parts))
+            object.__setattr__(self, "_hash", value)
+        return value
+
     # -- constructors --------------------------------------------------
+
+    @classmethod
+    def _interned(cls, location_type: LocationType, name: str) -> "Location":
+        """Single-part constructor through a bounded intern table.
+
+        Retrieval processes mint the same few hundred link/router/
+        interface locations over and over (one per record or episode);
+        handing back one shared instance keeps allocations — and the
+        cached hash — amortized across the whole run.
+        """
+        key = (location_type, name)
+        location = _INTERNED.get(key)
+        if location is None:
+            location = cls(location_type, (name,))
+            if len(_INTERNED) < _INTERN_CAP:
+                _INTERNED[key] = location
+        return location
 
     @classmethod
     def router(cls, name: str) -> "Location":
         """Look up a router by name."""
-        return cls(LocationType.ROUTER, (name,))
+        return cls._interned(LocationType.ROUTER, name)
 
     @classmethod
     def interface(cls, fqname: str) -> "Location":
         if ":" not in fqname:
             raise ValueError(f"interface location must be router:ifname, got {fqname!r}")
-        return cls(LocationType.INTERFACE, (fqname,))
+        return cls._interned(LocationType.INTERFACE, fqname)
 
     @classmethod
     def line_card(cls, fqname: str) -> "Location":
-        return cls(LocationType.LINE_CARD, (fqname,))
+        return cls._interned(LocationType.LINE_CARD, fqname)
 
     @classmethod
     def logical_link(cls, name: str) -> "Location":
         """Look up a logical link by name."""
-        return cls(LocationType.LOGICAL_LINK, (name,))
+        return cls._interned(LocationType.LOGICAL_LINK, name)
 
     @classmethod
     def physical_link(cls, name: str) -> "Location":
@@ -153,3 +180,9 @@ class Location:
 
     def __str__(self) -> str:
         return f"{self.type.value}[{':'.join(self.parts)}]"
+
+
+#: intern table for single-part locations (see ``Location._interned``);
+#: bounded so adversarial name churn cannot grow it without limit
+_INTERNED: dict = {}
+_INTERN_CAP = 4096

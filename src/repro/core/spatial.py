@@ -30,7 +30,7 @@ import enum
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
 from ..routing.epoch import RoutingEpoch
 from ..routing.paths import PathService
@@ -250,6 +250,34 @@ class LocationResolver:
         except KeyError:
             # stale location (element no longer in / never in topology)
             return _EMPTY
+
+    def expand_static_map(
+        self,
+        locations: Iterable[Location],
+        level: JoinLevel,
+        timestamp: float,
+    ) -> Optional[Dict[Tuple[str, ...], FrozenSet[str]]]:
+        """Expansions of epoch-static locations, keyed by their parts.
+
+        A location is *epoch-static* when its expansion reads only the
+        topology model (containment types, or the ``NETWORK`` /
+        ``SAME_LOCATION`` levels): it can change only when the topology
+        generation does.  Callers that see the same location column over
+        and over — a retrieval cover joined by every symptom of a storm
+        — may therefore memoize the whole returned map per
+        ``(level, epoch.topology_generation)`` and skip the resolver on
+        every later evaluation.  Returns ``None`` when any location's
+        expansion depends on time-varying routing state; those must go
+        through :meth:`expand` per evaluation.
+        """
+        canonical = _LEVEL_CANONICAL.get(level, level)
+        static_level = canonical in (JoinLevel.NETWORK, JoinLevel.SAME_LOCATION)
+        out: Dict[Tuple[str, ...], FrozenSet[str]] = {}
+        for location in locations:
+            if not static_level and location.type not in _STATIC_TYPES:
+                return None
+            out[location.parts] = self.expand(location, level, timestamp)
+        return out
 
     def joined(
         self,
@@ -594,7 +622,10 @@ class BatchSpatialJoin:
     intersects each candidate's expansion against that one set.
     """
 
-    __slots__ = ("rule", "resolver", "timestamp", "trace", "_symptom", "_symptom_set")
+    __slots__ = (
+        "rule", "resolver", "timestamp", "trace", "_symptom",
+        "_symptom_set",
+    )
 
     def __init__(
         self,

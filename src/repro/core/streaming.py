@@ -17,9 +17,21 @@ Design points:
 * **Reorder slack** — retrieval windows reach back ``reorder_slack``
   before the previous watermark so out-of-order feed arrivals are not
   lost; already-diagnosed instances are de-duplicated by identity.
-* **Cache discipline** — the engine's retrieval cache is cleared on
-  every advance, since new records may have landed inside previously
-  cached windows.
+* **Incremental cache discipline** — the engine's retrieval cache is
+  *not* cleared per advance.  The streaming engine subscribes to the
+  store's insert listeners, buffers every ``(table, timestamp)`` delta,
+  and on each advance drops exactly the cached covers a new record
+  landed in (:meth:`RcaEngine.invalidate_deltas`); covers behind the
+  data frontier stay warm across advances.  Setting
+  ``StreamingConfig.incremental = False`` restores the legacy
+  clear-everything discipline.
+* **Delta-driven re-diagnosis** — the same deltas re-open
+  previously-settled symptoms: a late or out-of-order record that lands
+  inside a settled diagnosis's read footprint triggers exactly that
+  symptom's re-diagnosis (bounded by ``max_reopen_per_advance`` and
+  ``reopen_horizon``, keyed by ``instance_key``).  A re-diagnosis whose
+  conclusion changed is re-emitted through ``on_diagnosis``; unchanged
+  ones are absorbed silently.
 * **Watermark deferral** — when the engine has a feed-health registry
   and a required evidence feed is ``LAGGING``, settling is deferred to
   that feed's watermark (bounded by ``max_watermark_defer``) so slow
@@ -30,13 +42,15 @@ Design points:
 
 from __future__ import annotations
 
+import bisect
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from ..collector.health import FeedState
 from ..obs.trace import NULL_TRACER
 from .engine import Diagnosis, RcaEngine, evidence_sources
-from .events import EventInstance, RetrievalContext, instance_key
+from .events import EventInstance, InstanceKey, RetrievalContext, instance_key
 
 DiagnosisCallback = Callable[[Diagnosis], None]
 
@@ -57,6 +71,16 @@ class StreamingConfig:
     dedupe_horizon: float = 7200.0
     #: cap on how long a LAGGING feed may hold back settling
     max_watermark_defer: float = 1800.0
+    #: delta-driven cache invalidation + settled-symptom re-diagnosis;
+    #: False restores the legacy clear-cache-every-advance discipline
+    incremental: bool = True
+    #: how far back a late record may re-open a settled symptom (the
+    #: retention horizon of the re-open set; memory bound — one entry
+    #: per symptom, so a day costs little and covers feed outages)
+    reopen_horizon: float = 86400.0
+    #: cap on re-opened symptoms per advance (excess re-opens are
+    #: dropped oldest-first and stay at their previous diagnosis)
+    max_reopen_per_advance: int = 64
 
 
 class StreamingRca:
@@ -83,90 +107,229 @@ class StreamingRca:
         self.dispatcher = dispatcher
         self._start = start
         self._watermark: Optional[float] = None
-        self._seen: Dict[Tuple[str, Tuple[str, ...], float], float] = {}
+        self._seen: Dict[InstanceKey, float] = {}
         self.diagnosed_count = 0
         self._required_sources: Optional[Set[str]] = None
+        # --- incremental state -----------------------------------------
+        #: pending (unsorted) insert timestamps per table, fed by the
+        #: store's insert listeners from ingest threads; drained on the
+        #: engine-owning thread at the top of every advance
+        self._pending: Dict[str, List[float]] = {}
+        self._pending_lock = threading.Lock()
+        #: settled symptoms eligible for re-opening: identity -> the
+        #: instance and its latest diagnosis (whose footprint is the
+        #: re-open trigger surface)
+        self._settled: Dict[InstanceKey, Tuple[EventInstance, Diagnosis]] = {}
+        self._subscribed = False
+        #: cache entries dropped by delta invalidation (cumulative)
+        self.invalidated_count = 0
+        #: settled symptoms re-opened by a delta (cumulative)
+        self.reopened_count = 0
+        #: re-diagnoses whose conclusion changed and were re-emitted
+        self.reemitted_count = 0
+        #: cache entries evicted behind the re-open horizon (cumulative)
+        self.evicted_count = 0
+        if self.config.incremental and hasattr(engine.store, "subscribe"):
+            engine.store.subscribe(self._on_insert)
+            self._subscribed = True
+
+    def close(self) -> None:
+        """Detach from the store's insert listeners (idempotent)."""
+        if self._subscribed:
+            self.engine.store.unsubscribe(self._on_insert)
+            self._subscribed = False
 
     @property
     def watermark(self) -> Optional[float]:
         """End of the last settled region that has been diagnosed."""
         return self._watermark
 
+    def _on_insert(self, table: str, timestamp: float, revision: int) -> None:
+        """Insert listener: buffer one delta (called from ingest threads)."""
+        with self._pending_lock:
+            self._pending.setdefault(table, []).append(timestamp)
+
+    def _drain_deltas(self) -> Dict[str, List[float]]:
+        """Take the pending delta buffer, sorted per table."""
+        with self._pending_lock:
+            pending, self._pending = self._pending, {}
+        for points in pending.values():
+            points.sort()
+        return pending
+
+    def _select_reopens(
+        self, deltas: Dict[str, List[float]]
+    ) -> List[Tuple[InstanceKey, EventInstance, Diagnosis]]:
+        """Settled symptoms whose read footprint a delta landed in.
+
+        Sound because every record that can change a diagnosis lands in
+        some window that diagnosis read (its footprint — recorded even
+        on cache hits): evidence the walk never reached is covered
+        transitively, since reaching it requires a parent match whose
+        own window the record must first land in.
+        """
+        if not deltas or not self._settled:
+            return []
+        hits: List[Tuple[InstanceKey, EventInstance, Diagnosis]] = []
+        for key, (instance, diagnosis) in self._settled.items():
+            for table, lo, hi in diagnosis.footprint:
+                points = deltas.get(table)
+                if not points:
+                    continue
+                p = bisect.bisect_left(points, lo)
+                if p < len(points) and points[p] <= hi:
+                    hits.append((key, instance, diagnosis))
+                    break
+        hits.sort(key=lambda item: (item[1].start, item[0]))
+        cap = self.config.max_reopen_per_advance
+        if len(hits) > cap:
+            # keep the most recent symptoms — late data skews recent
+            hits = hits[len(hits) - cap:]
+        return hits
+
     def advance(self, now: float, tracer=None) -> List[Diagnosis]:
         """Diagnose symptoms that settled since the last call.
 
         ``now`` is the wall-clock frontier of ingested data.  Returns
-        the new diagnoses (also delivered to ``on_diagnosis``).
+        the new diagnoses — plus, in incremental mode, re-emitted
+        diagnoses of previously-settled symptoms whose conclusion a
+        late record changed (also delivered to ``on_diagnosis``).
 
         ``tracer`` (a :class:`repro.obs.Tracer`, optional) records one
         ``advance`` span covering the whole call, with a ``detect``
         child for symptom retrieval and — on the inline path — one
         ``diagnose`` subtree per settled symptom, each also attached to
         its :attr:`Diagnosis.trace`.  Dispatcher-executed batches trace
-        on the service side instead (per-job tracers), not here.
+        on the service side instead (per-job tracers), not here.  The
+        ``advance`` span carries ``invalidated`` / ``reopened`` /
+        ``reemitted`` counters in incremental mode.
         """
         tracer = tracer if tracer is not None else NULL_TRACER
+        config = self.config
         with tracer.span("advance", label=f"now={now:g}") as adv:
             registry = self.engine.config.health
             if registry is not None:
                 registry.tick(now)
             settled_until = self._defer_for_lagging_feeds(
-                now - self.config.settle_seconds
+                now - config.settle_seconds
             )
             adv.annotate(settled_until=settled_until)
-            if self._watermark is not None and settled_until <= self._watermark:
-                # nothing newly settled, but memory bounds still apply
-                self._gc_dedupe(max(settled_until, self._watermark))
-                adv.annotate(fresh=0)
-                return []
-            if self._watermark is not None:
-                window_start = self._watermark - self.config.reorder_slack
-            elif self._start is not None:
-                window_start = self._start
-            else:
-                window_start = settled_until - self.config.settle_seconds
-            self.engine.clear_cache()
-            definition = self.engine.library.get(self.engine.graph.symptom_event)
+            reopens: List[Tuple[InstanceKey, EventInstance, Diagnosis]] = []
+            if config.incremental:
+                deltas = self._drain_deltas()
+                if deltas:
+                    invalidated = self.engine.invalidate_deltas(deltas)
+                    self.invalidated_count += invalidated
+                    adv.annotate(invalidated=invalidated)
+                    reopens = self._select_reopens(deltas)
             fresh: List[EventInstance] = []
-            with tracer.span("detect", label=definition.name) as det:
-                context = RetrievalContext(
-                    store=self.engine.store,
-                    start=window_start,
-                    end=settled_until,
-                    params=self.engine.config.params,
-                    services=self.engine.config.services,
+            if self._watermark is not None and settled_until <= self._watermark:
+                # nothing newly settled, but memory bounds still apply —
+                # and buffered deltas may still re-open settled symptoms
+                horizon = max(settled_until, self._watermark)
+                self._gc_dedupe(horizon)
+                self._gc_settled(horizon)
+                adv.annotate(fresh=0)
+                if not reopens:
+                    return []
+            else:
+                if self._watermark is not None:
+                    window_start = self._watermark - config.reorder_slack
+                elif self._start is not None:
+                    window_start = self._start
+                else:
+                    window_start = settled_until - config.settle_seconds
+                if not config.incremental:
+                    # legacy discipline: new records may have landed in
+                    # any cached window, so everything goes
+                    self.engine.clear_cache()
+                definition = self.engine.library.get(
+                    self.engine.graph.symptom_event
                 )
-                retrieved = 0
-                for instance in definition.retrieve(context):
-                    retrieved += 1
-                    if instance.end > settled_until:
-                        continue  # not settled yet; next advance takes it
-                    key = instance_key(instance)
-                    if key in self._seen:
-                        continue
-                    self._seen[key] = instance.end
-                    fresh.append(instance)
-                det.annotate(retrieved=retrieved, fresh=len(fresh))
-            self._watermark = settled_until
-            self._gc_dedupe(settled_until)
-            adv.annotate(fresh=len(fresh))
-            if self.dispatcher is not None:
-                with tracer.span("dispatch", label=definition.name) as span:
-                    diagnoses = self.dispatcher(fresh)
-                    span.annotate(jobs=len(fresh), diagnoses=len(diagnoses))
-                self.diagnosed_count += len(diagnoses)
-                if self.on_diagnosis is not None:
-                    for diagnosis in diagnoses:
-                        self.on_diagnosis(diagnosis)
-                return diagnoses
-            diagnoses = []
-            for instance in fresh:
-                diagnosis = self.engine.diagnose(instance, tracer=tracer)
-                diagnoses.append(diagnosis)
-                self.diagnosed_count += 1
-                if self.on_diagnosis is not None:
+                with tracer.span("detect", label=definition.name) as det:
+                    context = RetrievalContext(
+                        store=self.engine.store,
+                        start=window_start,
+                        end=settled_until,
+                        params=self.engine.config.params,
+                        services=self.engine.config.services,
+                    )
+                    retrieved = 0
+                    for instance in definition.retrieve(context):
+                        retrieved += 1
+                        if instance.end > settled_until:
+                            continue  # not settled yet; next advance takes it
+                        key = instance_key(instance)
+                        if key in self._seen:
+                            continue
+                        self._seen[key] = instance.end
+                        fresh.append(instance)
+                    det.annotate(retrieved=retrieved, fresh=len(fresh))
+                self._watermark = settled_until
+                self._gc_dedupe(settled_until)
+                self._gc_settled(settled_until)
+                if config.incremental:
+                    # covers behind every window a fresh or re-opened
+                    # symptom can still request are pure memory (and
+                    # invalidation-scan) cost; the slack generously
+                    # bounds rule search-window lookback
+                    evicted = self.engine.evict_retrievals_before(
+                        settled_until - config.reopen_horizon - 3600.0
+                    )
+                    self.evicted_count += evicted
+                    if evicted:
+                        adv.annotate(evicted=evicted)
+                adv.annotate(fresh=len(fresh))
+            if reopens:
+                self.reopened_count += len(reopens)
+                adv.annotate(reopened=len(reopens))
+            emitted = self._diagnose(fresh, reopens, tracer)
+            if self.on_diagnosis is not None:
+                for diagnosis in emitted:
                     self.on_diagnosis(diagnosis)
-            return diagnoses
+            return emitted
+
+    def _diagnose(
+        self,
+        fresh: List[EventInstance],
+        reopens: List[Tuple[InstanceKey, EventInstance, Diagnosis]],
+        tracer,
+    ) -> List[Diagnosis]:
+        """Run fresh + re-opened symptoms; return what should be emitted.
+
+        Fresh symptoms are always emitted.  Re-opened symptoms are
+        re-diagnosed against the (selectively invalidated) cache; the
+        stored diagnosis is replaced either way, but only a *changed*
+        conclusion is re-emitted.
+        """
+        previous = {key: diagnosis for key, _instance, diagnosis in reopens}
+        to_run = fresh + [instance for _key, instance, _diag in reopens]
+        if not to_run:
+            return []
+        if self.dispatcher is not None:
+            with tracer.span("dispatch") as span:
+                produced = self.dispatcher(to_run)
+                span.annotate(jobs=len(to_run), diagnoses=len(produced))
+        else:
+            produced = []
+            for instance in to_run:
+                produced.append(self.engine.diagnose(instance, tracer=tracer))
+        emitted: List[Diagnosis] = []
+        track = self.config.incremental
+        for diagnosis in produced:
+            key = instance_key(diagnosis.symptom)
+            if key in previous:
+                if track:
+                    self._settled[key] = (diagnosis.symptom, diagnosis)
+                if diagnosis != previous[key]:
+                    self.reemitted_count += 1
+                    emitted.append(diagnosis)
+            else:
+                if track:
+                    self._settled[key] = (diagnosis.symptom, diagnosis)
+                self.diagnosed_count += 1
+                emitted.append(diagnosis)
+        return emitted
 
     def _defer_for_lagging_feeds(self, settled_until: float) -> float:
         """Hold settling back to the slowest LAGGING evidence feed.
@@ -203,6 +366,19 @@ class StreamingRca:
         stale = [key for key, end in self._seen.items() if end < horizon]
         for key in stale:
             del self._seen[key]
+
+    def _gc_settled(self, settled_until: float) -> None:
+        """Forget re-openable symptoms older than the re-open horizon."""
+        if not self._settled:
+            return
+        horizon = settled_until - self.config.reopen_horizon
+        stale = [
+            key
+            for key, (instance, _diagnosis) in self._settled.items()
+            if instance.end < horizon
+        ]
+        for key in stale:
+            del self._settled[key]
 
 
 class FeedReplayer:

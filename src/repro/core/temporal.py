@@ -21,8 +21,9 @@ The paper's worked example, preserved as a doctest::
 from __future__ import annotations
 
 import enum
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 
 class ExpandOption(enum.Enum):
@@ -81,6 +82,50 @@ class TemporalExpansion:
         return (float(lo), float(hi))
 
 
+class IntervalColumns:
+    """Candidate intervals as parallel sorted arrays, for batch joins.
+
+    ``starts`` must be non-decreasing (the engine's retrieval cache
+    guarantees it: :meth:`EventDefinition.retrieve` sorts instances by
+    ``(start, end)``).  The end-sorted permutation and its value array
+    are derived lazily and memoized, so one candidate set can be joined
+    against many symptoms — the batch-join equivalents of building a
+    secondary index once per retrieval cover.
+    """
+
+    __slots__ = ("starts", "ends", "_end_order", "_sorted_ends")
+
+    def __init__(self, starts: Sequence[float], ends: Sequence[float]) -> None:
+        if len(starts) != len(ends):
+            raise ValueError(
+                f"parallel interval arrays differ in length: "
+                f"{len(starts)} starts vs {len(ends)} ends"
+            )
+        self.starts = starts
+        self.ends = ends
+        self._end_order: Optional[List[int]] = None
+        self._sorted_ends: Optional[List[float]] = None
+
+    def __len__(self) -> int:
+        return len(self.starts)
+
+    @property
+    def end_order(self) -> List[int]:
+        """Candidate indices sorted by (end, index); lazy, memoized."""
+        if self._end_order is None:
+            ends = self.ends
+            self._end_order = sorted(range(len(ends)), key=ends.__getitem__)
+            self._sorted_ends = [ends[k] for k in self._end_order]
+        return self._end_order
+
+    @property
+    def sorted_ends(self) -> List[float]:
+        """End values in :attr:`end_order` order; lazy, memoized."""
+        if self._sorted_ends is None:
+            self.end_order  # builds both
+        return self._sorted_ends  # type: ignore[return-value]
+
+
 @dataclass(frozen=True)
 class TemporalJoinRule:
     """Expansions for the symptom and the diagnostic event."""
@@ -117,6 +162,91 @@ class TemporalJoinRule:
             if not verdict:
                 trace.count("temporal_rejects")
         return verdict
+
+    def joined_batch(
+        self,
+        symptom_interval: Tuple[float, float],
+        starts: Union[IntervalColumns, Sequence[float]],
+        ends: Optional[Sequence[float]] = None,
+    ) -> List[int]:
+        """Indices of candidates joining the symptom, via sorted arrays.
+
+        The batch equivalent of calling :meth:`joined` once per
+        candidate: ``starts``/``ends`` are parallel arrays of candidate
+        intervals sorted by ``(start, end)`` (pass a prebuilt
+        :class:`IntervalColumns` as ``starts`` to reuse its memoized
+        end-order across calls).  Returns ascending candidate indices —
+        the same survivors, in the same order, as the scalar loop.
+
+        Every :class:`ExpandOption` of the diagnostic expansion reduces
+        to one or two :mod:`bisect` probes over the sorted vectors:
+
+        * ``Start/Start`` — the expanded window is ``[start-X, start+Y]``
+          (or its midpoint collapse, a constant shift of ``start``), so
+          joiners form one contiguous run of the start-sorted array.
+        * ``End/End`` — same argument on the end-sorted permutation.
+        * ``Start/End`` with ``X+Y >= 0`` — joiners are the intersection
+          of a *prefix* of the start order (``start <= s_hi + X``) and a
+          *suffix* of the end order (``end >= s_lo - Y``); the smaller
+          side is enumerated and the other inequality checked by O(1)
+          array lookup.
+        * ``Start/End`` with ``X+Y < 0`` — a candidate's window inverts
+          (collapses to its midpoint) only when its duration is below
+          ``-(X+Y)``, which is per-candidate; this rare configuration
+          falls back to the scalar oracle.
+        """
+        columns = (
+            starts
+            if isinstance(starts, IntervalColumns)
+            else IntervalColumns(starts, ends if ends is not None else [])
+        )
+        n = len(columns)
+        if n == 0:
+            return []
+        s_lo, s_hi = self.symptom.expand(*symptom_interval)
+        d = self.diagnostic
+        x, y = d.left, d.right
+        if d.option is ExpandOption.START_START:
+            if x + y >= 0:
+                # [start-X, start+Y] overlaps [s_lo, s_hi] iff
+                # s_lo - Y <= start <= s_hi + X
+                lo_t, hi_t = s_lo - y, s_hi + x
+            else:
+                # inverted: window collapses to start + (Y-X)/2
+                shift = (y - x) / 2.0
+                lo_t, hi_t = s_lo - shift, s_hi - shift
+            i = bisect_left(columns.starts, lo_t)
+            j = bisect_right(columns.starts, hi_t, i)
+            return list(range(i, j))
+        if d.option is ExpandOption.END_END:
+            if x + y >= 0:
+                lo_t, hi_t = s_lo - y, s_hi + x
+            else:
+                shift = (y - x) / 2.0
+                lo_t, hi_t = s_lo - shift, s_hi - shift
+            sorted_ends = columns.sorted_ends
+            p = bisect_left(sorted_ends, lo_t)
+            q = bisect_right(sorted_ends, hi_t, p)
+            return sorted(columns.end_order[p:q])
+        # START_END
+        if x + y < 0:
+            return [
+                k
+                for k in range(n)
+                if self.joined(
+                    symptom_interval, (columns.starts[k], columns.ends[k])
+                )
+            ]
+        # window is [start-X, end+Y] (never inverted since duration >= 0
+        # and X+Y >= 0): joins iff start <= s_hi + X and end >= s_lo - Y
+        start_cut = s_hi + x
+        end_cut = s_lo - y
+        j = bisect_right(columns.starts, start_cut)  # prefix [0, j)
+        p = bisect_left(columns.sorted_ends, end_cut)  # suffix of end order
+        if j <= n - p:
+            ends_arr = columns.ends
+            return [k for k in range(j) if ends_arr[k] >= end_cut]
+        return sorted(k for k in columns.end_order[p:] if k < j)
 
     def search_window(self, symptom_interval: Tuple[float, float]) -> Tuple[float, float]:
         """Raw-time range a diagnostic event must intersect to possibly join.

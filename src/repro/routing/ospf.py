@@ -85,6 +85,9 @@ class WeightHistory:
         #: generation untouched.
         self.stale_generation = 0
         self._max_timestamp = float("-inf")
+        # (stale generation, version) -> full weight map; instants with
+        # the same version share one dict instead of rebuilding it
+        self._weights_cache: Dict[Tuple[int, int], Dict[str, int]] = {}
 
     def record(self, change: WeightChange) -> None:
         """Append one observed weight update."""
@@ -118,11 +121,23 @@ class WeightHistory:
         return bisect.bisect_right(self._timestamps, timestamp)
 
     def weights_at(self, timestamp: float) -> Dict[str, int]:
-        """Full link-weight map as of ``timestamp``."""
+        """Full link-weight map as of ``timestamp``.
+
+        The returned dict is a shared cache entry keyed by version —
+        hot retrieval paths call this once per observed record — so
+        callers must treat it as read-only.
+        """
         self._ensure_sorted()
-        weights = dict(self._initial)
-        for change in self._changes[: self.version_at(timestamp)]:
-            weights[change.link] = change.weight
+        version = bisect.bisect_right(self._timestamps, timestamp)
+        key = (self.stale_generation, version)
+        weights = self._weights_cache.get(key)
+        if weights is None:
+            weights = dict(self._initial)
+            for change in self._changes[:version]:
+                weights[change.link] = change.weight
+            if len(self._weights_cache) >= 128:
+                self._weights_cache.clear()
+            self._weights_cache[key] = weights
         return weights
 
     def changes_between(self, start: float, end: float) -> List[WeightChange]:
@@ -145,6 +160,8 @@ class OspfSimulator:
             merged = dict(initial)
             merged.update(history._initial)
             history._initial = merged
+            # the baseline map changed under every version
+            history._weights_cache.clear()
         self.history = history
         #: bumped when the whole history is swapped out: version numbers
         #: from different histories are not comparable, so version-keyed

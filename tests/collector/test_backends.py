@@ -15,6 +15,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.collector.backends import (
+    ListView,
     MemoryBackend,
     SqliteBackend,
     backend_name,
@@ -263,6 +264,107 @@ class TestBackendSelection:
         table.insert_row(1.0, router="r1")
         assert table.indexed_columns == ("router",)
         assert len(backend) == 1
+
+
+class TestColumnarSlices:
+    """``query_columns`` must be an exact columnar restatement of
+    ``query`` — same records, same order, timestamps aligned — on every
+    backend, whether it serves a zero-copy view or materializes rows."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(rows_strategy, window_strategy, filter_strategy)
+    def test_columns_match_query_on_both_backends(
+        self, rows, window, filters
+    ):
+        start, end = window
+        router, metric = filters
+        equals = {}
+        if router is not None:
+            equals["router"] = router
+        if metric is not None:
+            equals["metric"] = metric
+        for backend in _both_backends():
+            _fill(backend, rows)
+            expected = backend.query(start, end, equals)
+            columns = backend.query_columns(start, end, equals)
+            assert list(columns.records) == expected, backend.name
+            assert list(columns.timestamps) == [
+                record.timestamp for record in expected
+            ], backend.name
+            assert len(columns) == len(expected)
+            backend.close()
+
+    def test_memory_unfiltered_slice_is_zero_copy(self):
+        backend = MemoryBackend(("router",))
+        for t in [10.0, 20.0, 30.0]:
+            backend.insert(Record.make(t, router="r1"))
+        columns = backend.query_columns(15.0, None, {})
+        assert columns.zero_copy
+        assert list(columns.timestamps) == [20.0, 30.0]
+
+    def test_memory_tail_and_filters_fall_back_to_rows(self):
+        backend = MemoryBackend(("router",), tail_limit=10)
+        backend.insert(Record.make(20.0, router="r1"))
+        backend.insert(Record.make(10.0, router="r2"))  # lands in tail
+        by_tail = backend.query_columns(None, None, {})
+        assert not by_tail.zero_copy
+        assert list(by_tail.timestamps) == [10.0, 20.0]
+        by_filter = backend.query_columns(None, None, {"router": "r1"})
+        assert not by_filter.zero_copy
+        assert list(by_filter.timestamps) == [20.0]
+
+    def test_sqlite_columns_are_materialized(self, tmp_path):
+        backend = SqliteBackend(
+            "t", ("router",), path=str(tmp_path / "cols.sqlite")
+        )
+        backend.insert(Record.make(10.0, router="r1"))
+        columns = backend.query_columns(None, None, {})
+        assert not columns.zero_copy
+        assert list(columns.timestamps) == [10.0]
+        backend.close()
+
+    def test_zero_copy_view_is_a_stable_snapshot(self):
+        # in-order inserts append past the captured hi bound, and tail
+        # merges replace the underlying lists wholesale — either way a
+        # previously-taken view keeps serving exactly what it saw
+        backend = MemoryBackend((), tail_limit=2)
+        for t in [10.0, 20.0, 30.0]:
+            backend.insert(Record.make(t))
+        columns = backend.query_columns(None, None, {})
+        assert columns.zero_copy and len(columns) == 3
+        backend.insert(Record.make(40.0))          # in-order append
+        backend.insert(Record.make(5.0))           # out of order
+        backend.insert(Record.make(6.0))           # out of order
+        backend.insert(Record.make(7.0))           # third late → merge
+        assert backend.stats()["merges"] == 1
+        assert list(columns.timestamps) == [10.0, 20.0, 30.0]
+
+    def test_list_view_sequence_semantics(self):
+        view = ListView([0, 1, 2, 3, 4, 5], 1, 5)  # -> [1, 2, 3, 4]
+        assert len(view) == 4
+        assert list(view) == [1, 2, 3, 4]
+        assert view[0] == 1 and view[-1] == 4
+        assert list(view[1:3]) == [2, 3]
+        with pytest.raises(IndexError):
+            view[4]
+
+    def test_table_and_observer_see_columnar_reads(self):
+        store = DataStore()
+        store.insert("syslog", 10.0, router="r1", code="X")
+        store.insert("syslog", 20.0, router="r2", code="Y")
+        reads = set()
+        tracer = Tracer()
+        observed = ObservedStore(
+            store, [TraceObserver(tracer), FootprintObserver(reads.add)]
+        )
+        with tracer.span("retrieve", label="t"):
+            columns = observed.table("syslog").query_columns(5.0, 15.0)
+        assert list(columns.timestamps) == [10.0]
+        # the observer output is indistinguishable from a row query's
+        assert reads == {("syslog", 5.0, 15.0)}
+        span = tracer.root.children[0]
+        assert span.kind == "store-query"
+        assert span.meta == {"rows": 1, "window": [5.0, 15.0]}
 
 
 class TestRecordFieldCache:

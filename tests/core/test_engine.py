@@ -321,3 +321,157 @@ class TestRetrievalPlanner:
             rerun_matches[key] = rerun_matches.get(key, 0) + 1
         assert rerun_matches == unplanned_matches
         assert rerun.result == planned.result
+
+
+class TestRetrievalEviction:
+    """``evict_retrievals_before``: pure cache policy, never results."""
+
+    @pytest.fixture
+    def populated(self, setup):
+        store, engine = setup
+        store.insert("ta", 1005.0, router="nyc-per1")
+        store.insert("tb", 1008.0, router="nyc-per1")
+        first = engine.diagnose(symptom_at(1000.0))
+        assert engine._retrieval_cache
+        return store, engine, first
+
+    def test_cutoff_below_covers_is_a_noop(self, populated):
+        _store, engine, _first = populated
+        keys = set(engine._retrieval_cache)
+        assert engine.evict_retrievals_before(0.0) == 0
+        assert set(engine._retrieval_cache) == keys
+
+    def test_cutoff_above_covers_drops_everything(self, populated):
+        _store, engine, _first = populated
+        count = len(engine._retrieval_cache)
+        assert engine.evict_retrievals_before(1e12) == count
+        assert engine._retrieval_cache == {}
+        assert engine._covers == {}
+        assert engine._retrieval_reads == {}
+
+    def test_partial_eviction_keeps_cover_index_consistent(self, setup):
+        store, engine = setup
+        store.insert("ta", 1005.0, router="nyc-per1")
+        engine.diagnose(symptom_at(1000.0))
+        engine.diagnose(symptom_at(250_000.0))
+        # drop only the early covers; the index must mirror the cache
+        dropped = engine.evict_retrievals_before(200_000.0)
+        assert dropped >= 1
+        assert engine._retrieval_cache
+        remaining = {
+            (name, lo, hi) for name, windows in engine._covers.items()
+            for lo, hi in windows
+        }
+        assert remaining == set(engine._retrieval_cache)
+
+    def test_rediagnosis_after_eviction_is_identical(self, populated):
+        store, engine, first = populated
+        engine.evict_retrievals_before(1e12)
+        again = engine.diagnose(symptom_at(1000.0))
+        assert again.result == first.result
+        assert [e.instance for e in again.evidence] == [
+            e.instance for e in first.evidence
+        ]
+
+
+class TestColumnarSpatialStage:
+    """Batch-mode spatial join: columnar path vs the scalar oracle."""
+
+    def populate(self, store, routers, base=1000.0, per_router=4):
+        t = base
+        for _ in range(per_router):
+            for router in routers:
+                store.insert("ta", t, router=router)
+                t += 0.25
+
+    def matched_events(self, diagnosis):
+        return [(e.rule.child_event, e.instance) for e in diagnosis.evidence]
+
+    def test_modes_agree_across_distinct_locations(self, setup):
+        store, engine = setup
+        self.populate(
+            store, ["nyc-per1", "nyc-per2", "chi-per1", "bos-per1"]
+        )
+        symptom = symptom_at(1000.0)
+        engine.config.batch_joins = True
+        batch = engine.diagnose(symptom)
+        engine.clear_cache()
+        engine.config.batch_joins = False
+        scalar = engine.diagnose(symptom)
+        assert self.matched_events(batch) == self.matched_events(scalar)
+        # only the symptom router's candidates survive the router join
+        locations = {
+            e.instance.location.value
+            for e in batch.evidence
+            if e.rule.child_event == "a"
+        }
+        assert locations == {"nyc-per1"}
+
+    def test_modes_agree_under_match_cap(self, setup):
+        store, engine = setup
+        self.populate(store, ["nyc-per1", "chi-per1"], per_router=9)
+        engine.config.max_matches_per_rule = 5
+        symptom = symptom_at(1000.0)
+        engine.config.batch_joins = True
+        batch = engine.diagnose(symptom)
+        engine.clear_cache()
+        engine.config.batch_joins = False
+        scalar = engine.diagnose(symptom)
+        assert self.matched_events(batch) == self.matched_events(scalar)
+        assert (
+            len([e for e in batch.evidence if e.rule.child_event == "a"]) == 5
+        )
+
+    def test_location_index_inverts_the_parts_column(self):
+        from repro.core.engine import CandidateSet
+
+        instances = [
+            EventInstance.make("e", float(i), float(i), Location.router(name))
+            for i, name in enumerate(
+                ["nyc-per1", "chi-per1", "nyc-per1", "bos-per1", "nyc-per1"]
+            )
+        ]
+        index = CandidateSet(instances).location_index
+        assert index[("nyc-per1",)][1] == [0, 2, 4]
+        assert index[("chi-per1",)][1] == [1]
+        assert index[("bos-per1",)][1] == [3]
+
+    def test_static_expansions_memoized_per_generation(self, resolver):
+        from repro.core.engine import CandidateSet
+        from repro.core.spatial import JoinLevel
+
+        instances = [
+            EventInstance.make("e", 1.0, 1.0, Location.router("nyc-per1")),
+            EventInstance.make("e", 2.0, 2.0, Location.router("chi-per1")),
+        ]
+        candidates = CandidateSet(instances)
+        first = candidates.static_expansions(resolver, JoinLevel.ROUTER, 1.0)
+        assert first is not None
+        assert set(first) == {("nyc-per1",), ("chi-per1",)}
+        # same generation: the exact same map object comes back
+        again = candidates.static_expansions(resolver, JoinLevel.ROUTER, 5.0)
+        assert again is first
+        # a topology change retires the memo entry
+        resolver.epoch.bump_topology()
+        rebuilt = candidates.static_expansions(resolver, JoinLevel.ROUTER, 5.0)
+        assert rebuilt is not first
+        assert rebuilt == first
+
+    def test_dynamic_locations_decline_the_static_map(self, resolver):
+        from repro.core.engine import CandidateSet
+        from repro.core.spatial import JoinLevel
+
+        instances = [
+            EventInstance.make("e", 1.0, 1.0, Location.router("nyc-per1")),
+            EventInstance.make(
+                "e", 2.0, 2.0,
+                Location.pair(
+                    LocationType.INGRESS_EGRESS, "nyc-per1", "chi-per1"
+                ),
+            ),
+        ]
+        candidates = CandidateSet(instances)
+        assert (
+            candidates.static_expansions(resolver, JoinLevel.LOGICAL_LINK, 1.0)
+            is None
+        )

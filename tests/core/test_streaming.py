@@ -13,9 +13,12 @@ from repro.simulation.telemetry import BASE_EPOCH, TelemetryEmitter
 from repro.topology import TopologyParams, build_topology
 
 
-@pytest.fixture
-def live_setup():
-    """A topology, a stream of injected telemetry, and a streaming app."""
+def make_live_setup():
+    """A topology, a stream of injected telemetry, and a streaming app.
+
+    Deterministic: two calls build byte-identical pipelines, so tests
+    can hold an incremental run against an independent full-replay
+    oracle."""
     topo = build_topology(
         TopologyParams(n_pops=3, pers_per_pop=2, customers_per_per=4, seed=88)
     )
@@ -37,6 +40,11 @@ def live_setup():
     app = BgpFlapApp.build(platform)
     replayer = FeedReplayer(collector, emitter.buffers.replay_order())
     return topo, app, replayer, truths, t
+
+
+@pytest.fixture
+def live_setup():
+    return make_live_setup()
 
 
 class TestStreamingRca:
@@ -259,3 +267,220 @@ class TestBatchDispatcher:
         assert len(first) == len(truths)
         # re-advancing must not re-dispatch already-diagnosed symptoms
         assert streaming.advance(t0 + 30000.0) == []
+
+
+def _staged_run(setup, config, withhold=None):
+    """Drive a streaming run in 900 s ticks; return (rca, diagnoses).
+
+    ``withhold`` keeps matching telemetry lines out of the replay; the
+    caller delivers them late by hand.
+    """
+    _topo, app, replayer, _truths, t0 = setup
+    if withhold is not None:
+        replayer._stream = [
+            entry for entry in replayer._stream if not withhold(entry)
+        ]
+    streaming = StreamingRca(app.engine, config, start=t0 - 600.0)
+    collected = []
+    now = t0 - 600.0
+    while now < t0 + 20000.0:
+        now += 900.0
+        replayer.deliver_until(now)
+        collected.extend(streaming.advance(now))
+    return streaming, collected
+
+
+class TestIncrementalRediagnosis:
+    """The tentpole contract: delta-driven invalidation plus bounded
+    re-diagnosis must converge to exactly what a full replay produces —
+    late and out-of-order records included."""
+
+    def test_incremental_equals_legacy_discipline(self):
+        # same staged delivery, two cache disciplines: the selective
+        # invalidation path must be observationally identical to
+        # clear-everything-per-advance
+        legacy, by_legacy = _staged_run(
+            make_live_setup(), StreamingConfig(incremental=False)
+        )
+        incremental, by_incremental = _staged_run(
+            make_live_setup(), StreamingConfig(incremental=True)
+        )
+        assert not legacy._subscribed and incremental._subscribed
+        assert by_incremental == by_legacy  # byte-identical diagnoses
+
+    def test_covers_behind_the_horizon_evicted_without_effect(self):
+        # a tight re-open horizon lets the loop drop covers that no
+        # fresh or re-opened symptom can ever request again; eviction
+        # is pure cache policy, so the stream must stay byte-identical
+        _legacy, by_legacy = _staged_run(
+            make_live_setup(), StreamingConfig(incremental=False)
+        )
+        streaming, collected = _staged_run(
+            make_live_setup(),
+            StreamingConfig(incremental=True, reopen_horizon=900.0),
+        )
+        assert streaming.evicted_count > 0
+        assert collected == by_legacy
+        # whatever survives in the cache still ends inside the slack
+        # of the final cutoff
+        cutoff = (
+            streaming.watermark - streaming.config.reopen_horizon - 3600.0
+        )
+        assert all(
+            hi >= cutoff for _name, _lo, hi in streaming.engine._retrieval_cache
+        )
+
+    def test_late_evidence_reopens_and_corrects(self):
+        # withhold the CPU spike's only evidence line; the symptom
+        # settles with the wrong conclusion, and the late arrival must
+        # re-open exactly that diagnosis and re-emit the corrected one
+        # the oracle runs the same staged delivery schedule with nothing
+        # withheld (feed-health history depends on the schedule, and the
+        # diagnoses legitimately reflect it)
+        oracle_setup = make_live_setup()
+        _topo, _oracle_app, _oracle_replayer, truths, t0 = oracle_setup
+        _oracle_rca, oracle_diagnoses = _staged_run(
+            oracle_setup, StreamingConfig()
+        )
+        by_oracle = {d.symptom.interval: d for d in oracle_diagnoses}
+
+        setup = make_live_setup()
+        _topo2, app, replayer, _truths, _t0 = setup
+        held = [e for e in replayer._stream if "CPUHOG" in e[2]]
+        assert len(held) == 1
+        streaming, collected = _staged_run(
+            setup, StreamingConfig(), withhold=lambda e: "CPUHOG" in e[2]
+        )
+        assert len(collected) == len(truths)
+        cpu_truth = next(t for t in truths if t.cause == "CPU high (spike)")
+        wrong = next(
+            d for d in collected
+            if abs(d.symptom.start - cpu_truth.time) < 120.0
+        )
+        assert wrong.primary_cause != "CPU high (spike)"
+        assert wrong.symptom.interval in by_oracle
+
+        # deliver the withheld line late (out of order by hours)
+        emitted = []
+        streaming.on_diagnosis = emitted.append
+        FeedReplayer(replayer.collector, held).deliver_until(t0 + 20000.0)
+        corrected = streaming.advance(t0 + 20900.0)
+        assert streaming.reopened_count >= 1
+        assert streaming.reemitted_count == 1
+        assert corrected == emitted
+        (fixed,) = corrected
+        assert fixed.symptom.interval == wrong.symptom.interval
+        assert fixed.primary_cause == "CPU high (spike)"
+        # the corrected diagnosis is byte-identical to the full-replay
+        # oracle's (footprint and trace are provenance, excluded)
+        assert fixed == by_oracle[fixed.symptom.interval]
+
+    def test_reopen_works_even_when_nothing_new_settles(self):
+        # the early-return path (watermark unchanged) must still drain
+        # deltas and process re-opens: a late record with no new symptom
+        # is exactly the hard case
+        setup = make_live_setup()
+        _topo, app, replayer, truths, t0 = setup
+        held = [e for e in replayer._stream if "CPUHOG" in e[2]]
+        streaming, collected = _staged_run(
+            setup, StreamingConfig(), withhold=lambda e: "CPUHOG" in e[2]
+        )
+        assert len(collected) == len(truths)
+        watermark = streaming.watermark
+        FeedReplayer(replayer.collector, held).deliver_until(t0 + 20000.0)
+        corrected = streaming.advance(watermark)  # time has not moved
+        assert streaming.watermark == watermark
+        assert [d.primary_cause for d in corrected] == ["CPU high (spike)"]
+
+    def test_unrelated_deltas_do_not_reopen(self):
+        setup = make_live_setup()
+        _topo, app, replayer, truths, t0 = setup
+        streaming, collected = _staged_run(setup, StreamingConfig())
+        assert len(collected) == len(truths)
+        # a record far outside every settled footprint
+        app.engine.store.insert("syslog", t0 - 90000.0, router="chi-per1")
+        assert streaming.advance(streaming.watermark) == []
+        assert streaming.reopened_count == 0
+        assert streaming.reemitted_count == 0
+
+    def test_unchanged_rediagnosis_is_absorbed_silently(self):
+        # a delta inside a settled footprint that does not change the
+        # conclusion re-opens but must not re-emit
+        setup = make_live_setup()
+        _topo, app, replayer, truths, t0 = setup
+        streaming, collected = _staged_run(setup, StreamingConfig())
+        assert len(collected) == len(truths)
+        flap = next(d for d in collected if d.primary_cause == "Interface flap")
+        # a syslog record (the table every walk reads) from a router no
+        # detector knows, inside the settled symptom's read windows
+        app.engine.store.insert(
+            "syslog", flap.symptom.start, router="ghost-per9"
+        )
+        assert streaming.advance(streaming.watermark) == []
+        assert streaming.reopened_count >= 1
+        assert streaming.reemitted_count == 0
+
+    def test_reopen_cap_bounds_work_per_advance(self):
+        setup = make_live_setup()
+        _topo, app, replayer, truths, t0 = setup
+        streaming, collected = _staged_run(
+            setup, StreamingConfig(max_reopen_per_advance=1)
+        )
+        assert len(collected) == len(truths)
+        # one delta per settled symptom: all four footprints are hit,
+        # but only the most recent symptom may re-open
+        for d in collected:
+            app.engine.store.insert("syslog", d.symptom.start, router="x")
+        streaming.advance(streaming.watermark)
+        assert streaming.reopened_count == 1
+
+    def test_settled_set_respects_reopen_horizon(self):
+        setup = make_live_setup()
+        _topo, app, replayer, truths, t0 = setup
+        streaming, collected = _staged_run(
+            setup, StreamingConfig(reopen_horizon=900.0)
+        )
+        assert len(collected) == len(truths)
+        # only symptoms ending within 900 s of the watermark survive GC
+        horizon = streaming.watermark - 900.0
+        assert all(
+            instance.end >= horizon
+            for instance, _d in streaming._settled.values()
+        )
+        assert len(streaming._settled) < len(truths)
+
+    def test_close_detaches_from_store(self):
+        setup = make_live_setup()
+        _topo, app, replayer, truths, t0 = setup
+        streaming, collected = _staged_run(setup, StreamingConfig())
+        assert len(collected) == len(truths)
+        streaming.close()
+        streaming.close()  # idempotent
+        app.engine.store.insert("syslog", t0, router="chi-per1")
+        assert streaming._pending == {}
+
+    def test_lagging_feed_defers_then_incremental_catches_up(self):
+        # watermark deferral and incremental re-diagnosis compose: a
+        # lagging feed holds settling back, and once it heals the same
+        # staged run converges to the full-replay conclusions
+        setup = make_live_setup()
+        _topo, app, replayer, truths, t0 = setup
+        registry = app.engine.config.health
+        streaming = StreamingRca(
+            app.engine, StreamingConfig(settle_seconds=420.0), start=t0 - 600.0
+        )
+        replayer.deliver_until(t0 + 11400.0)
+        # snmp trails by ~1900 s: LAGGING, so settling is held back to
+        # its watermark and the customer-reset symptom (ending later)
+        # stays open
+        registry.observe("snmp", t0 + 11400.0, 1, 0, watermark=t0 + 9500.0)
+        deferred = streaming.advance(t0 + 11400.0)
+        assert streaming.watermark == t0 + 9500.0
+        assert len(deferred) == len(truths) - 1
+        # the feed catches up; the held symptom settles incrementally
+        replayer.deliver_until(t0 + 20000.0)
+        registry.observe("snmp", t0 + 20000.0, 1, 0, watermark=t0 + 20000.0)
+        caught_up = streaming.advance(t0 + 20000.0)
+        assert len(caught_up) == 1
+        causes = sorted(d.primary_cause for d in deferred + caught_up)
+        assert causes == sorted(t.cause for t in truths)

@@ -1,0 +1,173 @@
+"""Property-based tests: the columnar batch join vs the scalar oracle.
+
+:meth:`TemporalJoinRule.joined_batch` answers "which of these N
+candidates join?" with two bisects over start/end-sorted vectors instead
+of N window expansions.  Its case analysis (contiguous runs for
+Start-Start and End-End, prefix-∩-suffix for Start-End, a scalar
+fallback when negative margins can invert per-candidate windows) is held
+here against the one implementation that is already oracle-verified:
+:meth:`TemporalJoinRule.joined` applied per candidate.
+
+The candidate vectors follow the engine's retrieval contract —
+:meth:`EventDefinition.retrieve` returns instances sorted by
+``(start, end)`` — and all values are integer-valued so every window
+endpoint (including collapsed-midpoint halves) is exactly representable.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.temporal import (
+    ExpandOption,
+    IntervalColumns,
+    TemporalExpansion,
+    TemporalJoinRule,
+)
+
+# -- strategies: integer-valued rules, intervals, candidate vectors ----
+
+OPTIONS = st.sampled_from(list(ExpandOption))
+MARGINS = st.integers(min_value=-60, max_value=60).map(float)
+
+INTERVALS = st.tuples(
+    st.integers(min_value=-100, max_value=100),
+    st.integers(min_value=0, max_value=50),
+).map(lambda p: (float(p[0]), float(p[0] + p[1])))
+
+EXPANSIONS = st.builds(TemporalExpansion, OPTIONS, MARGINS, MARGINS)
+RULES = st.builds(TemporalJoinRule, EXPANSIONS, EXPANSIONS)
+
+CANDIDATES = st.lists(
+    st.tuples(
+        st.integers(min_value=-100, max_value=100),
+        st.integers(min_value=0, max_value=50),
+    ),
+    max_size=30,
+).map(
+    lambda pairs: sorted(
+        ((float(s), float(s + d)) for s, d in pairs),
+        key=lambda iv: (iv[0], iv[1]),
+    )
+)
+
+
+def columns_of(candidates):
+    return IntervalColumns(
+        [start for start, _end in candidates],
+        [end for _start, end in candidates],
+    )
+
+
+def scalar_survivors(rule, symptom, candidates):
+    return [
+        k
+        for k, candidate in enumerate(candidates)
+        if rule.joined(symptom, candidate)
+    ]
+
+
+# -- the central property ----------------------------------------------
+
+class TestBatchVsScalar:
+    @settings(max_examples=500)
+    @given(rule=RULES, symptom=INTERVALS, candidates=CANDIDATES)
+    def test_batch_matches_scalar_per_candidate(
+        self, rule, symptom, candidates
+    ):
+        got = rule.joined_batch(symptom, columns_of(candidates))
+        assert got == scalar_survivors(rule, symptom, candidates)
+
+    @settings(max_examples=200)
+    @given(rule=RULES, symptom=INTERVALS, candidates=CANDIDATES)
+    def test_raw_sequences_equal_interval_columns(
+        self, rule, symptom, candidates
+    ):
+        starts = [start for start, _end in candidates]
+        ends = [end for _start, end in candidates]
+        assert rule.joined_batch(symptom, starts, ends) == rule.joined_batch(
+            symptom, columns_of(candidates)
+        )
+
+    @settings(max_examples=200)
+    @given(rule=RULES, symptom=INTERVALS, candidates=CANDIDATES)
+    def test_survivor_indices_are_sorted_and_unique(
+        self, rule, symptom, candidates
+    ):
+        got = rule.joined_batch(symptom, columns_of(candidates))
+        assert got == sorted(set(got))
+        assert all(0 <= k < len(candidates) for k in got)
+
+
+# -- per-option coverage (each exercises one code path deliberately) ---
+
+def _rule(option, x, y, symptom_option=ExpandOption.START_END):
+    return TemporalJoinRule(
+        symptom=TemporalExpansion(symptom_option, 0, 0),
+        diagnostic=TemporalExpansion(option, float(x), float(y)),
+    )
+
+
+class TestCasePaths:
+    def test_start_start_contiguous_run(self):
+        rule = _rule(ExpandOption.START_START, 10, 10)
+        candidates = [(0.0, 5.0), (40.0, 45.0), (50.0, 90.0), (80.0, 81.0)]
+        got = rule.joined_batch((45.0, 60.0), columns_of(candidates))
+        assert got == scalar_survivors(rule, (45.0, 60.0), candidates)
+        assert got == [1, 2]  # ends are irrelevant under Start-Start
+
+    def test_end_end_uses_end_order_then_resorts(self):
+        rule = _rule(ExpandOption.END_END, 5, 5)
+        # start order and end order disagree: candidate 1 starts later
+        # but ends earlier than candidate 2
+        candidates = [(0.0, 100.0), (40.0, 48.0), (10.0, 90.0)]
+        got = rule.joined_batch((45.0, 60.0), columns_of(candidates))
+        assert got == scalar_survivors(rule, (45.0, 60.0), candidates)
+        assert got == [1]
+
+    def test_start_end_prefix_suffix_intersection(self):
+        rule = _rule(ExpandOption.START_END, 5, 5)
+        candidates = [(0.0, 10.0), (20.0, 70.0), (48.0, 49.0), (90.0, 95.0)]
+        got = rule.joined_batch((45.0, 60.0), columns_of(candidates))
+        assert got == scalar_survivors(rule, (45.0, 60.0), candidates)
+        assert got == [1, 2]
+
+    def test_start_end_negative_sum_falls_back_to_scalar(self):
+        # X + Y < 0: short candidates invert individually and collapse
+        # to midpoints; no single contiguous structure exists
+        rule = _rule(ExpandOption.START_END, -30, 3)
+        candidates = [
+            (40.0, 41.0),   # inverts: midpoint 55.5 — inside
+            (40.0, 90.0),   # long enough: window [70, 93] — outside
+            (0.0, 200.0),   # window [30, 203] — inside
+        ]
+        symptom = (45.0, 60.0)
+        got = rule.joined_batch(symptom, columns_of(candidates))
+        assert got == scalar_survivors(rule, symptom, candidates)
+        assert got == [0, 2]
+
+    def test_inverted_symptom_window_collapses(self):
+        rule = TemporalJoinRule(
+            symptom=TemporalExpansion(ExpandOption.START_START, -20, -20),
+            diagnostic=TemporalExpansion(ExpandOption.START_START, 1, 1),
+        )
+        # symptom window inverts to the single instant 45.0
+        candidates = [(44.5, 46.0), (46.5, 47.0), (100.0, 101.0)]
+        got = rule.joined_batch((45.0, 60.0), columns_of(candidates))
+        assert got == scalar_survivors(rule, (45.0, 60.0), candidates)
+        assert got == [0]
+
+
+class TestIntervalColumns:
+    def test_empty_columns_yield_no_survivors(self):
+        rule = _rule(ExpandOption.START_END, 5, 5)
+        assert rule.joined_batch((0.0, 1.0), IntervalColumns([], [])) == []
+
+    def test_length_mismatch_is_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalColumns([1.0, 2.0], [3.0])
+
+    def test_end_order_is_memoized(self):
+        columns = IntervalColumns([0.0, 1.0], [5.0, 2.0])
+        assert columns.end_order == [1, 0]
+        assert columns.end_order is columns.end_order
+        assert columns.sorted_ends == [2.0, 5.0]
