@@ -20,6 +20,10 @@ Subcommands mirror the operator workflows of the paper:
 * ``repro-grca api <scenario>`` — expose the scenario's RCA service
   over the network: N independent service shards behind the stdlib
   HTTP/JSON gateway (``POST /v1/jobs``, ``GET /v1/health``, ...);
+* ``repro-grca incidents list|show|report|top`` — fold a scenario's
+  diagnoses into deduplicated incidents (:mod:`repro.incident`): list
+  them, dump one as ``grca-incident/1`` JSON, render the standardized
+  sectioned RCA report, or rank top-offender locations;
 * ``repro-grca eval`` — run the scored evaluation scenarios
   (:mod:`repro.eval`): seeded failure-injected replays graded on
   accuracy / coverage / localization / honesty, with a matrix artifact
@@ -40,6 +44,7 @@ from .core.knowledge import KnowledgeLibrary
 from .core.rulespec import RuleSpecError, SpecCompiler
 from .simulation import (
     backbone_probe_month,
+    bgp_flap_storm,
     bgp_month,
     cdn_month,
     cpu_bgp_study,
@@ -49,6 +54,7 @@ from .simulation import (
 _SCENARIOS = {
     "backbone-month": (backbone_probe_month, BackboneApp),
     "bgp-month": (bgp_month, BgpFlapApp),
+    "bgp-storm": (bgp_flap_storm, BgpFlapApp),
     "cdn-month": (cdn_month, CdnApp),
     "pim-fortnight": (pim_fortnight, PimApp),
 }
@@ -159,6 +165,71 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="per-shard job queue admission-control limit")
     api.add_argument("--deadline", type=float, default=None,
                      help="per-job deadline in seconds (default unbounded)")
+    api.add_argument("--incident-gap", type=float, default=3600.0,
+                     metavar="SECONDS",
+                     help="incident dedupe window behind GET /v1/incidents "
+                          "(default 3600)")
+
+    incidents = sub.add_parser(
+        "incidents",
+        help="aggregate a scenario's diagnoses into deduplicated "
+             "incidents (list / show / report / top)",
+    )
+    incidents_sub = incidents.add_subparsers(
+        dest="incidents_command", required=True
+    )
+
+    def add_incident_args(command):
+        command.add_argument("scenario", choices=sorted(_SCENARIOS))
+        add_backend_args(command)
+        command.add_argument("--seed", type=int, default=1)
+        command.add_argument("--size", type=int, default=300,
+                             help="number of symptom events to inject")
+        command.add_argument("--gap", type=float, default=3600.0,
+                             metavar="SECONDS",
+                             help="dedupe window: a repeat symptom within "
+                                  "GAP of an incident's last activity "
+                                  "folds in (default 3600)")
+
+    inc_list = incidents_sub.add_parser(
+        "list", help="one line per deduplicated incident"
+    )
+    add_incident_args(inc_list)
+    inc_list.add_argument("--cause", default=None,
+                          help="only incidents with this root cause")
+    inc_list.add_argument("--flapping", action="store_true",
+                          help="only incidents with flap count > 1")
+
+    inc_show = incidents_sub.add_parser(
+        "show", help="one incident as grca-incident/1 JSON"
+    )
+    add_incident_args(inc_show)
+    inc_show.add_argument("incident_id",
+                          help="incident id from `incidents list`")
+    inc_show.add_argument("--timeline", action="store_true",
+                          help="print the revision timeline instead of "
+                               "the latest document")
+
+    inc_report = incidents_sub.add_parser(
+        "report", help="standardized sectioned RCA report (markdown)"
+    )
+    add_incident_args(inc_report)
+    inc_report.add_argument("--id", dest="incident_id", default=None,
+                            help="incident to report on (default: most "
+                                 "flapping)")
+    inc_report.add_argument("--out", metavar="FILE", default=None,
+                            help="write the report to FILE instead of "
+                                 "stdout")
+    inc_report.add_argument("--json", action="store_true",
+                            help="emit the grca-incident/1 JSON document "
+                                 "instead of markdown")
+
+    inc_top = incidents_sub.add_parser(
+        "top", help="top offender locations + cause breakdown over time"
+    )
+    add_incident_args(inc_top)
+    inc_top.add_argument("--limit", type=int, default=10,
+                         help="offender rows to print (default 10)")
 
     evaluate = sub.add_parser(
         "eval",
@@ -217,6 +288,7 @@ def _run_scenario(name: str, seed: int, size: int):
     size_kwarg = {
         "backbone-month": "total_losses",
         "bgp-month": "total_flaps",
+        "bgp-storm": "total_flaps",
         "cdn-month": "total_degradations",
         "pim-fortnight": "total_changes",
     }[name]
@@ -448,6 +520,8 @@ def _cmd_api(args) -> int:
         workers=max(1, args.workers),
         queue_depth=args.queue_depth,
         default_deadline=args.deadline,
+        incidents=True,
+        incident_gap=args.incident_gap,
     )
     gateway = RcaGateway(router, host=args.host, port=args.port).start()
     # the URL line is a contract: the CI smoke test (and any wrapper
@@ -465,6 +539,106 @@ def _cmd_api(args) -> int:
         print("\nshutting down", flush=True)
     finally:
         gateway.stop()
+    return 0
+
+
+def _build_incident_store(args):
+    """Diagnose the scenario and fold the stream into an IncidentStore."""
+    from .incident import IncidentAggregator, IncidentStore
+
+    result, app_cls = _run_scenario(args.scenario, args.seed, args.size)
+    app = app_cls.build(result.platform())
+    browser = app.run(result.start, result.end)
+    if getattr(args, "backend", None) == "sqlite" and args.store_path:
+        store = IncidentStore.sqlite(args.store_path)
+    else:
+        store = IncidentStore()
+    aggregator = IncidentAggregator(gap_seconds=args.gap, sink=store.record)
+    for diagnosis in browser.diagnoses:
+        aggregator.observe(diagnosis)
+    aggregator.advance(result.end + args.gap + 1.0)
+    return store, aggregator, len(browser)
+
+
+def _cmd_incidents(args) -> int:
+    import json
+
+    from .incident import render_incident_report, render_incident_summary
+
+    store, aggregator, n_diagnoses = _build_incident_store(args)
+
+    if args.incidents_command == "list":
+        incidents = store.incidents(cause=args.cause)
+        if args.flapping:
+            incidents = [i for i in incidents if i.flap_count > 1]
+        stats = aggregator.stats()
+        print(f"scenario {args.scenario}: {n_diagnoses} diagnoses -> "
+              f"{stats['incidents']} incidents "
+              f"(gap {args.gap:.0f}s, "
+              f"{stats['deduped_reemissions']} re-emissions deduped)\n")
+        print(render_incident_summary(incidents))
+        return 0
+
+    if args.incidents_command == "show":
+        try:
+            if args.timeline:
+                revisions = store.timeline(args.incident_id)
+                document = [r.to_json() for r in revisions]
+            else:
+                document = store.get(args.incident_id).to_json()
+        except KeyError:
+            print(f"error: unknown incident {args.incident_id!r} "
+                  f"(see `incidents list`)", file=sys.stderr)
+            return 1
+        print(json.dumps(document, indent=2, sort_keys=True,
+                         allow_nan=False))
+        return 0
+
+    if args.incidents_command == "report":
+        incidents = store.incidents()
+        if not incidents:
+            print("error: the scenario produced no incidents",
+                  file=sys.stderr)
+            return 1
+        if args.incident_id is not None:
+            try:
+                incident = store.get(args.incident_id)
+            except KeyError:
+                print(f"error: unknown incident {args.incident_id!r} "
+                      f"(see `incidents list`)", file=sys.stderr)
+                return 1
+        else:
+            incident = max(
+                incidents,
+                key=lambda i: (i.flap_count, i.duration, i.incident_id),
+            )
+        if args.json:
+            text = json.dumps(incident.to_json(), indent=2, sort_keys=True,
+                              allow_nan=False) + "\n"
+        else:
+            text = render_incident_report(incident, related=incidents)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(text)
+            print(f"report written to {args.out}")
+        else:
+            print(text, end="")
+        return 0
+
+    # top: offender locations, then the cause distribution over time
+    offenders = store.top_offenders(limit=args.limit)
+    print(f"scenario {args.scenario}: top {len(offenders)} offender "
+          f"location(s) across {len(store)} incidents\n")
+    width = max([len("Location")] + [len(r["location"]) for r in offenders])
+    print(f"{'Location':<{width}}  Incidents  Flaps  Causes")
+    for row in offenders:
+        print(f"{row['location']:<{width}}  {row['incidents']:>9}  "
+              f"{row['flaps']:>5}  {', '.join(row['causes'])}")
+    print("\nroot-cause distribution (incidents per day):")
+    for cause, buckets in store.breakdown().items():
+        total = sum(count for _bucket, count in buckets)
+        days = len(buckets)
+        print(f"  {cause}: {total} incident(s) over {days} day(s)")
     return 0
 
 
@@ -565,6 +739,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "api":
         return _cmd_api(args)
+    if args.command == "incidents":
+        return _cmd_incidents(args)
     if args.command == "eval":
         return _cmd_eval(args)
     raise AssertionError(f"unhandled command {args.command!r}")

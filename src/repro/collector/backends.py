@@ -25,9 +25,16 @@ config-only), or per table by passing a factory.
 Contract
 --------
 
-A backend is **not** thread-safe and never needs to be: the owning
-:class:`~repro.collector.store.Table` façade serializes every call
-under its lock.  Canonical result order is ``(timestamp, arrival
+A backend reached *through* a :class:`~repro.collector.store.Table`
+façade is serialized under the table's lock, so :class:`MemoryBackend`
+does not need to be thread-safe.  :class:`SqliteBackend` additionally
+serializes its own connection access internally: the incident store
+(:mod:`repro.incident.store`) and other direct consumers share one
+backend across service worker threads without a table façade in
+between, and SQLite's single shared connection
+(``check_same_thread=False``) silently loses interleaved
+execute/commit pairs without that guard.  Canonical result order is
+``(timestamp, arrival
 sequence)`` — both backends return byte-identical record lists for the
 same inserts and queries (pinned by the property-based oracle tests in
 ``tests/collector/test_backends.py``).  Windows are inclusive on both
@@ -450,6 +457,13 @@ class SqliteBackend(StorageBackend):
     Connections are reopened transparently after a ``fork()`` (the
     service's batch fork backend inherits engines copy-on-write), keyed
     on the current PID.
+
+    All connection access is serialized under an internal lock: the
+    single shared connection (``check_same_thread=False``) is *not* safe
+    for concurrent writers — interleaved execute/commit pairs silently
+    drop rows or raise ``cannot start a transaction within a
+    transaction`` — and direct consumers such as the incident store
+    write from many service threads without a Table façade in front.
     """
 
     name = "sqlite"
@@ -475,6 +489,7 @@ class SqliteBackend(StorageBackend):
         self._pid: Optional[int] = None
         self._conn: Optional[sqlite3.Connection] = None
         self._last_ts: Optional[float] = None
+        self._lock = threading.RLock()
         self.inserts = 0
         self.out_of_order = 0
         self._connect()
@@ -524,17 +539,19 @@ class SqliteBackend(StorageBackend):
         values.append(pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL))
         placeholders = ", ".join("?" for _ in values)
         columns = "".join(f", {self._column_sql(c)}" for c in self._columns)
-        conn = self._connection()
-        conn.execute(
-            f"INSERT INTO records (ts{columns}, payload) VALUES ({placeholders})",
-            values,
-        )
-        conn.commit()
-        self.inserts += 1
-        if self._last_ts is not None and record.timestamp < self._last_ts:
-            self.out_of_order += 1
-        elif self._last_ts is None or record.timestamp > self._last_ts:
-            self._last_ts = record.timestamp
+        with self._lock:
+            conn = self._connection()
+            conn.execute(
+                f"INSERT INTO records (ts{columns}, payload) "
+                f"VALUES ({placeholders})",
+                values,
+            )
+            conn.commit()
+            self.inserts += 1
+            if self._last_ts is not None and record.timestamp < self._last_ts:
+                self.out_of_order += 1
+            elif self._last_ts is None or record.timestamp > self._last_ts:
+                self._last_ts = record.timestamp
 
     def query(
         self,
@@ -556,9 +573,10 @@ class SqliteBackend(StorageBackend):
                 clauses.append(f"{self._column_sql(column)} = ?")
                 params.append(value)
         where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
-        rows = self._connection().execute(
-            f"SELECT payload FROM records{where} ORDER BY ts, id", params
-        ).fetchall()
+        with self._lock:
+            rows = self._connection().execute(
+                f"SELECT payload FROM records{where} ORDER BY ts, id", params
+            ).fetchall()
         result = []
         for (payload,) in rows:
             record = pickle.loads(payload)
@@ -568,9 +586,10 @@ class SqliteBackend(StorageBackend):
 
     def scan(self) -> List[Any]:
         """Every record, decoded, in (ts, insertion id) order."""
-        rows = self._connection().execute(
-            "SELECT payload FROM records ORDER BY ts, id"
-        ).fetchall()
+        with self._lock:
+            rows = self._connection().execute(
+                "SELECT payload FROM records ORDER BY ts, id"
+            ).fetchall()
         return [pickle.loads(payload) for (payload,) in rows]
 
     def distinct(self, column: str) -> List[Any]:
@@ -581,17 +600,19 @@ class SqliteBackend(StorageBackend):
 
     def time_span(self) -> Optional[Tuple[float, float]]:
         """(oldest, newest) timestamp via MIN/MAX, or None when empty."""
-        row = self._connection().execute(
-            "SELECT MIN(ts), MAX(ts) FROM records"
-        ).fetchone()
+        with self._lock:
+            row = self._connection().execute(
+                "SELECT MIN(ts), MAX(ts) FROM records"
+            ).fetchone()
         if row is None or row[0] is None:
             return None
         return float(row[0]), float(row[1])
 
     def __len__(self) -> int:
-        row = self._connection().execute(
-            "SELECT COUNT(*) FROM records"
-        ).fetchone()
+        with self._lock:
+            row = self._connection().execute(
+                "SELECT COUNT(*) FROM records"
+            ).fetchone()
         return int(row[0])
 
     def stats(self) -> Dict[str, Any]:
@@ -606,9 +627,10 @@ class SqliteBackend(StorageBackend):
 
     def close(self) -> None:
         """Close the connection owned by this process (fork-safe)."""
-        if self._conn is not None and self._pid == os.getpid():
-            self._conn.close()
-        self._conn = None
+        with self._lock:
+            if self._conn is not None and self._pid == os.getpid():
+                self._conn.close()
+            self._conn = None
 
 
 class StorageUnavailable(ConnectionError):

@@ -18,6 +18,22 @@ from .engine import Diagnosis
 from .reasoning.rule_based import UNKNOWN
 
 
+def escape_markdown_cell(text: str) -> str:
+    """Escape a value for interpolation into a markdown table cell.
+
+    Pipes delimit columns and newlines end rows, so a root-cause label
+    containing either would corrupt the table.  Shared by
+    :meth:`ResultBrowser.report` and the incident report renderer
+    (:mod:`repro.incident.report`).
+    """
+    return (
+        str(text)
+        .replace("\\", "\\\\")
+        .replace("|", "\\|")
+        .replace("\n", " ")
+    )
+
+
 @dataclass(frozen=True)
 class BreakdownRow:
     """One row of a root-cause breakdown table."""
@@ -170,7 +186,17 @@ class ResultBrowser:
     def trend(
         self, bucket_seconds: float = 86400.0
     ) -> Dict[str, List[Tuple[float, int]]]:
-        """Per-cause counts over time buckets (daily by default)."""
+        """Per-cause counts over time buckets (daily by default).
+
+        Buckets are floor-aligned to multiples of ``bucket_seconds``, so
+        a pre-epoch timestamp lands in the bucket *below* it (e.g. start
+        ``-10`` with daily buckets belongs to bucket ``-86400.0``), not
+        in bucket ``0``.  ``bucket_seconds`` must be positive.
+        """
+        if bucket_seconds <= 0:
+            raise ValueError(
+                f"bucket_seconds must be positive, got {bucket_seconds!r}"
+            )
         series: Dict[str, Dict[float, int]] = {}
         for diagnosis in self.diagnoses:
             bucket = diagnosis.symptom.start - (
@@ -206,7 +232,8 @@ class ResultBrowser:
         lines.append("|---|---:|---:|")
         for row in self.breakdown():
             lines.append(
-                f"| {row.root_cause} | {row.count} | {row.percentage:.2f} |"
+                f"| {escape_markdown_cell(row.root_cause)} "
+                f"| {row.count} | {row.percentage:.2f} |"
             )
         lines.append("")
         lines.append("## Daily trend")
@@ -258,7 +285,14 @@ class ResultBrowser:
         return rates
 
     def format_trend(self, bucket_seconds: float = 86400.0) -> str:
-        """Render the trend as aligned text (cause x bucket counts)."""
+        """Render the trend as aligned text (cause x bucket counts).
+
+        ``bucket_seconds`` must be positive (see :meth:`trend`).
+        """
+        if bucket_seconds <= 0:
+            raise ValueError(
+                f"bucket_seconds must be positive, got {bucket_seconds!r}"
+            )
         trend = self.trend(bucket_seconds)
         all_buckets = sorted({b for rows in trend.values() for b, _ in rows})
         if not all_buckets:

@@ -45,8 +45,15 @@ DIAGNOSIS_SCHEMA = "grca-diagnosis/1"
 # scalar helpers
 
 
-def _encode_float(value: float) -> Any:
-    """A float as strict JSON: ``inf``/``-inf`` become strings."""
+def encode_float(value: float) -> Any:
+    """A float as strict JSON: ``inf``/``-inf``/``nan`` become strings.
+
+    Python's lenient :mod:`json` would otherwise emit the bare tokens
+    ``Infinity``/``NaN``, which are not JSON and break strict parsers
+    (``json.dumps(..., allow_nan=False)`` refuses them outright).
+    """
+    if value != value:  # NaN is the only float that differs from itself
+        return "nan"
     if value == float("inf"):
         return "inf"
     if value == float("-inf"):
@@ -54,12 +61,20 @@ def _encode_float(value: float) -> Any:
     return value
 
 
-def _decode_float(value: Any) -> float:
+def decode_float(value: Any) -> float:
+    """Inverse of :func:`encode_float`: restore non-finite sentinels."""
+    if value == "nan":
+        return float("nan")
     if value == "inf":
         return float("inf")
     if value == "-inf":
         return float("-inf")
     return float(value)
+
+
+# Historical private names, kept for callers that imported them.
+_encode_float = encode_float
+_decode_float = decode_float
 
 
 def _encode_value(value: Any) -> Any:
@@ -268,7 +283,7 @@ def diagnosis_to_dict(diagnosis) -> Dict[str, Any]:
             ),
         },
         "gaps": [gap_to_dict(gap) for gap in diagnosis.gaps],
-        "confidence": diagnosis.confidence,
+        "confidence": _encode_float(diagnosis.confidence),
         "caveats": list(diagnosis.caveats),
         "footprint": [
             [table, _encode_float(lo), _encode_float(hi)]
@@ -329,7 +344,7 @@ def diagnosis_from_dict(data: Dict[str, Any]):
             evidence=evidence,
             result=result,
             gaps=[gap_from_dict(gap) for gap in data.get("gaps", [])],
-            confidence=data.get("confidence", 1.0),
+            confidence=_decode_float(data.get("confidence", 1.0)),
             caveats=list(data.get("caveats", [])),
             footprint=tuple(
                 (table, _decode_float(lo), _decode_float(hi))

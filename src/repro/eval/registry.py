@@ -1,6 +1,6 @@
 """The named scenario registry: the workloads every PR is scored on.
 
-Ten scenarios in four families:
+Eleven scenarios in five families:
 
 * **paper apps** (gated): ``bgp_month_core`` / ``cdn_month_core`` /
   ``pim_fortnight_core`` replay scaled-down versions of the paper's
@@ -10,6 +10,9 @@ Ten scenarios in four families:
   probe-loss workload;
 * **degraded feeds**: outage / lag / corruption scripted on diagnostic
   feeds, scoring the evidence-gap honesty dimension for real;
+* **incident lifecycle** (non-gating): ``bgp_incident_dedupe`` replays
+  a flap storm through the incident aggregator and reports dedupe
+  counts (incidents, flap totals) in the matrix artifact;
 * **serving layer**: the same bgp workload pushed through the worker
   pool (``service``), through the pool with chaos (worker crashes +
   transient failures), and end-to-end over the HTTP gateway.
@@ -143,6 +146,20 @@ def _build_registry() -> Dict[str, Scenario]:
             ),
             thresholds=ScenarioThresholds(accuracy=0.70),
             tags=("cdn", "degraded"),
+        ),
+        # -- incident lifecycle (non-gating) ---------------------------
+        Scenario(
+            name="bgp_incident_dedupe",
+            description="Flap-storm workload folded through the "
+                        "incident aggregator: repeated same-cause "
+                        "same-location symptoms must collapse into "
+                        "deduped incidents with flap counts > 1 "
+                        "(counts reported, no gate).",
+            app="bgp_storm",
+            seed=9108,
+            size=60,
+            topology=_BGP_SMALL_TOPOLOGY,
+            tags=("bgp", "incidents"),
         ),
         # -- serving layer ---------------------------------------------
         Scenario(

@@ -34,6 +34,7 @@ from ..simulation import (
     GroundTruth,
     SimulationResult,
     backbone_probe_month,
+    bgp_flap_storm,
     bgp_month,
     cdn_month,
     pim_fortnight,
@@ -65,6 +66,8 @@ class RunOutcome:
     #: service-mode extras: metrics snapshot, chaos firing counts
     service_metrics: Optional[Dict[str, Any]] = None
     chaos_fired: Dict[str, int] = field(default_factory=dict)
+    #: incident-dedupe rollup (scenarios tagged ``incidents`` only)
+    incident_counts: Dict[str, int] = field(default_factory=dict)
 
 
 def _seconds_per_day() -> float:
@@ -78,6 +81,7 @@ def _workloads():
 
     return {
         "bgp_flaps": (bgp_month, BgpFlapApp, "total_flaps"),
+        "bgp_storm": (bgp_flap_storm, BgpFlapApp, "total_flaps"),
         "cdn": (cdn_month, CdnApp, "total_degradations"),
         "pim": (pim_fortnight, PimApp, "total_changes"),
         "backbone": (backbone_probe_month, BackboneApp, "total_losses"),
@@ -85,7 +89,7 @@ def _workloads():
 
 
 #: workloads whose builders accept a ``feed_faults`` callback
-FEED_FAULT_APPS = ("bgp_flaps", "cdn")
+FEED_FAULT_APPS = ("bgp_flaps", "bgp_storm", "cdn")
 
 
 class ScenarioRunner:
@@ -179,7 +183,45 @@ class ScenarioRunner:
         else:  # http
             self._run_http(scenario, result, app, symptoms, outcome)
         outcome.wall_seconds = self.clock() - t0
+        if "incidents" in scenario.tags:
+            outcome.incident_counts = self._fold_incidents(outcome)
         return outcome
+
+    @staticmethod
+    def _fold_incidents(outcome: RunOutcome) -> Dict[str, int]:
+        """Fold the diagnoses through the incident aggregator.
+
+        Scenarios tagged ``incidents`` measure the dedupe layer: how
+        many distinct incidents a symptom storm collapses into, and how
+        hard the worst offender flapped.  Diagnoses are replayed in
+        symptom order (service/http modes may complete jobs out of
+        order) so the rollup is deterministic.
+        """
+        from ..incident import IncidentAggregator
+
+        aggregator = IncidentAggregator(gap_seconds=3600.0)
+        ordered = sorted(
+            outcome.diagnoses,
+            key=lambda d: (
+                d.symptom.start,
+                d.symptom.name,
+                d.symptom.location.parts,
+            ),
+        )
+        for diagnosis in ordered:
+            aggregator.observe(diagnosis)
+        aggregator.advance(outcome.end + 3600.0 + 1.0)
+        incidents = aggregator.incidents()
+        return {
+            "incidents": len(incidents),
+            "incident_flaps": sum(i.flap_count for i in incidents),
+            "incident_flapping": sum(
+                1 for i in incidents if i.flap_count > 1
+            ),
+            "incident_max_flap": max(
+                (i.flap_count for i in incidents), default=0
+            ),
+        }
 
     def _collected_feed_faults(self, result: SimulationResult) -> List[FeedFault]:
         """Injected impairment intervals, read back off the registry.

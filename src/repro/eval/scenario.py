@@ -108,7 +108,7 @@ class Scenario:
 
     name: str
     description: str
-    app: str  # "bgp_flaps" | "cdn" | "pim" | "backbone"
+    app: str  # "bgp_flaps" | "bgp_storm" | "cdn" | "pim" | "backbone"
     seed: int
     size: int  # workload size (flaps / degradations / changes / losses)
     mode: str = "engine"  # "engine" | "service" | "http"

@@ -49,6 +49,9 @@ CAUSE_ALIASES: Dict[str, Dict[str, str]] = {
     "bgp_flaps": {
         names.EBGP_HTE: "eBGP HTE (due to unknown reasons)",
     },
+    "bgp_storm": {
+        names.EBGP_HTE: "eBGP HTE (due to unknown reasons)",
+    },
     "cdn": {
         names.BGP_EGRESS_CHANGE: "Egress Change due to Inter-domain routing change",
         names.LINK_CONGESTION: "Link Congestions",
@@ -284,6 +287,7 @@ class Scorer:
         }
         for rule, fired in sorted(outcome.chaos_fired.items()):
             counts[f"chaos_{rule}"] = fired
+        counts.update(outcome.incident_counts)
         timing = self._timing(outcome)
         return EvaluationResult(
             scenario=scenario.name,

@@ -1,0 +1,285 @@
+"""Folding diagnosis streams into deduplicated incidents.
+
+A month of telemetry over a flapping BGP session produces hundreds of
+diagnosed symptom instances that are, to an operator, *one* incident:
+same root cause, same location, one contiguous stretch of time.  The
+:class:`IncidentAggregator` performs that collapse — Groot's deployment
+experience (PAPERS.md) is the motivation: thousands of correlated
+alerts must become a handful of actionable items.
+
+Dedupe identity is ``(symptom name, annotated root cause, resolved
+location)``; the *time window* dimension is gap-based: a new symptom
+within ``gap_seconds`` of the incident's last activity folds in
+(flap count += 1), a later one closes the window and opens a fresh
+incident.  Re-emissions of the *same* symptom instance (the streaming
+engine re-diagnoses settled symptoms when late evidence lands) are
+recognized by :func:`~repro.core.events.instance_key` and do **not**
+inflate the flap count.
+
+Everything is derived from event timestamps — no wall clock anywhere —
+so replaying the same seed twice produces byte-identical incidents
+(pinned by the end-to-end tests).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..core.engine import Diagnosis
+from ..core.events import InstanceKey, instance_key
+from ..core.locations import Location
+
+#: Caveat strings kept per incident (rollup, not a transcript).
+MAX_CAVEATS = 8
+
+#: What an incident is deduplicated by: (symptom name, annotated cause,
+#: location type value, location parts).
+IncidentGroupKey = Tuple[str, str, str, Tuple[str, ...]]
+
+
+def incident_id_for(
+    symptom: str, cause: str, location: Location, window_start: float
+) -> str:
+    """Deterministic incident id — stable across runs of the same seed.
+
+    A content hash, not a counter: two processes (or two replays)
+    aggregating the same stream agree on ids without coordination.
+    """
+    seed = (
+        f"{symptom}\x1f{cause}\x1f{location.type.value}"
+        f"\x1f{':'.join(location.parts)}\x1f{window_start:.1f}"
+    )
+    return "inc-" + hashlib.sha1(seed.encode("utf-8")).hexdigest()[:12]
+
+
+@dataclass
+class Incident:
+    """One deduplicated incident: repeated symptoms, one cause, one place."""
+
+    incident_id: str
+    symptom_name: str
+    cause: str
+    location: Location
+    window_start: float
+    first_seen: float
+    last_seen: float
+    #: distinct symptom instances folded in (>1 means the symptom flapped)
+    flap_count: int = 1
+    #: bumped on every state change; the store's drill-down timeline is
+    #: the revision log
+    revision: int = 1
+    open: bool = True
+    #: rollups over folded diagnoses
+    confidence_total: float = 1.0
+    confidence_min: float = 1.0
+    degraded_count: int = 0
+    gap_sources: Tuple[str, ...] = ()
+    caveats: Tuple[str, ...] = ()
+    #: representative diagnosis (the first folded in), carried whole so
+    #: reports and API consumers can show a worked evidence trace
+    example: Optional[Diagnosis] = field(default=None, compare=False, repr=False)
+
+    @property
+    def confidence_mean(self) -> float:
+        return self.confidence_total / max(self.flap_count, 1)
+
+    @property
+    def duration(self) -> float:
+        return self.last_seen - self.first_seen
+
+    @property
+    def is_degraded(self) -> bool:
+        return self.degraded_count > 0
+
+    def to_json(self) -> Dict:
+        """This incident as a ``grca-incident/1`` JSON-ready dict."""
+        from .serialize import incident_to_dict
+
+        return incident_to_dict(self)
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "Incident":
+        """Rebuild an incident from its :meth:`to_json` form."""
+        from .serialize import incident_from_dict
+
+        return incident_from_dict(data)
+
+
+#: Called with every incident revision (new or updated).
+IncidentCallback = Callable[[Incident], None]
+
+
+class IncidentAggregator:
+    """Folds diagnoses into incidents; safe to feed from many threads.
+
+    ``observe`` matches the engine/streaming ``DiagnosisCallback``
+    signature, so an aggregator plugs directly into
+    :class:`~repro.core.streaming.StreamingRca` (``on_diagnosis=``) and
+    the service layer's ``incident_sink``.  Attach a sink (usually
+    :meth:`~repro.incident.store.IncidentStore.record`) to persist every
+    revision.
+    """
+
+    def __init__(
+        self,
+        gap_seconds: float = 3600.0,
+        sink: Optional[IncidentCallback] = None,
+    ) -> None:
+        if gap_seconds <= 0:
+            raise ValueError(
+                f"gap_seconds must be positive, got {gap_seconds!r}"
+            )
+        self.gap_seconds = gap_seconds
+        self._sink = sink
+        self._lock = threading.Lock()
+        self._active: Dict[IncidentGroupKey, Incident] = {}
+        self._closed: List[Incident] = []
+        self._members: Dict[str, Set[InstanceKey]] = {}
+        self.observed = 0
+        self.deduped = 0
+
+    # ------------------------------------------------------------------
+    # ingest
+
+    def observe(self, diagnosis: Diagnosis) -> Incident:
+        """Fold one diagnosis in; returns the (possibly new) incident."""
+        symptom = diagnosis.symptom
+        cause = diagnosis.annotated_cause
+        location = symptom.location
+        group: IncidentGroupKey = (
+            symptom.name,
+            cause,
+            location.type.value,
+            location.parts,
+        )
+        member = instance_key(symptom)
+        with self._lock:
+            self.observed += 1
+            incident = self._active.get(group)
+            if incident is not None:
+                if member in self._members[incident.incident_id]:
+                    # streaming re-emission of a known instance: refresh
+                    # rollups that may have changed, never the flap count
+                    self.deduped += 1
+                    self._refold(incident, diagnosis)
+                    self._emit(incident)
+                    return incident
+                if symptom.start - incident.last_seen > self.gap_seconds:
+                    incident.open = False
+                    incident.revision += 1
+                    self._emit(incident)
+                    self._closed.append(incident)
+                    incident = None
+            if incident is None:
+                incident = Incident(
+                    incident_id=incident_id_for(
+                        symptom.name, cause, location, symptom.start
+                    ),
+                    symptom_name=symptom.name,
+                    cause=cause,
+                    location=location,
+                    window_start=symptom.start,
+                    first_seen=symptom.start,
+                    last_seen=symptom.end,
+                    confidence_total=diagnosis.confidence,
+                    confidence_min=diagnosis.confidence,
+                    degraded_count=1 if diagnosis.gaps else 0,
+                    gap_sources=tuple(
+                        sorted({gap.source for gap in diagnosis.gaps})
+                    ),
+                    caveats=tuple(diagnosis.caveats[:MAX_CAVEATS]),
+                    example=diagnosis,
+                )
+                self._active[group] = incident
+                self._members[incident.incident_id] = {member}
+                self._emit(incident)
+                return incident
+            # a new flap of the active incident
+            self._members[incident.incident_id].add(member)
+            incident.flap_count += 1
+            incident.revision += 1
+            incident.first_seen = min(incident.first_seen, symptom.start)
+            incident.last_seen = max(incident.last_seen, symptom.end)
+            incident.confidence_total += diagnosis.confidence
+            incident.confidence_min = min(
+                incident.confidence_min, diagnosis.confidence
+            )
+            self._roll_gaps(incident, diagnosis)
+            self._emit(incident)
+            return incident
+
+    def _refold(self, incident: Incident, diagnosis: Diagnosis) -> None:
+        """A re-emitted instance: refresh gap rollups, bump the revision."""
+        incident.revision += 1
+        incident.confidence_min = min(
+            incident.confidence_min, diagnosis.confidence
+        )
+        self._roll_gaps(incident, diagnosis)
+
+    @staticmethod
+    def _roll_gaps(incident: Incident, diagnosis: Diagnosis) -> None:
+        if diagnosis.gaps:
+            incident.degraded_count += 1
+            incident.gap_sources = tuple(
+                sorted(
+                    set(incident.gap_sources)
+                    | {gap.source for gap in diagnosis.gaps}
+                )
+            )
+        fresh = [c for c in diagnosis.caveats if c not in incident.caveats]
+        if fresh:
+            room = MAX_CAVEATS - len(incident.caveats)
+            incident.caveats = incident.caveats + tuple(fresh[:room])
+
+    def _emit(self, incident: Incident) -> None:
+        if self._sink is not None:
+            self._sink(incident)
+
+    # ------------------------------------------------------------------
+    # views
+
+    def advance(self, now: float) -> List[Incident]:
+        """Close active incidents idle past the gap; returns them."""
+        closed = []
+        with self._lock:
+            for group, incident in list(self._active.items()):
+                if now - incident.last_seen > self.gap_seconds:
+                    incident.open = False
+                    incident.revision += 1
+                    self._emit(incident)
+                    self._closed.append(incident)
+                    del self._active[group]
+                    closed.append(incident)
+        return closed
+
+    def incidents(self) -> List[Incident]:
+        """Every incident (closed + active), ordered by first activity."""
+        with self._lock:
+            items = self._closed + list(self._active.values())
+        return sorted(items, key=lambda i: (i.first_seen, i.incident_id))
+
+    def active(self) -> List[Incident]:
+        """Incidents still inside their activity window."""
+        with self._lock:
+            items = list(self._active.values())
+        return sorted(items, key=lambda i: (i.first_seen, i.incident_id))
+
+    def get(self, incident_id: str) -> Incident:
+        """One incident by id; raises :class:`KeyError` when unknown."""
+        for incident in self.incidents():
+            if incident.incident_id == incident_id:
+                return incident
+        raise KeyError(incident_id)
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for metrics surfaces."""
+        with self._lock:
+            return {
+                "observed": self.observed,
+                "deduped_reemissions": self.deduped,
+                "incidents": len(self._closed) + len(self._active),
+                "active": len(self._active),
+            }

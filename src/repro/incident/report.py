@@ -1,0 +1,227 @@
+"""The standardized sectioned RCA report.
+
+Renders one :class:`~repro.incident.aggregate.Incident` into the
+seven-section write-up operators hand to the next shift — the template
+contract in SNIPPETS.md Snippet 2 (ITrack's ``final_rca_template.md``):
+numbered sections in this exact order —
+
+1. Issue Summary, 2. Impact Analysis, 3. Root Causes, 4. Resolution,
+5. Preventive Measures, 6. Supplementary Information, 7. Conclusion —
+
+with the Conclusion always present and non-empty.  Purely a function of
+the incident (no wall clock, no randomness), so the same incident
+renders byte-identically — golden-tested through the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.browser import escape_markdown_cell
+from ..core.reasoning.rule_based import UNKNOWN
+from .aggregate import Incident
+
+#: (cause substring, resolution, preventive measure) advice rows; first
+#: match wins, the tail entry is the generic fallback.
+_ADVICE: Tuple[Tuple[str, str, str], ...] = (
+    (
+        "maintenance",
+        "Confirm the maintenance window that covered this location and "
+        "verify service restoration at window close.",
+        "Gate maintenance activities behind drain/verify automation so "
+        "planned work cannot surface as customer-visible symptoms.",
+    ),
+    (
+        "flap",
+        "Inspect the flapping adjacency (interface errors, optics light "
+        "levels, line-card state) and stabilize or shut the port.",
+        "Enable dampening/hold-down on the adjacency and alarm on "
+        "crossing flap-rate thresholds before sessions churn.",
+    ),
+    (
+        "congestion",
+        "Rebalance or upgrade the congested path; verify QoS marking so "
+        "control traffic is not starved.",
+        "Capacity-plan against observed peaks and alert on sustained "
+        "utilization before loss begins.",
+    ),
+    (
+        "cpu",
+        "Identify the process driving CPU overload and throttle or "
+        "restart it; verify protocol timers recovered.",
+        "Set control-plane policing and CPU alarms below the level at "
+        "which protocol keepalives are missed.",
+    ),
+    (
+        UNKNOWN,
+        "No automated root cause was established — escalate to manual "
+        "drill-down over the raw feeds around this window.",
+        "Feed the confirmed manual finding back as a new diagnosis rule "
+        "so the next occurrence is classified automatically.",
+    ),
+    (
+        "",
+        "Validate the identified root cause against the device state and "
+        "clear the triggering condition.",
+        "Add a monitor on the root-cause signal itself so the next "
+        "occurrence pages before customers notice.",
+    ),
+)
+
+
+def _advice_for(cause: str) -> Tuple[str, str]:
+    lowered = cause.lower()
+    for needle, resolution, preventive in _ADVICE:
+        if needle.lower() in lowered:
+            return resolution, preventive
+    return _ADVICE[-1][1], _ADVICE[-1][2]
+
+
+def _severity(incident: Incident) -> str:
+    if incident.flap_count >= 10:
+        return "High"
+    if incident.flap_count >= 3 or incident.is_degraded:
+        return "Medium"
+    return "Low"
+
+
+def _span(seconds: float) -> str:
+    if seconds >= 86400:
+        return f"{seconds / 86400:.1f} days"
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f} hours"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f} minutes"
+    return f"{seconds:.1f} seconds"
+
+
+def render_incident_report(
+    incident: Incident, related: Sequence[Incident] = ()
+) -> str:
+    """The incident as a standardized markdown RCA report (7 sections)."""
+    cause = incident.cause
+    location = str(incident.location)
+    resolution, preventive = _advice_for(cause)
+    flaps = incident.flap_count
+    lines: List[str] = [
+        f"# Root Cause Analysis Report (RCA) - {escape_markdown_cell(cause)}"
+        f" Issue",
+        "",
+        "## 1. Issue Summary",
+        f"- **Summary**: Symptom `{incident.symptom_name}` was observed "
+        f"{flaps} time(s) at {location} over "
+        f"{_span(incident.duration)} and attributed to "
+        f"**{escape_markdown_cell(cause)}**.",
+        f"- **Incident ID**: `{incident.incident_id}`",
+        f"- **Status**: {'open' if incident.open else 'closed'} "
+        f"(revision {incident.revision})",
+        "",
+        "## 2. Impact Analysis",
+        f"- **Affected Module**: {location}",
+        f"- **Severity**: {_severity(incident)}",
+        f"- **Priority**: {'P1' if _severity(incident) == 'High' else 'P2'}",
+        f"- **Defect Phase**: operations",
+        f"- **Symptom Occurrences**: {flaps}"
+        + (" (flapping)" if flaps > 1 else ""),
+        f"- **Window**: {incident.first_seen:.1f} .. "
+        f"{incident.last_seen:.1f} ({_span(incident.duration)})",
+        f"- **Diagnosis Confidence**: mean "
+        f"{incident.confidence_mean:.2f}, min {incident.confidence_min:.2f}",
+    ]
+    if incident.is_degraded:
+        lines.append(
+            f"- **Evidence Quality**: degraded — {incident.degraded_count} "
+            f"diagnosis(es) drew on impaired feeds "
+            f"({', '.join(incident.gap_sources) or 'unknown sources'})"
+        )
+    lines += [
+        "",
+        "## 3. Root Causes",
+        f"- {escape_markdown_cell(cause)} at {location}",
+    ]
+    if incident.example is not None and incident.example.root_causes:
+        for extra in incident.example.root_causes:
+            if extra != cause:
+                lines.append(
+                    f"- contributing: {escape_markdown_cell(extra)}"
+                )
+    for caveat in incident.caveats:
+        lines.append(f"- caveat: {escape_markdown_cell(caveat)}")
+    lines += [
+        "",
+        "## 4. Resolution",
+        f"- **Fix Applied**: {resolution}",
+        "",
+        "## 5. Preventive Measures",
+        f"- **General Measure**: {preventive}",
+        "",
+        "## 6. Supplementary Information",
+    ]
+    if incident.example is not None:
+        lines.append("- **Example Diagnosis Trace**:")
+        lines.append("")
+        lines.append("```")
+        lines.append(incident.example.explain())
+        lines.append("```")
+    if related:
+        lines.append("- **Related Incidents**:")
+        lines.append("")
+        lines.append("| Incident | Cause | Location | Flaps |")
+        lines.append("|---|---|---|---:|")
+        for other in related:
+            if other.incident_id == incident.incident_id:
+                continue
+            lines.append(
+                f"| `{other.incident_id}` "
+                f"| {escape_markdown_cell(other.cause)} "
+                f"| {escape_markdown_cell(str(other.location))} "
+                f"| {other.flap_count} |"
+            )
+    if incident.example is None and not related:
+        lines.append("- No supplementary records were attached.")
+    conclusion = (
+        f"Symptom `{incident.symptom_name}` at {location} was "
+        f"{'conclusively' if cause and not cause.startswith(UNKNOWN) else 'not'}"
+        f" attributed"
+        + (
+            f" to {escape_markdown_cell(cause)}"
+            if not cause.startswith(UNKNOWN)
+            else " to a known root cause"
+        )
+        + f" across {flaps} occurrence(s); the incident is "
+        f"{'still open' if incident.open else 'closed'}. "
+    )
+    if flaps > 1:
+        conclusion += (
+            f"The {flaps} repeated occurrences were deduplicated into this "
+            "single incident for triage. "
+        )
+    conclusion += (
+        "Apply the resolution above and track the preventive measure to "
+        "completion."
+    )
+    lines += ["", "## 7. Conclusion", conclusion, ""]
+    return "\n".join(lines)
+
+
+def render_incident_summary(incidents: Sequence[Incident]) -> str:
+    """A fleet-level markdown digest: one table row per incident."""
+    lines = [
+        "# Incident summary",
+        "",
+        f"Incidents: **{len(incidents)}** — open: "
+        f"**{sum(1 for i in incidents if i.open)}**",
+        "",
+        "| Incident | Symptom | Cause | Location | Flaps | Window |",
+        "|---|---|---|---|---:|---|",
+    ]
+    for incident in incidents:
+        lines.append(
+            f"| `{incident.incident_id}` "
+            f"| {escape_markdown_cell(incident.symptom_name)} "
+            f"| {escape_markdown_cell(incident.cause)} "
+            f"| {escape_markdown_cell(str(incident.location))} "
+            f"| {incident.flap_count} "
+            f"| {incident.first_seen:.0f}..{incident.last_seen:.0f} |"
+        )
+    return "\n".join(lines) + "\n"

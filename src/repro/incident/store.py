@@ -1,0 +1,207 @@
+"""A queryable incident store on the pluggable storage backends.
+
+Incidents are persisted as an **append-only revision log**: every state
+change the aggregator emits (new incident, new flap, window close)
+lands as one record carrying the full ``grca-incident/1`` document.
+Reads group by incident id and keep the highest revision — so the
+store answers both "what is the incident now?" (latest revision) and
+"how did it evolve?" (the revision log *is* the drill-down timeline),
+with no in-place updates for backends to coordinate.
+
+Default backend is in-memory; point :meth:`IncidentStore.sqlite` at a
+directory for a durable WAL-mode SQLite log (cause / location /
+incident id mirrored into indexed TEXT columns, timestamps in the
+``ts`` index — the (cause, window) queries below push down to SQL).
+Writes arrive from every service worker thread, which is exactly why
+:class:`~repro.collector.backends.SqliteBackend` serializes its
+connection internally.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..collector.backends import MemoryBackend, SqliteBackend, StorageBackend
+from ..collector.store import Record
+from .aggregate import Incident
+from .serialize import incident_from_dict, incident_to_dict
+
+#: Columns mirrored into backend indexes for query pushdown.
+INDEXED_COLUMNS = ("incident_id", "cause", "location", "symptom")
+
+
+class IncidentStore:
+    """Persisted incident revisions with breakdown/drill-down queries."""
+
+    def __init__(self, backend: Optional[StorageBackend] = None) -> None:
+        if backend is None:
+            backend = MemoryBackend(INDEXED_COLUMNS)
+        self.backend = backend
+
+    @classmethod
+    def sqlite(cls, directory: str, synchronous: str = "NORMAL") -> "IncidentStore":
+        """A durable store: one WAL-mode SQLite file under ``directory``."""
+        return cls(
+            SqliteBackend(
+                "incidents",
+                INDEXED_COLUMNS,
+                path=os.path.join(directory, "incidents.sqlite"),
+                synchronous=synchronous,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # writes
+
+    def record(self, incident: Incident) -> None:
+        """Append one revision; plugs into ``IncidentAggregator(sink=)``."""
+        self.backend.insert(
+            Record.make(
+                incident.last_seen,
+                incident_id=incident.incident_id,
+                cause=incident.cause,
+                location=str(incident.location),
+                symptom=incident.symptom_name,
+                revision=incident.revision,
+                payload=incident_to_dict(incident),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # reads
+
+    def _latest(
+        self,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        **equals: Any,
+    ) -> Dict[str, Record]:
+        """Highest-revision record per incident id in the window."""
+        pushdown = {k: v for k, v in equals.items() if v is not None}
+        latest: Dict[str, Record] = {}
+        for record in self.backend.query(start, end, pushdown):
+            incident_id = record["incident_id"]
+            kept = latest.get(incident_id)
+            if kept is None or record["revision"] > kept["revision"]:
+                latest[incident_id] = record
+        return latest
+
+    def incidents(
+        self,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+        cause: Optional[str] = None,
+        location: Optional[str] = None,
+        symptom: Optional[str] = None,
+        open: Optional[bool] = None,
+    ) -> List[Incident]:
+        """Latest revision of every matching incident, oldest first.
+
+        ``start``/``end`` bound the incident's *last activity* (the
+        revision timestamp); ``location`` matches the rendered form,
+        e.g. ``"router[nyc-per1]"``.
+        """
+        rows = self._latest(
+            start, end, cause=cause, location=location, symptom=symptom
+        )
+        incidents = [incident_from_dict(r["payload"]) for r in rows.values()]
+        if open is not None:
+            incidents = [i for i in incidents if i.open == open]
+        return sorted(incidents, key=lambda i: (i.first_seen, i.incident_id))
+
+    def get(self, incident_id: str) -> Incident:
+        """Latest revision of one incident; raises :class:`KeyError`."""
+        rows = self._latest(incident_id=incident_id)
+        if incident_id not in rows:
+            raise KeyError(incident_id)
+        return incident_from_dict(rows[incident_id]["payload"])
+
+    def timeline(self, incident_id: str) -> List[Incident]:
+        """Every persisted revision of one incident, in revision order.
+
+        The drill-down view: how the flap count, window and confidence
+        evolved as symptoms folded in.  Raises :class:`KeyError` for an
+        unknown id.
+        """
+        rows = self.backend.query(None, None, {"incident_id": incident_id})
+        if not rows:
+            raise KeyError(incident_id)
+        revisions = sorted(rows, key=lambda r: r["revision"])
+        return [incident_from_dict(r["payload"]) for r in revisions]
+
+    # ------------------------------------------------------------------
+    # breakdowns
+
+    def breakdown(
+        self,
+        bucket_seconds: float = 86400.0,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> Dict[str, List[Tuple[float, int]]]:
+        """Root-cause distribution over time: cause -> [(bucket, count)].
+
+        Counts *incidents* (not raw symptoms — that view belongs to the
+        Result Browser) by the bucket of their first activity.  Buckets
+        floor-align to multiples of ``bucket_seconds``, pre-epoch
+        timestamps landing in the bucket below, matching
+        :meth:`repro.core.browser.ResultBrowser.trend`.
+        """
+        if bucket_seconds <= 0:
+            raise ValueError(
+                f"bucket_seconds must be positive, got {bucket_seconds!r}"
+            )
+        series: Dict[str, Dict[float, int]] = {}
+        for incident in self.incidents(start, end):
+            bucket = incident.first_seen - (
+                incident.first_seen % bucket_seconds
+            )
+            per_cause = series.setdefault(incident.cause, {})
+            per_cause[bucket] = per_cause.get(bucket, 0) + 1
+        return {
+            cause: sorted(buckets.items())
+            for cause, buckets in sorted(series.items())
+        }
+
+    def top_offenders(
+        self,
+        limit: int = 10,
+        start: Optional[float] = None,
+        end: Optional[float] = None,
+    ) -> List[Dict[str, Any]]:
+        """Locations ranked by total flaps (ties: incident count, name).
+
+        The "which routers keep hurting us" view — each row carries the
+        location, its incident count, summed flap count and the causes
+        seen there.
+        """
+        per_location: Dict[str, Dict[str, Any]] = {}
+        for incident in self.incidents(start, end):
+            row = per_location.setdefault(
+                str(incident.location),
+                {"location": str(incident.location), "incidents": 0,
+                 "flaps": 0, "causes": set()},
+            )
+            row["incidents"] += 1
+            row["flaps"] += incident.flap_count
+            row["causes"].add(incident.cause)
+        ranked = sorted(
+            per_location.values(),
+            key=lambda r: (-r["flaps"], -r["incidents"], r["location"]),
+        )
+        return [
+            {**row, "causes": sorted(row["causes"])}
+            for row in ranked[: max(limit, 0)]
+        ]
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._latest())
+
+    def revisions(self) -> int:
+        """Total persisted revision records (the log length)."""
+        return len(self.backend)
+
+    def close(self) -> None:
+        self.backend.close()

@@ -51,6 +51,8 @@ class GrcaPlatform:
         apps: Dict[str, Any],
         workers: int = 4,
         start: bool = True,
+        incidents: Any = False,
+        incident_gap: float = 3600.0,
         **service_options: Any,
     ):
         """Wrap this platform in a running :class:`RcaService`.
@@ -59,12 +61,35 @@ class GrcaPlatform:
         ``{"bgp_flaps": BgpFlapApp.build(platform)}``).  Extra keyword
         options go to the :class:`~repro.service.RcaService`
         constructor (queue depth, cache capacity, metrics, clock).
+
+        ``incidents=True`` attaches incident tracking: every diagnosis
+        the workers produce is folded live into an
+        :class:`~repro.incident.IncidentAggregator` (dedupe window
+        ``incident_gap`` seconds) persisting to an
+        :class:`~repro.incident.IncidentStore` exposed as
+        ``service.incidents``.  Pass an ``IncidentStore`` instead of
+        ``True`` to choose the backing store (e.g.
+        ``IncidentStore.sqlite(directory)`` for durability).
         """
         from .service import RcaService  # local import: service is optional wiring
 
+        incident_store = aggregator = None
+        if incidents:
+            from .incident import IncidentAggregator, IncidentStore
+
+            incident_store = (
+                incidents if isinstance(incidents, IncidentStore)
+                else IncidentStore()
+            )
+            aggregator = IncidentAggregator(
+                gap_seconds=incident_gap, sink=incident_store.record
+            )
+            service_options.setdefault("incident_sink", aggregator.observe)
         service = RcaService(
             store=self.store, health=self.health, workers=workers, **service_options
         )
+        service.incidents = incident_store
+        service.incident_aggregator = aggregator
         for name, app in apps.items():
             service.register_app(name, app)
         if start:
@@ -77,6 +102,8 @@ class GrcaPlatform:
         shards: int = 2,
         workers: int = 2,
         start: bool = True,
+        incidents: Any = False,
+        incident_gap: float = 3600.0,
         **service_options: Any,
     ):
         """Wrap this platform in a :class:`~repro.service.http.ShardRouter`.
@@ -86,9 +113,27 @@ class GrcaPlatform:
         platform's shared store and health registry, registers every app
         on all of them, and returns the router.  Hand it to
         :class:`~repro.service.http.RcaGateway` for the HTTP front end.
+
+        ``incidents=True`` (or an :class:`~repro.incident.IncidentStore`)
+        wires **one** shared aggregator + store across every shard's
+        ``incident_sink`` — incidents dedupe platform-wide, not per
+        shard — exposed as ``router.incidents`` and served by the
+        gateway's ``GET /v1/incidents`` routes.
         """
         from .service.http import ShardRouter, build_shards
 
+        incident_store = aggregator = None
+        if incidents:
+            from .incident import IncidentAggregator, IncidentStore
+
+            incident_store = (
+                incidents if isinstance(incidents, IncidentStore)
+                else IncidentStore()
+            )
+            aggregator = IncidentAggregator(
+                gap_seconds=incident_gap, sink=incident_store.record
+            )
+            service_options.setdefault("incident_sink", aggregator.observe)
         router = ShardRouter(
             build_shards(
                 self.store,
@@ -98,6 +143,8 @@ class GrcaPlatform:
                 **service_options,
             )
         )
+        router.incidents = incident_store
+        router.incident_aggregator = aggregator
         for name, app in apps.items():
             router.register_app(name, app)
         if start:

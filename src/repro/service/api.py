@@ -104,9 +104,18 @@ class RcaService:
         supervisor_config: Optional[SupervisorConfig] = None,
         brownout_config: Optional[BrownoutConfig] = None,
         executor: Optional[Callable[[Job, Worker], object]] = None,
+        incident_sink: Optional[Callable[[Diagnosis], None]] = None,
     ) -> None:
         self.store = store
         self.health = health
+        #: called with every produced diagnosis (cached hits included —
+        #: the incident aggregator dedupes re-observations itself);
+        #: exceptions are swallowed so a sink bug cannot fail jobs
+        self.incident_sink = incident_sink
+        #: incident store/aggregator pair, when the platform wired one
+        #: (:meth:`GrcaPlatform.serve` with ``incidents=True``)
+        self.incidents = None
+        self.incident_aggregator = None
         self.metrics = metrics or ServiceMetrics()
         self.clock = clock
         #: relative per-job deadline (seconds) applied when a submit
@@ -547,6 +556,12 @@ class RcaService:
         if traced:
             job.trace = root
             self.metrics.observe_stages(stage_breakdown(root))
+        if self.incident_sink is not None:
+            for diagnosis in diagnoses:
+                try:
+                    self.incident_sink(diagnosis)
+                except Exception:  # noqa: BLE001 - sink bugs stay out of jobs
+                    pass
         return diagnoses
 
     def _sync_spatial_metrics(self, resolver) -> None:

@@ -12,6 +12,11 @@ behind a small versioned JSON API:
 ``GET    /v1/apps``           registered application names
 ``GET    /v1/health``         aggregated shard health (``200`` ok / ``503`` degraded)
 ``GET    /v1/metrics``        per-shard metric snapshots + summed aggregate
+``GET    /v1/incidents``      deduplicated incidents (``grca-incident/1`` documents;
+                              ``?cause=``/``?location=``/``?open=``/``?flapping=1``
+                              filter, ``404`` when incident tracking is off)
+``GET /v1/incidents/{id}``    one incident (``?timeline=1`` for the revision log)
+``GET /v1/incidents/{id}/report``  the standardized RCA report as markdown
 ============================  =====================================================
 
 Overload is expressed in HTTP, not by blocking the socket:
@@ -207,6 +212,13 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             return self._send_json(status, health)
         if resource == "metrics" and len(segments) == 2:
             return self._send_json(200, self.router.metrics())
+        if resource == "incidents":
+            if len(segments) == 2:
+                return self._incident_list(query)
+            if len(segments) == 3:
+                return self._incident_show(segments[2], query)
+            if len(segments) == 4 and segments[3] == "report":
+                return self._incident_report(segments[2])
         raise ApiError(404, f"no such resource: {self.path}")
 
     # -- endpoints -----------------------------------------------------
@@ -298,6 +310,70 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             return self.router.job(job_id)
         except KeyError as exc:
             raise ApiError(404, str(exc.args[0] if exc.args else exc))
+
+    # -- incident endpoints --------------------------------------------
+
+    def _incident_store(self):
+        store = getattr(self.router, "incidents", None)
+        if store is None:
+            raise ApiError(
+                404,
+                "incident tracking is not enabled on this deployment "
+                "(serve with incidents=True)",
+            )
+        return store
+
+    def _incident_list(self, query: dict) -> None:
+        store = self._incident_store()
+        cause = query.get("cause", [None])[0]
+        location = query.get("location", [None])[0]
+        incidents = store.incidents(cause=cause, location=location)
+        if query.get("open"):
+            want = query["open"][0] not in ("0", "false", "no")
+            incidents = [i for i in incidents if i.open == want]
+        if query.get("flapping"):
+            incidents = [i for i in incidents if i.flap_count > 1]
+        self._send_json(
+            200,
+            {
+                "count": len(incidents),
+                "incidents": [i.to_json() for i in incidents],
+            },
+        )
+
+    def _incident_show(self, incident_id: str, query: dict) -> None:
+        store = self._incident_store()
+        try:
+            if query.get("timeline"):
+                revisions = store.timeline(incident_id)
+                return self._send_json(
+                    200,
+                    {
+                        "incident_id": incident_id,
+                        "revisions": [r.to_json() for r in revisions],
+                    },
+                )
+            incident = store.get(incident_id)
+        except KeyError:
+            raise ApiError(404, f"no such incident: {incident_id}")
+        self._send_json(200, incident.to_json())
+
+    def _incident_report(self, incident_id: str) -> None:
+        from ...incident.report import render_incident_report
+
+        store = self._incident_store()
+        try:
+            incident = store.get(incident_id)
+        except KeyError:
+            raise ApiError(404, f"no such incident: {incident_id}")
+        body = render_incident_report(
+            incident, related=store.incidents(cause=incident.cause)
+        ).encode()
+        self.send_response(200)
+        self.send_header("Content-Type", "text/markdown; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
 
 
 def _expect_int(body: Dict[str, Any], field: str) -> int:

@@ -72,6 +72,12 @@ class ShardRouter:
         if not shards:
             raise ValueError("a router needs at least one shard")
         self.shards: List[RcaService] = list(shards)
+        #: shared incident tracking, when enabled
+        #: (:meth:`GrcaPlatform.serve_sharded` wires one aggregator +
+        #: store across every shard's ``incident_sink``); the gateway's
+        #: ``/v1/incidents`` routes read these
+        self.incidents = None
+        self.incident_aggregator = None
 
     def __len__(self) -> int:
         return len(self.shards)

@@ -13,6 +13,7 @@ from .scenarios import (
     TABLE6_MIXTURE,
     TABLE8_MIXTURE,
     backbone_probe_month,
+    bgp_flap_storm,
     bgp_month,
     cdn_month,
     cpu_bgp_study,
@@ -36,6 +37,7 @@ __all__ = [
     "TelemetryBuffers",
     "TelemetryEmitter",
     "backbone_probe_month",
+    "bgp_flap_storm",
     "bgp_month",
     "cdn_month",
     "cpu_bgp_study",

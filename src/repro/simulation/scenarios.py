@@ -197,6 +197,89 @@ def bgp_month(
     return SimulationResult(topology, collector, ground_truth, start, end)
 
 
+def bgp_flap_storm(
+    total_flaps: int = 240,
+    params: Optional[TopologyParams] = None,
+    seed: int = 4004,
+    duration_days: float = 30.0,
+    storm_customers: int = 3,
+    burst_size: int = 6,
+    burst_spacing: float = 900.0,
+    feed_faults: Optional[Callable[[FeedFaultInjector], None]] = None,
+) -> SimulationResult:
+    """A month of eBGP flaps dominated by a few *flapping* attachments.
+
+    Where :func:`bgp_month` spreads its mixture thin (one symptom per
+    site per window — every diagnosis is its own incident), this
+    scenario concentrates most flaps on ``storm_customers`` troubled
+    attachments that flap in **bursts**: ``burst_size`` interface flaps
+    ``burst_spacing`` seconds apart, burst after burst across the
+    month.  The workload the incident layer exists for — hundreds of
+    diagnosed symptoms that an operator should see as a handful of
+    flapping incidents (dedupe by cause + location + window, flap
+    counts well above 1).  A sparse background of other Table IV causes
+    keeps the breakdown non-degenerate.
+    """
+    params = params or TopologyParams(
+        n_pops=6, pers_per_pop=3, customers_per_per=8, seed=seed
+    )
+    topology = build_topology(params)
+    rng = random.Random(seed)
+    emitter = TelemetryEmitter(topology, random.Random(seed + 1))
+    injector = FaultInjector(topology, emitter, random.Random(seed + 2))
+    start = BASE_EPOCH
+    end = start + duration_days * DAY
+
+    customers = sorted(topology.customer_attachments)
+    troubled = customers[: max(1, storm_customers)]
+    burst_flaps = max(2, burst_size)
+    storm_total = int(total_flaps * 0.8)
+    background_total = total_flaps - storm_total
+
+    ground_truth: List[GroundTruth] = []
+    # bursts: each troubled customer flaps burst_flaps times in a row,
+    # bursts rotating over the troubled set across the whole span
+    n_bursts = max(1, storm_total // burst_flaps)
+    span = (end - start) - DAY
+    produced = 0
+    for b in range(n_bursts):
+        customer = troubled[b % len(troubled)]
+        burst_start = start + 0.5 * DAY + (b / n_bursts) * span
+        for k in range(burst_flaps):
+            if produced >= storm_total:
+                break
+            t = burst_start + k * burst_spacing
+            ground_truth.extend(injector.bgp_interface_flap(t, customer))
+            produced += 1
+
+    # sparse background mixture away from the troubled attachments
+    quiet = [c for c in customers if c not in troubled] or customers
+    background = (
+        injector.bgp_customer_reset,
+        injector.bgp_cpu_spike,
+        injector.bgp_lineproto_flap,
+        injector.bgp_unknown,
+    )
+    planner = _TimePlanner(
+        rng, start + DAY * 0.05, end - DAY * 0.05, spacing=3600.0
+    )
+    for k in range(background_total):
+        customer = rng.choice(quiet)
+        inject = background[k % len(background)]
+        ground_truth.extend(inject(planner.draw(customer), customer))
+
+    ground_truth.sort(key=lambda truth: truth.time)
+    _emit_background(emitter, topology, rng, start, end)
+    collector = DataCollector()
+    _register_devices(collector, topology)
+    feed_injector = FeedFaultInjector(emitter.buffers, random.Random(seed + 17))
+    if feed_faults is not None:
+        feed_faults(feed_injector)
+    emitter.buffers.ingest_into(collector)
+    feed_injector.apply_to_registry(collector.health)
+    return SimulationResult(topology, collector, ground_truth, start, end)
+
+
 # ---------------------------------------------------------------------------
 # Table VIII: two weeks of PIM adjacency changes
 

@@ -471,3 +471,104 @@ class TestReadObservers:
             float("-inf"),
             float("inf"),
         )
+
+
+class TestSqliteConcurrentWriters:
+    """Regression: the shared sqlite connection needs its own lock.
+
+    Before the backend serialized its connection access, concurrent
+    writers interleaved execute/commit pairs on one connection —
+    silently losing rows and/or raising ``cannot start a transaction
+    within a transaction``.  Direct consumers (the incident store's
+    revision log) hit the backend without the Table facade, so the
+    backend itself must be safe.
+    """
+
+    N_THREADS = 8
+    N_EACH = 400
+
+    def test_concurrent_inserts_lose_nothing(self, tmp_path):
+        import threading
+
+        backend = SqliteBackend(
+            "stress",
+            ("router",),
+            path=str(tmp_path / "stress.sqlite"),
+        )
+        errors = []
+        started = threading.Barrier(self.N_THREADS)
+
+        def write(index):
+            try:
+                started.wait(timeout=30)
+                for i in range(self.N_EACH):
+                    backend.insert(
+                        Record.make(
+                            float(index * self.N_EACH + i),
+                            router=f"r{index}",
+                            seq=i,
+                        )
+                    )
+            except Exception as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=write, args=(index,))
+            for index in range(self.N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        total = self.N_THREADS * self.N_EACH
+        assert len(backend) == total
+        # every writer's rows are individually complete and queryable
+        for index in range(self.N_THREADS):
+            rows = backend.query(None, None, {"router": f"r{index}"})
+            assert len(rows) == self.N_EACH
+        backend.close()
+
+    def test_queries_stay_consistent_during_writes(self, tmp_path):
+        import threading
+
+        backend = SqliteBackend(
+            "stress2",
+            ("router",),
+            path=str(tmp_path / "stress2.sqlite"),
+        )
+        errors = []
+        done = threading.Event()
+
+        def write():
+            try:
+                for i in range(self.N_EACH):
+                    backend.insert(Record.make(float(i), router="w", seq=i))
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+            finally:
+                done.set()
+
+        def read():
+            try:
+                while not done.is_set():
+                    rows = backend.query(None, None, {"router": "w"})
+                    seqs = [r["seq"] for r in rows]
+                    # writes are sequential: a snapshot is a prefix
+                    assert seqs == sorted(seqs)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        writer = threading.Thread(target=write)
+        readers = [threading.Thread(target=read) for _ in range(3)]
+        writer.start()
+        for reader in readers:
+            reader.start()
+        writer.join()
+        for reader in readers:
+            reader.join()
+
+        assert errors == []
+        assert len(backend) == self.N_EACH
+        backend.close()

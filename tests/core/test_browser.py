@@ -114,3 +114,19 @@ class TestTrend:
         text = browser.format_trend()
         assert "iface-flap" in text
         assert "(no diagnoses)" == ResultBrowser([]).format_trend()
+
+    def test_non_positive_bucket_rejected(self, browser):
+        # regression: bucket_seconds=0 used to raise ZeroDivisionError
+        # from deep inside the bucketing arithmetic
+        for bad in (0.0, -86400.0):
+            with pytest.raises(ValueError, match="bucket_seconds"):
+                browser.trend(bucket_seconds=bad)
+            with pytest.raises(ValueError, match="bucket_seconds"):
+                browser.format_trend(bucket_seconds=bad)
+
+    def test_pre_epoch_timestamps_floor_align(self):
+        # pins the floor-alignment contract: a symptom just before the
+        # epoch lands in the bucket below, not in bucket 0
+        browser = ResultBrowser([make_diagnosis("iface-flap", t=-10.0)])
+        trend = browser.trend(bucket_seconds=86400.0)
+        assert trend["iface-flap"] == [(-86400.0, 1)]

@@ -39,6 +39,29 @@ class TestMarkdownReport:
     def test_custom_title(self, browser):
         assert browser.report("BGP month").startswith("# BGP month")
 
+    def test_pipes_in_cause_names_are_escaped(self):
+        # regression: a cause containing "|" used to split its breakdown
+        # row into extra markdown columns
+        browser = ResultBrowser(
+            [make_diagnosis("flap|reset (ambiguous)", t=1000.0)]
+        )
+        text = browser.report()
+        row = next(
+            line for line in text.splitlines()
+            if "flap" in line and line.startswith("|")
+        )
+        assert "flap\\|reset (ambiguous)" in row
+        # still exactly the 3 declared columns: cause, count, percentage
+        assert row.count("|") - row.count("\\|") == 4
+
+    def test_escape_markdown_cell_helper(self):
+        from repro.core.browser import escape_markdown_cell
+
+        assert escape_markdown_cell("a|b") == "a\\|b"
+        assert escape_markdown_cell("a\\b") == "a\\\\b"
+        assert escape_markdown_cell("a\nb") == "a b"
+        assert escape_markdown_cell("plain") == "plain"
+
     def test_cli_report_flag(self, tmp_path, capsys):
         from repro.cli import main
 

@@ -82,7 +82,9 @@ class TestAccuracy:
         assert result.dimension("accuracy").score == 0.0
 
     def test_alias_apps_cover_registry_apps(self):
-        assert set(CAUSE_ALIASES) == {"bgp_flaps", "cdn", "pim", "backbone"}
+        assert set(CAUSE_ALIASES) == {
+            "bgp_flaps", "bgp_storm", "cdn", "pim", "backbone"
+        }
 
 
 class TestCoverageAndLocalization:

@@ -1,0 +1,101 @@
+"""Fixtures for the incident-lifecycle suite.
+
+``diagnosis()`` builds synthetic diagnoses cheaply (no simulation) for
+aggregator/store/report unit tests; ``storm_diagnoses`` runs one small
+seeded flap-storm replay (session-scoped — the e2e tests share it).
+"""
+
+import pytest
+
+from repro.collector.health import FeedState
+from repro.core.engine import Diagnosis
+from repro.core.events import EventInstance
+from repro.core.graph import DiagnosisRule
+from repro.core.locations import Location, LocationType
+from repro.core.reasoning.rule_based import (
+    EvidenceGap,
+    MatchedEvidence,
+    RuleBasedResult,
+)
+from repro.core.spatial import JoinLevel, SpatialJoinRule
+from repro.core.temporal import default_rule
+
+
+def diagnosis(
+    cause="Interface flap",
+    t=1000.0,
+    router="nyc-per1",
+    symptom="bgp-session-flap",
+    confidence=1.0,
+    caveats=(),
+    gap_sources=(),
+    duration=10.0,
+):
+    """One synthetic diagnosis with a controllable identity and rollup."""
+    location = Location.router(router)
+    instance = EventInstance.make(symptom, t, t + duration, location)
+    if cause is None:
+        result = RuleBasedResult(root_causes=[], priority=0, supporting=[])
+        evidence = []
+    else:
+        rule = DiagnosisRule(
+            symptom, cause, default_rule(),
+            SpatialJoinRule(
+                LocationType.ROUTER, LocationType.ROUTER, JoinLevel.ROUTER
+            ),
+            priority=10,
+        )
+        found = EventInstance.make(cause, t, t, location)
+        evidence = [MatchedEvidence(rule, instance, found, 1)]
+        result = RuleBasedResult(
+            root_causes=[cause], priority=10, supporting=evidence
+        )
+    gaps = [
+        EvidenceGap(
+            source=source,
+            state=FeedState.DOWN,
+            start=t,
+            end=t + duration,
+            event="diag-event",
+            parent_event=symptom,
+        )
+        for source in gap_sources
+    ]
+    return Diagnosis(
+        symptom=instance,
+        evidence=evidence,
+        result=result,
+        gaps=gaps,
+        confidence=confidence,
+        caveats=list(caveats),
+    )
+
+
+@pytest.fixture
+def make_diagnosis():
+    return diagnosis
+
+
+@pytest.fixture(scope="session")
+def storm_result():
+    """One small seeded flap-storm simulation (shared across the suite)."""
+    from repro.simulation import bgp_flap_storm
+    from repro.topology import TopologyParams
+
+    return bgp_flap_storm(
+        total_flaps=60,
+        seed=9108,
+        params=TopologyParams(
+            n_pops=4, pers_per_pop=2, customers_per_per=4, seed=9108
+        ),
+    )
+
+
+@pytest.fixture(scope="session")
+def storm_diagnoses(storm_result):
+    """The storm's full-replay diagnoses, in symptom order."""
+    from repro.apps import BgpFlapApp
+
+    app = BgpFlapApp.build(storm_result.platform())
+    browser = app.run(storm_result.start, storm_result.end)
+    return list(browser.diagnoses)

@@ -1,0 +1,287 @@
+"""End to end: month-scale replay -> deduped incidents, CLI and HTTP.
+
+The acceptance contract for the incident layer: a month-scale flap
+storm with repeated symptoms collapses into deduplicated incidents
+(flap counts > 1), queryable through the CLI and ``GET /v1/incidents``,
+and two same-seed runs emit byte-identical ``grca-incident/1`` JSON.
+"""
+
+import http.client
+import json
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.incident import IncidentAggregator, IncidentStore, incident_to_dict
+
+INCIDENT_ID = re.compile(r"inc-[0-9a-f]{12}")
+
+
+def fold(diagnoses, end, gap=3600.0):
+    store = IncidentStore()
+    aggregator = IncidentAggregator(gap_seconds=gap, sink=store.record)
+    for diagnosis in diagnoses:
+        aggregator.observe(diagnosis)
+    aggregator.advance(end + gap + 1.0)
+    return store, aggregator
+
+
+class TestMonthScaleDedupe:
+    def test_repeated_symptoms_collapse_with_flap_counts(
+        self, storm_result, storm_diagnoses
+    ):
+        store, aggregator = fold(storm_diagnoses, storm_result.end)
+        incidents = store.incidents()
+        assert len(storm_diagnoses) > len(incidents)
+        flapping = [i for i in incidents if i.flap_count > 1]
+        assert flapping, "the storm must produce multi-flap incidents"
+        assert max(i.flap_count for i in flapping) >= 3
+        # every diagnosis is accounted for exactly once
+        assert sum(i.flap_count for i in incidents) == len(storm_diagnoses)
+        # the replay finished, so every window is closed
+        assert all(not i.open for i in incidents)
+
+    def test_same_seed_runs_are_byte_identical(self, storm_result, storm_diagnoses):
+        from repro.apps import BgpFlapApp
+        from repro.simulation import bgp_flap_storm
+        from repro.topology import TopologyParams
+
+        def encode(diagnoses, end):
+            store, _aggregator = fold(diagnoses, end)
+            return json.dumps(
+                [incident_to_dict(i) for i in store.incidents()],
+                indent=2,
+                sort_keys=True,
+                allow_nan=False,
+            )
+
+        # an independent second replay of the identical seed
+        second = bgp_flap_storm(
+            total_flaps=60,
+            seed=9108,
+            params=TopologyParams(
+                n_pops=4, pers_per_pop=2, customers_per_per=4, seed=9108
+            ),
+        )
+        app = BgpFlapApp.build(second.platform())
+        rerun = list(app.run(second.start, second.end).diagnoses)
+        assert encode(storm_diagnoses, storm_result.end) == encode(
+            rerun, second.end
+        )
+
+
+class TestCliQueries:
+    ARGS = ["bgp-storm", "--size", "40", "--seed", "7"]
+
+    def test_list_shows_flapping_incidents(self, capsys):
+        assert main(["incidents", "list", *self.ARGS, "--flapping"]) == 0
+        out = capsys.readouterr().out
+        assert "diagnoses ->" in out
+        ids = INCIDENT_ID.findall(out)
+        assert ids, "flapping incidents expected in the storm"
+        # every listed row is a multi-flap incident (flaps column > 1)
+        for line in out.splitlines():
+            if line.startswith("| `inc-"):
+                flaps = int(line.rsplit("|", 3)[1].strip())
+                assert flaps > 1
+
+    def test_show_serves_the_listed_incident_as_json(self, capsys):
+        main(["incidents", "list", *self.ARGS, "--flapping"])
+        incident_id = INCIDENT_ID.findall(capsys.readouterr().out)[0]
+        assert main(["incidents", "show", *self.ARGS, incident_id]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "grca-incident/1"
+        assert document["incident_id"] == incident_id
+        assert document["flap_count"] > 1
+
+    def test_show_timeline_orders_revisions(self, capsys):
+        main(["incidents", "list", *self.ARGS, "--flapping"])
+        incident_id = INCIDENT_ID.findall(capsys.readouterr().out)[0]
+        assert main(
+            ["incidents", "show", *self.ARGS, incident_id, "--timeline"]
+        ) == 0
+        revisions = json.loads(capsys.readouterr().out)
+        assert [r["revision"] for r in revisions] == list(
+            range(1, len(revisions) + 1)
+        )
+
+    def test_show_unknown_id_fails(self, capsys):
+        assert main(["incidents", "show", *self.ARGS, "inc-nope"]) == 1
+        assert "unknown incident" in capsys.readouterr().err
+
+    def test_report_emits_the_seven_sections(self, capsys):
+        assert main(["incidents", "report", *self.ARGS]) == 0
+        out = capsys.readouterr().out
+        for number, title in enumerate(
+            ["Issue Summary", "Impact Analysis", "Root Causes", "Resolution",
+             "Preventive Measures", "Supplementary Information", "Conclusion"],
+            start=1,
+        ):
+            assert f"## {number}. {title}" in out
+
+    def test_top_ranks_offenders(self, capsys):
+        assert main(["incidents", "top", *self.ARGS, "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "offender location(s)" in out
+        assert "root-cause distribution" in out
+
+
+@pytest.fixture(scope="module")
+def incident_gateway(storm_result):
+    """A 2-shard gateway with incident tracking, one run job completed."""
+    from repro.apps import BgpFlapApp
+    from repro.service.http import RcaGateway
+
+    platform = storm_result.platform()
+    app = BgpFlapApp.build(platform)
+    router = platform.serve_sharded(
+        {"bgp": app}, shards=2, workers=2, incidents=True
+    )
+    gateway = RcaGateway(router).start()
+    _qid, job = router.submit_run("bgp", storm_result.start, storm_result.end)
+    job.wait(timeout=180.0)
+    router.incident_aggregator.advance(storm_result.end + 3600.0 + 1.0)
+    yield gateway
+    gateway.stop(shutdown_shards=True)
+
+
+def http_get(gateway, path):
+    conn = http.client.HTTPConnection(gateway.host, gateway.port, timeout=30)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        raw = response.read()
+        content_type = response.getheader("Content-Type", "")
+        return response.status, content_type, raw
+    finally:
+        conn.close()
+
+
+class TestHttpIncidents:
+    def test_list_returns_deduped_incidents(self, incident_gateway):
+        status, content_type, raw = http_get(incident_gateway, "/v1/incidents")
+        assert status == 200
+        assert content_type.startswith("application/json")
+        document = json.loads(raw)
+        assert document["count"] == len(document["incidents"])
+        assert document["count"] > 0
+        flapping = [
+            i for i in document["incidents"] if i["flap_count"] > 1
+        ]
+        assert flapping, "live-fed aggregator must dedupe repeat symptoms"
+
+    def test_flapping_filter(self, incident_gateway):
+        status, _ct, raw = http_get(
+            incident_gateway, "/v1/incidents?flapping=1"
+        )
+        assert status == 200
+        document = json.loads(raw)
+        assert document["incidents"]
+        assert all(i["flap_count"] > 1 for i in document["incidents"])
+
+    def test_show_and_timeline(self, incident_gateway):
+        _s, _ct, raw = http_get(incident_gateway, "/v1/incidents?flapping=1")
+        incident = json.loads(raw)["incidents"][0]
+        incident_id = incident["incident_id"]
+        status, _ct, raw = http_get(
+            incident_gateway, f"/v1/incidents/{incident_id}"
+        )
+        assert status == 200
+        assert json.loads(raw)["schema"] == "grca-incident/1"
+        status, _ct, raw = http_get(
+            incident_gateway, f"/v1/incidents/{incident_id}?timeline=1"
+        )
+        assert status == 200
+        revisions = json.loads(raw)["revisions"]
+        assert len(revisions) >= incident["flap_count"]
+
+    def test_report_is_markdown(self, incident_gateway):
+        _s, _ct, raw = http_get(incident_gateway, "/v1/incidents?flapping=1")
+        incident_id = json.loads(raw)["incidents"][0]["incident_id"]
+        status, content_type, raw = http_get(
+            incident_gateway, f"/v1/incidents/{incident_id}/report"
+        )
+        assert status == 200
+        assert content_type.startswith("text/markdown")
+        text = raw.decode()
+        assert text.startswith("# Root Cause Analysis Report (RCA)")
+        assert "## 7. Conclusion" in text
+
+    def test_unknown_incident_404(self, incident_gateway):
+        status, _ct, raw = http_get(
+            incident_gateway, "/v1/incidents/inc-nope"
+        )
+        assert status == 404
+
+    def test_disabled_deployment_404s(self, storm_result):
+        from repro.apps import BgpFlapApp
+        from repro.service.http import RcaGateway
+
+        platform = storm_result.platform()
+        app = BgpFlapApp.build(platform)
+        router = platform.serve_sharded({"bgp": app}, shards=1, workers=1)
+        gateway = RcaGateway(router).start()
+        try:
+            status, _ct, raw = http_get(gateway, "/v1/incidents")
+            assert status == 404
+            assert b"not enabled" in raw
+        finally:
+            gateway.stop(shutdown_shards=True)
+
+
+class TestStreamingLiveFeed:
+    def test_streaming_rca_feeds_the_aggregator(self):
+        """StreamingRca -> on_diagnosis -> aggregator, incrementally."""
+        import random
+
+        from repro.apps.bgp_flaps import BgpFlapApp
+        from repro.collector import DataCollector
+        from repro.core.streaming import FeedReplayer, StreamingConfig, StreamingRca
+        from repro.platform import GrcaPlatform
+        from repro.simulation.faults import FaultInjector
+        from repro.simulation.telemetry import BASE_EPOCH, TelemetryEmitter
+        from repro.topology import TopologyParams, build_topology
+
+        topo = build_topology(
+            TopologyParams(n_pops=3, pers_per_pop=2, customers_per_per=4, seed=88)
+        )
+        emitter = TelemetryEmitter(topo, random.Random(1), syslog_jitter=1.0)
+        injector = FaultInjector(topo, emitter, random.Random(2))
+        customer = sorted(topo.customer_attachments)[0]
+        t0 = BASE_EPOCH + 3600.0
+        # the same customer flaps three times within the dedupe gap
+        injector.bgp_interface_flap(t0, customer)
+        injector.bgp_interface_flap(t0 + 1500.0, customer)
+        injector.bgp_interface_flap(t0 + 3000.0, customer)
+
+        collector = DataCollector()
+        for router in topo.network.routers.values():
+            collector.registry.register_device(router.name, router.timezone)
+        platform = GrcaPlatform.from_collector(
+            topo, collector, config_time=BASE_EPOCH
+        )
+        app = BgpFlapApp.build(platform)
+        replayer = FeedReplayer(collector, emitter.buffers.replay_order())
+
+        store = IncidentStore()
+        aggregator = IncidentAggregator(gap_seconds=3600.0, sink=store.record)
+        streaming = StreamingRca(
+            app.engine,
+            StreamingConfig(settle_seconds=420.0),
+            on_diagnosis=aggregator.observe,
+        )
+        now = t0 - 600.0
+        while now < t0 + 20000.0:
+            now += 900.0
+            replayer.deliver_until(now)
+            streaming.advance(now)
+        aggregator.advance(now + 3600.0 + 1.0)
+
+        incidents = store.incidents()
+        flap_incidents = [
+            i for i in incidents if i.cause == "Interface flap"
+        ]
+        assert len(flap_incidents) == 1
+        assert flap_incidents[0].flap_count == 3
+        assert not flap_incidents[0].open

@@ -1,0 +1,125 @@
+"""The standardized RCA report: section contract and content."""
+
+import re
+
+from repro.incident import (
+    IncidentAggregator,
+    render_incident_report,
+    render_incident_summary,
+)
+
+from .conftest import diagnosis
+
+SECTIONS = [
+    "## 1. Issue Summary",
+    "## 2. Impact Analysis",
+    "## 3. Root Causes",
+    "## 4. Resolution",
+    "## 5. Preventive Measures",
+    "## 6. Supplementary Information",
+    "## 7. Conclusion",
+]
+
+
+def build_incident(stream):
+    aggregator = IncidentAggregator(gap_seconds=600.0)
+    incident = None
+    for d in stream:
+        incident = aggregator.observe(d)
+    return incident
+
+
+class TestSectionContract:
+    def test_all_seven_sections_in_order(self):
+        text = render_incident_report(build_incident([diagnosis()]))
+        positions = [text.find(section) for section in SECTIONS]
+        assert all(p >= 0 for p in positions), positions
+        assert positions == sorted(positions)
+
+    def test_conclusion_never_empty(self):
+        for stream in (
+            [diagnosis()],  # explained
+            [diagnosis(cause=None)],  # unknown
+            [diagnosis(t=1000.0), diagnosis(t=1100.0)],  # flapping
+        ):
+            text = render_incident_report(build_incident(stream))
+            conclusion = text.split("## 7. Conclusion", 1)[1].strip()
+            assert conclusion, "Conclusion section must not be empty"
+
+    def test_title_names_the_cause(self):
+        text = render_incident_report(build_incident([diagnosis()]))
+        assert text.startswith(
+            "# Root Cause Analysis Report (RCA) - Interface flap Issue"
+        )
+
+
+class TestContent:
+    def test_flapping_incident_mentions_dedupe(self):
+        incident = build_incident(
+            [diagnosis(t=1000.0 + i * 60.0) for i in range(5)]
+        )
+        text = render_incident_report(incident)
+        assert "- **Symptom Occurrences**: 5 (flapping)" in text
+        assert "5 repeated occurrences were deduplicated" in text
+
+    def test_degraded_evidence_surfaces(self):
+        incident = build_incident(
+            [diagnosis(gap_sources=("snmp",), caveats=("snmp was dark",))]
+        )
+        text = render_incident_report(incident)
+        assert "**Evidence Quality**: degraded" in text
+        assert "snmp" in text
+        assert "- caveat: snmp was dark" in text
+
+    def test_unknown_cause_gets_escalation_advice(self):
+        text = render_incident_report(build_incident([diagnosis(cause=None)]))
+        assert "escalate to manual" in text
+
+    def test_example_trace_in_supplementary(self):
+        text = render_incident_report(build_incident([diagnosis()]))
+        supplementary = text.split("## 6. Supplementary Information", 1)[1]
+        assert "**Example Diagnosis Trace**" in supplementary
+        assert "```" in supplementary
+
+    def test_related_incidents_table_escapes_pipes(self):
+        main = build_incident([diagnosis()])
+        other = build_incident([diagnosis(cause="weird|cause", t=9000.0)])
+        text = render_incident_report(main, related=[main, other])
+        # the main incident never lists itself as related
+        assert text.count(main.incident_id) == 1
+        row = next(
+            line for line in text.splitlines() if other.incident_id in line
+        )
+        assert "weird\\|cause" in row
+        # every related row keeps exactly the 4 declared columns
+        assert row.count("|") - row.count("\\|") == 5
+
+    def test_severity_scales_with_flaps(self):
+        low = build_incident([diagnosis()])
+        high = build_incident(
+            [diagnosis(t=1000.0 + i * 30.0) for i in range(12)]
+        )
+        assert "- **Severity**: Low" in render_incident_report(low)
+        assert "- **Severity**: High" in render_incident_report(high)
+
+
+class TestSummary:
+    def test_summary_table_lists_every_incident(self):
+        incidents = [
+            build_incident([diagnosis(router="nyc-per1")]),
+            build_incident([diagnosis(router="chi-per1", cause="a|b")]),
+        ]
+        text = render_incident_summary(incidents)
+        assert "Incidents: **2**" in text
+        for incident in incidents:
+            assert incident.incident_id in text
+        assert "a\\|b" in text
+
+    def test_deterministic_rendering(self):
+        incident = build_incident(
+            [diagnosis(t=1000.0 + i * 60.0) for i in range(3)]
+        )
+        assert render_incident_report(incident) == render_incident_report(
+            incident
+        )
+        assert re.search(r"## 7\. Conclusion\n\S", render_incident_report(incident))

@@ -77,6 +77,22 @@ class TestInstanceRoundTrip:
         assert info["nested"]["pair"] == (1.5, "x")
 
 
+class TestFloatGuard:
+    def test_non_finite_floats_round_trip(self):
+        import math
+
+        from repro.core.serialize import decode_float, encode_float
+
+        assert encode_float(float("inf")) == "inf"
+        assert encode_float(float("-inf")) == "-inf"
+        assert encode_float(float("nan")) == "nan"
+        assert encode_float(1.5) == 1.5
+        assert decode_float("inf") == float("inf")
+        assert decode_float("-inf") == float("-inf")
+        assert math.isnan(decode_float("nan"))
+        assert decode_float(1.5) == 1.5
+
+
 class TestDiagnosisRoundTrip:
     def make_diagnosis(self, **overrides):
         symptom = make_instance("s")
@@ -140,6 +156,30 @@ class TestDiagnosisRoundTrip:
         diagnosis = self.make_diagnosis(gaps=[gap], confidence=0.6)
         rebuilt = diagnosis_from_dict(strict_cycle(diagnosis_to_dict(diagnosis)))
         assert rebuilt.gaps == [gap]
+
+    def test_nan_values_are_strict_json(self):
+        # regression: the float guard once special-cased only +/-inf, so
+        # a NaN (e.g. a degenerate confidence rollup) leaked a raw float
+        # that json.dumps(allow_nan=False) rejects
+        import math
+
+        nan = float("nan")
+        gap = EvidenceGap(
+            source="snmp", state=FeedState.DOWN,
+            start=nan, end=nan, event="b", parent_event="a",
+        )
+        diagnosis = self.make_diagnosis(
+            gaps=[gap],
+            confidence=nan,
+            footprint=(("ta", nan, 1030.0),),
+        )
+        document = strict_cycle(diagnosis_to_dict(diagnosis))  # must not raise
+        assert document["confidence"] == "nan"
+        assert document["footprint"] == [["ta", "nan", 1030.0]]
+        rebuilt = diagnosis_from_dict(document)
+        assert math.isnan(rebuilt.confidence)
+        assert math.isnan(rebuilt.gaps[0].start)
+        assert math.isnan(rebuilt.footprint[0][1])
 
     def test_unexplained_diagnosis(self):
         diagnosis = Diagnosis(

@@ -43,3 +43,33 @@ def test_diagnose_output_matches_golden(scenario, size, capsys, regen_goldens):
         f"diagnose {scenario} output drifted from {golden.name}; "
         f"if intentional, regenerate with --regen-goldens"
     )
+
+
+INCIDENT_CASES = [
+    ("incidents_report_bgp-storm", ["incidents", "report", "bgp-storm",
+                                    "--size", "40", "--seed", "7"]),
+    ("incidents_list_bgp-storm", ["incidents", "list", "bgp-storm",
+                                  "--size", "40", "--seed", "7"]),
+]
+
+
+@pytest.mark.parametrize(
+    "name,argv", INCIDENT_CASES, ids=[c[0] for c in INCIDENT_CASES]
+)
+def test_incidents_output_matches_golden(name, argv, capsys, regen_goldens):
+    """The standardized RCA report (and list digest) are part of the
+    incident layer's contract: same seed, byte-identical rendering."""
+    code = main(argv)
+    assert code == 0
+    out = capsys.readouterr().out
+    golden = GOLDEN_DIR / f"{name}.txt"
+    if regen_goldens:
+        golden.write_text(out)
+        pytest.skip(f"regenerated {golden.name}")
+    assert golden.exists(), (
+        f"{golden} missing; run with --regen-goldens to create it"
+    )
+    assert out == golden.read_text(), (
+        f"{' '.join(argv)} output drifted from {golden.name}; "
+        f"if intentional, regenerate with --regen-goldens"
+    )
